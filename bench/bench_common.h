@@ -1,0 +1,105 @@
+// Shared helpers for the figure-reproduction benchmark binaries.
+//
+// Each binary regenerates one figure of the paper's evaluation (Section
+// VIII) as a text table: same series (algorithms), same x-axis (ratio or
+// cardinality), CPU time in milliseconds. Absolute numbers differ from the
+// paper's 2011-era testbed; the reproduction target is the curve shape.
+//
+// Default sizes are trimmed so the whole suite finishes in minutes. Set
+// RNNHM_BENCH_FULL=1 for the paper's full parameter ranges.
+#ifndef RNNHM_BENCH_BENCH_COMMON_H_
+#define RNNHM_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/stopwatch.h"
+#include "data/dataset.h"
+#include "geom/geometry.h"
+#include "index/kdtree.h"
+#include "nn/nn_circle_builder.h"
+
+namespace rnnhm::bench {
+
+inline bool FullMode() {
+  const char* env = std::getenv("RNNHM_BENCH_FULL");
+  return env != nullptr && env[0] == '1';
+}
+
+inline const std::vector<DatasetKind> kAllDatasets{
+    DatasetKind::kLa, DatasetKind::kNyc, DatasetKind::kUniform,
+    DatasetKind::kZipfian};
+
+/// Builds the workload for one experiment configuration: samples O and F
+/// from the data set pool and computes NN-circles under `metric`.
+struct PreparedWorkload {
+  Workload workload;
+  std::vector<NnCircle> circles;
+};
+
+inline PreparedWorkload Prepare(const Dataset& dataset, size_t num_clients,
+                                size_t num_facilities, Metric metric,
+                                uint64_t seed) {
+  PreparedWorkload out;
+  out.workload = SampleWorkload(dataset, num_clients, num_facilities, seed);
+  out.circles =
+      BuildNnCircles(out.workload.clients, out.workload.facilities, metric);
+  return out;
+}
+
+/// Client -> NN-facility assignment (for the capacity measure).
+inline std::vector<int32_t> AssignClients(const Workload& w, Metric metric) {
+  KdTree tree(w.facilities);
+  std::vector<int32_t> out;
+  out.reserve(w.clients.size());
+  for (const Point& c : w.clients) {
+    out.push_back(tree.Nearest(c, metric).index);
+  }
+  return out;
+}
+
+/// Prints a table header: first column name then one column per series.
+inline void PrintHeader(const std::string& x_name,
+                        const std::vector<std::string>& series) {
+  std::printf("%-12s", x_name.c_str());
+  for (const std::string& s : series) std::printf(" %14s", s.c_str());
+  std::printf("\n");
+}
+
+/// Prints one row; negative cells print as "-" (not run), and cells marked
+/// capped print with a ">" prefix (budget exhausted).
+struct Cell {
+  double ms = -1.0;
+  bool capped = false;
+};
+
+inline void PrintRow(const std::string& x, const std::vector<Cell>& cells) {
+  std::printf("%-12s", x.c_str());
+  for (const Cell& c : cells) {
+    if (c.ms < 0) {
+      std::printf(" %14s", "-");
+    } else if (c.capped) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), ">%.1f", c.ms);
+      std::printf(" %14s", buf);
+    } else {
+      std::printf(" %14.1f", c.ms);
+    }
+  }
+  std::printf("\n");
+}
+
+/// Times a callable once (the workloads are deterministic; CREST runs are
+/// long enough that single-shot timing is stable at bench sizes).
+template <typename F>
+double TimeMs(F&& f) {
+  Stopwatch sw;
+  f();
+  return sw.ElapsedMs();
+}
+
+}  // namespace rnnhm::bench
+
+#endif  // RNNHM_BENCH_BENCH_COMMON_H_

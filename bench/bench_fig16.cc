@@ -1,0 +1,57 @@
+// Fig. 16: effect of |O|/|F| with the L1 distance.
+//
+// Fixed |O|, ratio |O|/|F| swept over powers of two; series are the
+// baseline (BA), CREST-A (RNN-derivation optimization only) and full CREST,
+// on the LA / NYC / Uniform / Zipfian data sets. The paper reports CREST
+// beating BA by >= 3 orders of magnitude and CREST-A by several times.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/baseline.h"
+#include "core/crest.h"
+#include "heatmap/influence.h"
+
+using namespace rnnhm;
+using namespace rnnhm::bench;
+
+int main() {
+  const bool full = FullMode();
+  const size_t num_clients = full ? 1024 : 256;  // paper: |O| = 2^10
+  const std::vector<size_t> ratios =
+      full ? std::vector<size_t>{2, 4, 16, 64, 128, 256, 1024}
+           : std::vector<size_t>{2, 16, 64, 256};
+
+  std::printf("=== Fig. 16: effect of |O|/|F|, L1 distance "
+              "(|O| = %zu, CPU ms) ===\n", num_clients);
+  SizeInfluence measure;
+  for (const DatasetKind kind : kAllDatasets) {
+    const Dataset dataset = MakeDataset(kind, /*seed=*/20160216);
+    std::printf("\n-- %s --\n", dataset.name.c_str());
+    PrintHeader("ratio", {"BA", "CREST-A", "CREST"});
+    for (const size_t ratio : ratios) {
+      const size_t num_facilities = std::max<size_t>(1, num_clients / ratio);
+      const PreparedWorkload p = Prepare(dataset, num_clients, num_facilities,
+                                         Metric::kL1, /*seed=*/ratio);
+      Cell ba, crest_a, crest;
+      {
+        CountingSink sink;
+        ba.ms = TimeMs([&] { RunBaselineL1(p.circles, measure, &sink); });
+      }
+      {
+        CountingSink sink;
+        CrestOptions options;
+        options.use_changed_intervals = false;
+        crest_a.ms =
+            TimeMs([&] { RunCrestL1(p.circles, measure, &sink, options); });
+      }
+      {
+        CountingSink sink;
+        crest.ms = TimeMs([&] { RunCrestL1(p.circles, measure, &sink); });
+      }
+      PrintRow(std::to_string(ratio), {ba, crest_a, crest});
+    }
+  }
+  return 0;
+}

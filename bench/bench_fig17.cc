@@ -1,0 +1,58 @@
+// Fig. 17: effect of data set size with the L1 distance.
+//
+// Ratio |O|/|F| fixed, |O| swept over powers of two. The paper fixes the
+// ratio at 2^7 and sweeps |O| from 2^7 to 2^16; BA is early-terminated
+// beyond 2^13 (24 h). Here BA is capped at a smaller size by default.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/baseline.h"
+#include "core/crest.h"
+#include "heatmap/influence.h"
+
+using namespace rnnhm;
+using namespace rnnhm::bench;
+
+int main() {
+  const bool full = FullMode();
+  const size_t ratio = full ? 128 : 32;  // paper: 2^7
+  const std::vector<size_t> sizes =
+      full ? std::vector<size_t>{128, 512, 2048, 8192, 32768, 65536}
+           : std::vector<size_t>{128, 512, 2048, 8192};
+  const size_t ba_cap = full ? 8192 : 1024;  // paper stopped BA at 2^13
+
+  std::printf("=== Fig. 17: effect of |O|, L1 distance "
+              "(|O|/|F| = %zu, CPU ms; BA capped at %zu) ===\n",
+              ratio, ba_cap);
+  SizeInfluence measure;
+  for (const DatasetKind kind : kAllDatasets) {
+    const Dataset dataset = MakeDataset(kind, /*seed=*/20160217);
+    std::printf("\n-- %s --\n", dataset.name.c_str());
+    PrintHeader("|O|", {"BA", "CREST-A", "CREST"});
+    for (const size_t n : sizes) {
+      const size_t num_facilities = std::max<size_t>(1, n / ratio);
+      const PreparedWorkload p =
+          Prepare(dataset, n, num_facilities, Metric::kL1, /*seed=*/n);
+      Cell ba, crest_a, crest;
+      if (n <= ba_cap) {
+        CountingSink sink;
+        ba.ms = TimeMs([&] { RunBaselineL1(p.circles, measure, &sink); });
+      }
+      {
+        CountingSink sink;
+        CrestOptions options;
+        options.use_changed_intervals = false;
+        crest_a.ms =
+            TimeMs([&] { RunCrestL1(p.circles, measure, &sink, options); });
+      }
+      {
+        CountingSink sink;
+        crest.ms = TimeMs([&] { RunCrestL1(p.circles, measure, &sink); });
+      }
+      PrintRow(std::to_string(n), {ba, crest_a, crest});
+    }
+  }
+  return 0;
+}

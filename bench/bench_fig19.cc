@@ -1,0 +1,60 @@
+// Fig. 19: effect of data set size with the L2 distance.
+//
+// Ratio fixed at 2^5, |O| swept; CREST-L2 vs Pruning on the max-influence
+// task with the capacity measure, as in Fig. 18.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/crest_l2.h"
+#include "core/pruning.h"
+#include "heatmap/influence.h"
+
+using namespace rnnhm;
+using namespace rnnhm::bench;
+
+int main() {
+  const bool full = FullMode();
+  const size_t ratio = 32;  // paper: 2^5
+  const std::vector<size_t> sizes =
+      full ? std::vector<size_t>{128, 512, 2048, 8192, 32768, 65536}
+           : std::vector<size_t>{128, 512, 2048, 4096};
+  const double pruning_budget_ms = full ? 60000.0 : 5000.0;
+
+  std::printf("=== Fig. 19: effect of |O|, L2 distance, max-influence task "
+              "(|O|/|F| = %zu, CPU ms; Pruning budget %.0fs) ===\n",
+              ratio, pruning_budget_ms / 1000.0);
+  for (const DatasetKind kind : kAllDatasets) {
+    const Dataset dataset = MakeDataset(kind, /*seed=*/20160219);
+    std::printf("\n-- %s --\n", dataset.name.c_str());
+    PrintHeader("|O|", {"Pruning", "CREST-L2", "agree"});
+    for (const size_t n : sizes) {
+      const size_t num_facilities = std::max<size_t>(1, n / ratio);
+      const PreparedWorkload p =
+          Prepare(dataset, n, num_facilities, Metric::kL2, /*seed=*/n);
+      const std::vector<int32_t> client_nn =
+          AssignClients(p.workload, Metric::kL2);
+      std::vector<int32_t> caps(p.workload.facilities.size(), 5);
+      CapacityInfluence measure(client_nn, caps, 5);
+
+      Cell pruning_cell, crest_cell, agree;
+      PruningResult pruning;
+      {
+        PruningOptions options;
+        options.time_budget_ms = pruning_budget_ms;
+        pruning_cell.ms =
+            TimeMs([&] { pruning = RunPruning(p.circles, measure, options); });
+        pruning_cell.capped = pruning.timed_out;
+      }
+      MaxInfluenceSink sink;
+      crest_cell.ms = TimeMs([&] { RunCrestL2(p.circles, measure, &sink); });
+      agree.ms =
+          (sink.HasResult() && pruning.max_influence == sink.max_influence())
+              ? 1.0
+              : 0.0;
+      PrintRow(std::to_string(n), {pruning_cell, crest_cell, agree});
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,147 @@
+// Micro-benchmarks of the substrates (google-benchmark).
+//
+// These are not paper figures; they quantify the building blocks CREST's
+// complexity analysis relies on: O(log n) line-status operations, O(1)
+// base-set edits with O(lambda) copies, and the enclosure-query costs the
+// baseline pays per grid cell.
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/base_set.h"
+#include "data/generators.h"
+#include "index/enclosure_index.h"
+#include "index/kdtree.h"
+#include "index/rtree.h"
+#include "index/skiplist.h"
+#include "nn/nn_circle_builder.h"
+
+namespace rnnhm {
+namespace {
+
+void BM_SkipListInsertErase(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(1);
+  std::vector<double> keys;
+  for (int i = 0; i < n; ++i) keys.push_back(rng.Uniform(0, 1));
+  for (auto _ : state) {
+    SkipList<double, int> list;
+    std::vector<SkipList<double, int>::Node*> handles;
+    handles.reserve(n);
+    for (int i = 0; i < n; ++i) handles.push_back(list.Insert(keys[i], i));
+    for (int i = 0; i < n; ++i) list.Erase(handles[i]);
+    benchmark::DoNotOptimize(list.size());
+  }
+  state.SetItemsProcessed(state.iterations() * n * 2);
+}
+BENCHMARK(BM_SkipListInsertErase)->Range(1 << 10, 1 << 16);
+
+void BM_MultimapInsertErase(benchmark::State& state) {
+  // Comparison point for the line-status container choice.
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(1);
+  std::vector<double> keys;
+  for (int i = 0; i < n; ++i) keys.push_back(rng.Uniform(0, 1));
+  for (auto _ : state) {
+    std::multimap<double, int> map;
+    std::vector<std::multimap<double, int>::iterator> handles;
+    handles.reserve(n);
+    for (int i = 0; i < n; ++i) handles.push_back(map.emplace(keys[i], i));
+    for (int i = 0; i < n; ++i) map.erase(handles[i]);
+    benchmark::DoNotOptimize(map.size());
+  }
+  state.SetItemsProcessed(state.iterations() * n * 2);
+}
+BENCHMARK(BM_MultimapInsertErase)->Range(1 << 10, 1 << 16);
+
+void BM_KdTreeNearest(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(2);
+  const auto pts = GenerateUniform(n, Rect{{0, 0}, {1, 1}}, rng);
+  KdTree tree(pts);
+  Rng qrng(3);
+  for (auto _ : state) {
+    const Point q{qrng.Uniform(0, 1), qrng.Uniform(0, 1)};
+    benchmark::DoNotOptimize(tree.Nearest(q, Metric::kL1));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_KdTreeNearest)->Range(1 << 10, 1 << 18);
+
+void BM_EnclosureStab(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(4);
+  std::vector<Rect> rects;
+  for (int i = 0; i < n; ++i) {
+    const Point p{rng.Uniform(0, 1), rng.Uniform(0, 1)};
+    const double r = rng.Uniform(0.001, 0.05);
+    rects.push_back(Rect{{p.x - r, p.y - r}, {p.x + r, p.y + r}});
+  }
+  EnclosureIndex index(rects);
+  Rng qrng(5);
+  size_t hits = 0;
+  for (auto _ : state) {
+    const Point q{qrng.Uniform(0, 1), qrng.Uniform(0, 1)};
+    index.Stab(q, [&](int32_t) { ++hits; });
+  }
+  benchmark::DoNotOptimize(hits);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EnclosureStab)->Range(1 << 10, 1 << 16);
+
+void BM_RTreeStab(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(4);
+  std::vector<Rect> rects;
+  for (int i = 0; i < n; ++i) {
+    const Point p{rng.Uniform(0, 1), rng.Uniform(0, 1)};
+    const double r = rng.Uniform(0.001, 0.05);
+    rects.push_back(Rect{{p.x - r, p.y - r}, {p.x + r, p.y + r}});
+  }
+  RTree tree;
+  tree.BulkLoad(rects);
+  Rng qrng(5);
+  size_t hits = 0;
+  for (auto _ : state) {
+    const Point q{qrng.Uniform(0, 1), qrng.Uniform(0, 1)};
+    tree.Stab(q, [&](int32_t) { ++hits; });
+  }
+  benchmark::DoNotOptimize(hits);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RTreeStab)->Range(1 << 10, 1 << 16);
+
+void BM_BaseSetEditCopy(benchmark::State& state) {
+  const int lambda = static_cast<int>(state.range(0));
+  BaseSet set(1 << 18);
+  std::vector<int32_t> scratch;
+  for (auto _ : state) {
+    for (int i = 0; i < lambda; ++i) set.Add(i);
+    set.CopyTo(scratch);
+    for (int i = 0; i < lambda; ++i) set.Remove(i);
+    benchmark::DoNotOptimize(scratch.data());
+  }
+  state.SetItemsProcessed(state.iterations() * lambda);
+}
+BENCHMARK(BM_BaseSetEditCopy)->Range(4, 1 << 12);
+
+void BM_NnCircleConstruction(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(6);
+  const auto clients = GenerateUniform(n, Rect{{0, 0}, {1, 1}}, rng);
+  const auto facilities =
+      GenerateUniform(std::max(1, n / 64), Rect{{0, 0}, {1, 1}}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        BuildNnCircles(clients, facilities, Metric::kL1));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_NnCircleConstruction)->Range(1 << 10, 1 << 16);
+
+}  // namespace
+}  // namespace rnnhm
+
+BENCHMARK_MAIN();

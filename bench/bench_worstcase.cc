@@ -1,0 +1,53 @@
+// Fig. 8 / Lemma 3: the adversarial diagonal arrangement.
+//
+// n squares of side n centered on the diagonal produce r = n^2 - n + 2
+// regions. Verifies the paper's structural claims at scale: CREST's
+// labeling count k stays within [r - 1, 14 r] (Lemma 3) while CREST-A's
+// grows far faster, and reports the measured k / r ratio.
+#include <cstdio>
+#include <string>
+
+#include "bench_common.h"
+#include "core/crest.h"
+#include "data/generators.h"
+#include "heatmap/influence.h"
+
+using namespace rnnhm;
+using namespace rnnhm::bench;
+
+int main() {
+  const bool full = FullMode();
+  const std::vector<int> sizes = full
+                                     ? std::vector<int>{16, 64, 256, 1024}
+                                     : std::vector<int>{16, 64, 256};
+
+  std::printf("=== Fig. 8 worst case: r = n^2 - n + 2 regions ===\n");
+  std::printf("%-8s %12s %12s %12s %8s %12s %12s\n", "n", "r", "k(CREST)",
+              "k(CREST-A)", "k/r", "CREST ms", "CREST-A ms");
+  SizeInfluence measure;
+  for (const int n : sizes) {
+    const auto squares = MakeWorstCaseSquares(n);
+    const size_t r = static_cast<size_t>(n) * n - n + 2;
+
+    CountingSink crest_sink;
+    const double crest_ms =
+        TimeMs([&] { RunCrest(squares, measure, &crest_sink); });
+
+    CountingSink a_sink;
+    CrestOptions options;
+    options.use_changed_intervals = false;
+    const double a_ms =
+        TimeMs([&] { RunCrest(squares, measure, &a_sink, options); });
+
+    std::printf("%-8d %12zu %12zu %12zu %8.2f %12.1f %12.1f\n", n, r,
+                crest_sink.count(), a_sink.count(),
+                static_cast<double>(crest_sink.count()) / r, crest_ms, a_ms);
+    // Lemma 3 bounds, enforced (abort loudly if violated).
+    if (crest_sink.count() + 1 < r || crest_sink.count() > 14 * r) {
+      std::printf("!! Lemma 3 bound violated\n");
+      return 1;
+    }
+  }
+  std::printf("\n(Lemma 3 holds: r <= k + 1 and k <= 14 r on every row)\n");
+  return 0;
+}

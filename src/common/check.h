@@ -1,0 +1,38 @@
+// Lightweight invariant-checking macros used across the library.
+//
+// RNNHM_CHECK is always on (it guards algorithmic invariants whose violation
+// would silently corrupt results); RNNHM_DCHECK compiles out in release
+// builds and is used on hot paths.
+#ifndef RNNHM_COMMON_CHECK_H_
+#define RNNHM_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#define RNNHM_CHECK(cond)                                                  \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", __FILE__,        \
+                   __LINE__, #cond);                                       \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+#define RNNHM_CHECK_MSG(cond, msg)                                         \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s (%s)\n", __FILE__,   \
+                   __LINE__, #cond, msg);                                  \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+#ifdef NDEBUG
+#define RNNHM_DCHECK(cond) \
+  do {                     \
+  } while (0)
+#else
+#define RNNHM_DCHECK(cond) RNNHM_CHECK(cond)
+#endif
+
+#endif  // RNNHM_COMMON_CHECK_H_

@@ -1,0 +1,17 @@
+#include "common/stopwatch.h"
+
+namespace rnnhm {
+
+Stopwatch::Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+
+void Stopwatch::Reset() { start_ = std::chrono::steady_clock::now(); }
+
+double Stopwatch::ElapsedMs() const {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start_)
+      .count();
+}
+
+double Stopwatch::ElapsedSeconds() const { return ElapsedMs() / 1000.0; }
+
+}  // namespace rnnhm

@@ -1,0 +1,29 @@
+// Wall-clock stopwatch used by the benchmark harnesses.
+#ifndef RNNHM_COMMON_STOPWATCH_H_
+#define RNNHM_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace rnnhm {
+
+/// Monotonic wall-clock stopwatch with millisecond reporting.
+class Stopwatch {
+ public:
+  Stopwatch();
+
+  /// Restarts the stopwatch.
+  void Reset();
+
+  /// Elapsed time since construction / last Reset, in milliseconds.
+  double ElapsedMs() const;
+
+  /// Elapsed time in seconds.
+  double ElapsedSeconds() const;
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace rnnhm
+
+#endif  // RNNHM_COMMON_STOPWATCH_H_

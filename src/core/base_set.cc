@@ -1,0 +1,68 @@
+#include "core/base_set.h"
+
+#include "common/check.h"
+
+namespace rnnhm {
+
+BaseSet::BaseSet(int32_t universe)
+    : universe_(universe),
+      next_(universe, kNil),
+      prev_(universe, kNil),
+      in_(universe, 0) {}
+
+void BaseSet::Add(int32_t id) {
+  RNNHM_DCHECK(id >= 0 && id < universe_);
+  if (in_[id]) {
+    RNNHM_DCHECK(false);
+    return;
+  }
+  in_[id] = 1;
+  next_[id] = head_;
+  prev_[id] = kNil;
+  if (head_ != kNil) prev_[head_] = id;
+  head_ = id;
+  ++size_;
+}
+
+void BaseSet::Remove(int32_t id) {
+  RNNHM_DCHECK(id >= 0 && id < universe_);
+  if (!in_[id]) {
+    RNNHM_DCHECK(false);
+    return;
+  }
+  in_[id] = 0;
+  const int32_t p = prev_[id];
+  const int32_t n = next_[id];
+  if (p != kNil) next_[p] = n;
+  if (n != kNil) prev_[n] = p;
+  if (head_ == id) head_ = n;
+  --size_;
+}
+
+void BaseSet::Clear() {
+  int32_t cur = head_;
+  while (cur != kNil) {
+    const int32_t n = next_[cur];
+    in_[cur] = 0;
+    cur = n;
+  }
+  head_ = kNil;
+  size_ = 0;
+}
+
+void BaseSet::Assign(std::span<const int32_t> ids) {
+  Clear();
+  for (const int32_t id : ids) Add(id);
+}
+
+void BaseSet::CopyTo(std::vector<int32_t>& out) const {
+  out.clear();
+  out.reserve(size_);
+  int32_t cur = head_;
+  while (cur != kNil) {
+    out.push_back(cur);
+    cur = next_[cur];
+  }
+}
+
+}  // namespace rnnhm

@@ -1,0 +1,61 @@
+// The base set of Section V-D.
+//
+// CREST derives the RNN set of each valid pair by incrementally editing the
+// set of the previous pair. The paper prescribes "a linked list [of data
+// points] and ... an additional random access data structure indexed by the
+// data points" so that insertion and deletion are O(1) and copying is
+// O(lambda). BaseSet is exactly that: an intrusive doubly linked list over
+// a preallocated node table indexed by client id.
+#ifndef RNNHM_CORE_BASE_SET_H_
+#define RNNHM_CORE_BASE_SET_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace rnnhm {
+
+/// Set of client ids in [0, universe) with O(1) add/remove/contains,
+/// O(size) iteration, clearing, and copying.
+class BaseSet {
+ public:
+  /// Creates an empty set over ids 0..universe-1.
+  explicit BaseSet(int32_t universe);
+
+  /// Number of elements.
+  int32_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// True iff id is in the set.
+  bool Contains(int32_t id) const { return in_[id]; }
+
+  /// Inserts id. No-op (with DCHECK) if already present.
+  void Add(int32_t id);
+
+  /// Removes id. No-op (with DCHECK) if absent.
+  void Remove(int32_t id);
+
+  /// Empties the set in O(size).
+  void Clear();
+
+  /// Replaces contents with `ids` in O(old size + |ids|).
+  void Assign(std::span<const int32_t> ids);
+
+  /// Appends the elements to `out` (cleared first); O(size). The order is
+  /// the list order (insertion order), not sorted.
+  void CopyTo(std::vector<int32_t>& out) const;
+
+ private:
+  static constexpr int32_t kNil = -1;
+
+  int32_t universe_;
+  int32_t head_ = kNil;
+  int32_t size_ = 0;
+  std::vector<int32_t> next_;
+  std::vector<int32_t> prev_;
+  std::vector<uint8_t> in_;
+};
+
+}  // namespace rnnhm
+
+#endif  // RNNHM_CORE_BASE_SET_H_

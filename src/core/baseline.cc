@@ -1,0 +1,114 @@
+#include "core/baseline.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "index/enclosure_index.h"
+#include "index/interval_tree.h"
+#include "index/quadtree.h"
+#include "index/rtree.h"
+#include "nn/nn_circle_builder.h"
+
+namespace rnnhm {
+
+BaselineStats RunBaseline(const std::vector<NnCircle>& circles,
+                          const InfluenceMeasure& measure,
+                          RegionLabelSink* sink, EnclosureBackend backend) {
+  RNNHM_CHECK_MSG(sink != nullptr, "the baseline requires a label sink");
+  BaselineStats stats;
+  std::vector<NnCircle> live;
+  live.reserve(circles.size());
+  for (const NnCircle& c : circles) {
+    if (c.radius > 0.0) {
+      live.push_back(c);
+    } else {
+      ++stats.num_skipped_circles;
+    }
+  }
+  stats.num_circles = live.size();
+  if (live.empty()) return stats;
+
+  // Extended sides form the grid (Fig. 7).
+  std::vector<double> xs, ys;
+  xs.reserve(live.size() * 2);
+  ys.reserve(live.size() * 2);
+  std::vector<Rect> rects;
+  rects.reserve(live.size());
+  for (const NnCircle& c : live) {
+    const Rect b = c.Bounds();
+    xs.push_back(b.lo.x);
+    xs.push_back(b.hi.x);
+    ys.push_back(b.lo.y);
+    ys.push_back(b.hi.y);
+    rects.push_back(b);
+  }
+  std::sort(xs.begin(), xs.end());
+  xs.erase(std::unique(xs.begin(), xs.end()), xs.end());
+  std::sort(ys.begin(), ys.end());
+  ys.erase(std::unique(ys.begin(), ys.end()), ys.end());
+
+  // Point-enclosure index over the squares (backend-selected).
+  EnclosureIndex seg_index(backend == EnclosureBackend::kSegmentTree
+                               ? rects
+                               : std::vector<Rect>{});
+  RTree rtree;
+  if (backend == EnclosureBackend::kRTree) rtree.BulkLoad(rects);
+  QuadTree quadtree(backend == EnclosureBackend::kQuadTree
+                        ? rects
+                        : std::vector<Rect>{});
+  std::vector<Interval> x_intervals;
+  if (backend == EnclosureBackend::kIntervalTree) {
+    for (size_t i = 0; i < rects.size(); ++i) {
+      x_intervals.push_back(
+          Interval{rects[i].lo.x, rects[i].hi.x, static_cast<int32_t>(i)});
+    }
+  }
+  IntervalTree interval_tree(std::move(x_intervals));
+
+  std::vector<int32_t> rnn;
+  for (size_t i = 0; i + 1 < xs.size(); ++i) {
+    const double cx = (xs[i] + xs[i + 1]) / 2.0;
+    if (!(xs[i] < xs[i + 1])) continue;
+    for (size_t j = 0; j + 1 < ys.size(); ++j) {
+      if (!(ys[j] < ys[j + 1])) continue;
+      const double cy = (ys[j] + ys[j + 1]) / 2.0;
+      rnn.clear();
+      ++stats.num_enclosure_queries;
+      const Point centroid{cx, cy};
+      auto visit = [&](int32_t id) { rnn.push_back(live[id].client); };
+      switch (backend) {
+        case EnclosureBackend::kSegmentTree:
+          seg_index.Stab(centroid, visit);
+          break;
+        case EnclosureBackend::kRTree:
+          rtree.Stab(centroid, visit);
+          break;
+        case EnclosureBackend::kQuadTree:
+          quadtree.Stab(centroid, visit);
+          break;
+        case EnclosureBackend::kIntervalTree:
+          interval_tree.Stab(centroid.x, [&](int32_t id) {
+            if (rects[id].lo.y <= centroid.y &&
+                centroid.y <= rects[id].hi.y) {
+              visit(id);
+            }
+          });
+          break;
+      }
+      const double influence = measure.Evaluate(rnn);
+      ++stats.num_cells;
+      sink->OnRegionLabel(
+          Rect{{xs[i], ys[j]}, {xs[i + 1], ys[j + 1]}}, rnn, influence);
+    }
+  }
+  return stats;
+}
+
+BaselineStats RunBaselineL1(const std::vector<NnCircle>& l1_circles,
+                            const InfluenceMeasure& measure,
+                            RegionLabelSink* sink,
+                            EnclosureBackend backend) {
+  return RunBaseline(RotateCirclesToLInf(l1_circles), measure, sink, backend);
+}
+
+}  // namespace rnnhm

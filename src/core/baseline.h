@@ -1,0 +1,53 @@
+// The baseline algorithm (BA) of Section IV.
+//
+// Extends the sides of every NN-circle across the whole arrangement,
+// forming an irregular grid; each grid cell lies in exactly one region, so
+// labeling every cell (via a point-enclosure query on its centroid) solves
+// Region Coloring. The number of cells m is O(n^2) and each cell issues an
+// enclosure query — the two costs CREST eliminates.
+#ifndef RNNHM_CORE_BASELINE_H_
+#define RNNHM_CORE_BASELINE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/influence_measure.h"
+#include "core/label_sink.h"
+#include "geom/geometry.h"
+
+namespace rnnhm {
+
+/// Which point-enclosure index the baseline uses.
+enum class EnclosureBackend {
+  kSegmentTree,   ///< the S-tree stand-in (EnclosureIndex)
+  kRTree,         ///< the R-tree (stabbing query)
+  kQuadTree,      ///< region quadtree
+  kIntervalTree,  ///< centered interval tree on x, y filtered per hit
+};
+
+/// Counters reported by a baseline run.
+struct BaselineStats {
+  size_t num_circles = 0;
+  size_t num_skipped_circles = 0;
+  size_t num_cells = 0;             ///< m: grid cells = labelings
+  size_t num_enclosure_queries = 0;
+};
+
+/// Runs the baseline over L-infinity NN-circles (squares). Labels every
+/// grid cell through `sink`. Only cells with positive area are labeled
+/// (degenerate rows/columns from duplicate coordinates are skipped).
+BaselineStats RunBaseline(
+    const std::vector<NnCircle>& circles, const InfluenceMeasure& measure,
+    RegionLabelSink* sink,
+    EnclosureBackend backend = EnclosureBackend::kSegmentTree);
+
+/// L1 variant via the pi/4 rotation (labeled rectangles are in the rotated
+/// frame, like RunCrestL1).
+BaselineStats RunBaselineL1(
+    const std::vector<NnCircle>& l1_circles, const InfluenceMeasure& measure,
+    RegionLabelSink* sink,
+    EnclosureBackend backend = EnclosureBackend::kSegmentTree);
+
+}  // namespace rnnhm
+
+#endif  // RNNHM_CORE_BASELINE_H_

@@ -1,0 +1,37 @@
+#include "core/brute_force.h"
+
+#include <algorithm>
+
+namespace rnnhm {
+
+std::vector<int32_t> BruteForceRnnSet(const Point& q,
+                                      const std::vector<NnCircle>& circles,
+                                      Metric metric) {
+  std::vector<int32_t> out;
+  for (const NnCircle& c : circles) {
+    if (c.Contains(q, metric)) out.push_back(c.client);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<int32_t> BruteForceRnnSet(const Point& q,
+                                      const std::vector<Point>& clients,
+                                      const std::vector<Point>& facilities,
+                                      Metric metric) {
+  std::vector<int32_t> out;
+  for (size_t i = 0; i < clients.size(); ++i) {
+    const double dq = Distance(clients[i], q, metric);
+    bool closer_facility = false;
+    for (const Point& f : facilities) {
+      if (Distance(clients[i], f, metric) < dq) {
+        closer_facility = true;
+        break;
+      }
+    }
+    if (!closer_facility) out.push_back(static_cast<int32_t>(i));
+  }
+  return out;
+}
+
+}  // namespace rnnhm

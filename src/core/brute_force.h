@@ -1,0 +1,33 @@
+// Brute-force RNN oracle.
+//
+// Computes the RNN set of arbitrary query points by direct scans. Serves as
+// the ground truth every sweep algorithm is validated against, and as the
+// reference for per-point heat queries in tests and small demos.
+#ifndef RNNHM_CORE_BRUTE_FORCE_H_
+#define RNNHM_CORE_BRUTE_FORCE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/geometry.h"
+
+namespace rnnhm {
+
+/// RNN set of q given precomputed NN-circles: the clients whose NN-circle
+/// contains q (closed boundary, matching d(o, q) <= d(o, NN(o))). Sorted by
+/// client id. O(n) per query.
+std::vector<int32_t> BruteForceRnnSet(const Point& q,
+                                      const std::vector<NnCircle>& circles,
+                                      Metric metric);
+
+/// RNN set of q computed from the raw point sets (no precomputation):
+/// o is in R(q) iff d(o, q) <= d(o, f) for every facility f. Sorted by
+/// client id. O(|O| * |F|) per query.
+std::vector<int32_t> BruteForceRnnSet(const Point& q,
+                                      const std::vector<Point>& clients,
+                                      const std::vector<Point>& facilities,
+                                      Metric metric);
+
+}  // namespace rnnhm
+
+#endif  // RNNHM_CORE_BRUTE_FORCE_H_

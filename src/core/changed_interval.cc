@@ -1,0 +1,25 @@
+#include "core/changed_interval.h"
+
+#include <algorithm>
+
+namespace rnnhm {
+
+void MergeChangedIntervals(std::vector<ChangedInterval>& intervals) {
+  if (intervals.size() <= 1) return;
+  std::sort(intervals.begin(), intervals.end(),
+            [](const ChangedInterval& a, const ChangedInterval& b) {
+              if (a.lo != b.lo) return a.lo < b.lo;
+              return a.hi < b.hi;
+            });
+  size_t out = 0;
+  for (size_t i = 1; i < intervals.size(); ++i) {
+    if (intervals[i].lo <= intervals[out].hi) {
+      intervals[out].hi = std::max(intervals[out].hi, intervals[i].hi);
+    } else {
+      intervals[++out] = intervals[i];
+    }
+  }
+  intervals.resize(out + 1);
+}
+
+}  // namespace rnnhm

@@ -1,0 +1,29 @@
+// Changed intervals (Section V-C1).
+//
+// When the sweep line crosses an event, every NN-circle inserted into or
+// removed from the line contributes a changed interval [y_c, y-bar_c];
+// intersecting intervals are merged so each resulting interval can be
+// processed independently, in ascending order.
+#ifndef RNNHM_CORE_CHANGED_INTERVAL_H_
+#define RNNHM_CORE_CHANGED_INTERVAL_H_
+
+#include <vector>
+
+namespace rnnhm {
+
+/// Closed interval [lo, hi] of y-coordinates (lo <= hi).
+struct ChangedInterval {
+  double lo;
+  double hi;
+
+  friend bool operator==(const ChangedInterval&,
+                         const ChangedInterval&) = default;
+};
+
+/// Merges intersecting (or touching) intervals in place. Result is sorted
+/// ascending and pairwise disjoint. O(b log b) for b intervals.
+void MergeChangedIntervals(std::vector<ChangedInterval>& intervals);
+
+}  // namespace rnnhm
+
+#endif  // RNNHM_CORE_CHANGED_INTERVAL_H_

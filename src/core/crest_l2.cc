@@ -1,0 +1,363 @@
+#include "core/crest_l2.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <utility>
+
+#include "common/check.h"
+#include "core/base_set.h"
+#include "geom/circle_geometry.h"
+#include "index/rtree.h"
+
+namespace rnnhm {
+
+namespace {
+
+// One swept disk. Exact duplicates of (center, radius) are merged so the
+// arrangement stays in general position; all merged clients share the disk.
+struct SweepDisk {
+  Point center;
+  double radius;
+  std::vector<int32_t> clients;
+};
+
+enum class EventType : uint8_t {
+  kRemove = 0,  // applied before insertions at the same x
+  kInsert = 1,
+  kCenter = 2,  // monotonicity breakpoint; forces a re-sort checkpoint
+  kCross = 3,   // order change; forces a re-sort checkpoint
+};
+
+struct Event {
+  double x;
+  EventType type;
+  int32_t disk = -1;
+  int32_t disk2 = -1;  // second disk for crossing events
+};
+
+// An arc in the line status: lower or upper semicircle of a disk.
+struct Arc {
+  int32_t disk;
+  bool is_upper;
+};
+
+// Arcs are ordered per strip by the paper's (y_s, y_l, y_m) keys —
+// smallest / largest / midpoint ordinate of the arc over the strip — with
+// the midpoint promoted to the primary key. Arcs never cross strictly
+// inside a strip (crossings and centers are events), so the midpoint
+// ordinate ranks them bottom-to-top; crucially it is also *numerically*
+// robust: at a crossing event the endpoint ordinates of the two arcs are
+// equal up to rounding noise (which would let noise decide the order),
+// while the midpoint ordinates have separated by half a strip.
+struct ArcKey {
+  double ym, ys, yl;
+
+  friend bool operator<(const ArcKey& a, const ArcKey& b) {
+    if (a.ym != b.ym) return a.ym < b.ym;
+    if (a.ys != b.ys) return a.ys < b.ys;
+    return a.yl < b.yl;
+  }
+};
+
+class SweepL2 {
+ public:
+  SweepL2(const std::vector<NnCircle>& circles,
+          const InfluenceMeasure& measure, RegionLabelSink* sink)
+      : measure_(measure), sink_(sink) {
+    RNNHM_CHECK_MSG(sink != nullptr, "CREST-L2 requires a label sink");
+    std::map<std::pair<std::pair<double, double>, double>, int32_t> dedup;
+    for (const NnCircle& c : circles) {
+      if (c.radius <= 0.0) {
+        ++stats_.num_skipped_circles;
+        continue;
+      }
+      const auto key =
+          std::make_pair(std::make_pair(c.center.x, c.center.y), c.radius);
+      const auto [it, inserted] =
+          dedup.emplace(key, static_cast<int32_t>(disks_.size()));
+      if (inserted) {
+        disks_.push_back(SweepDisk{c.center, c.radius, {c.client}});
+      } else {
+        disks_[it->second].clients.push_back(c.client);
+      }
+      universe_ = std::max(universe_, c.client + 1);
+    }
+    stats_.num_circles = disks_.size();
+    const size_t n = disks_.size();
+    records_.assign(2 * n, {});
+    has_record_.assign(2 * n, 0);
+    live_index_.assign(n, -1);
+    succ_of_.assign(2 * n, kNoArc);
+    involved_.assign(2 * n, 0);
+  }
+
+  CrestL2Stats Run() {
+    BuildEvents();
+    // Event x-coordinates within a relative epsilon of each other are
+    // processed as one simultaneous group. Real workloads concentrate many
+    // pairwise crossings at a geometrically common point (the shared
+    // facility every NN-circle passes through); their computed x's spread
+    // over a few ulps, and processing them one-by-one would order arcs
+    // inside strips far narrower than the rounding noise.
+    double span = 0.0;
+    for (const SweepDisk& d : disks_) {
+      span = std::max(span, std::fabs(d.center.x) + d.radius);
+    }
+    const double x_eps = span * 1e-12;
+    BaseSet base(universe_);
+    size_t i = 0;
+    while (i < events_.size()) {
+      const double x = events_[i].x;
+      ++stats_.num_events;
+      // Apply every structural change in this x-group. Crossings and
+      // centers carry no structural change; crossings force the re-sort
+      // checkpoint below (order can only change where arcs cross).
+      bool needs_checkpoint = false;
+      for (const int32_t key : involved_keys_) involved_[key] = 0;
+      involved_keys_.clear();
+      auto mark_involved = [this](int32_t disk) {
+        for (const int32_t key : {2 * disk, 2 * disk + 1}) {
+          if (!involved_[key]) {
+            involved_[key] = 1;
+            involved_keys_.push_back(key);
+          }
+        }
+      };
+      for (; i < events_.size() && events_[i].x <= x + x_eps; ++i) {
+        const Event& ev = events_[i];
+        switch (ev.type) {
+          case EventType::kInsert:
+            live_index_[ev.disk] = static_cast<int32_t>(live_disks_.size());
+            live_disks_.push_back(ev.disk);
+            mark_involved(ev.disk);
+            needs_checkpoint = true;
+            break;
+          case EventType::kRemove: {
+            // Swap-remove from the live list.
+            const int32_t at = live_index_[ev.disk];
+            const int32_t last = live_disks_.back();
+            live_disks_[at] = last;
+            live_index_[last] = at;
+            live_disks_.pop_back();
+            live_index_[ev.disk] = -1;
+            has_record_[2 * ev.disk] = 0;
+            has_record_[2 * ev.disk + 1] = 0;
+            records_[2 * ev.disk].clear();
+            records_[2 * ev.disk + 1].clear();
+            needs_checkpoint = true;
+            break;
+          }
+          case EventType::kCross:
+            ++stats_.num_cross_events;
+            // Mark all four arcs: a crossing can move arcs across a region
+            // without breaking its bounding adjacency (all circles of
+            // clients sharing a facility cross at that facility's point),
+            // so every pair adjacent to a crossing arc must be relabeled
+            // even if the adjacency itself is preserved.
+            mark_involved(ev.disk);
+            mark_involved(ev.disk2);
+            needs_checkpoint = true;
+            break;
+          case EventType::kCenter:
+            // Arcs change monotonicity but never order; keys are
+            // recomputed per checkpoint anyway, so nothing to do.
+            break;
+        }
+      }
+      if (needs_checkpoint) {
+        const double next_x = i < events_.size() ? events_[i].x : x;
+        Checkpoint(x, next_x, base);
+      }
+    }
+    return stats_;
+  }
+
+ private:
+  static constexpr int32_t kNoArc = -1;
+
+  static int32_t KeyOf(const Arc& a) {
+    return 2 * a.disk + (a.is_upper ? 1 : 0);
+  }
+
+  double ArcY(const Arc& a, double x) const {
+    const SweepDisk& d = disks_[a.disk];
+    return ArcYAt(d.center, d.radius, a.is_upper, x);
+  }
+
+  void BuildEvents() {
+    for (int32_t i = 0; i < static_cast<int32_t>(disks_.size()); ++i) {
+      const SweepDisk& d = disks_[i];
+      events_.push_back(Event{d.center.x - d.radius, EventType::kInsert, i});
+      events_.push_back(Event{d.center.x, EventType::kCenter, i});
+      events_.push_back(Event{d.center.x + d.radius, EventType::kRemove, i});
+    }
+    // Pairwise boundary intersections via an R-tree over disk boxes.
+    std::vector<Rect> boxes;
+    boxes.reserve(disks_.size());
+    for (const SweepDisk& d : disks_) {
+      boxes.push_back(NnCircle{d.center, d.radius, 0}.Bounds());
+    }
+    RTree rtree;
+    rtree.BulkLoad(boxes);
+    for (int32_t i = 0; i < static_cast<int32_t>(disks_.size()); ++i) {
+      rtree.Query(boxes[i], [&](int32_t j) {
+        if (j <= i) return;
+        const SweepDisk& di = disks_[i];
+        const SweepDisk& dj = disks_[j];
+        if (!CirclesProperlyIntersect(di.center, di.radius, dj.center,
+                                      dj.radius)) {
+          return;
+        }
+        const CircleIntersection isect =
+            IntersectCircles(di.center, di.radius, dj.center, dj.radius);
+        for (int k = 0; k < isect.count; ++k) {
+          events_.push_back(
+              Event{isect.points[k].x, EventType::kCross, i, j});
+        }
+      });
+    }
+    std::sort(events_.begin(), events_.end(),
+              [](const Event& a, const Event& b) {
+                if (a.x != b.x) return a.x < b.x;
+                if (a.type != b.type) return a.type < b.type;
+                return a.disk < b.disk;
+              });
+  }
+
+  // Rebuilds the status order for the strip [x, next_x], then labels every
+  // *new adjacency* — a pair of arcs that was not adjacent (in this order)
+  // before this event. A preserved adjacency bounds an unchanged region:
+  // no arc can enter or leave the region between two arcs without breaking
+  // one of its bounding adjacencies. So preserved pairs keep their cached
+  // RNN sets — this is the changed-interval optimization in order-diff
+  // form, robust to arbitrarily degenerate inputs.
+  void Checkpoint(double x, double next_x, BaseSet& base) {
+    sorted_.clear();
+    for (const int32_t d : live_disks_) {
+      sorted_.push_back(Arc{d, false});
+      sorted_.push_back(Arc{d, true});
+    }
+    keys_.resize(sorted_.size());
+    const double xm = (x + next_x) / 2.0;
+    for (size_t t = 0; t < sorted_.size(); ++t) {
+      const double y0 = ArcY(sorted_[t], x);
+      const double y1 = ArcY(sorted_[t], next_x);
+      keys_[t] =
+          ArcKey{ArcY(sorted_[t], xm), std::min(y0, y1), std::max(y0, y1)};
+    }
+    order_.resize(sorted_.size());
+    for (size_t t = 0; t < order_.size(); ++t) order_[t] = t;
+    std::sort(order_.begin(), order_.end(), [&](size_t a, size_t b) {
+      if (keys_[a] < keys_[b]) return true;
+      if (keys_[b] < keys_[a]) return false;
+      return KeyOf(sorted_[a]) < KeyOf(sorted_[b]);  // deterministic ties
+    });
+    scratch_arcs_.clear();
+    scratch_arcs_.reserve(order_.size());
+    for (const size_t t : order_) scratch_arcs_.push_back(sorted_[t]);
+    sorted_.swap(scratch_arcs_);
+
+#ifdef RNNHM_L2_TRACE
+    std::fprintf(stderr, "ckpt x=%.9f next=%.9f order:", x, next_x);
+    for (const Arc& a : sorted_) {
+      std::fprintf(stderr, " %d%c", a.disk, a.is_upper ? 'U' : 'L');
+    }
+    std::fprintf(stderr, "\n");
+#endif
+
+    // Label runs of dirty pairs: adjacencies that are new, plus pairs
+    // adjacent to an arc involved in this group's crossings/insertions
+    // (whose region may have changed contents even with the adjacency
+    // preserved).
+    const int m = static_cast<int>(sorted_.size());
+    int run_start = -1;
+    for (int t = 0; t < m; ++t) {
+      const bool dirty_pair =
+          t + 1 < m &&
+          (succ_of_[KeyOf(sorted_[t])] != KeyOf(sorted_[t + 1]) ||
+           involved_[KeyOf(sorted_[t])] || involved_[KeyOf(sorted_[t + 1])]);
+      if (dirty_pair) {
+        if (run_start < 0) run_start = t;
+      } else if (run_start >= 0) {
+        // Pairs run_start .. t-1 are dirty; walk elements run_start .. t.
+        ProcessRange(run_start, t, x, next_x, base);
+        run_start = -1;
+      }
+    }
+    RNNHM_DCHECK(run_start < 0);  // the last pair check always closes runs
+
+    // Persist the adjacency map for the next checkpoint.
+    for (int t = 0; t < m; ++t) {
+      succ_of_[KeyOf(sorted_[t])] =
+          t + 1 < m ? KeyOf(sorted_[t + 1]) : kNoArc;
+    }
+  }
+
+  // Walks elements [a, b] of sorted_, re-deriving RNN sets from the cached
+  // base set of element a-1 (Corollary 1 on arcs: a lower arc adds its
+  // disk's clients, an upper arc removes them), labeling pairs a..b-1 and
+  // refreshing records for a..b.
+  void ProcessRange(int a, int b, double x, double next_x, BaseSet& base) {
+    if (a == 0) {
+      base.Clear();
+    } else {
+      const int32_t key = KeyOf(sorted_[a - 1]);
+      RNNHM_DCHECK(has_record_[key]);
+      base.Assign(records_[key]);
+    }
+    const double xm = (x + next_x) / 2.0;
+    for (int t = a; t <= b; ++t) {
+      const Arc& arc = sorted_[t];
+      const SweepDisk& d = disks_[arc.disk];
+      if (arc.is_upper) {
+        for (const int32_t c : d.clients) base.Remove(c);
+      } else {
+        for (const int32_t c : d.clients) base.Add(c);
+      }
+      if (t < b) {
+        base.CopyTo(scratch_);
+        const double influence = measure_.Evaluate(scratch_);
+        ++stats_.num_labelings;
+        const double y0 = ArcY(sorted_[t], xm);
+        const double y1 = ArcY(sorted_[t + 1], xm);
+        sink_->OnRegionLabel(
+            Rect{{x, std::min(y0, y1)}, {next_x, std::max(y0, y1)}},
+            scratch_, influence);
+      }
+      const int32_t key = KeyOf(arc);
+      base.CopyTo(records_[key]);
+      has_record_[key] = 1;
+    }
+  }
+
+  const InfluenceMeasure& measure_;
+  RegionLabelSink* sink_;
+  std::vector<SweepDisk> disks_;
+  std::vector<Event> events_;
+  std::vector<Arc> sorted_;        // status order over the current strip
+  std::vector<Arc> scratch_arcs_;  // sorting scratch
+  std::vector<ArcKey> keys_;       // scratch
+  std::vector<size_t> order_;      // scratch
+  std::vector<int32_t> live_disks_;  // disks currently cut by the line
+  std::vector<int32_t> live_index_;  // disk -> index in live_disks_, or -1
+  std::vector<int32_t> succ_of_;     // old successor arc key per arc key
+  std::vector<uint8_t> involved_;    // arc key touched by this event group
+  std::vector<int32_t> involved_keys_;
+  std::vector<std::vector<int32_t>> records_;
+  std::vector<uint8_t> has_record_;
+  std::vector<int32_t> scratch_;
+  int32_t universe_ = 0;
+  CrestL2Stats stats_;
+};
+
+}  // namespace
+
+CrestL2Stats RunCrestL2(const std::vector<NnCircle>& circles,
+                        const InfluenceMeasure& measure,
+                        RegionLabelSink* sink) {
+  SweepL2 sweep(circles, measure, sink);
+  return sweep.Run();
+}
+
+}  // namespace rnnhm

@@ -1,0 +1,49 @@
+// CREST under the L2 metric (Section VII-C).
+//
+// NN-circles are disks; the arrangement has curved edges. The sweep keeps
+// the same machinery as the square case with these changes:
+//   * line elements are the lower/upper semicircle arcs of the disks cut by
+//     the line (a lower arc adds its client to the base set, an upper arc
+//     removes it — exactly like lower/upper square sides);
+//   * event points are the x-extremes of every disk, disk centers (keeping
+//     arcs y-monotone per strip), and all pairwise boundary intersection
+//     points (arcs switch positions there).
+// Because arcs cannot cross strictly inside a strip (crossings are events),
+// the status order is maintained positionally: insertions locate their slot
+// by evaluating arc ordinates at the strip midpoint, intersections swap the
+// two incident arcs. Changed intervals are positional index ranges; base
+// sets are cached per arc under the same 2i / 2i+1 keying as the square
+// sweep.
+#ifndef RNNHM_CORE_CREST_L2_H_
+#define RNNHM_CORE_CREST_L2_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/influence_measure.h"
+#include "core/label_sink.h"
+#include "geom/geometry.h"
+
+namespace rnnhm {
+
+/// Counters reported by an L2 sweep run.
+struct CrestL2Stats {
+  size_t num_circles = 0;
+  size_t num_skipped_circles = 0;   ///< zero-radius circles ignored
+  size_t num_events = 0;            ///< total events processed
+  size_t num_cross_events = 0;      ///< intersection events
+  size_t num_labelings = 0;         ///< k: labelings = influence evals
+};
+
+/// Runs the L2 CREST sweep over disks built with Metric::kL2. Labeled
+/// "rectangles" are per-strip bounding boxes of the curved subregions.
+/// Requires the input to be in general position (no two identical disks);
+/// exact duplicates are deduplicated defensively by keeping one disk per
+/// (center, radius) — the duplicate clients still appear in RNN sets.
+CrestL2Stats RunCrestL2(const std::vector<NnCircle>& circles,
+                        const InfluenceMeasure& measure,
+                        RegionLabelSink* sink);
+
+}  // namespace rnnhm
+
+#endif  // RNNHM_CORE_CREST_L2_H_

@@ -1,0 +1,50 @@
+// Parallel CREST: slab decomposition of the sweep.
+//
+// The paper motivates efficiency by workloads that "need to be recomputed
+// frequently" (taxi sharing). The sweep parallelizes naturally: split the
+// x-axis into vertical slabs at event quantiles, clip every rectangle to
+// each slab it overlaps, and sweep the slabs independently — a rectangle
+// clipped at a slab edge behaves exactly like a sweep entering mid-way, so
+// per-slab labelings are correct region labels. A region spanning a slab
+// boundary is labeled once per slab it touches (bounded duplication, same
+// RNN set), which distinct-set, top-k, threshold and raster sinks all
+// absorb by construction.
+//
+// Thread-safety contract: each shard writes only to its own sink; the
+// InfluenceMeasure is shared and must be safe for concurrent Evaluate
+// (SizeInfluence / WeightedInfluence / ConnectivityInfluence are;
+// CapacityInfluence keeps per-instance scratch and is not — give each
+// shard its own instance via `shard_measures`).
+#ifndef RNNHM_CORE_CREST_PARALLEL_H_
+#define RNNHM_CORE_CREST_PARALLEL_H_
+
+#include <span>
+#include <vector>
+
+#include "core/crest.h"
+
+namespace rnnhm {
+
+/// Sweeps the L-infinity NN-circles with one thread per sink in
+/// `shard_sinks`; shard i labels the regions of slab i through sink i.
+/// Returns the summed per-shard statistics. `options.strip_sink`, when
+/// set, receives spans from all shards concurrently; the spans of
+/// different shards never overlap (half-open strips), so RasterStripSink
+/// painting a shared grid is safe.
+CrestStats RunCrestParallel(const std::vector<NnCircle>& circles,
+                            const InfluenceMeasure& measure,
+                            std::span<RegionLabelSink* const> shard_sinks,
+                            const CrestOptions& options = {});
+
+/// As above with one measure instance per shard (for measures with
+/// per-instance scratch, e.g. CapacityInfluence). `shard_measures` must
+/// have the same length as `shard_sinks`.
+CrestStats RunCrestParallel(
+    const std::vector<NnCircle>& circles,
+    std::span<const InfluenceMeasure* const> shard_measures,
+    std::span<RegionLabelSink* const> shard_sinks,
+    const CrestOptions& options = {});
+
+}  // namespace rnnhm
+
+#endif  // RNNHM_CORE_CREST_PARALLEL_H_

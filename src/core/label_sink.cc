@@ -1,0 +1,47 @@
+#include "core/label_sink.h"
+
+#include <algorithm>
+
+#include "core/influence_measure.h"
+
+namespace rnnhm {
+
+double InfluenceMeasure::UpperBound(std::span<const int32_t> committed,
+                                    std::span<const int32_t> optional) const {
+  std::vector<int32_t> all(committed.begin(), committed.end());
+  all.insert(all.end(), optional.begin(), optional.end());
+  return Evaluate(all);
+}
+
+void MaxInfluenceSink::OnRegionLabel(const Rect& subregion,
+                                     std::span<const int32_t> rnn,
+                                     double influence) {
+  if (!has_result_ || influence > max_influence_) {
+    has_result_ = true;
+    max_influence_ = influence;
+    witness_ = subregion;
+    witness_rnn_.assign(rnn.begin(), rnn.end());
+    std::sort(witness_rnn_.begin(), witness_rnn_.end());
+  }
+}
+
+void DistinctSetSink::OnRegionLabel(const Rect&,
+                                    std::span<const int32_t> rnn,
+                                    double influence) {
+  std::vector<int32_t> key(rnn.begin(), rnn.end());
+  std::sort(key.begin(), key.end());
+  sets_[std::move(key)] = influence;
+}
+
+void CollectingSink::OnRegionLabel(const Rect& subregion,
+                                   std::span<const int32_t> rnn,
+                                   double influence) {
+  Label l;
+  l.subregion = subregion;
+  l.rnn.assign(rnn.begin(), rnn.end());
+  std::sort(l.rnn.begin(), l.rnn.end());
+  l.influence = influence;
+  labels_.push_back(std::move(l));
+}
+
+}  // namespace rnnhm

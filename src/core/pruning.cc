@@ -1,0 +1,244 @@
+#include "core/pruning.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/check.h"
+#include "common/stopwatch.h"
+#include "geom/circle_geometry.h"
+#include "index/rtree.h"
+
+namespace rnnhm {
+
+namespace {
+
+// Containment masks over an anchor's overlap set, as flat bit vectors.
+using Mask = std::vector<uint64_t>;
+
+struct MaskHash {
+  size_t operator()(const Mask& m) const {
+    size_t h = 0xcbf29ce484222325ULL;
+    for (const uint64_t w : m) {
+      h ^= w;
+      h *= 0x100000001b3ULL;
+    }
+    return h;
+  }
+};
+
+inline void SetBit(Mask& m, size_t i) { m[i >> 6] |= uint64_t{1} << (i & 63); }
+inline bool GetBit(const Mask& m, size_t i) {
+  return (m[i >> 6] >> (i & 63)) & 1;
+}
+
+// Candidate witness points near circle i: its center, its four axis
+// extremes, and (added by the caller) perturbed pairwise intersection
+// points. Perturbation pushes intersection points off the boundaries so
+// each candidate lies strictly inside a face of the arrangement.
+void AppendCirclePoints(const NnCircle& c, std::vector<Point>& out) {
+  out.push_back(c.center);
+  out.push_back({c.center.x - c.radius * 0.5, c.center.y});
+  out.push_back({c.center.x + c.radius * 0.5, c.center.y});
+  out.push_back({c.center.x, c.center.y - c.radius * 0.5});
+  out.push_back({c.center.x, c.center.y + c.radius * 0.5});
+}
+
+void AppendPerturbed(const Point& p, double eps, std::vector<Point>& out) {
+  for (const double dx : {-1.0, 0.0, 1.0}) {
+    for (const double dy : {-1.0, 0.0, 1.0}) {
+      if (dx == 0.0 && dy == 0.0) continue;
+      out.push_back({p.x + dx * eps, p.y + dy * eps});
+    }
+  }
+}
+
+class PruningSolver {
+ public:
+  PruningSolver(const std::vector<NnCircle>& circles,
+                const InfluenceMeasure& measure,
+                const PruningOptions& options)
+      : circles_(circles), measure_(measure), options_(options) {}
+
+  PruningResult Solve() {
+    // The empty region (outside every NN-circle) always exists.
+    result_.max_influence = measure_.Evaluate({});
+    result_.best_rnn = {};
+    ++result_.num_influence_evals;
+
+    std::vector<Rect> boxes;
+    boxes.reserve(circles_.size());
+    for (const NnCircle& c : circles_) boxes.push_back(c.Bounds());
+    rtree_.BulkLoad(boxes);
+
+    for (int32_t anchor = 0; anchor < static_cast<int32_t>(circles_.size());
+         ++anchor) {
+      if (circles_[anchor].radius <= 0.0) continue;
+      SolveAnchor(anchor, boxes[anchor]);
+      if (stopped_ || TimedOut()) {
+        result_.timed_out = true;
+        break;
+      }
+    }
+    std::sort(result_.best_rnn.begin(), result_.best_rnn.end());
+    return result_;
+  }
+
+ private:
+  bool TimedOut() {
+    return options_.time_budget_ms > 0.0 &&
+           clock_.ElapsedMs() > options_.time_budget_ms;
+  }
+
+  // Enumerates every region contained in the anchor circle.
+  void SolveAnchor(int32_t anchor, const Rect& anchor_box) {
+    const NnCircle& a = circles_[anchor];
+    // Filter step: circles whose disks overlap the anchor's disk.
+    overlap_.clear();
+    rtree_.Query(anchor_box, [&](int32_t j) {
+      if (j == anchor || circles_[j].radius <= 0.0) return;
+      const NnCircle& c = circles_[j];
+      if (DistanceL2(a.center, c.center) < a.radius + c.radius) {
+        overlap_.push_back(j);
+      }
+    });
+    std::sort(overlap_.begin(), overlap_.end());
+
+    // Build witness candidates: points strictly inside faces of the local
+    // arrangement. eps is tied to the smallest radius involved.
+    double min_r = a.radius;
+    for (const int32_t j : overlap_) min_r = std::min(min_r, circles_[j].radius);
+    const double eps = min_r * 1e-7;
+    std::vector<Point> candidates;
+    AppendCirclePoints(a, candidates);
+    for (const int32_t j : overlap_) AppendCirclePoints(circles_[j], candidates);
+    for (size_t u = 0; u < overlap_.size(); ++u) {
+      const NnCircle& cu = circles_[overlap_[u]];
+      // anchor x overlap member intersections
+      const CircleIntersection ia =
+          IntersectCircles(a.center, a.radius, cu.center, cu.radius);
+      for (int k = 0; k < ia.count; ++k) AppendPerturbed(ia.points[k], eps, candidates);
+      // member x member intersections
+      for (size_t v = u + 1; v < overlap_.size(); ++v) {
+        const NnCircle& cv = circles_[overlap_[v]];
+        if (!CirclesProperlyIntersect(cu.center, cu.radius, cv.center,
+                                      cv.radius)) {
+          continue;
+        }
+        const CircleIntersection iuv =
+            IntersectCircles(cu.center, cu.radius, cv.center, cv.radius);
+        for (int k = 0; k < iuv.count; ++k) {
+          AppendPerturbed(iuv.points[k], eps, candidates);
+        }
+      }
+    }
+
+    // Keep candidates strictly inside the anchor; record their containment
+    // masks over the overlap set. The distinct masks are the realizable
+    // regions — the refine oracle for the leaf existence check.
+    const size_t words = (overlap_.size() + 63) / 64;
+    existing_masks_.clear();
+    for (const Point& q : candidates) {
+      if (DistanceL2(q, a.center) >= a.radius) continue;
+      Mask m(words, 0);
+      for (size_t u = 0; u < overlap_.size(); ++u) {
+        const NnCircle& c = circles_[overlap_[u]];
+        if (DistanceL2(q, c.center) < c.radius) SetBit(m, u);
+      }
+      existing_masks_.insert(std::move(m));
+    }
+    if (existing_masks_.empty()) return;
+
+    // Enumerate inside/outside combinations (the filter step of [22]).
+    committed_.clear();
+    committed_.push_back(a.client);
+    committed_circles_.clear();
+    committed_circles_.push_back(anchor);
+    optional_.clear();
+    for (const int32_t j : overlap_) optional_.push_back(circles_[j].client);
+    Mask current(words, 0);
+    Dfs(0, current);
+  }
+
+  // Geometric filter: a region inside every committed circle and circle j
+  // requires all those disks to pairwise intersect; skip the include
+  // branch otherwise. (Necessary, not sufficient — the refine step still
+  // checks true existence at the leaves.)
+  bool OverlapsAllCommitted(int32_t j) const {
+    const NnCircle& cj = circles_[j];
+    for (const int32_t k : committed_circles_) {
+      const NnCircle& ck = circles_[k];
+      if (DistanceL2(cj.center, ck.center) >= cj.radius + ck.radius) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  void Dfs(size_t idx, Mask& current) {
+    if (stopped_) return;
+    ++result_.num_nodes;
+    if ((result_.num_nodes & 0x3ff) == 0 && TimedOut()) {
+      stopped_ = true;
+      return;
+    }
+    if (options_.use_bound_pruning) {
+      const std::span<const int32_t> remaining(optional_.data() + idx,
+                                               optional_.size() - idx);
+      ++result_.num_influence_evals;
+      if (measure_.UpperBound(committed_, remaining) <=
+          result_.max_influence) {
+        return;
+      }
+    }
+    if (idx == optional_.size()) {
+      ++result_.num_leaves;
+      // Refine step: does this inside/outside combination exist?
+      if (existing_masks_.count(current) == 0) return;
+      ++result_.num_existing_regions;
+      ++result_.num_influence_evals;
+      const double influence = measure_.Evaluate(committed_);
+      if (influence > result_.max_influence) {
+        result_.max_influence = influence;
+        result_.best_rnn = committed_;
+      }
+      return;
+    }
+    // Include circle idx (only if a common intersection is possible).
+    if (OverlapsAllCommitted(overlap_[idx])) {
+      SetBit(current, idx);
+      committed_.push_back(optional_[idx]);
+      committed_circles_.push_back(overlap_[idx]);
+      Dfs(idx + 1, current);
+      committed_circles_.pop_back();
+      committed_.pop_back();
+      current[idx >> 6] &= ~(uint64_t{1} << (idx & 63));
+    }
+    // Exclude circle idx.
+    Dfs(idx + 1, current);
+  }
+
+  const std::vector<NnCircle>& circles_;
+  const InfluenceMeasure& measure_;
+  PruningOptions options_;
+  RTree rtree_;
+  Stopwatch clock_;
+  PruningResult result_;
+  std::vector<int32_t> overlap_;
+  std::vector<int32_t> committed_;          // client ids of the region
+  std::vector<int32_t> committed_circles_;  // circle indices of the region
+  std::vector<int32_t> optional_;
+  std::unordered_set<Mask, MaskHash> existing_masks_;
+  bool stopped_ = false;
+};
+
+}  // namespace
+
+PruningResult RunPruning(const std::vector<NnCircle>& circles,
+                         const InfluenceMeasure& measure,
+                         const PruningOptions& options) {
+  PruningSolver solver(circles, measure, options);
+  return solver.Solve();
+}
+
+}  // namespace rnnhm

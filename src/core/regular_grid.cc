@@ -1,0 +1,57 @@
+#include "core/regular_grid.h"
+
+#include <set>
+
+#include "common/check.h"
+#include "index/enclosure_index.h"
+
+namespace rnnhm {
+
+RegularGridStats RunRegularGrid(const std::vector<NnCircle>& circles,
+                                const InfluenceMeasure& measure,
+                                RegionLabelSink* sink, int grid_size) {
+  RNNHM_CHECK_MSG(sink != nullptr, "the regular grid requires a label sink");
+  RNNHM_CHECK(grid_size > 0);
+  RegularGridStats stats;
+  Rect box = EmptyRect();
+  std::vector<Rect> rects;
+  rects.reserve(circles.size());
+  for (const NnCircle& c : circles) {
+    if (c.radius <= 0.0) continue;
+    rects.push_back(c.Bounds());
+    box = box.Union(rects.back());
+  }
+  if (rects.empty()) return stats;
+
+  EnclosureIndex index(rects);
+  const double dx = (box.hi.x - box.lo.x) / grid_size;
+  const double dy = (box.hi.y - box.lo.y) / grid_size;
+  std::vector<int32_t> rnn;
+  std::set<std::vector<int32_t>> distinct;
+  // Map filtered-rect indices back to client ids.
+  std::vector<int32_t> clients;
+  clients.reserve(rects.size());
+  for (const NnCircle& c : circles) {
+    if (c.radius > 0.0) clients.push_back(c.client);
+  }
+  for (int i = 0; i < grid_size; ++i) {
+    for (int j = 0; j < grid_size; ++j) {
+      const Point center{box.lo.x + (i + 0.5) * dx, box.lo.y + (j + 0.5) * dy};
+      rnn.clear();
+      ++stats.num_enclosure_queries;
+      index.Stab(center, [&](int32_t id) { rnn.push_back(clients[id]); });
+      ++stats.num_cells;
+      std::vector<int32_t> key = rnn;
+      std::sort(key.begin(), key.end());
+      distinct.insert(std::move(key));
+      sink->OnRegionLabel(Rect{{box.lo.x + i * dx, box.lo.y + j * dy},
+                               {box.lo.x + (i + 1) * dx,
+                                box.lo.y + (j + 1) * dy}},
+                          rnn, measure.Evaluate(rnn));
+    }
+  }
+  stats.num_distinct_sets = distinct.size();
+  return stats;
+}
+
+}  // namespace rnnhm

@@ -1,0 +1,42 @@
+// The naive regular-grid approach dismissed in Section I.
+//
+// "A straightforward approach such as employing a grid to divide the space
+// and then using the cells to fit the regions has difficulties in finding
+// the right granularity and suffers from low efficiency." This module
+// implements that straw man so the claim can be measured: a G x G uniform
+// grid over the arrangement's bounding box, one enclosure query per cell
+// center. Unlike the adaptive baseline of Section IV, cells are *not*
+// aligned with region boundaries, so the output is approximate: a cell may
+// straddle several regions and report any one of them.
+#ifndef RNNHM_CORE_REGULAR_GRID_H_
+#define RNNHM_CORE_REGULAR_GRID_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/influence_measure.h"
+#include "core/label_sink.h"
+#include "geom/geometry.h"
+
+namespace rnnhm {
+
+/// Counters and accuracy proxies for a regular-grid run.
+struct RegularGridStats {
+  size_t num_cells = 0;
+  size_t num_enclosure_queries = 0;
+  /// Number of distinct RNN sets reported. Comparing against the exact
+  /// region count exposes granularity loss (straddled regions missed) or
+  /// waste (many cells per region).
+  size_t num_distinct_sets = 0;
+};
+
+/// Labels every cell of a `grid_size` x `grid_size` uniform grid over the
+/// bounding box of the (L-infinity) NN-circles with the RNN set of the cell
+/// center. Approximate by construction; exposed as a comparison point.
+RegularGridStats RunRegularGrid(const std::vector<NnCircle>& circles,
+                                const InfluenceMeasure& measure,
+                                RegionLabelSink* sink, int grid_size);
+
+}  // namespace rnnhm
+
+#endif  // RNNHM_CORE_REGULAR_GRID_H_

@@ -1,0 +1,80 @@
+#include "data/dataset.h"
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "data/generators.h"
+
+namespace rnnhm {
+
+std::string DatasetKindName(DatasetKind kind) {
+  switch (kind) {
+    case DatasetKind::kNyc:
+      return "NYC";
+    case DatasetKind::kLa:
+      return "LA";
+    case DatasetKind::kUniform:
+      return "Uniform";
+    case DatasetKind::kZipfian:
+      return "Zipfian";
+  }
+  return "?";
+}
+
+Dataset MakeDataset(DatasetKind kind, uint64_t seed, size_t size) {
+  Dataset ds;
+  ds.name = DatasetKindName(kind);
+  Rng rng(seed ^ (static_cast<uint64_t>(kind) * 0x9e3779b97f4a7c15ULL));
+  switch (kind) {
+    case DatasetKind::kNyc: {
+      if (size == 0) size = 128547;  // Table II
+      // Latitude/longitude window of Fig. 1, scaled to degrees.
+      const Rect domain{{-74.15, 40.50}, {-73.70, 40.95}};
+      CityParams params;
+      params.num_clusters = 28;
+      ds.points = GenerateCity(size, domain, params, rng);
+      ds.description = "synthetic substitute for NYC points-of-interest";
+      break;
+    }
+    case DatasetKind::kLa: {
+      if (size == 0) size = 116596;  // Table II
+      const Rect domain{{-118.47, 33.82}, {-118.12, 34.17}};
+      CityParams params;
+      params.num_clusters = 22;
+      params.cluster_fraction = 0.55;
+      params.corridor_fraction = 0.32;
+      params.background_fraction = 0.13;
+      ds.points = GenerateCity(size, domain, params, rng);
+      ds.description = "synthetic substitute for LA points-of-interest";
+      break;
+    }
+    case DatasetKind::kUniform: {
+      if (size == 0) size = 131072;
+      ds.points = GenerateUniform(size, Rect{{0, 0}, {1, 1}}, rng);
+      ds.description = "uniform distribution on the unit square";
+      break;
+    }
+    case DatasetKind::kZipfian: {
+      if (size == 0) size = 131072;
+      ds.points =
+          GenerateZipf(size, Rect{{0, 0}, {1, 1}}, /*skew=*/0.2, rng);
+      ds.description = "Zipfian distribution, skew coefficient 0.2";
+      break;
+    }
+  }
+  return ds;
+}
+
+Workload SampleWorkload(const Dataset& dataset, size_t num_clients,
+                        size_t num_facilities, uint64_t seed) {
+  RNNHM_CHECK_MSG(num_clients + num_facilities <= dataset.points.size(),
+                  "sample exceeds data set size");
+  Rng rng(seed);
+  std::vector<Point> sample = SampleWithoutReplacement(
+      dataset.points, num_clients + num_facilities, rng);
+  Workload w;
+  w.clients.assign(sample.begin(), sample.begin() + num_clients);
+  w.facilities.assign(sample.begin() + num_clients, sample.end());
+  return w;
+}
+
+}  // namespace rnnhm

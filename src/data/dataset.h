@@ -1,0 +1,48 @@
+// Named experiment data sets (Table II and the synthetic distributions).
+//
+// MakeDataset reproduces the paper's four data sets. NYC and LA are
+// synthetic-city substitutes sized like Table II (the paper's POI data is
+// not public — see DESIGN.md); Uniform and Zipfian match Section VIII.
+#ifndef RNNHM_DATA_DATASET_H_
+#define RNNHM_DATA_DATASET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geom/geometry.h"
+
+namespace rnnhm {
+
+/// One experiment data set: a pool of points the client and facility
+/// samples are drawn from.
+struct Dataset {
+  std::string name;
+  std::string description;
+  std::vector<Point> points;
+};
+
+/// Data set selector matching Section VIII.
+enum class DatasetKind { kNyc, kLa, kUniform, kZipfian };
+
+/// Human-readable name ("NYC", "LA", "Uniform", "Zipfian").
+std::string DatasetKindName(DatasetKind kind);
+
+/// Builds the named data set deterministically. `size` == 0 uses the
+/// Table II size for the city data sets (128,547 / 116,596) and 131,072 for
+/// the synthetic ones.
+Dataset MakeDataset(DatasetKind kind, uint64_t seed, size_t size = 0);
+
+/// Draws disjoint client / facility samples from a data set pool, as the
+/// experiments do ("we uniformly sample from the data sets to obtain the
+/// client set O and the facility set F").
+struct Workload {
+  std::vector<Point> clients;
+  std::vector<Point> facilities;
+};
+Workload SampleWorkload(const Dataset& dataset, size_t num_clients,
+                        size_t num_facilities, uint64_t seed);
+
+}  // namespace rnnhm
+
+#endif  // RNNHM_DATA_DATASET_H_

@@ -1,0 +1,175 @@
+#include "data/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace rnnhm {
+
+std::vector<Point> GenerateUniform(size_t n, const Rect& domain, Rng& rng) {
+  std::vector<Point> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(Point{rng.Uniform(domain.lo.x, domain.hi.x),
+                        rng.Uniform(domain.lo.y, domain.hi.y)});
+  }
+  return out;
+}
+
+std::vector<Point> GenerateZipf(size_t n, const Rect& domain, double skew,
+                                Rng& rng, int grid_size) {
+  RNNHM_CHECK(grid_size > 0 && skew >= 0.0);
+  const int cells = grid_size * grid_size;
+  // Rank cells by distance from a random hot corner so the skew has a
+  // spatial interpretation.
+  const Point hot{rng.NextBounded(2) ? domain.lo.x : domain.hi.x,
+                  rng.NextBounded(2) ? domain.lo.y : domain.hi.y};
+  std::vector<int> rank(cells);
+  std::iota(rank.begin(), rank.end(), 0);
+  const double cw = (domain.hi.x - domain.lo.x) / grid_size;
+  const double ch = (domain.hi.y - domain.lo.y) / grid_size;
+  auto cell_center = [&](int c) {
+    return Point{domain.lo.x + (c % grid_size + 0.5) * cw,
+                 domain.lo.y + (c / grid_size + 0.5) * ch};
+  };
+  std::sort(rank.begin(), rank.end(), [&](int a, int b) {
+    return DistanceL2Squared(cell_center(a), hot) <
+           DistanceL2Squared(cell_center(b), hot);
+  });
+  // Zipf CDF over ranks: P(rank i) ~ 1 / (i+1)^skew.
+  std::vector<double> cdf(cells);
+  double total = 0.0;
+  for (int i = 0; i < cells; ++i) {
+    total += std::pow(static_cast<double>(i + 1), -skew);
+    cdf[i] = total;
+  }
+  std::vector<Point> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const double u = rng.NextDouble() * total;
+    const int r = static_cast<int>(
+        std::lower_bound(cdf.begin(), cdf.end(), u) - cdf.begin());
+    const int c = rank[std::min(r, cells - 1)];
+    const double x0 = domain.lo.x + (c % grid_size) * cw;
+    const double y0 = domain.lo.y + (c / grid_size) * ch;
+    out.push_back(Point{rng.Uniform(x0, x0 + cw), rng.Uniform(y0, y0 + ch)});
+  }
+  return out;
+}
+
+std::vector<Point> GenerateCity(size_t n, const Rect& domain,
+                                const CityParams& params, Rng& rng) {
+  const double margin =
+      params.margin_fraction *
+      std::min(domain.hi.x - domain.lo.x, domain.hi.y - domain.lo.y);
+  const Rect inner{{domain.lo.x + margin, domain.lo.y + margin},
+                   {domain.hi.x - margin, domain.hi.y - margin}};
+  // Cluster cores: positions uniform in the inner area, radii log-normal.
+  struct Cluster {
+    Point center;
+    double sigma;
+    double weight;
+  };
+  std::vector<Cluster> clusters;
+  const double scale =
+      std::min(inner.hi.x - inner.lo.x, inner.hi.y - inner.lo.y);
+  double weight_total = 0.0;
+  for (int c = 0; c < params.num_clusters; ++c) {
+    Cluster cl;
+    cl.center = Point{rng.Uniform(inner.lo.x, inner.hi.x),
+                      rng.Uniform(inner.lo.y, inner.hi.y)};
+    cl.sigma = scale * 0.01 * std::exp(rng.NextGaussian() * 0.6 + 0.5);
+    cl.weight = std::exp(rng.NextGaussian());  // few dominant cores
+    weight_total += cl.weight;
+    clusters.push_back(cl);
+  }
+  std::vector<double> cluster_cdf;
+  double acc = 0.0;
+  for (const Cluster& cl : clusters) {
+    acc += cl.weight / weight_total;
+    cluster_cdf.push_back(acc);
+  }
+  auto pick_cluster = [&]() -> const Cluster& {
+    const double u = rng.NextDouble();
+    const size_t i = static_cast<size_t>(
+        std::lower_bound(cluster_cdf.begin(), cluster_cdf.end(), u) -
+        cluster_cdf.begin());
+    return clusters[std::min(i, clusters.size() - 1)];
+  };
+  auto clamp_to = [&](Point p) {
+    p.x = std::clamp(p.x, inner.lo.x, inner.hi.x);
+    p.y = std::clamp(p.y, inner.lo.y, inner.hi.y);
+    return p;
+  };
+
+  std::vector<Point> out;
+  out.reserve(n);
+  const size_t n_cluster = static_cast<size_t>(n * params.cluster_fraction);
+  const size_t n_corridor = static_cast<size_t>(n * params.corridor_fraction);
+  for (size_t i = 0; i < n_cluster; ++i) {
+    const Cluster& cl = pick_cluster();
+    out.push_back(clamp_to(Point{cl.center.x + rng.NextGaussian() * cl.sigma,
+                                 cl.center.y + rng.NextGaussian() * cl.sigma}));
+  }
+  for (size_t i = 0; i < n_corridor; ++i) {
+    // A point jittered around the segment between two cluster cores.
+    const Cluster& a = pick_cluster();
+    const Cluster& b = pick_cluster();
+    const double t = rng.NextDouble();
+    const double jitter = scale * 0.004;
+    out.push_back(clamp_to(
+        Point{a.center.x + (b.center.x - a.center.x) * t +
+                  rng.NextGaussian() * jitter,
+              a.center.y + (b.center.y - a.center.y) * t +
+                  rng.NextGaussian() * jitter}));
+  }
+  while (out.size() < n) {
+    out.push_back(Point{rng.Uniform(inner.lo.x, inner.hi.x),
+                        rng.Uniform(inner.lo.y, inner.hi.y)});
+  }
+  return out;
+}
+
+std::vector<Point> SampleWithoutReplacement(const std::vector<Point>& points,
+                                            size_t k, Rng& rng) {
+  RNNHM_CHECK_MSG(k <= points.size(), "sample larger than population");
+  std::vector<size_t> idx(points.size());
+  std::iota(idx.begin(), idx.end(), 0);
+  std::vector<Point> out;
+  out.reserve(k);
+  for (size_t i = 0; i < k; ++i) {
+    const size_t j = i + rng.NextBounded(idx.size() - i);
+    std::swap(idx[i], idx[j]);
+    out.push_back(points[idx[i]]);
+  }
+  return out;
+}
+
+std::vector<NnCircle> MakeWorstCaseSquares(int n) {
+  std::vector<NnCircle> out;
+  out.reserve(n);
+  for (int i = 1; i <= n; ++i) {
+    out.push_back(NnCircle{{static_cast<double>(i), static_cast<double>(i)},
+                           n / 2.0, i - 1});
+  }
+  return out;
+}
+
+std::vector<NnCircle> MakeElementDistinctnessSquares(
+    const std::vector<double>& values) {
+  RNNHM_CHECK(!values.empty());
+  std::vector<NnCircle> out;
+  out.reserve(values.size() - 1);
+  const double a1 = values[0];
+  for (size_t i = 1; i < values.size(); ++i) {
+    const double ai = values[i];
+    out.push_back(NnCircle{{(a1 + ai) / 2.0, (a1 + ai) / 2.0},
+                           std::fabs(ai - a1) / 2.0,
+                           static_cast<int32_t>(i - 1)});
+  }
+  return out;
+}
+
+}  // namespace rnnhm

@@ -1,0 +1,63 @@
+// Workload generators (Section VIII).
+//
+// The paper evaluates on two real POI data sets (NYC, LA — obtained
+// privately from the authors of [2]) and two synthetic distributions
+// (Uniform and Zipfian with skew 0.2). The real data is not publicly
+// available, so GenerateCity produces a documented substitute: a mixture of
+// Gaussian clusters (downtown cores), linear corridors between clusters
+// (arterial roads), and a uniform background, leaving an empty margin
+// (water / mountains). All generators are deterministic given the seed.
+#ifndef RNNHM_DATA_GENERATORS_H_
+#define RNNHM_DATA_GENERATORS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "geom/geometry.h"
+
+namespace rnnhm {
+
+/// n i.i.d. uniform points in `domain`.
+std::vector<Point> GenerateUniform(size_t n, const Rect& domain, Rng& rng);
+
+/// n points with Zipfian spatial skew: the domain is divided into
+/// grid_size^2 cells ranked by distance from a randomly chosen hot corner;
+/// cell popularity follows a Zipf law with the given skew (paper: 0.2),
+/// positions are uniform within the chosen cell.
+std::vector<Point> GenerateZipf(size_t n, const Rect& domain, double skew,
+                                Rng& rng, int grid_size = 64);
+
+/// Parameters of the synthetic-city generator.
+struct CityParams {
+  int num_clusters = 24;        ///< downtown cores
+  double cluster_fraction = 0.62;
+  double corridor_fraction = 0.25;  ///< points along roads between cores
+  double background_fraction = 0.13;
+  double margin_fraction = 0.06;    ///< empty border (water / hills)
+};
+
+/// n points imitating a city POI distribution (NYC/LA substitute).
+std::vector<Point> GenerateCity(size_t n, const Rect& domain,
+                                const CityParams& params, Rng& rng);
+
+/// Uniform sample of k distinct points from `points` (k <= |points|);
+/// order is randomized. Deterministic partial Fisher-Yates.
+std::vector<Point> SampleWithoutReplacement(const std::vector<Point>& points,
+                                            size_t k, Rng& rng);
+
+/// The adversarial arrangement of Fig. 8: n squares of side length n, the
+/// i-th centered at (i, i), giving r = n^2 - n + 2 regions. Returned as
+/// ready-made L-infinity NN-circles (radius n/2).
+std::vector<NnCircle> MakeWorstCaseSquares(int n);
+
+/// The element-distinctness reduction of Section VI-C: for reals a_1..a_n,
+/// squares with corners (a_1, a_1) and (a_i, a_i). The arrangement has
+/// exactly n regions (n distinct RNN sets, counting the exterior) iff the
+/// a_i are pairwise distinct.
+std::vector<NnCircle> MakeElementDistinctnessSquares(
+    const std::vector<double>& values);
+
+}  // namespace rnnhm
+
+#endif  // RNNHM_DATA_GENERATORS_H_

@@ -1,0 +1,36 @@
+#include "data/io.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace rnnhm {
+
+bool WritePointsCsv(const std::vector<Point>& points,
+                    const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  for (const Point& p : points) {
+    std::fprintf(f, "%.17g,%.17g\n", p.x, p.y);
+  }
+  return std::fclose(f) == 0;
+}
+
+bool ReadPointsCsv(const std::string& path, std::vector<Point>* out) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return false;
+  char line[256];
+  bool ok = true;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (line[0] == '#' || line[0] == '\n' || line[0] == '\0') continue;
+    double x = 0.0, y = 0.0;
+    if (std::sscanf(line, "%lf,%lf", &x, &y) != 2) {
+      ok = false;
+      break;
+    }
+    out->push_back(Point{x, y});
+  }
+  std::fclose(f);
+  return ok;
+}
+
+}  // namespace rnnhm

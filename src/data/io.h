@@ -1,0 +1,22 @@
+// CSV import/export of point sets.
+#ifndef RNNHM_DATA_IO_H_
+#define RNNHM_DATA_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "geom/geometry.h"
+
+namespace rnnhm {
+
+/// Writes points as "x,y" lines. Returns false on I/O failure.
+bool WritePointsCsv(const std::vector<Point>& points,
+                    const std::string& path);
+
+/// Reads "x,y" lines (blank lines and lines starting with '#' skipped).
+/// Returns false on I/O or parse failure; `out` holds rows parsed so far.
+bool ReadPointsCsv(const std::string& path, std::vector<Point>* out);
+
+}  // namespace rnnhm
+
+#endif  // RNNHM_DATA_IO_H_

@@ -1,0 +1,48 @@
+#include "geom/circle_geometry.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rnnhm {
+
+CircleIntersection IntersectCircles(const Point& c0, double r0,
+                                    const Point& c1, double r1) {
+  CircleIntersection out;
+  const double dx = c1.x - c0.x;
+  const double dy = c1.y - c0.y;
+  const double d2 = dx * dx + dy * dy;
+  const double d = std::sqrt(d2);
+  if (d <= 0.0) return out;                    // concentric or coincident
+  if (d > r0 + r1 || d < std::fabs(r0 - r1)) {
+    return out;                                // disjoint or contained
+  }
+  // Distance from c0 to the chord midpoint along the center line.
+  const double a = (d2 + r0 * r0 - r1 * r1) / (2.0 * d);
+  const double h2 = r0 * r0 - a * a;
+  const double h = h2 > 0.0 ? std::sqrt(h2) : 0.0;
+  const Point mid{c0.x + a * dx / d, c0.y + a * dy / d};
+  if (h == 0.0) {
+    out.count = 1;
+    out.points[0] = mid;
+    return out;
+  }
+  out.count = 2;
+  out.points[0] = Point{mid.x + h * dy / d, mid.y - h * dx / d};
+  out.points[1] = Point{mid.x - h * dy / d, mid.y + h * dx / d};
+  return out;
+}
+
+double ArcYAt(const Point& center, double radius, bool is_upper, double x) {
+  const double dx =
+      std::clamp(x - center.x, -radius, radius);
+  const double dy = std::sqrt(std::max(0.0, radius * radius - dx * dx));
+  return is_upper ? center.y + dy : center.y - dy;
+}
+
+bool CirclesProperlyIntersect(const Point& c0, double r0, const Point& c1,
+                              double r1) {
+  const double d = DistanceL2(c0, c1);
+  return d < r0 + r1 && d > std::fabs(r0 - r1);
+}
+
+}  // namespace rnnhm

@@ -1,0 +1,39 @@
+// Euclidean circle geometry used by the L2 sweep (Section VII-C).
+#ifndef RNNHM_GEOM_CIRCLE_GEOMETRY_H_
+#define RNNHM_GEOM_CIRCLE_GEOMETRY_H_
+
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "geom/geometry.h"
+
+namespace rnnhm {
+
+/// Result of intersecting two circle boundaries: 0, 1 (tangency) or 2
+/// points. Points are returned in unspecified order.
+struct CircleIntersection {
+  int count = 0;
+  Point points[2];
+};
+
+/// Intersects the boundaries of two circles. Tangencies and (near-)
+/// coincident circles are resolved conservatively: coincident circles report
+/// zero intersections.
+CircleIntersection IntersectCircles(const Point& c0, double r0,
+                                    const Point& c1, double r1);
+
+/// Y-coordinate of the lower (is_upper == false) or upper (is_upper == true)
+/// semicircle arc of the circle at abscissa x. Requires x within
+/// [center.x - radius, center.x + radius]; x is clamped to that range to
+/// absorb floating-point error at arc endpoints.
+double ArcYAt(const Point& center, double radius, bool is_upper, double x);
+
+/// True iff circle (c0, r0) and circle (c1, r1) boundaries properly
+/// intersect (overlap without containment or disjointness).
+bool CirclesProperlyIntersect(const Point& c0, double r0, const Point& c1,
+                              double r1);
+
+}  // namespace rnnhm
+
+#endif  // RNNHM_GEOM_CIRCLE_GEOMETRY_H_

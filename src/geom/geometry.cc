@@ -1,0 +1,92 @@
+#include "geom/geometry.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rnnhm {
+
+std::string MetricName(Metric metric) {
+  switch (metric) {
+    case Metric::kLInf:
+      return "Linf";
+    case Metric::kL1:
+      return "L1";
+    case Metric::kL2:
+      return "L2";
+  }
+  return "?";
+}
+
+double DistanceLInf(const Point& a, const Point& b) {
+  return std::max(std::fabs(a.x - b.x), std::fabs(a.y - b.y));
+}
+
+double DistanceL1(const Point& a, const Point& b) {
+  return std::fabs(a.x - b.x) + std::fabs(a.y - b.y);
+}
+
+double DistanceL2(const Point& a, const Point& b) {
+  return std::sqrt(DistanceL2Squared(a, b));
+}
+
+double DistanceL2Squared(const Point& a, const Point& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+double Distance(const Point& a, const Point& b, Metric metric) {
+  switch (metric) {
+    case Metric::kLInf:
+      return DistanceLInf(a, b);
+    case Metric::kL1:
+      return DistanceL1(a, b);
+    case Metric::kL2:
+      return DistanceL2(a, b);
+  }
+  return std::numeric_limits<double>::quiet_NaN();
+}
+
+Rect Rect::Union(const Rect& o) const {
+  return Rect{{std::min(lo.x, o.lo.x), std::min(lo.y, o.lo.y)},
+              {std::max(hi.x, o.hi.x), std::max(hi.y, o.hi.y)}};
+}
+
+double Rect::Area() const {
+  const double w = hi.x - lo.x;
+  const double h = hi.y - lo.y;
+  if (w <= 0.0 || h <= 0.0) return 0.0;
+  return w * h;
+}
+
+double Rect::Enlargement(const Rect& o) const {
+  return Union(o).Area() - Area();
+}
+
+double Rect::MinDistanceL2(const Point& p) const {
+  const double dx = std::max({lo.x - p.x, 0.0, p.x - hi.x});
+  const double dy = std::max({lo.y - p.y, 0.0, p.y - hi.y});
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+Rect EmptyRect() {
+  const double inf = std::numeric_limits<double>::infinity();
+  return Rect{{inf, inf}, {-inf, -inf}};
+}
+
+bool NnCircle::Contains(const Point& q, Metric metric) const {
+  return Distance(center, q, metric) <= radius;
+}
+
+Point RotateToLInf(const Point& p) {
+  // Rotation by pi/4: x' = (x - y)/sqrt(2), y' = (x + y)/sqrt(2).
+  constexpr double kInvSqrt2 = 0.7071067811865475244;
+  return Point{(p.x - p.y) * kInvSqrt2, (p.x + p.y) * kInvSqrt2};
+}
+
+Point RotateFromLInf(const Point& p) {
+  constexpr double kInvSqrt2 = 0.7071067811865475244;
+  return Point{(p.x + p.y) * kInvSqrt2, (p.y - p.x) * kInvSqrt2};
+}
+
+}  // namespace rnnhm

@@ -1,0 +1,113 @@
+// Planar geometry primitives shared by all modules.
+//
+// The paper works in a two-dimensional space under three metrics: L-infinity
+// (NN-circles are axis-aligned squares), L1 (diamonds; handled by rotating
+// the plane by pi/4 into the L-infinity case, Section VII-B) and L2 (disks,
+// handled by the arc-based sweep of Section VII-C).
+#ifndef RNNHM_GEOM_GEOMETRY_H_
+#define RNNHM_GEOM_GEOMETRY_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace rnnhm {
+
+/// Distance metric selector.
+enum class Metric { kLInf, kL1, kL2 };
+
+/// Human-readable metric name ("Linf", "L1", "L2").
+std::string MetricName(Metric metric);
+
+/// A point in the plane.
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend bool operator==(const Point&, const Point&) = default;
+};
+
+/// Distance between two points under the given metric.
+/// For efficiency-critical inner loops prefer the metric-specific overloads.
+double Distance(const Point& a, const Point& b, Metric metric);
+
+/// L-infinity (Chebyshev) distance.
+double DistanceLInf(const Point& a, const Point& b);
+/// L1 (Manhattan) distance.
+double DistanceL1(const Point& a, const Point& b);
+/// Euclidean distance.
+double DistanceL2(const Point& a, const Point& b);
+/// Squared Euclidean distance (avoids the sqrt for comparisons).
+double DistanceL2Squared(const Point& a, const Point& b);
+
+/// Closed axis-aligned rectangle [lo.x, hi.x] x [lo.y, hi.y].
+struct Rect {
+  Point lo;
+  Point hi;
+
+  /// True iff p lies strictly inside the rectangle.
+  bool ContainsOpen(const Point& p) const {
+    return p.x > lo.x && p.x < hi.x && p.y > lo.y && p.y < hi.y;
+  }
+  /// True iff p lies in the closed rectangle.
+  bool ContainsClosed(const Point& p) const {
+    return p.x >= lo.x && p.x <= hi.x && p.y >= lo.y && p.y <= hi.y;
+  }
+  /// True iff the closed rectangles intersect.
+  bool Intersects(const Rect& o) const {
+    return lo.x <= o.hi.x && o.lo.x <= hi.x && lo.y <= o.hi.y &&
+           o.lo.y <= hi.y;
+  }
+  /// True iff this rectangle fully contains o.
+  bool Contains(const Rect& o) const {
+    return lo.x <= o.lo.x && o.hi.x <= hi.x && lo.y <= o.lo.y &&
+           o.hi.y <= hi.y;
+  }
+  /// Smallest rectangle covering both this and o.
+  Rect Union(const Rect& o) const;
+  /// Center point.
+  Point Center() const { return {(lo.x + hi.x) / 2, (lo.y + hi.y) / 2}; }
+  /// Area (non-negative; 0 for degenerate rectangles).
+  double Area() const;
+  /// Half-perimeter growth needed to include o (R-tree insertion heuristic).
+  double Enlargement(const Rect& o) const;
+  /// Minimum L2 distance from p to the closed rectangle (0 if inside).
+  double MinDistanceL2(const Point& p) const;
+
+  friend bool operator==(const Rect&, const Rect&) = default;
+};
+
+/// Returns a rectangle guaranteed empty under Union (inverted bounds).
+Rect EmptyRect();
+
+/// The NN-circle of a client (Section III-A): center = the client location,
+/// radius = distance from the client to its nearest facility, measured in
+/// the active metric. `Bounds()` gives the axis-aligned bounding box, which
+/// *is* the NN-circle for L-infinity.
+struct NnCircle {
+  Point center;
+  double radius = 0.0;
+  /// Index of the client in O this circle belongs to.
+  int32_t client = -1;
+
+  /// Axis-aligned bounding box of the circle (exact shape for L-infinity).
+  Rect Bounds() const {
+    return Rect{{center.x - radius, center.y - radius},
+                {center.x + radius, center.y + radius}};
+  }
+  /// True iff q is inside the circle under `metric` (closed: boundary
+  /// counts, matching d(o, f) <= d(o, f') in the RNN definition).
+  bool Contains(const Point& q, Metric metric) const;
+};
+
+/// Rotates a point counter-clockwise by pi/4 around the origin.
+/// Maps L1 diamonds to L-infinity squares with radius scaled by 1/sqrt(2)
+/// (Section VII-B).
+Point RotateToLInf(const Point& p);
+
+/// Inverse of RotateToLInf.
+Point RotateFromLInf(const Point& p);
+
+}  // namespace rnnhm
+
+#endif  // RNNHM_GEOM_GEOMETRY_H_

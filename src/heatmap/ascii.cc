@@ -1,0 +1,33 @@
+#include "heatmap/ascii.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace rnnhm {
+
+std::string RenderAscii(const HeatmapGrid& grid, int cols, int rows) {
+  RNNHM_CHECK(cols > 0 && rows > 0);
+  static constexpr char kShades[] = " .:-=+*#%@";
+  constexpr int kLevels = sizeof(kShades) - 2;  // index of '@'
+  const double max = std::max(grid.MaxValue(), 1e-12);
+  const Rect& d = grid.domain();
+  std::string out;
+  out.reserve(static_cast<size_t>(rows) * (cols + 1));
+  for (int r = 0; r < rows; ++r) {
+    // Top row first: highest y band.
+    const double y =
+        d.lo.y + (d.hi.y - d.lo.y) * (rows - r - 0.5) / rows;
+    for (int c = 0; c < cols; ++c) {
+      const double x = d.lo.x + (d.hi.x - d.lo.x) * (c + 0.5) / cols;
+      const double t = std::sqrt(std::clamp(grid.Sample({x, y}) / max,
+                                            0.0, 1.0));
+      out.push_back(kShades[static_cast<int>(std::lround(t * kLevels))]);
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace rnnhm

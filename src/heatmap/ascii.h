@@ -1,0 +1,22 @@
+// Terminal rendering of heat maps.
+//
+// Quick exploration aid: renders a HeatmapGrid as rows of shade characters
+// (space = cold, '@' = hottest), normalized by the grid maximum. Used by
+// the examples so the heat map is visible without an image viewer.
+#ifndef RNNHM_HEATMAP_ASCII_H_
+#define RNNHM_HEATMAP_ASCII_H_
+
+#include <string>
+
+#include "heatmap/heatmap.h"
+
+namespace rnnhm {
+
+/// Renders the grid into `cols` x `rows` characters (top row first),
+/// sampling pixel centers. Returns a newline-separated string.
+std::string RenderAscii(const HeatmapGrid& grid, int cols = 72,
+                        int rows = 24);
+
+}  // namespace rnnhm
+
+#endif  // RNNHM_HEATMAP_ASCII_H_

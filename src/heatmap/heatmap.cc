@@ -1,0 +1,126 @@
+#include "heatmap/heatmap.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "core/brute_force.h"
+#include "heatmap/raster_sink.h"
+#include "nn/nn_circle_builder.h"
+
+namespace rnnhm {
+
+HeatmapGrid::HeatmapGrid(int width, int height, const Rect& domain,
+                         double background)
+    : width_(width), height_(height), domain_(domain) {
+  RNNHM_CHECK(width > 0 && height > 0);
+  RNNHM_CHECK(domain.lo.x < domain.hi.x && domain.lo.y < domain.hi.y);
+  values_.assign(static_cast<size_t>(width) * height, background);
+}
+
+Point HeatmapGrid::PixelCenter(int i, int j) const {
+  const double dx = (domain_.hi.x - domain_.lo.x) / width_;
+  const double dy = (domain_.hi.y - domain_.lo.y) / height_;
+  return Point{domain_.lo.x + (i + 0.5) * dx, domain_.lo.y + (j + 0.5) * dy};
+}
+
+double HeatmapGrid::Sample(const Point& p) const {
+  const double dx = (domain_.hi.x - domain_.lo.x) / width_;
+  const double dy = (domain_.hi.y - domain_.lo.y) / height_;
+  int i = static_cast<int>((p.x - domain_.lo.x) / dx);
+  int j = static_cast<int>((p.y - domain_.lo.y) / dy);
+  i = std::clamp(i, 0, width_ - 1);
+  j = std::clamp(j, 0, height_ - 1);
+  return At(i, j);
+}
+
+double HeatmapGrid::MaxValue() const {
+  double m = 0.0;
+  for (const double v : values_) m = std::max(m, v);
+  return m;
+}
+
+HeatmapGrid BuildHeatmapLInf(const std::vector<NnCircle>& circles,
+                             const InfluenceMeasure& measure,
+                             const Rect& domain, int width, int height) {
+  HeatmapGrid grid(width, height, domain, measure.Evaluate({}));
+  RasterStripSink raster(&grid);
+  CountingSink counter;  // labels are not needed, only the strips
+  CrestOptions options;
+  options.strip_sink = &raster;
+  RunCrest(circles, measure, &counter, options);
+  return grid;
+}
+
+HeatmapGrid BuildHeatmapL1(const std::vector<Point>& clients,
+                           const std::vector<Point>& facilities,
+                           const InfluenceMeasure& measure,
+                           const Rect& domain, int width, int height,
+                           double oversample) {
+  // Sweep in the rotated frame over the rotated domain's bounding box.
+  std::vector<Point> rot_clients;
+  rot_clients.reserve(clients.size());
+  for (const Point& p : clients) rot_clients.push_back(RotateToLInf(p));
+  std::vector<Point> rot_facilities;
+  rot_facilities.reserve(facilities.size());
+  for (const Point& p : facilities) {
+    rot_facilities.push_back(RotateToLInf(p));
+  }
+  const std::vector<NnCircle> circles =
+      BuildNnCircles(rot_clients, rot_facilities, Metric::kLInf);
+
+  const Point corners[4] = {domain.lo,
+                            {domain.hi.x, domain.lo.y},
+                            {domain.lo.x, domain.hi.y},
+                            domain.hi};
+  Rect rot_domain = EmptyRect();
+  for (const Point& c : corners) {
+    const Point r = RotateToLInf(c);
+    rot_domain = rot_domain.Union(Rect{r, r});
+  }
+  const int rot_res = static_cast<int>(
+      std::ceil(std::max(width, height) * std::max(1.0, oversample)));
+  HeatmapGrid rotated =
+      BuildHeatmapLInf(circles, measure, rot_domain, rot_res, rot_res);
+
+  HeatmapGrid out(width, height, domain, measure.Evaluate({}));
+  for (int i = 0; i < width; ++i) {
+    for (int j = 0; j < height; ++j) {
+      out.At(i, j) = rotated.Sample(RotateToLInf(out.PixelCenter(i, j)));
+    }
+  }
+  return out;
+}
+
+HeatmapGrid BuildHeatmapBruteForce(const std::vector<NnCircle>& circles,
+                                   Metric metric,
+                                   const InfluenceMeasure& measure,
+                                   const Rect& domain, int width,
+                                   int height) {
+  HeatmapGrid grid(width, height, domain, measure.Evaluate({}));
+  std::vector<int32_t> rnn;
+  for (int i = 0; i < width; ++i) {
+    for (int j = 0; j < height; ++j) {
+      rnn = BruteForceRnnSet(grid.PixelCenter(i, j), circles, metric);
+      grid.At(i, j) = measure.Evaluate(rnn);
+    }
+  }
+  return grid;
+}
+
+Rect BoundingBox(const std::vector<Point>& points, double pad_fraction) {
+  Rect box = EmptyRect();
+  for (const Point& p : points) box = box.Union(Rect{p, p});
+  if (pad_fraction > 0.0 && box.Area() >= 0.0 && !points.empty()) {
+    const double pad =
+        pad_fraction *
+        std::max(box.hi.x - box.lo.x, box.hi.y - box.lo.y);
+    box.lo.x -= pad;
+    box.lo.y -= pad;
+    box.hi.x += pad;
+    box.hi.y += pad;
+  }
+  return box;
+}
+
+}  // namespace rnnhm

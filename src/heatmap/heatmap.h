@@ -1,0 +1,87 @@
+// Heat-map grids and end-to-end heat-map construction.
+//
+// A HeatmapGrid is a dense raster of influence values over a rectangular
+// domain. Builders are provided for all three metrics:
+//   * L-infinity — exact strip rasterization fed by the CREST sweep;
+//   * L1         — CREST in the rotated frame (Section VII-B), resampled
+//                  back into the original frame;
+//   * any metric — brute-force per-pixel evaluation (reference/showcase).
+#ifndef RNNHM_HEATMAP_HEATMAP_H_
+#define RNNHM_HEATMAP_HEATMAP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/crest.h"
+#include "core/influence_measure.h"
+#include "geom/geometry.h"
+
+namespace rnnhm {
+
+/// Dense raster of influence values over `domain`. Pixel (i, j) covers the
+/// cell [lo.x + i*dx, lo.x + (i+1)*dx] x [lo.y + j*dy, ...]; values are
+/// point samples at cell centers.
+class HeatmapGrid {
+ public:
+  HeatmapGrid(int width, int height, const Rect& domain,
+              double background = 0.0);
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+  const Rect& domain() const { return domain_; }
+
+  double& At(int i, int j) { return values_[Index(i, j)]; }
+  double At(int i, int j) const { return values_[Index(i, j)]; }
+
+  /// Center of pixel (i, j).
+  Point PixelCenter(int i, int j) const;
+
+  /// Value of the pixel containing p (clamped to the domain).
+  double Sample(const Point& p) const;
+
+  /// Maximum stored value.
+  double MaxValue() const;
+
+  const std::vector<double>& values() const { return values_; }
+
+ private:
+  size_t Index(int i, int j) const {
+    return static_cast<size_t>(j) * width_ + i;
+  }
+
+  int width_;
+  int height_;
+  Rect domain_;
+  std::vector<double> values_;
+};
+
+/// Builds the exact heat map of L-infinity NN-circles via the CREST strip
+/// rasterizer. Pixels outside every labeled span keep the influence of the
+/// empty RNN set.
+HeatmapGrid BuildHeatmapLInf(const std::vector<NnCircle>& circles,
+                             const InfluenceMeasure& measure,
+                             const Rect& domain, int width, int height);
+
+/// Builds the heat map for the L1 metric: rotates clients and facilities
+/// into the L-infinity frame, sweeps there, and resamples the rotated grid
+/// back into `domain`. `oversample` scales the intermediate grid.
+HeatmapGrid BuildHeatmapL1(const std::vector<Point>& clients,
+                           const std::vector<Point>& facilities,
+                           const InfluenceMeasure& measure,
+                           const Rect& domain, int width, int height,
+                           double oversample = 1.5);
+
+/// Reference builder: evaluates the RNN set of every pixel center directly.
+/// O(width * height * n); use for tests and small showcases only.
+HeatmapGrid BuildHeatmapBruteForce(const std::vector<NnCircle>& circles,
+                                   Metric metric,
+                                   const InfluenceMeasure& measure,
+                                   const Rect& domain, int width, int height);
+
+/// Axis-aligned bounding box of a point set, optionally padded by a
+/// fraction of the larger extent.
+Rect BoundingBox(const std::vector<Point>& points, double pad_fraction = 0.0);
+
+}  // namespace rnnhm
+
+#endif  // RNNHM_HEATMAP_HEATMAP_H_

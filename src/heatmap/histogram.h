@@ -1,0 +1,45 @@
+// Exact area-weighted influence distribution.
+//
+// Consumes the sweep's strip spans and accumulates, per influence value,
+// the exact area where that influence holds. Answers exploration questions
+// a point-sampled raster can only approximate: "what fraction of the city
+// would a facility at influence >= v cover?", "what is the area-weighted
+// p99 influence?". O(#spans) time, O(#distinct influences) memory.
+#ifndef RNNHM_HEATMAP_HISTOGRAM_H_
+#define RNNHM_HEATMAP_HISTOGRAM_H_
+
+#include <map>
+
+#include "core/label_sink.h"
+
+namespace rnnhm {
+
+/// StripSink accumulating exact area per influence value.
+class AreaHistogramSink : public StripSink {
+ public:
+  void OnSpan(double x0, double x1, double y0, double y1,
+              double influence) override;
+
+  /// Exact area per influence value (only values that occur).
+  const std::map<double, double>& area_by_influence() const {
+    return areas_;
+  }
+
+  /// Total area covered by spans (the swept arrangement's extent).
+  double TotalArea() const;
+
+  /// Area with influence >= threshold.
+  double AreaAtLeast(double threshold) const;
+
+  /// Smallest influence v such that the area with influence >= v is at
+  /// most `fraction` of the total (an area-weighted upper quantile).
+  /// Returns 0 for an empty histogram.
+  double QuantileInfluence(double fraction) const;
+
+ private:
+  std::map<double, double> areas_;
+};
+
+}  // namespace rnnhm
+
+#endif  // RNNHM_HEATMAP_HISTOGRAM_H_

@@ -1,0 +1,78 @@
+#include "heatmap/image.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+namespace rnnhm {
+
+namespace {
+
+struct Rgb {
+  uint8_t r, g, b;
+};
+
+// Piecewise-linear warm ramp; t in [0, 1], larger = hotter = darker.
+Rgb HeatColor(double t) {
+  t = std::clamp(t, 0.0, 1.0);
+  auto lerp = [](double a, double b, double u) {
+    return static_cast<uint8_t>(std::lround(a + (b - a) * u));
+  };
+  if (t < 0.25) {
+    const double u = t / 0.25;  // white -> yellow
+    return {255, 255, lerp(255, 96, u)};
+  }
+  if (t < 0.6) {
+    const double u = (t - 0.25) / 0.35;  // yellow -> red
+    return {255, lerp(255, 64, u), lerp(96, 32, u)};
+  }
+  const double u = (t - 0.6) / 0.4;  // red -> near-black
+  return {lerp(255, 48, u), lerp(64, 8, u), lerp(32, 8, u)};
+}
+
+}  // namespace
+
+bool WritePgm(const HeatmapGrid& grid, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const double max = std::max(grid.MaxValue(), 1e-12);
+  std::fprintf(f, "P5\n%d %d\n255\n", grid.width(), grid.height());
+  std::vector<uint8_t> row(grid.width());
+  for (int j = grid.height() - 1; j >= 0; --j) {  // top row first
+    for (int i = 0; i < grid.width(); ++i) {
+      const double t = std::sqrt(std::clamp(grid.At(i, j) / max, 0.0, 1.0));
+      row[i] = static_cast<uint8_t>(std::lround(255.0 * (1.0 - t)));
+    }
+    std::fwrite(row.data(), 1, row.size(), f);
+  }
+  return std::fclose(f) == 0;
+}
+
+bool WritePpm(const HeatmapGrid& grid, const std::string& path,
+              ColorMap map) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const double max = std::max(grid.MaxValue(), 1e-12);
+  std::fprintf(f, "P6\n%d %d\n255\n", grid.width(), grid.height());
+  std::vector<uint8_t> row(static_cast<size_t>(grid.width()) * 3);
+  for (int j = grid.height() - 1; j >= 0; --j) {
+    for (int i = 0; i < grid.width(); ++i) {
+      const double t = std::sqrt(std::clamp(grid.At(i, j) / max, 0.0, 1.0));
+      Rgb c;
+      if (map == ColorMap::kHeat) {
+        c = HeatColor(t);
+      } else {
+        const uint8_t g = static_cast<uint8_t>(std::lround(255.0 * (1.0 - t)));
+        c = {g, g, g};
+      }
+      row[3 * i] = c.r;
+      row[3 * i + 1] = c.g;
+      row[3 * i + 2] = c.b;
+    }
+    std::fwrite(row.data(), 1, row.size(), f);
+  }
+  return std::fclose(f) == 0;
+}
+
+}  // namespace rnnhm

@@ -1,0 +1,34 @@
+// Image export of heat maps (PGM grayscale / PPM color).
+//
+// Used to regenerate the qualitative figures (Fig. 1 and Fig. 15): the heat
+// map is normalized by its maximum and written with a warm color ramp where
+// darker means more influential, matching the paper's rendering.
+#ifndef RNNHM_HEATMAP_IMAGE_H_
+#define RNNHM_HEATMAP_IMAGE_H_
+
+#include <string>
+
+#include "heatmap/heatmap.h"
+
+namespace rnnhm {
+
+/// Color map selector for WritePpm.
+enum class ColorMap {
+  kHeat,      ///< white -> yellow -> red -> near-black (paper style)
+  kGrayscale  ///< white -> black
+};
+
+/// Writes the grid as a binary PGM (P5), darker = higher value.
+/// Returns false on I/O failure.
+bool WritePgm(const HeatmapGrid& grid, const std::string& path);
+
+/// Writes the grid as a binary PPM (P6) with the given color map.
+/// Values are normalized by the grid maximum (gamma 0.5 to lift the mid
+/// range, as heat maps are typically displayed). Returns false on I/O
+/// failure.
+bool WritePpm(const HeatmapGrid& grid, const std::string& path,
+              ColorMap map = ColorMap::kHeat);
+
+}  // namespace rnnhm
+
+#endif  // RNNHM_HEATMAP_IMAGE_H_

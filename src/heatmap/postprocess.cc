@@ -1,0 +1,58 @@
+#include "heatmap/postprocess.h"
+
+#include <algorithm>
+
+namespace rnnhm {
+
+void RegionQuerySink::OnRegionLabel(const Rect& subregion,
+                                    std::span<const int32_t> rnn,
+                                    double influence) {
+  std::vector<int32_t> key(rnn.begin(), rnn.end());
+  std::sort(key.begin(), key.end());
+  auto [it, inserted] =
+      regions_.try_emplace(std::move(key), Entry{influence, subregion});
+  if (!inserted) {
+    it->second.influence = influence;
+    it->second.representative = subregion;
+  }
+}
+
+namespace {
+
+std::vector<InfluentialRegion> SortedByInfluence(
+    std::vector<InfluentialRegion> regions) {
+  std::sort(regions.begin(), regions.end(),
+            [](const InfluentialRegion& a, const InfluentialRegion& b) {
+              if (a.influence != b.influence) return a.influence > b.influence;
+              return a.rnn < b.rnn;
+            });
+  return regions;
+}
+
+}  // namespace
+
+std::vector<InfluentialRegion> RegionQuerySink::TopK(size_t k) const {
+  std::vector<InfluentialRegion> all;
+  all.reserve(regions_.size());
+  for (const auto& [rnn, entry] : regions_) {
+    all.push_back(InfluentialRegion{rnn, entry.influence,
+                                    entry.representative});
+  }
+  all = SortedByInfluence(std::move(all));
+  if (all.size() > k) all.resize(k);
+  return all;
+}
+
+std::vector<InfluentialRegion> RegionQuerySink::AboveThreshold(
+    double threshold) const {
+  std::vector<InfluentialRegion> out;
+  for (const auto& [rnn, entry] : regions_) {
+    if (entry.influence >= threshold) {
+      out.push_back(InfluentialRegion{rnn, entry.influence,
+                                      entry.representative});
+    }
+  }
+  return SortedByInfluence(std::move(out));
+}
+
+}  // namespace rnnhm

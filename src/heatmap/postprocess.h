@@ -1,0 +1,53 @@
+// Interactive post-processing operations over labeled regions.
+//
+// The paper contrasts CREST with superimposition by noting CREST's output
+// supports "selectively showing regions with heat values above a threshold
+// or regions having the top-k heat values" as cheap post-processing. These
+// sinks implement those two operations.
+#ifndef RNNHM_HEATMAP_POSTPROCESS_H_
+#define RNNHM_HEATMAP_POSTPROCESS_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "core/label_sink.h"
+
+namespace rnnhm {
+
+/// A distinct influential region: its RNN set, influence, and one
+/// representative subregion rectangle.
+struct InfluentialRegion {
+  std::vector<int32_t> rnn;  // sorted
+  double influence = 0.0;
+  Rect representative = EmptyRect();
+};
+
+/// Collects distinct RNN sets with their influence; supports top-k and
+/// threshold extraction after the sweep.
+class RegionQuerySink : public RegionLabelSink {
+ public:
+  void OnRegionLabel(const Rect& subregion, std::span<const int32_t> rnn,
+                     double influence) override;
+
+  /// Regions with the k highest influence values (distinct RNN sets),
+  /// descending by influence; ties broken by RNN set for determinism.
+  std::vector<InfluentialRegion> TopK(size_t k) const;
+
+  /// Regions with influence >= threshold, descending by influence.
+  std::vector<InfluentialRegion> AboveThreshold(double threshold) const;
+
+  /// Number of distinct RNN sets observed.
+  size_t NumDistinctSets() const { return regions_.size(); }
+
+ private:
+  struct Entry {
+    double influence;
+    Rect representative;
+  };
+  std::map<std::vector<int32_t>, Entry> regions_;
+};
+
+}  // namespace rnnhm
+
+#endif  // RNNHM_HEATMAP_POSTPROCESS_H_

@@ -1,0 +1,36 @@
+#include "heatmap/raster_sink.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rnnhm {
+
+RasterStripSink::RasterStripSink(HeatmapGrid* grid) : grid_(grid) {
+  const Rect& d = grid_->domain();
+  dx_ = (d.hi.x - d.lo.x) / grid_->width();
+  dy_ = (d.hi.y - d.lo.y) / grid_->height();
+}
+
+void RasterStripSink::OnSpan(double x0, double x1, double y0, double y1,
+                             double influence) {
+  const Rect& d = grid_->domain();
+  // A pixel is painted iff its center lies in [x0, x1) x [y0, y1); spans
+  // tile strips exactly, so half-open edges avoid double-painting.
+  const int i0 =
+      std::max(0, static_cast<int>(std::ceil((x0 - d.lo.x) / dx_ - 0.5)));
+  const int j0 =
+      std::max(0, static_cast<int>(std::ceil((y0 - d.lo.y) / dy_ - 0.5)));
+  for (int i = i0; i < grid_->width(); ++i) {
+    const double cx = d.lo.x + (i + 0.5) * dx_;
+    if (cx >= x1) break;
+    if (cx < x0) continue;
+    for (int j = j0; j < grid_->height(); ++j) {
+      const double cy = d.lo.y + (j + 0.5) * dy_;
+      if (cy >= y1) break;
+      if (cy < y0) continue;
+      grid_->At(i, j) = influence;
+    }
+  }
+}
+
+}  // namespace rnnhm

@@ -1,0 +1,28 @@
+// StripSink implementation that paints exact heat spans into a HeatmapGrid.
+#ifndef RNNHM_HEATMAP_RASTER_SINK_H_
+#define RNNHM_HEATMAP_RASTER_SINK_H_
+
+#include "core/label_sink.h"
+#include "heatmap/heatmap.h"
+
+namespace rnnhm {
+
+/// Paints sweep strips into a grid: a pixel receives a span's influence iff
+/// its center lies inside the span (half-open on the high edges so adjacent
+/// spans never double-paint).
+class RasterStripSink : public StripSink {
+ public:
+  explicit RasterStripSink(HeatmapGrid* grid);
+
+  void OnSpan(double x0, double x1, double y0, double y1,
+              double influence) override;
+
+ private:
+  HeatmapGrid* grid_;
+  double dx_;
+  double dy_;
+};
+
+}  // namespace rnnhm
+
+#endif  // RNNHM_HEATMAP_RASTER_SINK_H_

@@ -1,0 +1,67 @@
+#include "heatmap/serialization.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace rnnhm {
+
+namespace {
+constexpr char kMagic[4] = {'R', 'N', 'H', 'M'};
+constexpr uint32_t kVersion = 1;
+
+struct Header {
+  char magic[4];
+  uint32_t version;
+  int32_t width;
+  int32_t height;
+  double lo_x, lo_y, hi_x, hi_y;
+};
+}  // namespace
+
+bool SaveHeatmap(const HeatmapGrid& grid, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  Header h;
+  std::memcpy(h.magic, kMagic, 4);
+  h.version = kVersion;
+  h.width = grid.width();
+  h.height = grid.height();
+  h.lo_x = grid.domain().lo.x;
+  h.lo_y = grid.domain().lo.y;
+  h.hi_x = grid.domain().hi.x;
+  h.hi_y = grid.domain().hi.y;
+  bool ok = std::fwrite(&h, sizeof(h), 1, f) == 1;
+  ok = ok && std::fwrite(grid.values().data(), sizeof(double),
+                         grid.values().size(),
+                         f) == grid.values().size();
+  return (std::fclose(f) == 0) && ok;
+}
+
+std::optional<HeatmapGrid> LoadHeatmap(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return std::nullopt;
+  Header h;
+  if (std::fread(&h, sizeof(h), 1, f) != 1 ||
+      std::memcmp(h.magic, kMagic, 4) != 0 || h.version != kVersion ||
+      h.width <= 0 || h.height <= 0 || !(h.lo_x < h.hi_x) ||
+      !(h.lo_y < h.hi_y)) {
+    std::fclose(f);
+    return std::nullopt;
+  }
+  HeatmapGrid grid(h.width, h.height, Rect{{h.lo_x, h.lo_y}, {h.hi_x, h.hi_y}});
+  const size_t count = static_cast<size_t>(h.width) * h.height;
+  std::vector<double> values(count);
+  if (std::fread(values.data(), sizeof(double), count, f) != count) {
+    std::fclose(f);
+    return std::nullopt;
+  }
+  std::fclose(f);
+  for (int j = 0; j < h.height; ++j) {
+    for (int i = 0; i < h.width; ++i) {
+      grid.At(i, j) = values[static_cast<size_t>(j) * h.width + i];
+    }
+  }
+  return grid;
+}
+
+}  // namespace rnnhm

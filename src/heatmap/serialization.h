@@ -1,0 +1,26 @@
+// Binary serialization of heat-map grids.
+//
+// Simple versioned little-endian format ("RNHM"): header with dimensions
+// and domain, then row-major doubles. Lets expensive city-scale maps be
+// computed once and re-rendered / re-queried later (see the CLI's
+// `render` subcommand).
+#ifndef RNNHM_HEATMAP_SERIALIZATION_H_
+#define RNNHM_HEATMAP_SERIALIZATION_H_
+
+#include <optional>
+#include <string>
+
+#include "heatmap/heatmap.h"
+
+namespace rnnhm {
+
+/// Writes the grid to `path`. Returns false on I/O failure.
+bool SaveHeatmap(const HeatmapGrid& grid, const std::string& path);
+
+/// Loads a grid written by SaveHeatmap. Returns nullopt on I/O failure,
+/// bad magic/version, or a truncated payload.
+std::optional<HeatmapGrid> LoadHeatmap(const std::string& path);
+
+}  // namespace rnnhm
+
+#endif  // RNNHM_HEATMAP_SERIALIZATION_H_

@@ -1,0 +1,35 @@
+#include "heatmap/superimposition.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rnnhm {
+
+HeatmapGrid BuildSuperimposition(const std::vector<NnCircle>& circles,
+                                 Metric metric, const Rect& domain,
+                                 int width, int height,
+                                 const std::vector<double>* weights) {
+  HeatmapGrid grid(width, height, domain, 0.0);
+  const double dx = (domain.hi.x - domain.lo.x) / width;
+  const double dy = (domain.hi.y - domain.lo.y) / height;
+  for (const NnCircle& c : circles) {
+    const Rect b = c.Bounds();
+    const int i0 = std::max(
+        0, static_cast<int>(std::floor((b.lo.x - domain.lo.x) / dx - 0.5)));
+    const int j0 = std::max(
+        0, static_cast<int>(std::floor((b.lo.y - domain.lo.y) / dy - 0.5)));
+    const double w = weights != nullptr ? (*weights)[c.client] : 1.0;
+    for (int i = i0; i < width; ++i) {
+      const double cx = domain.lo.x + (i + 0.5) * dx;
+      if (cx > b.hi.x) break;
+      for (int j = j0; j < height; ++j) {
+        const double cy = domain.lo.y + (j + 0.5) * dy;
+        if (cy > b.hi.y) break;
+        if (c.Contains({cx, cy}, metric)) grid.At(i, j) += w;
+      }
+    }
+  }
+  return grid;
+}
+
+}  // namespace rnnhm

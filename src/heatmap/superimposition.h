@@ -1,0 +1,27 @@
+// The superimposition "heat map" of Fig. 3(b).
+//
+// Overlaying translucent NN-circles yields, at each point, the *count* of
+// NN-circles covering it — which equals the true heat map only for the
+// size measure (or a weighted sum). For any other measure superimposition
+// is wrong; the taxi-sharing example reproduces the paper's Fig. 3
+// discrepancy. Provided as a comparison baseline for examples and tests.
+#ifndef RNNHM_HEATMAP_SUPERIMPOSITION_H_
+#define RNNHM_HEATMAP_SUPERIMPOSITION_H_
+
+#include <vector>
+
+#include "geom/geometry.h"
+#include "heatmap/heatmap.h"
+
+namespace rnnhm {
+
+/// Rasterizes the superimposition of NN-circles: each pixel's value is the
+/// number of circles containing its center (optionally weighted).
+HeatmapGrid BuildSuperimposition(const std::vector<NnCircle>& circles,
+                                 Metric metric, const Rect& domain,
+                                 int width, int height,
+                                 const std::vector<double>* weights = nullptr);
+
+}  // namespace rnnhm
+
+#endif  // RNNHM_HEATMAP_SUPERIMPOSITION_H_

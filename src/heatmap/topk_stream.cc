@@ -1,0 +1,70 @@
+#include "heatmap/topk_stream.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace rnnhm {
+
+namespace {
+
+// Min-heap order: the *worst* region at the front.
+bool HeapAfter(const InfluentialRegion& a, const InfluentialRegion& b) {
+  if (a.influence != b.influence) return a.influence > b.influence;
+  return a.rnn < b.rnn;
+}
+
+}  // namespace
+
+size_t TopKStreamSink::SetHash::operator()(
+    const std::vector<int32_t>& v) const {
+  size_t h = 0xcbf29ce484222325ULL;
+  for (const int32_t x : v) {
+    h ^= static_cast<size_t>(x) + 0x9e3779b9 + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+TopKStreamSink::TopKStreamSink(size_t k) : k_(k) {}
+
+void TopKStreamSink::OnRegionLabel(const Rect& subregion,
+                                   std::span<const int32_t> rnn,
+                                   double influence) {
+  if (k_ == 0) return;
+  if (heap_.size() >= k_ && influence < heap_.front().influence) {
+    // Cannot beat the current k-th best.
+    return;
+  }
+  std::vector<int32_t> key(rnn.begin(), rnn.end());
+  std::sort(key.begin(), key.end());
+  if (members_.count(key)) return;  // already retained
+  if (heap_.size() == k_) {
+    // Ties are resolved under the same total order the batch TopK uses
+    // (influence descending, then RNN set ascending), keeping the two
+    // implementations byte-identical.
+    const InfluentialRegion& worst = heap_.front();
+    if (influence == worst.influence && !(key < worst.rnn)) return;
+    std::pop_heap(heap_.begin(), heap_.end(), HeapAfter);
+    members_.erase(heap_.back().rnn);
+    heap_.pop_back();
+  }
+  members_.insert(key);
+  heap_.push_back(InfluentialRegion{std::move(key), influence, subregion});
+  std::push_heap(heap_.begin(), heap_.end(), HeapAfter);
+}
+
+std::vector<InfluentialRegion> TopKStreamSink::Result() const {
+  std::vector<InfluentialRegion> out = heap_;
+  std::sort(out.begin(), out.end(),
+            [](const InfluentialRegion& a, const InfluentialRegion& b) {
+              if (a.influence != b.influence) return a.influence > b.influence;
+              return a.rnn < b.rnn;
+            });
+  return out;
+}
+
+double TopKStreamSink::Threshold() const {
+  if (heap_.size() < k_) return -std::numeric_limits<double>::infinity();
+  return heap_.front().influence;
+}
+
+}  // namespace rnnhm

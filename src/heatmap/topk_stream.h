@@ -1,0 +1,48 @@
+// Bounded-memory streaming top-k region sink.
+//
+// RegionQuerySink retains every distinct RNN set (O(r * lambda) memory),
+// which is fine for exploration but wasteful when only the k best regions
+// are wanted. TopKStreamSink keeps a min-heap of the current k best
+// distinct regions: O(k * lambda) memory regardless of arrangement size.
+#ifndef RNNHM_HEATMAP_TOPK_STREAM_H_
+#define RNNHM_HEATMAP_TOPK_STREAM_H_
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "core/label_sink.h"
+#include "heatmap/postprocess.h"
+
+namespace rnnhm {
+
+/// Streaming top-k by influence over distinct RNN sets.
+class TopKStreamSink : public RegionLabelSink {
+ public:
+  explicit TopKStreamSink(size_t k);
+
+  void OnRegionLabel(const Rect& subregion, std::span<const int32_t> rnn,
+                     double influence) override;
+
+  /// The top-k regions, descending by influence (ties by RNN set).
+  /// O(k log k); call after the sweep.
+  std::vector<InfluentialRegion> Result() const;
+
+  /// Current admission threshold (smallest influence retained), or
+  /// -infinity while fewer than k regions are held.
+  double Threshold() const;
+
+ private:
+  struct SetHash {
+    size_t operator()(const std::vector<int32_t>& v) const;
+  };
+
+  size_t k_;
+  // Min-heap over heap_ by (influence, rnn); members_ guards distinctness.
+  std::vector<InfluentialRegion> heap_;
+  std::unordered_set<std::vector<int32_t>, SetHash> members_;
+};
+
+}  // namespace rnnhm
+
+#endif  // RNNHM_HEATMAP_TOPK_STREAM_H_

@@ -1,0 +1,100 @@
+#include "index/enclosure_index.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace rnnhm {
+
+namespace {
+
+// Elementary-interval index of value v over sorted distinct coords xs:
+// intervals are (-inf,x0) [x0] (x0,x1) [x1] ... [x_{m-1}] (x_{m-1},+inf),
+// numbered 0..2m. Value exactly at xs[i] maps to 2i+1.
+int ElementaryIndex(const std::vector<double>& xs, double v) {
+  const auto it = std::lower_bound(xs.begin(), xs.end(), v);
+  const int i = static_cast<int>(it - xs.begin());
+  if (it != xs.end() && *it == v) return 2 * i + 1;
+  return 2 * i;
+}
+
+}  // namespace
+
+EnclosureIndex::EnclosureIndex(const std::vector<Rect>& rects)
+    : rects_(rects) {
+  xs_.reserve(rects.size() * 2);
+  for (const Rect& r : rects) {
+    xs_.push_back(r.lo.x);
+    xs_.push_back(r.hi.x);
+  }
+  std::sort(xs_.begin(), xs_.end());
+  xs_.erase(std::unique(xs_.begin(), xs_.end()), xs_.end());
+  leaf_count_ = static_cast<int>(2 * xs_.size() + 1);
+  tree_.assign(4 * static_cast<size_t>(leaf_count_) + 4, TreeNode{});
+  for (size_t id = 0; id < rects_.size(); ++id) {
+    const Rect& r = rects_[id];
+    const int lo = ElementaryIndex(xs_, r.lo.x);
+    const int hi = ElementaryIndex(xs_, r.hi.x);
+    AssignToNodes(1, 0, leaf_count_ - 1, static_cast<int32_t>(id),
+                  static_cast<double>(lo), static_cast<double>(hi));
+  }
+  for (TreeNode& node : tree_) {
+    std::sort(node.entries.begin(), node.entries.end(),
+              [](const YEntry& a, const YEntry& b) {
+                if (a.y_lo != b.y_lo) return a.y_lo < b.y_lo;
+                return a.id < b.id;
+              });
+  }
+}
+
+void EnclosureIndex::AssignToNodes(int node, int lo, int hi, int32_t id,
+                                   double x_lo, double x_hi) {
+  // x_lo/x_hi are elementary indices (stored as double to reuse the
+  // signature); the canonical decomposition is the standard one.
+  const int a = static_cast<int>(x_lo);
+  const int b = static_cast<int>(x_hi);
+  if (b < lo || hi < a) return;
+  if (a <= lo && hi <= b) {
+    const Rect& r = rects_[id];
+    tree_[node].entries.push_back(YEntry{r.lo.y, r.hi.y, id});
+    return;
+  }
+  const int mid = (lo + hi) / 2;
+  AssignToNodes(2 * node, lo, mid, id, x_lo, x_hi);
+  AssignToNodes(2 * node + 1, mid + 1, hi, id, x_lo, x_hi);
+}
+
+void EnclosureIndex::Stab(const Point& p,
+                          const std::function<void(int32_t)>& visit) const {
+  if (rects_.empty()) return;
+  const int target = ElementaryIndex(xs_, p.x);
+  int node = 1;
+  int lo = 0;
+  int hi = leaf_count_ - 1;
+  for (;;) {
+    const TreeNode& t = tree_[node];
+    // All entries at this node span p.x; report those containing p.y.
+    // Entries are sorted by y_lo, so candidates form a prefix.
+    for (const YEntry& e : t.entries) {
+      if (e.y_lo > p.y) break;
+      if (e.y_hi >= p.y) visit(e.id);
+    }
+    if (lo == hi) break;
+    const int mid = (lo + hi) / 2;
+    if (target <= mid) {
+      node = 2 * node;
+      hi = mid;
+    } else {
+      node = 2 * node + 1;
+      lo = mid + 1;
+    }
+  }
+}
+
+std::vector<int32_t> EnclosureIndex::StabIds(const Point& p) const {
+  std::vector<int32_t> out;
+  Stab(p, [&out](int32_t id) { out.push_back(id); });
+  return out;
+}
+
+}  // namespace rnnhm

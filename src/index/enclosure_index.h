@@ -1,0 +1,59 @@
+// Static point-enclosure (rectangle stabbing) index.
+//
+// Stand-in for the S-tree of Vaishnavi [25] used by the baseline algorithm
+// (Section IV): given n axis-aligned rectangles, report all rectangles
+// containing a query point. A segment tree is built over the distinct
+// x-endpoints; each rectangle is registered at O(log n) canonical nodes, and
+// each node keeps its rectangles' y-intervals. A query walks the root-to-
+// leaf path for q.x and, at every node, reports the y-intervals containing
+// q.y via binary search over lists sorted by lower endpoint.
+#ifndef RNNHM_INDEX_ENCLOSURE_INDEX_H_
+#define RNNHM_INDEX_ENCLOSURE_INDEX_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "geom/geometry.h"
+
+namespace rnnhm {
+
+/// Immutable rectangle stabbing structure; built once, queried many times.
+class EnclosureIndex {
+ public:
+  /// Builds the index over `rects` with ids 0..n-1. O(n log n).
+  explicit EnclosureIndex(const std::vector<Rect>& rects);
+
+  /// Calls visit(id) for every rectangle whose *closed* extent contains p.
+  void Stab(const Point& p, const std::function<void(int32_t)>& visit) const;
+
+  /// Ids of all rectangles containing p.
+  std::vector<int32_t> StabIds(const Point& p) const;
+
+  /// Number of indexed rectangles.
+  size_t size() const { return rects_.size(); }
+
+ private:
+  struct YEntry {
+    double y_lo;
+    double y_hi;
+    int32_t id;
+  };
+  struct TreeNode {
+    // Entries assigned to this canonical node, sorted ascending by y_lo,
+    // with prefix maxima of y_hi to cut off scans early.
+    std::vector<YEntry> entries;
+  };
+
+  void AssignToNodes(int node, int lo, int hi, int32_t id, double x_lo,
+                     double x_hi);
+
+  std::vector<Rect> rects_;
+  std::vector<double> xs_;       // distinct x endpoints (elementary bounds)
+  std::vector<TreeNode> tree_;   // segment tree, 1-based heap layout
+  int leaf_count_ = 0;
+};
+
+}  // namespace rnnhm
+
+#endif  // RNNHM_INDEX_ENCLOSURE_INDEX_H_

@@ -1,0 +1,92 @@
+#include "index/interval_tree.h"
+
+#include <algorithm>
+
+namespace rnnhm {
+
+IntervalTree::IntervalTree(std::vector<Interval> intervals)
+    : size_(intervals.size()) {
+  nodes_.reserve(intervals.size());
+  if (!intervals.empty()) root_ = Build(intervals);
+}
+
+int32_t IntervalTree::Build(std::vector<Interval>& intervals) {
+  // Center = median of endpoint midpoints (balanced in practice).
+  std::vector<double> mids;
+  mids.reserve(intervals.size());
+  for (const Interval& iv : intervals) mids.push_back((iv.lo + iv.hi) / 2);
+  std::nth_element(mids.begin(), mids.begin() + mids.size() / 2, mids.end());
+  const double center = mids[mids.size() / 2];
+
+  const int32_t node = static_cast<int32_t>(nodes_.size());
+  nodes_.push_back(Node{center, {}, {}, -1, -1});
+
+  std::vector<Interval> left, right;
+  for (const Interval& iv : intervals) {
+    if (iv.hi < center) {
+      left.push_back(iv);
+    } else if (iv.lo > center) {
+      right.push_back(iv);
+    } else {
+      nodes_[node].by_lo.push_back(iv);
+    }
+  }
+  // Degenerate guard: if nothing crosses the center and one side holds
+  // everything, pin the whole set here to guarantee termination.
+  if (nodes_[node].by_lo.empty() &&
+      (left.size() == intervals.size() || right.size() == intervals.size())) {
+    nodes_[node].by_lo = intervals;
+    left.clear();
+    right.clear();
+  }
+  std::sort(nodes_[node].by_lo.begin(), nodes_[node].by_lo.end(),
+            [](const Interval& a, const Interval& b) { return a.lo < b.lo; });
+  nodes_[node].by_hi = nodes_[node].by_lo;
+  std::sort(nodes_[node].by_hi.begin(), nodes_[node].by_hi.end(),
+            [](const Interval& a, const Interval& b) { return a.hi > b.hi; });
+  if (!left.empty()) {
+    const int32_t child = Build(left);
+    nodes_[node].left = child;
+  }
+  if (!right.empty()) {
+    const int32_t child = Build(right);
+    nodes_[node].right = child;
+  }
+  return node;
+}
+
+void IntervalTree::Stab(double x,
+                        const std::function<void(int32_t)>& visit) const {
+  int32_t node = root_;
+  while (node >= 0) {
+    const Node& n = nodes_[node];
+    if (x < n.center) {
+      // Crossing intervals sorted by lo: report the prefix with lo <= x.
+      for (const Interval& iv : n.by_lo) {
+        if (iv.lo > x) break;
+        visit(iv.id);
+      }
+      node = n.left;
+    } else if (x > n.center) {
+      for (const Interval& iv : n.by_hi) {
+        if (iv.hi < x) break;
+        visit(iv.id);
+      }
+      node = n.right;
+    } else {
+      for (const Interval& iv : n.by_lo) {
+        if (iv.lo > x) break;
+        visit(iv.id);
+      }
+      return;  // everything containing the center lives here
+    }
+  }
+}
+
+std::vector<int32_t> IntervalTree::StabIds(double x) const {
+  std::vector<int32_t> out;
+  Stab(x, [&out](int32_t id) { out.push_back(id); });
+  return out;
+}
+
+}  // namespace rnnhm

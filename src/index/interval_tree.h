@@ -1,0 +1,57 @@
+// Static centered interval tree (1-D stabbing).
+//
+// Classic substrate: given n closed intervals, report all intervals
+// containing a query value in O(log n + answer). Used by the interval-tree
+// enclosure backend (stab x-intervals, filter y) and exposed on its own.
+#ifndef RNNHM_INDEX_INTERVAL_TREE_H_
+#define RNNHM_INDEX_INTERVAL_TREE_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "geom/geometry.h"
+
+namespace rnnhm {
+
+/// Closed 1-D interval with an id payload.
+struct Interval {
+  double lo;
+  double hi;
+  int32_t id;
+};
+
+/// Immutable centered interval tree.
+class IntervalTree {
+ public:
+  /// Builds over `intervals` (copied). O(n log n).
+  explicit IntervalTree(std::vector<Interval> intervals);
+
+  /// Calls visit(id) for every interval with lo <= x <= hi.
+  void Stab(double x, const std::function<void(int32_t)>& visit) const;
+
+  /// Ids of all intervals containing x, unsorted.
+  std::vector<int32_t> StabIds(double x) const;
+
+  size_t size() const { return size_; }
+
+ private:
+  struct Node {
+    double center;
+    // Intervals crossing the center, sorted two ways for early cut-off.
+    std::vector<Interval> by_lo;   // ascending lo
+    std::vector<Interval> by_hi;   // descending hi
+    int32_t left = -1;
+    int32_t right = -1;
+  };
+
+  int32_t Build(std::vector<Interval>& intervals);
+
+  std::vector<Node> nodes_;
+  int32_t root_ = -1;
+  size_t size_ = 0;
+};
+
+}  // namespace rnnhm
+
+#endif  // RNNHM_INDEX_INTERVAL_TREE_H_

@@ -1,0 +1,132 @@
+#include "index/kdtree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+namespace rnnhm {
+
+namespace {
+
+// Distance from q to the splitting line `coord` on `axis`, under metric.
+// For all three supported metrics the one-dimensional gap is a valid lower
+// bound on the distance to any point on the far side of the split.
+inline double AxisGap(const Point& q, int axis, double coord) {
+  return std::fabs((axis == 0 ? q.x : q.y) - coord);
+}
+
+inline double Coord(const Point& p, int axis) { return axis == 0 ? p.x : p.y; }
+
+}  // namespace
+
+KdTree::KdTree(std::vector<Point> points) : points_(std::move(points)) {
+  order_.resize(points_.size());
+  std::iota(order_.begin(), order_.end(), 0);
+  if (!order_.empty()) Build(0, static_cast<int>(order_.size()), 0);
+}
+
+void KdTree::Build(int lo, int hi, int depth) {
+  if (hi - lo <= 1) return;
+  const int mid = (lo + hi) / 2;
+  const int axis = depth & 1;
+  std::nth_element(order_.begin() + lo, order_.begin() + mid,
+                   order_.begin() + hi, [&](int32_t a, int32_t b) {
+                     const double ca = Coord(points_[a], axis);
+                     const double cb = Coord(points_[b], axis);
+                     if (ca != cb) return ca < cb;
+                     return a < b;
+                   });
+  Build(lo, mid, depth + 1);
+  Build(mid + 1, hi, depth + 1);
+}
+
+NnResult KdTree::Nearest(const Point& q, Metric metric,
+                         int32_t exclude) const {
+  NnResult best;
+  best.distance = std::numeric_limits<double>::infinity();
+
+  // Explicit stack of (lo, hi, depth) ranges, nearer child first.
+  struct Frame {
+    int lo, hi, depth;
+  };
+  std::vector<Frame> stack;
+  if (!order_.empty()) stack.push_back({0, static_cast<int>(order_.size()), 0});
+  while (!stack.empty()) {
+    const Frame f = stack.back();
+    stack.pop_back();
+    if (f.hi <= f.lo) continue;
+    const int mid = (f.lo + f.hi) / 2;
+    const int axis = f.depth & 1;
+    const int32_t idx = order_[mid];
+    if (idx != exclude) {
+      const double d = Distance(q, points_[idx], metric);
+      if (d < best.distance ||
+          (d == best.distance && idx < best.index)) {
+        best.distance = d;
+        best.index = idx;
+      }
+    }
+    const double split = Coord(points_[idx], axis);
+    const bool go_left_first = Coord(q, axis) < split;
+    const Frame near = go_left_first ? Frame{f.lo, mid, f.depth + 1}
+                                     : Frame{mid + 1, f.hi, f.depth + 1};
+    const Frame far = go_left_first ? Frame{mid + 1, f.hi, f.depth + 1}
+                                    : Frame{f.lo, mid, f.depth + 1};
+    if (AxisGap(q, axis, split) <= best.distance) stack.push_back(far);
+    stack.push_back(near);
+  }
+  if (best.index < 0) best.distance = 0.0;
+  return best;
+}
+
+std::vector<NnResult> KdTree::KNearest(const Point& q, int k, Metric metric,
+                                       int32_t exclude) const {
+  std::vector<NnResult> heap;  // max-heap by (distance, index)
+  auto cmp = [](const NnResult& a, const NnResult& b) {
+    if (a.distance != b.distance) return a.distance < b.distance;
+    return a.index < b.index;
+  };
+  struct Frame {
+    int lo, hi, depth;
+  };
+  std::vector<Frame> stack;
+  if (!order_.empty()) stack.push_back({0, static_cast<int>(order_.size()), 0});
+  while (!stack.empty()) {
+    const Frame f = stack.back();
+    stack.pop_back();
+    if (f.hi <= f.lo) continue;
+    const int mid = (f.lo + f.hi) / 2;
+    const int axis = f.depth & 1;
+    const int32_t idx = order_[mid];
+    const double bound = static_cast<int>(heap.size()) < k
+                             ? std::numeric_limits<double>::infinity()
+                             : heap.front().distance;
+    if (idx != exclude) {
+      const double d = Distance(q, points_[idx], metric);
+      if (d < bound || static_cast<int>(heap.size()) < k) {
+        heap.push_back({idx, d});
+        std::push_heap(heap.begin(), heap.end(), cmp);
+        if (static_cast<int>(heap.size()) > k) {
+          std::pop_heap(heap.begin(), heap.end(), cmp);
+          heap.pop_back();
+        }
+      }
+    }
+    const double split = Coord(points_[idx], axis);
+    const bool go_left_first = Coord(q, axis) < split;
+    const Frame near = go_left_first ? Frame{f.lo, mid, f.depth + 1}
+                                     : Frame{mid + 1, f.hi, f.depth + 1};
+    const Frame far = go_left_first ? Frame{mid + 1, f.hi, f.depth + 1}
+                                    : Frame{f.lo, mid, f.depth + 1};
+    const double new_bound = static_cast<int>(heap.size()) < k
+                                 ? std::numeric_limits<double>::infinity()
+                                 : heap.front().distance;
+    if (AxisGap(q, axis, split) <= new_bound) stack.push_back(far);
+    stack.push_back(near);
+  }
+  std::sort_heap(heap.begin(), heap.end(), cmp);
+  return heap;
+}
+
+}  // namespace rnnhm

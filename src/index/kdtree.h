@@ -1,0 +1,54 @@
+// Static 2-d tree for exact nearest-neighbor queries under L1/L2/L-inf.
+//
+// Used to precompute NN-circles: the paper assumes NN-circles are given
+// ("there are efficient algorithms to compute and maintain the NN-circles
+// [12]"); this is that substrate. The tree is built once over the facility
+// set and queried once per client.
+#ifndef RNNHM_INDEX_KDTREE_H_
+#define RNNHM_INDEX_KDTREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/geometry.h"
+
+namespace rnnhm {
+
+/// Result of a nearest-neighbor query.
+struct NnResult {
+  int32_t index = -1;   ///< Index into the construction point vector.
+  double distance = 0;  ///< Distance under the query metric.
+};
+
+/// Balanced 2-d tree over a fixed point set. The tree is stored as a
+/// median-ordered permutation of the input (no pointers), halving memory
+/// and keeping traversal cache-friendly.
+class KdTree {
+ public:
+  /// Builds the tree; `points` is copied. O(n log n).
+  explicit KdTree(std::vector<Point> points);
+
+  /// Number of indexed points.
+  size_t size() const { return points_.size(); }
+
+  /// Exact nearest neighbor of q under `metric`. If `exclude` >= 0, the
+  /// point with that construction index is skipped (used for monochromatic
+  /// queries where a point must not be its own NN). Returns index -1 when
+  /// the tree is empty or only contains the excluded point.
+  NnResult Nearest(const Point& q, Metric metric, int32_t exclude = -1) const;
+
+  /// Exact k nearest neighbors, ascending by distance. Ties are broken by
+  /// construction index for determinism.
+  std::vector<NnResult> KNearest(const Point& q, int k, Metric metric,
+                                 int32_t exclude = -1) const;
+
+ private:
+  void Build(int lo, int hi, int depth);
+
+  std::vector<Point> points_;
+  std::vector<int32_t> order_;  // permutation; median of [lo,hi) at midpoint
+};
+
+}  // namespace rnnhm
+
+#endif  // RNNHM_INDEX_KDTREE_H_

@@ -1,0 +1,106 @@
+#include "index/quadtree.h"
+
+#include <algorithm>
+
+namespace rnnhm {
+
+QuadTree::QuadTree(const std::vector<Rect>& rects, int max_depth,
+                   int leaf_capacity)
+    : rects_(rects), max_depth_(max_depth), leaf_capacity_(leaf_capacity) {
+  Rect bounds = EmptyRect();
+  for (const Rect& r : rects_) bounds = bounds.Union(r);
+  if (rects_.empty()) return;
+  nodes_.push_back(Node{bounds, {}, {-1, -1, -1, -1}});
+  std::vector<int32_t> all(rects_.size());
+  for (size_t i = 0; i < all.size(); ++i) all[i] = static_cast<int32_t>(i);
+  Build(0, all, 0);
+}
+
+void QuadTree::Build(int node, const std::vector<int32_t>& candidates,
+                     int depth) {
+  if (static_cast<int>(candidates.size()) <= leaf_capacity_ ||
+      depth >= max_depth_) {
+    nodes_[node].items = candidates;
+    return;
+  }
+  const Rect bounds = nodes_[node].bounds;
+  const Point mid = bounds.Center();
+  const Rect quadrant[4] = {
+      Rect{bounds.lo, mid},
+      Rect{{mid.x, bounds.lo.y}, {bounds.hi.x, mid.y}},
+      Rect{{bounds.lo.x, mid.y}, {mid.x, bounds.hi.y}},
+      Rect{mid, bounds.hi},
+  };
+  std::vector<int32_t> per_child[4];
+  for (const int32_t id : candidates) {
+    const Rect& r = rects_[id];
+    int child = -1;
+    for (int q = 0; q < 4; ++q) {
+      if (quadrant[q].Contains(r)) {
+        child = q;
+        break;
+      }
+    }
+    if (child < 0) {
+      nodes_[node].items.push_back(id);  // straddles a split line
+    } else {
+      per_child[child].push_back(id);
+    }
+  }
+  // If nothing separated, subdividing is pointless.
+  if (nodes_[node].items.size() == candidates.size()) return;
+  for (int q = 0; q < 4; ++q) {
+    if (per_child[q].empty()) continue;
+    const int child = static_cast<int>(nodes_.size());
+    nodes_.push_back(Node{quadrant[q], {}, {-1, -1, -1, -1}});
+    nodes_[node].children[q] = child;
+    Build(child, per_child[q], depth + 1);
+  }
+}
+
+void QuadTree::Stab(const Point& p,
+                    const std::function<void(int32_t)>& visit) const {
+  if (nodes_.empty() || !nodes_[0].bounds.ContainsClosed(p)) return;
+  // Descend into every quadrant whose closed bounds contain p: normally a
+  // single path, but up to four when p lies exactly on split lines (each
+  // node is visited at most once, so no duplicates are reported).
+  std::vector<int> stack{0};
+  while (!stack.empty()) {
+    const Node& n = nodes_[stack.back()];
+    stack.pop_back();
+    for (const int32_t id : n.items) {
+      if (rects_[id].ContainsClosed(p)) visit(id);
+    }
+    for (int q = 0; q < 4; ++q) {
+      const int child = n.children[q];
+      if (child >= 0 && nodes_[child].bounds.ContainsClosed(p)) {
+        stack.push_back(child);
+      }
+    }
+  }
+}
+
+std::vector<int32_t> QuadTree::StabIds(const Point& p) const {
+  std::vector<int32_t> out;
+  Stab(p, [&out](int32_t id) { out.push_back(id); });
+  return out;
+}
+
+void QuadTree::Query(const Rect& window,
+                     const std::function<void(int32_t)>& visit) const {
+  if (nodes_.empty()) return;
+  std::vector<int> stack{0};
+  while (!stack.empty()) {
+    const Node& n = nodes_[stack.back()];
+    stack.pop_back();
+    if (!n.bounds.Intersects(window)) continue;
+    for (const int32_t id : n.items) {
+      if (rects_[id].Intersects(window)) visit(id);
+    }
+    for (int q = 0; q < 4; ++q) {
+      if (n.children[q] >= 0) stack.push_back(n.children[q]);
+    }
+  }
+}
+
+}  // namespace rnnhm

@@ -1,0 +1,59 @@
+// Region quadtree over axis-aligned rectangles.
+//
+// Third point-enclosure backend (Section IV notes "other spatial indexes
+// such as the R-tree may be used"): rectangles are stored at the deepest
+// node whose quadrant fully contains them; a stab query walks the single
+// root-to-leaf path of the query point and tests the rectangles stored on
+// it. Simple, allocation-light, and a useful comparison point against the
+// segment tree and the R-tree in the ablation benchmark.
+#ifndef RNNHM_INDEX_QUADTREE_H_
+#define RNNHM_INDEX_QUADTREE_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "geom/geometry.h"
+
+namespace rnnhm {
+
+/// Static quadtree built over a rectangle set.
+class QuadTree {
+ public:
+  /// Builds over `rects` with ids 0..n-1. `max_depth` bounds the tree;
+  /// `leaf_capacity` stops subdividing sparse quadrants.
+  explicit QuadTree(const std::vector<Rect>& rects, int max_depth = 16,
+                    int leaf_capacity = 8);
+
+  /// Calls visit(id) for every rectangle whose closed extent contains p.
+  void Stab(const Point& p, const std::function<void(int32_t)>& visit) const;
+
+  /// Ids of all rectangles containing p, unsorted.
+  std::vector<int32_t> StabIds(const Point& p) const;
+
+  /// Calls visit(id) for every rectangle intersecting `window`.
+  void Query(const Rect& window,
+             const std::function<void(int32_t)>& visit) const;
+
+  size_t size() const { return rects_.size(); }
+  /// Number of tree nodes (exposed for tests).
+  size_t NumNodes() const { return nodes_.size(); }
+
+ private:
+  struct Node {
+    Rect bounds;
+    std::vector<int32_t> items;   // rects pinned at this node
+    int32_t children[4] = {-1, -1, -1, -1};
+  };
+
+  void Build(int node, const std::vector<int32_t>& candidates, int depth);
+
+  std::vector<Rect> rects_;
+  std::vector<Node> nodes_;
+  int max_depth_;
+  int leaf_capacity_;
+};
+
+}  // namespace rnnhm
+
+#endif  // RNNHM_INDEX_QUADTREE_H_

@@ -1,0 +1,332 @@
+#include "index/rtree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <queue>
+
+#include "common/check.h"
+
+namespace rnnhm {
+
+int RTree::NewNode(bool leaf) {
+  nodes_.push_back(Node{});
+  nodes_.back().leaf = leaf;
+  return static_cast<int>(nodes_.size()) - 1;
+}
+
+void RTree::RecomputeBounds(int node) {
+  Node& n = nodes_[node];
+  Rect b = EmptyRect();
+  for (const Rect& r : n.rects) b = b.Union(r);
+  n.bounds = b;
+}
+
+void RTree::BulkLoad(const std::vector<Rect>& rects) {
+  std::vector<int32_t> ids(rects.size());
+  std::iota(ids.begin(), ids.end(), 0);
+  BulkLoad(rects, ids);
+}
+
+void RTree::BulkLoad(const std::vector<Rect>& rects,
+                     const std::vector<int32_t>& ids) {
+  RNNHM_CHECK(rects.size() == ids.size());
+  nodes_.clear();
+  root_ = -1;
+  size_ = rects.size();
+  if (rects.empty()) return;
+
+  // Sort entries by x-center into vertical slices, then by y-center within
+  // each slice (STR), packing kMaxEntries per node at each level.
+  std::vector<Rect> level_rects = rects;
+  std::vector<int32_t> level_ptrs = ids;
+  bool leaf = true;
+  while (true) {
+    const int root = BuildStrLevel(level_rects, level_ptrs, leaf);
+    if (root >= 0) {
+      root_ = root;
+      return;
+    }
+    // BuildStrLevel produced more than one node; the freshly created nodes
+    // occupy the tail of nodes_. Collect them for the next level.
+    std::vector<Rect> next_rects;
+    std::vector<int32_t> next_ptrs;
+    for (size_t i = last_level_begin_; i < nodes_.size(); ++i) {
+      next_rects.push_back(nodes_[i].bounds);
+      next_ptrs.push_back(static_cast<int32_t>(i));
+    }
+    level_rects = std::move(next_rects);
+    level_ptrs = std::move(next_ptrs);
+    leaf = false;
+  }
+}
+
+int RTree::BuildStrLevel(const std::vector<Rect>& rects,
+                         const std::vector<int32_t>& ptrs, bool leaf) {
+  const size_t n = rects.size();
+  last_level_begin_ = nodes_.size();
+  if (n <= static_cast<size_t>(kMaxEntries)) {
+    const int node = NewNode(leaf);
+    nodes_[node].rects = rects;
+    nodes_[node].children = ptrs;
+    RecomputeBounds(node);
+    return node;
+  }
+  std::vector<int32_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int32_t a, int32_t b) {
+    return rects[a].Center().x < rects[b].Center().x;
+  });
+  const size_t num_nodes = (n + kMaxEntries - 1) / kMaxEntries;
+  const size_t num_slices =
+      static_cast<size_t>(std::ceil(std::sqrt(static_cast<double>(num_nodes))));
+  const size_t slice_size =
+      (n + num_slices - 1) / num_slices;
+  for (size_t s = 0; s < num_slices; ++s) {
+    const size_t lo = s * slice_size;
+    if (lo >= n) break;
+    const size_t hi = std::min(n, lo + slice_size);
+    std::sort(order.begin() + lo, order.begin() + hi,
+              [&](int32_t a, int32_t b) {
+                return rects[a].Center().y < rects[b].Center().y;
+              });
+    for (size_t i = lo; i < hi; i += kMaxEntries) {
+      const int node = NewNode(leaf);
+      for (size_t j = i; j < std::min(hi, i + kMaxEntries); ++j) {
+        nodes_[node].rects.push_back(rects[order[j]]);
+        nodes_[node].children.push_back(ptrs[order[j]]);
+      }
+      RecomputeBounds(node);
+    }
+  }
+  return -1;  // multiple nodes created; caller builds the next level
+}
+
+void RTree::Insert(const Rect& rect, int32_t id) {
+  if (root_ < 0) {
+    root_ = NewNode(true);
+  }
+  // Descend to the leaf with minimum enlargement.
+  std::vector<int> path;  // nodes from root to chosen leaf
+  int node = root_;
+  for (;;) {
+    path.push_back(node);
+    Node& n = nodes_[node];
+    n.bounds = n.bounds.Union(rect);
+    if (n.leaf) break;
+    int best = 0;
+    double best_enl = std::numeric_limits<double>::infinity();
+    double best_area = std::numeric_limits<double>::infinity();
+    for (size_t i = 0; i < n.rects.size(); ++i) {
+      const double enl = n.rects[i].Enlargement(rect);
+      const double area = n.rects[i].Area();
+      if (enl < best_enl || (enl == best_enl && area < best_area)) {
+        best = static_cast<int>(i);
+        best_enl = enl;
+        best_area = area;
+      }
+    }
+    n.rects[best] = n.rects[best].Union(rect);
+    node = n.children[best];
+  }
+  nodes_[node].rects.push_back(rect);
+  nodes_[node].children.push_back(id);
+  ++size_;
+
+  // Split upward while overflowing.
+  for (int i = static_cast<int>(path.size()) - 1; i >= 0; --i) {
+    const int cur = path[i];
+    if (nodes_[cur].rects.size() <= static_cast<size_t>(kMaxEntries)) break;
+    SplitChild(i, path, cur);
+  }
+}
+
+void RTree::SplitChild(int depth, std::vector<int>& path, int node) {
+  // Guttman quadratic split of `node` into node + sibling.
+  Node& n = nodes_[node];
+  const size_t count = n.rects.size();
+  // Pick seeds: pair wasting the most area.
+  size_t seed_a = 0, seed_b = 1;
+  double worst = -std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < count; ++i) {
+    for (size_t j = i + 1; j < count; ++j) {
+      const double waste = n.rects[i].Union(n.rects[j]).Area() -
+                           n.rects[i].Area() - n.rects[j].Area();
+      if (waste > worst) {
+        worst = waste;
+        seed_a = i;
+        seed_b = j;
+      }
+    }
+  }
+  std::vector<Rect> rects = std::move(n.rects);
+  std::vector<int32_t> children = std::move(n.children);
+  n.rects.clear();
+  n.children.clear();
+  const int sibling = NewNode(nodes_[node].leaf);
+  // NewNode may have reallocated nodes_; re-reference.
+  Node& a = nodes_[node];
+  Node& b = nodes_[sibling];
+  std::vector<bool> assigned(count, false);
+  a.rects.push_back(rects[seed_a]);
+  a.children.push_back(children[seed_a]);
+  b.rects.push_back(rects[seed_b]);
+  b.children.push_back(children[seed_b]);
+  assigned[seed_a] = assigned[seed_b] = true;
+  Rect ba = rects[seed_a];
+  Rect bb = rects[seed_b];
+  size_t remaining = count - 2;
+  while (remaining > 0) {
+    // Force assignment if one group must take all remaining entries.
+    if (a.rects.size() + remaining <= kMinEntries ||
+        b.rects.size() >= count - kMinEntries) {
+      for (size_t i = 0; i < count; ++i) {
+        if (!assigned[i]) {
+          a.rects.push_back(rects[i]);
+          a.children.push_back(children[i]);
+          ba = ba.Union(rects[i]);
+          assigned[i] = true;
+        }
+      }
+      remaining = 0;
+      break;
+    }
+    if (b.rects.size() + remaining <= kMinEntries ||
+        a.rects.size() >= count - kMinEntries) {
+      for (size_t i = 0; i < count; ++i) {
+        if (!assigned[i]) {
+          b.rects.push_back(rects[i]);
+          b.children.push_back(children[i]);
+          bb = bb.Union(rects[i]);
+          assigned[i] = true;
+        }
+      }
+      remaining = 0;
+      break;
+    }
+    // Pick the entry with the largest preference difference.
+    size_t pick = 0;
+    double best_diff = -1.0;
+    double d1_pick = 0, d2_pick = 0;
+    for (size_t i = 0; i < count; ++i) {
+      if (assigned[i]) continue;
+      const double d1 = ba.Enlargement(rects[i]);
+      const double d2 = bb.Enlargement(rects[i]);
+      const double diff = std::fabs(d1 - d2);
+      if (diff > best_diff) {
+        best_diff = diff;
+        pick = i;
+        d1_pick = d1;
+        d2_pick = d2;
+      }
+    }
+    assigned[pick] = true;
+    --remaining;
+    const bool to_a =
+        d1_pick < d2_pick ||
+        (d1_pick == d2_pick && a.rects.size() <= b.rects.size());
+    if (to_a) {
+      a.rects.push_back(rects[pick]);
+      a.children.push_back(children[pick]);
+      ba = ba.Union(rects[pick]);
+    } else {
+      b.rects.push_back(rects[pick]);
+      b.children.push_back(children[pick]);
+      bb = bb.Union(rects[pick]);
+    }
+  }
+  RecomputeBounds(node);
+  RecomputeBounds(sibling);
+
+  if (depth == 0) {
+    // Node was the root: grow the tree.
+    const int new_root = NewNode(false);
+    nodes_[new_root].rects = {nodes_[node].bounds, nodes_[sibling].bounds};
+    nodes_[new_root].children = {node, sibling};
+    RecomputeBounds(new_root);
+    root_ = new_root;
+  } else {
+    const int parent = path[depth - 1];
+    Node& p = nodes_[parent];
+    for (size_t i = 0; i < p.children.size(); ++i) {
+      if (p.children[i] == node) {
+        p.rects[i] = nodes_[node].bounds;
+        break;
+      }
+    }
+    p.rects.push_back(nodes_[sibling].bounds);
+    p.children.push_back(sibling);
+  }
+}
+
+void RTree::Query(const Rect& window,
+                  const std::function<void(int32_t)>& visit) const {
+  if (root_ < 0) return;
+  std::vector<int> stack{root_};
+  while (!stack.empty()) {
+    const Node& n = nodes_[stack.back()];
+    stack.pop_back();
+    for (size_t i = 0; i < n.rects.size(); ++i) {
+      if (!n.rects[i].Intersects(window)) continue;
+      if (n.leaf) {
+        visit(n.children[i]);
+      } else {
+        stack.push_back(n.children[i]);
+      }
+    }
+  }
+}
+
+void RTree::Stab(const Point& p,
+                 const std::function<void(int32_t)>& visit) const {
+  Query(Rect{p, p}, visit);
+}
+
+std::vector<int32_t> RTree::StabIds(const Point& p) const {
+  std::vector<int32_t> out;
+  Stab(p, [&out](int32_t id) { out.push_back(id); });
+  return out;
+}
+
+RTree::NnEntry RTree::NearestRect(const Point& p) const {
+  NnEntry best;
+  if (root_ < 0) return best;
+  best.distance = std::numeric_limits<double>::infinity();
+  using QueueEntry = std::pair<double, int32_t>;  // (min-dist, node)
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>> pq;
+  pq.push({nodes_[root_].bounds.MinDistanceL2(p), root_});
+  while (!pq.empty()) {
+    const auto [dist, node] = pq.top();
+    pq.pop();
+    if (dist > best.distance) break;
+    const Node& n = nodes_[node];
+    for (size_t i = 0; i < n.rects.size(); ++i) {
+      const double d = n.rects[i].MinDistanceL2(p);
+      if (d > best.distance) continue;
+      if (n.leaf) {
+        if (d < best.distance ||
+            (d == best.distance && n.children[i] < best.id)) {
+          best.distance = d;
+          best.id = n.children[i];
+        }
+      } else {
+        pq.push({d, n.children[i]});
+      }
+    }
+  }
+  return best;
+}
+
+int RTree::Height() const {
+  if (root_ < 0) return 0;
+  int h = 1;
+  int node = root_;
+  while (!nodes_[node].leaf) {
+    node = nodes_[node].children[0];
+    ++h;
+  }
+  return h;
+}
+
+}  // namespace rnnhm

@@ -1,0 +1,88 @@
+// R-tree over axis-aligned rectangles.
+//
+// General-purpose spatial substrate: supports STR bulk loading, dynamic
+// insertion (quadratic split), window queries, point-enclosure queries
+// (stabbing), and best-first nearest-neighbor over rectangle min-distance.
+// The baseline algorithm of Section IV can run against either this index or
+// the segment-tree EnclosureIndex; benchmarks compare both.
+#ifndef RNNHM_INDEX_RTREE_H_
+#define RNNHM_INDEX_RTREE_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "geom/geometry.h"
+
+namespace rnnhm {
+
+/// Dynamic R-tree storing (rect, id) entries.
+class RTree {
+ public:
+  /// Maximum node fan-out.
+  static constexpr int kMaxEntries = 16;
+  /// Minimum fill after split.
+  static constexpr int kMinEntries = 6;
+
+  /// Result of NearestRect.
+  struct NnEntry {
+    int32_t id = -1;
+    double distance = 0.0;
+  };
+
+  RTree() = default;
+
+  /// STR (Sort-Tile-Recursive) bulk load. Replaces current contents.
+  void BulkLoad(const std::vector<Rect>& rects,
+                const std::vector<int32_t>& ids);
+
+  /// Convenience bulk load with ids 0..n-1.
+  void BulkLoad(const std::vector<Rect>& rects);
+
+  /// Inserts one entry (Guttman quadratic split).
+  void Insert(const Rect& rect, int32_t id);
+
+  /// Number of stored entries.
+  size_t size() const { return size_; }
+
+  /// Calls visit(id) for every entry whose rectangle intersects `window`.
+  void Query(const Rect& window,
+             const std::function<void(int32_t)>& visit) const;
+
+  /// Calls visit(id) for every entry whose closed rectangle contains p.
+  void Stab(const Point& p, const std::function<void(int32_t)>& visit) const;
+
+  /// Ids of all entries whose rectangle contains p (convenience wrapper).
+  std::vector<int32_t> StabIds(const Point& p) const;
+
+  /// Best-first nearest entry to p by L2 min-distance between p and the
+  /// entry rectangle. Returns id -1 when empty.
+  NnEntry NearestRect(const Point& p) const;
+
+  /// Height of the tree (0 when empty); exposed for tests.
+  int Height() const;
+
+ private:
+  struct Node {
+    bool leaf = true;
+    std::vector<Rect> rects;
+    std::vector<int32_t> children;  // node indices (internal) or ids (leaf)
+    Rect bounds = EmptyRect();
+  };
+
+  int NewNode(bool leaf);
+  void RecomputeBounds(int node);
+  void SplitChild(int parent_index_in_path, std::vector<int>& path,
+                  int node);
+  int BuildStrLevel(const std::vector<Rect>& rects,
+                    const std::vector<int32_t>& ptrs, bool leaf);
+
+  std::vector<Node> nodes_;
+  int root_ = -1;
+  size_t size_ = 0;
+  size_t last_level_begin_ = 0;  // first node index of the level being built
+};
+
+}  // namespace rnnhm
+
+#endif  // RNNHM_INDEX_RTREE_H_

@@ -1,0 +1,205 @@
+// Deterministic skip list with stable node handles.
+//
+// CREST's line status (Section V-A) needs an ordered container supporting
+//   * O(log n) insertion by key,
+//   * O(1) erasure given a handle to the element (each NN-circle remembers
+//     the handles of its two horizontal sides),
+//   * bidirectional iteration from any element (walking changed intervals),
+//   * O(log n) search for the first element >= a key.
+// The paper suggests "a balanced search tree in which the data are stored in
+// doubly linked leaf nodes (e.g. a B+-tree)"; a skip list with a doubly
+// linked level-0 provides the same interface bounds and is simpler to make
+// handle-stable. Tower heights are drawn from a deterministic SplitMix64
+// stream so runs are reproducible.
+#ifndef RNNHM_INDEX_SKIPLIST_H_
+#define RNNHM_INDEX_SKIPLIST_H_
+
+#include <array>
+#include <cstdint>
+#include <functional>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace rnnhm {
+
+/// Ordered multiset keyed by Key with attached Value payload.
+/// Equal keys are allowed; among equal keys, newly inserted elements are
+/// placed *after* existing ones (stable insertion order), which matches the
+/// paper's "ties are broken arbitrarily" and keeps walks deterministic.
+template <typename Key, typename Value, typename Less = std::less<Key>>
+class SkipList {
+ public:
+  struct Node {
+    Key key;
+    Value value;
+    Node* prev = nullptr;        // level-0 doubly linked list
+    int height = 1;
+    Node* next[1];               // flexible array: next[0..height-1]
+  };
+
+  static constexpr int kMaxHeight = 24;
+
+  explicit SkipList(uint64_t seed = 0xdb15ebed0c57b0fdULL, Less less = Less())
+      : less_(less), rng_state_(seed) {
+    head_ = AllocateNode(kMaxHeight);
+    for (int i = 0; i < kMaxHeight; ++i) head_->next[i] = nullptr;
+    head_->prev = nullptr;
+  }
+
+  SkipList(const SkipList&) = delete;
+  SkipList& operator=(const SkipList&) = delete;
+
+  ~SkipList() {
+    Node* n = head_->next[0];
+    while (n != nullptr) {
+      Node* next = n->next[0];
+      FreeNode(n);
+      n = next;
+    }
+    FreeNode(head_);
+  }
+
+  /// Number of stored elements.
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// First element in key order, or nullptr if empty.
+  Node* First() const { return head_->next[0]; }
+  /// Last element in key order, or nullptr if empty.
+  Node* Last() const { return last_; }
+
+  /// Next element after n in key order (nullptr at the end).
+  static Node* Next(Node* n) { return n->next[0]; }
+  /// Previous element before n (nullptr at the beginning).
+  Node* Prev(Node* n) const {
+    Node* p = n->prev;
+    return p == head_ ? nullptr : p;
+  }
+
+  /// Inserts (key, value) after all existing elements with equal key.
+  /// Returns a stable handle valid until Erase.
+  Node* Insert(const Key& key, const Value& value) {
+    Node* update[kMaxHeight];
+    Node* x = head_;
+    for (int level = kMaxHeight - 1; level >= 0; --level) {
+      // Advance while next key <= key (ties insert after equals).
+      while (x->next[level] != nullptr && !less_(key, x->next[level]->key)) {
+        x = x->next[level];
+      }
+      update[level] = x;
+    }
+    const int height = RandomHeight();
+    Node* n = AllocateNode(height);
+    n->key = key;
+    n->value = value;
+    n->height = height;
+    for (int i = 0; i < height; ++i) {
+      n->next[i] = update[i]->next[i];
+      update[i]->next[i] = n;
+    }
+    n->prev = update[0];
+    if (n->next[0] != nullptr) {
+      n->next[0]->prev = n;
+    } else {
+      last_ = n;
+    }
+    ++size_;
+    return n;
+  }
+
+  /// Removes the element behind handle n. The handle becomes invalid.
+  void Erase(Node* n) {
+    RNNHM_DCHECK(n != nullptr && n != head_);
+    // Locate predecessors at every level of n's tower. Equal keys need
+    // care: the descending cursor x must never pass a node with key equal
+    // to n's (it might overshoot n at a level where n is not linked), so x
+    // advances only while strictly less; a per-level cursor y then walks
+    // the equal-key run to find n's true predecessor at that level.
+    Node* update[kMaxHeight];
+    Node* x = head_;
+    for (int level = kMaxHeight - 1; level >= 0; --level) {
+      while (x->next[level] != nullptr && less_(x->next[level]->key, n->key)) {
+        x = x->next[level];
+      }
+      Node* y = x;
+      while (y->next[level] != nullptr && y->next[level] != n &&
+             !less_(n->key, y->next[level]->key)) {
+        y = y->next[level];
+      }
+      update[level] = y;
+    }
+    // For levels above n's height, update[i] may not precede n; the
+    // identity check below makes those no-ops.
+    for (int i = 0; i < n->height; ++i) {
+      if (update[i]->next[i] == n) {
+        update[i]->next[i] = n->next[i];
+      }
+    }
+    if (n->next[0] != nullptr) {
+      n->next[0]->prev = n->prev;
+    } else {
+      last_ = (n->prev == head_) ? nullptr : n->prev;
+    }
+    --size_;
+    FreeNode(n);
+  }
+
+  /// First element with key >= k (lower bound), or nullptr.
+  Node* LowerBound(const Key& k) const {
+    Node* x = head_;
+    for (int level = kMaxHeight - 1; level >= 0; --level) {
+      while (x->next[level] != nullptr && less_(x->next[level]->key, k)) {
+        x = x->next[level];
+      }
+    }
+    return x->next[0];
+  }
+
+  /// First element with key > k (upper bound), or nullptr.
+  Node* UpperBound(const Key& k) const {
+    Node* x = head_;
+    for (int level = kMaxHeight - 1; level >= 0; --level) {
+      while (x->next[level] != nullptr && !less_(k, x->next[level]->key)) {
+        x = x->next[level];
+      }
+    }
+    return x->next[0];
+  }
+
+ private:
+  static Node* AllocateNode(int height) {
+    const size_t bytes = sizeof(Node) + (height - 1) * sizeof(Node*);
+    Node* n = static_cast<Node*>(::operator new(bytes));
+    new (n) Node();
+    n->height = height;
+    return n;
+  }
+
+  static void FreeNode(Node* n) {
+    n->~Node();
+    ::operator delete(n);
+  }
+
+  int RandomHeight() {
+    // Geometric(1/4) capped at kMaxHeight, from a deterministic stream.
+    int h = 1;
+    uint64_t bits = SplitMix64(rng_state_);
+    while (h < kMaxHeight && (bits & 3) == 0) {
+      ++h;
+      bits >>= 2;
+      if (bits == 0) bits = SplitMix64(rng_state_);
+    }
+    return h;
+  }
+
+  Less less_;
+  uint64_t rng_state_;
+  Node* head_ = nullptr;
+  Node* last_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace rnnhm
+
+#endif  // RNNHM_INDEX_SKIPLIST_H_

@@ -1,0 +1,53 @@
+#include "nn/nn_circle_builder.h"
+
+#include "common/check.h"
+#include "index/kdtree.h"
+
+namespace rnnhm {
+
+std::vector<NnCircle> BuildNnCircles(const std::vector<Point>& clients,
+                                     const std::vector<Point>& facilities,
+                                     Metric metric) {
+  RNNHM_CHECK_MSG(!facilities.empty(),
+                  "bichromatic NN-circles need at least one facility");
+  KdTree tree(facilities);
+  std::vector<NnCircle> out;
+  out.reserve(clients.size());
+  for (size_t i = 0; i < clients.size(); ++i) {
+    const NnResult nn = tree.Nearest(clients[i], metric);
+    RNNHM_DCHECK(nn.index >= 0);
+    out.push_back(
+        NnCircle{clients[i], nn.distance, static_cast<int32_t>(i)});
+  }
+  return out;
+}
+
+std::vector<NnCircle> BuildMonochromaticNnCircles(
+    const std::vector<Point>& points, Metric metric) {
+  RNNHM_CHECK_MSG(points.size() >= 2,
+                  "monochromatic NN-circles need at least two points");
+  KdTree tree(points);
+  std::vector<NnCircle> out;
+  out.reserve(points.size());
+  for (size_t i = 0; i < points.size(); ++i) {
+    const NnResult nn =
+        tree.Nearest(points[i], metric, static_cast<int32_t>(i));
+    RNNHM_DCHECK(nn.index >= 0);
+    out.push_back(
+        NnCircle{points[i], nn.distance, static_cast<int32_t>(i)});
+  }
+  return out;
+}
+
+std::vector<NnCircle> RotateCirclesToLInf(const std::vector<NnCircle>& in) {
+  constexpr double kInvSqrt2 = 0.7071067811865475244;
+  std::vector<NnCircle> out;
+  out.reserve(in.size());
+  for (const NnCircle& c : in) {
+    out.push_back(
+        NnCircle{RotateToLInf(c.center), c.radius * kInvSqrt2, c.client});
+  }
+  return out;
+}
+
+}  // namespace rnnhm

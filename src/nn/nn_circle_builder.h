@@ -1,0 +1,34 @@
+// NN-circle computation (Section III-A).
+//
+// For every client o in O, the NN-circle C(o) is centered at o with radius
+// equal to the distance from o to its nearest facility in F (bichromatic)
+// or to its nearest other client in O (monochromatic, O = F). The paper
+// assumes this precomputation as given; we provide it via the KdTree.
+#ifndef RNNHM_NN_NN_CIRCLE_BUILDER_H_
+#define RNNHM_NN_NN_CIRCLE_BUILDER_H_
+
+#include <vector>
+
+#include "geom/geometry.h"
+
+namespace rnnhm {
+
+/// Builds bichromatic NN-circles: one per client, radius = distance to the
+/// nearest facility under `metric`. Requires at least one facility.
+std::vector<NnCircle> BuildNnCircles(const std::vector<Point>& clients,
+                                     const std::vector<Point>& facilities,
+                                     Metric metric);
+
+/// Builds monochromatic NN-circles over a single set (each point's NN is
+/// its nearest *other* point). Requires at least two points.
+std::vector<NnCircle> BuildMonochromaticNnCircles(
+    const std::vector<Point>& points, Metric metric);
+
+/// Rotates a set of L1 NN-circles (diamonds) into the L-infinity frame
+/// (squares), scaling radii by 1/sqrt(2) (Section VII-B). Input circles
+/// must have been built with Metric::kL1.
+std::vector<NnCircle> RotateCirclesToLInf(const std::vector<NnCircle>& in);
+
+}  // namespace rnnhm
+
+#endif  // RNNHM_NN_NN_CIRCLE_BUILDER_H_

@@ -1,0 +1,100 @@
+#include "query/heatmap_session.h"
+
+#include "common/check.h"
+
+namespace rnnhm {
+
+HeatmapSession::HeatmapSession(std::vector<Point> clients,
+                               std::vector<Point> facilities, Metric metric)
+    : metric_(metric),
+      clients_(std::move(clients)),
+      facilities_(std::move(facilities)) {
+  RNNHM_CHECK_MSG(!facilities_.empty(),
+                  "a session needs at least one facility");
+  circles_.reserve(clients_.size());
+  client_nn_.assign(clients_.size(), -1);
+  EnsureFacilityTree();
+  for (size_t i = 0; i < clients_.size(); ++i) {
+    circles_.push_back(NnCircle{clients_[i], 0.0, static_cast<int32_t>(i)});
+    RequeryClient(static_cast<int32_t>(i));
+  }
+}
+
+void HeatmapSession::EnsureFacilityTree() {
+  if (facility_tree_ == nullptr) {
+    facility_tree_ = std::make_unique<KdTree>(facilities_);
+  }
+}
+
+void HeatmapSession::RequeryClient(int32_t id) {
+  EnsureFacilityTree();
+  const NnResult nn = facility_tree_->Nearest(clients_[id], metric_);
+  RNNHM_DCHECK(nn.index >= 0);
+  circles_[id] = NnCircle{clients_[id], nn.distance, id};
+  client_nn_[id] = nn.index;
+}
+
+void HeatmapSession::MoveClient(int32_t id, const Point& to) {
+  RNNHM_CHECK(id >= 0 && id < static_cast<int32_t>(clients_.size()));
+  clients_[id] = to;
+  RequeryClient(id);
+}
+
+int32_t HeatmapSession::AddClient(const Point& at) {
+  const int32_t id = static_cast<int32_t>(clients_.size());
+  clients_.push_back(at);
+  circles_.push_back(NnCircle{at, 0.0, id});
+  client_nn_.push_back(-1);
+  RequeryClient(id);
+  return id;
+}
+
+void HeatmapSession::AddFacility(const Point& at) {
+  const int32_t id = static_cast<int32_t>(facilities_.size());
+  facilities_.push_back(at);
+  facility_tree_.reset();  // rebuilt on next NN query
+  // The new facility shrinks exactly the circles that now reach it first
+  // (ties keep the incumbent, matching the k-d tree's smallest-index rule).
+  for (size_t i = 0; i < clients_.size(); ++i) {
+    const double d = Distance(clients_[i], at, metric_);
+    if (d < circles_[i].radius) {
+      circles_[i].radius = d;
+      client_nn_[i] = id;
+    }
+  }
+}
+
+void HeatmapSession::RemoveFacility(int32_t id) {
+  RNNHM_CHECK(id >= 0 && id < static_cast<int32_t>(facilities_.size()));
+  RNNHM_CHECK_MSG(facilities_.size() >= 2,
+                  "cannot remove the last facility");
+  const int32_t last = static_cast<int32_t>(facilities_.size()) - 1;
+  facilities_[id] = facilities_[last];
+  facilities_.pop_back();
+  facility_tree_.reset();
+  for (size_t i = 0; i < clients_.size(); ++i) {
+    if (client_nn_[i] == id) {
+      RequeryClient(static_cast<int32_t>(i));
+    } else if (client_nn_[i] == last) {
+      client_nn_[i] = id;  // the swapped facility kept its location
+    }
+  }
+}
+
+void HeatmapSession::Rebuild(const InfluenceMeasure& measure,
+                             RegionLabelSink* sink,
+                             const CrestOptions& options) const {
+  switch (metric_) {
+    case Metric::kLInf:
+      RunCrest(circles_, measure, sink, options);
+      break;
+    case Metric::kL1:
+      RunCrestL1(circles_, measure, sink, options);
+      break;
+    case Metric::kL2:
+      RunCrestL2(circles_, measure, sink);
+      break;
+  }
+}
+
+}  // namespace rnnhm

@@ -1,0 +1,81 @@
+// Dynamic workload sessions (the paper's motivating taxi-sharing setting:
+// "the heat map may change as clients move around and need to be
+// recomputed frequently").
+//
+// A HeatmapSession owns a mutable client/facility workload and keeps the
+// NN-circles incrementally correct:
+//   * moving or adding a client recomputes only that client's circle
+//     (one k-d tree query);
+//   * adding a facility shrinks exactly the circles it now serves
+//     (no index rebuild — a linear radius check);
+//   * removing a facility re-queries only the clients it was serving
+//     (facility tree rebuilt lazily).
+// Rebuild() then runs the sweep over the current circles, which is where
+// an efficient RNNHM algorithm matters — CREST's O(n log n + r lambda)
+// makes per-tick recomputation feasible.
+#ifndef RNNHM_QUERY_HEATMAP_SESSION_H_
+#define RNNHM_QUERY_HEATMAP_SESSION_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/crest.h"
+#include "core/crest_l2.h"
+#include "core/influence_measure.h"
+#include "core/label_sink.h"
+#include "geom/geometry.h"
+#include "index/kdtree.h"
+
+namespace rnnhm {
+
+/// Mutable bichromatic workload with incrementally maintained NN-circles.
+class HeatmapSession {
+ public:
+  /// Starts a session; requires at least one facility.
+  HeatmapSession(std::vector<Point> clients, std::vector<Point> facilities,
+                 Metric metric);
+
+  size_t num_clients() const { return clients_.size(); }
+  size_t num_facilities() const { return facilities_.size(); }
+  Metric metric() const { return metric_; }
+
+  /// Moves client `id`; O(log |F|).
+  void MoveClient(int32_t id, const Point& to);
+
+  /// Adds a client; returns its id. O(log |F|).
+  int32_t AddClient(const Point& at);
+
+  /// Adds a facility; O(|O|) radius shrink pass, no tree rebuild.
+  void AddFacility(const Point& at);
+
+  /// Removes facility `id` (swap-removes; the last facility takes its id).
+  /// Requires at least two facilities. Rebuilds the facility tree and
+  /// re-queries only the clients that were served by the removed facility.
+  void RemoveFacility(int32_t id);
+
+  /// The current NN-circles (metric-specific radii).
+  const std::vector<NnCircle>& circles() const { return circles_; }
+  const std::vector<Point>& clients() const { return clients_; }
+  const std::vector<Point>& facilities() const { return facilities_; }
+
+  /// Runs the sweep appropriate for the session metric over the current
+  /// circles (L1 is swept in the rotated frame, as RunCrestL1).
+  void Rebuild(const InfluenceMeasure& measure, RegionLabelSink* sink,
+               const CrestOptions& options = {}) const;
+
+ private:
+  void EnsureFacilityTree();
+  void RequeryClient(int32_t id);
+
+  Metric metric_;
+  std::vector<Point> clients_;
+  std::vector<Point> facilities_;
+  std::vector<NnCircle> circles_;
+  std::vector<int32_t> client_nn_;  // facility currently nearest per client
+  std::unique_ptr<KdTree> facility_tree_;  // rebuilt lazily
+};
+
+}  // namespace rnnhm
+
+#endif  // RNNHM_QUERY_HEATMAP_SESSION_H_

@@ -1,0 +1,51 @@
+#include "query/rnn_query.h"
+
+#include <algorithm>
+
+#include "nn/nn_circle_builder.h"
+
+namespace rnnhm {
+
+RnnQueryEngine::RnnQueryEngine(const std::vector<Point>& clients,
+                               const std::vector<Point>& facilities,
+                               Metric metric)
+    : metric_(metric),
+      circles_(BuildNnCircles(clients, facilities, metric)) {
+  BuildIndex();
+}
+
+RnnQueryEngine::RnnQueryEngine(const std::vector<Point>& points,
+                               Metric metric)
+    : metric_(metric),
+      circles_(BuildMonochromaticNnCircles(points, metric)) {
+  BuildIndex();
+}
+
+void RnnQueryEngine::BuildIndex() {
+  std::vector<Rect> boxes;
+  boxes.reserve(circles_.size());
+  for (const NnCircle& c : circles_) boxes.push_back(c.Bounds());
+  index_ = std::make_unique<EnclosureIndex>(boxes);
+}
+
+std::vector<int32_t> RnnQueryEngine::Query(const Point& q) const {
+  std::vector<int32_t> out;
+  index_->Stab(q, [&](int32_t id) {
+    // The box stab is exact for L-infinity; L1/L2 need the metric filter.
+    if (circles_[id].Contains(q, metric_)) {
+      out.push_back(circles_[id].client);
+    }
+  });
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+size_t RnnQueryEngine::QueryCount(const Point& q) const {
+  size_t count = 0;
+  index_->Stab(q, [&](int32_t id) {
+    count += circles_[id].Contains(q, metric_);
+  });
+  return count;
+}
+
+}  // namespace rnnhm

@@ -1,0 +1,54 @@
+// Online single-point RNN queries (the classic operation of Korn &
+// Muthukrishnan [12], cf. Section II).
+//
+// The heat map answers "what is the influence *everywhere*"; this engine
+// answers the classic point query "what is R(q) for this q" in
+// O(log n + |R(q)|) after O(n log n) preprocessing: NN-circles are
+// precomputed once and indexed for point enclosure; a query stabs the
+// bounding boxes and filters by the exact metric. Useful on its own and as
+// the online companion to a precomputed heat map.
+#ifndef RNNHM_QUERY_RNN_QUERY_H_
+#define RNNHM_QUERY_RNN_QUERY_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "geom/geometry.h"
+#include "index/enclosure_index.h"
+
+namespace rnnhm {
+
+/// Immutable bichromatic / monochromatic RNN query engine.
+class RnnQueryEngine {
+ public:
+  /// Bichromatic: clients find their NN among `facilities`.
+  RnnQueryEngine(const std::vector<Point>& clients,
+                 const std::vector<Point>& facilities, Metric metric);
+
+  /// Monochromatic: every point's NN is its nearest other point.
+  RnnQueryEngine(const std::vector<Point>& points, Metric metric);
+
+  /// R(q): ids of the clients that would adopt q as their nearest
+  /// facility. Sorted ascending. O(log n + answer) plus metric filtering.
+  std::vector<int32_t> Query(const Point& q) const;
+
+  /// Influence |R(q)| without materializing the set.
+  size_t QueryCount(const Point& q) const;
+
+  /// The precomputed NN-circles (also usable as sweep input).
+  const std::vector<NnCircle>& circles() const { return circles_; }
+
+  Metric metric() const { return metric_; }
+
+ private:
+  void BuildIndex();
+
+  Metric metric_;
+  std::vector<NnCircle> circles_;
+  std::unique_ptr<EnclosureIndex> index_;
+};
+
+}  // namespace rnnhm
+
+#endif  // RNNHM_QUERY_RNN_QUERY_H_

@@ -1,0 +1,43 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "heatmap/ascii.h"
+#include "heatmap/heatmap.h"
+
+namespace rnnhm {
+namespace {
+
+TEST(AsciiTest, DimensionsAndOrientation) {
+  HeatmapGrid grid(10, 10, Rect{{0, 0}, {1, 1}});
+  // Hot pixel near the top-right corner.
+  grid.At(9, 9) = 100.0;
+  const std::string art = RenderAscii(grid, 20, 5);
+  // 5 rows of 20 chars plus newlines.
+  ASSERT_EQ(art.size(), 5u * 21);
+  // The first (top) row must contain the hottest shade at its right end.
+  const std::string top = art.substr(0, 20);
+  EXPECT_EQ(top.back(), '@');
+  // The bottom row stays cold.
+  const std::string bottom = art.substr(4 * 21, 20);
+  EXPECT_EQ(bottom.find('@'), std::string::npos);
+}
+
+TEST(AsciiTest, UniformGridRendersUniformly) {
+  HeatmapGrid grid(4, 4, Rect{{0, 0}, {1, 1}}, 2.0);
+  const std::string art = RenderAscii(grid, 8, 3);
+  for (const char ch : art) {
+    if (ch != '\n') EXPECT_EQ(ch, '@');  // everything at max
+  }
+}
+
+TEST(AsciiTest, AllZeroGridIsBlank) {
+  HeatmapGrid grid(4, 4, Rect{{0, 0}, {1, 1}}, 0.0);
+  const std::string art = RenderAscii(grid, 8, 3);
+  for (const char ch : art) {
+    if (ch != '\n') EXPECT_EQ(ch, ' ');
+  }
+}
+
+}  // namespace
+}  // namespace rnnhm

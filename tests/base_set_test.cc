@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/base_set.h"
+
+namespace rnnhm {
+namespace {
+
+std::vector<int32_t> Sorted(const BaseSet& set) {
+  std::vector<int32_t> v;
+  set.CopyTo(v);
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+TEST(BaseSetTest, StartsEmpty) {
+  BaseSet set(10);
+  EXPECT_TRUE(set.empty());
+  EXPECT_EQ(set.size(), 0);
+  for (int i = 0; i < 10; ++i) EXPECT_FALSE(set.Contains(i));
+}
+
+TEST(BaseSetTest, AddRemoveContains) {
+  BaseSet set(5);
+  set.Add(3);
+  set.Add(1);
+  EXPECT_TRUE(set.Contains(3));
+  EXPECT_TRUE(set.Contains(1));
+  EXPECT_FALSE(set.Contains(0));
+  EXPECT_EQ(set.size(), 2);
+  set.Remove(3);
+  EXPECT_FALSE(set.Contains(3));
+  EXPECT_EQ(Sorted(set), (std::vector<int32_t>{1}));
+}
+
+TEST(BaseSetTest, RemoveHeadMiddleTail) {
+  BaseSet set(8);
+  for (int i = 0; i < 5; ++i) set.Add(i);
+  set.Remove(4);  // list head (most recently added)
+  set.Remove(2);  // middle
+  set.Remove(0);  // tail
+  EXPECT_EQ(Sorted(set), (std::vector<int32_t>{1, 3}));
+}
+
+TEST(BaseSetTest, ClearAndReuse) {
+  BaseSet set(6);
+  for (int i = 0; i < 6; ++i) set.Add(i);
+  set.Clear();
+  EXPECT_TRUE(set.empty());
+  for (int i = 0; i < 6; ++i) EXPECT_FALSE(set.Contains(i));
+  set.Add(2);
+  EXPECT_EQ(Sorted(set), (std::vector<int32_t>{2}));
+}
+
+TEST(BaseSetTest, AssignReplacesContents) {
+  BaseSet set(10);
+  set.Add(9);
+  const std::vector<int32_t> ids{1, 4, 7};
+  set.Assign(ids);
+  EXPECT_EQ(Sorted(set), ids);
+  EXPECT_FALSE(set.Contains(9));
+}
+
+TEST(BaseSetTest, CopyToPreservesAllElements) {
+  BaseSet set(100);
+  std::set<int32_t> want;
+  Rng rng(50);
+  for (int i = 0; i < 60; ++i) {
+    const int32_t id = static_cast<int32_t>(rng.NextBounded(100));
+    if (!set.Contains(id)) {
+      set.Add(id);
+      want.insert(id);
+    }
+  }
+  const std::vector<int32_t> got = Sorted(set);
+  EXPECT_EQ(got, std::vector<int32_t>(want.begin(), want.end()));
+}
+
+TEST(BaseSetTest, RandomizedAgainstStdSet) {
+  BaseSet set(256);
+  std::set<int32_t> reference;
+  Rng rng(51);
+  for (int step = 0; step < 50000; ++step) {
+    const int32_t id = static_cast<int32_t>(rng.NextBounded(256));
+    if (reference.count(id)) {
+      set.Remove(id);
+      reference.erase(id);
+    } else {
+      set.Add(id);
+      reference.insert(id);
+    }
+    ASSERT_EQ(set.size(), static_cast<int32_t>(reference.size()));
+    ASSERT_EQ(set.Contains(id), reference.count(id) > 0);
+  }
+  EXPECT_EQ(Sorted(set),
+            std::vector<int32_t>(reference.begin(), reference.end()));
+}
+
+}  // namespace
+}  // namespace rnnhm

@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/baseline.h"
+#include "core/brute_force.h"
+#include "core/crest.h"
+#include "heatmap/influence.h"
+
+namespace rnnhm {
+namespace {
+
+std::vector<NnCircle> RandomCircles(int n, Rng& rng, double max_r = 0.15) {
+  std::vector<NnCircle> out;
+  for (int i = 0; i < n; ++i) {
+    out.push_back(NnCircle{{rng.Uniform(0, 1), rng.Uniform(0, 1)},
+                           rng.Uniform(0.01, max_r), i});
+  }
+  return out;
+}
+
+std::map<std::vector<int32_t>, double> DistinctNonEmpty(
+    const DistinctSetSink& sink) {
+  std::map<std::vector<int32_t>, double> out;
+  for (const auto& [set, influence] : sink.sets()) {
+    if (!set.empty()) out[set] = influence;
+  }
+  return out;
+}
+
+TEST(BaselineTest, SingleSquareSingleCell) {
+  const std::vector<NnCircle> circles{{{0.5, 0.5}, 0.25, 0}};
+  SizeInfluence measure;
+  CollectingSink sink;
+  const BaselineStats stats = RunBaseline(circles, measure, &sink);
+  EXPECT_EQ(stats.num_cells, 1u);
+  ASSERT_EQ(sink.labels().size(), 1u);
+  EXPECT_EQ(sink.labels()[0].rnn, (std::vector<int32_t>{0}));
+}
+
+TEST(BaselineTest, GridCellCountIsQuadraticInTheWorstCase) {
+  // Two diagonally overlapping squares -> 3x3 grid cells (the baseline
+  // fragments 7 actual regions into 9 cells).
+  const std::vector<NnCircle> circles{{{0.4, 0.5}, 0.2, 0},
+                                      {{0.6, 0.7}, 0.2, 1}};
+  SizeInfluence measure;
+  CountingSink counter;
+  const BaselineStats stats = RunBaseline(circles, measure, &counter);
+  EXPECT_EQ(stats.num_cells, 9u);
+  EXPECT_EQ(stats.num_cells, counter.count());
+}
+
+TEST(BaselineTest, EveryCellMatchesOracle) {
+  Rng rng(90);
+  const std::vector<NnCircle> circles = RandomCircles(40, rng);
+  SizeInfluence measure;
+  CollectingSink sink;
+  RunBaseline(circles, measure, &sink);
+  for (const auto& label : sink.labels()) {
+    const Point center = label.subregion.Center();
+    const auto want = BruteForceRnnSet(center, circles, Metric::kLInf);
+    ASSERT_EQ(label.rnn, want);
+  }
+}
+
+class BaselineBackendTest : public ::testing::TestWithParam<EnclosureBackend> {
+};
+
+TEST_P(BaselineBackendTest, AgreesWithCrestOnDistinctSets) {
+  Rng rng(91);
+  const std::vector<NnCircle> circles = RandomCircles(50, rng);
+  SizeInfluence measure;
+  DistinctSetSink via_baseline;
+  RunBaseline(circles, measure, &via_baseline, GetParam());
+  DistinctSetSink via_crest;
+  RunCrest(circles, measure, &via_crest);
+  // The baseline's grid may label empty cells inside the hull that CREST
+  // never emits; non-empty sets must agree exactly.
+  EXPECT_EQ(DistinctNonEmpty(via_baseline), DistinctNonEmpty(via_crest));
+}
+
+TEST_P(BaselineBackendTest, BackendsAgreeWithEachOther) {
+  Rng rng(92);
+  const std::vector<NnCircle> circles = RandomCircles(80, rng);
+  SizeInfluence measure;
+  DistinctSetSink seg, rt;
+  RunBaseline(circles, measure, &seg, EnclosureBackend::kSegmentTree);
+  RunBaseline(circles, measure, &rt, EnclosureBackend::kRTree);
+  EXPECT_EQ(seg.sets(), rt.sets());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Backends, BaselineBackendTest,
+    ::testing::Values(EnclosureBackend::kSegmentTree,
+                      EnclosureBackend::kRTree, EnclosureBackend::kQuadTree,
+                      EnclosureBackend::kIntervalTree),
+    [](const ::testing::TestParamInfo<EnclosureBackend>& info) {
+      switch (info.param) {
+        case EnclosureBackend::kSegmentTree:
+          return "SegmentTree";
+        case EnclosureBackend::kRTree:
+          return "RTree";
+        case EnclosureBackend::kQuadTree:
+          return "QuadTree";
+        case EnclosureBackend::kIntervalTree:
+          return "IntervalTree";
+      }
+      return "Unknown";
+    });
+
+TEST(BaselineTest, LabelsMoreCellsThanCrestLabelsRegions) {
+  // The baseline's key weakness (Section IV): m grows toward Theta(n^2)
+  // while CREST's k stays Theta(r).
+  Rng rng(93);
+  const std::vector<NnCircle> circles = RandomCircles(120, rng, 0.3);
+  SizeInfluence measure;
+  CountingSink baseline_counter, crest_counter;
+  const BaselineStats bs = RunBaseline(circles, measure, &baseline_counter);
+  const CrestStats cs = RunCrest(circles, measure, &crest_counter);
+  EXPECT_GT(bs.num_cells, cs.num_labelings);
+  EXPECT_EQ(bs.num_enclosure_queries, bs.num_cells);
+}
+
+TEST(BaselineTest, L1VariantAgreesWithCrestL1) {
+  Rng rng(94);
+  std::vector<NnCircle> l1_circles;
+  for (int i = 0; i < 40; ++i) {
+    l1_circles.push_back(NnCircle{{rng.Uniform(0, 1), rng.Uniform(0, 1)},
+                                  rng.Uniform(0.02, 0.1), i});
+  }
+  SizeInfluence measure;
+  DistinctSetSink via_baseline, via_crest;
+  RunBaselineL1(l1_circles, measure, &via_baseline);
+  RunCrestL1(l1_circles, measure, &via_crest);
+  EXPECT_EQ(DistinctNonEmpty(via_baseline), DistinctNonEmpty(via_crest));
+}
+
+}  // namespace
+}  // namespace rnnhm

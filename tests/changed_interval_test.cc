@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "core/changed_interval.h"
+
+namespace rnnhm {
+namespace {
+
+using Intervals = std::vector<ChangedInterval>;
+
+TEST(ChangedIntervalTest, EmptyAndSingleton) {
+  Intervals empty;
+  MergeChangedIntervals(empty);
+  EXPECT_TRUE(empty.empty());
+
+  Intervals one{{1.0, 2.0}};
+  MergeChangedIntervals(one);
+  EXPECT_EQ(one, (Intervals{{1.0, 2.0}}));
+}
+
+TEST(ChangedIntervalTest, DisjointStaySeparate) {
+  Intervals v{{3.0, 4.0}, {1.0, 2.0}};
+  MergeChangedIntervals(v);
+  EXPECT_EQ(v, (Intervals{{1.0, 2.0}, {3.0, 4.0}}));
+}
+
+TEST(ChangedIntervalTest, OverlappingMerge) {
+  Intervals v{{1.0, 3.0}, {2.0, 5.0}};
+  MergeChangedIntervals(v);
+  EXPECT_EQ(v, (Intervals{{1.0, 5.0}}));
+}
+
+TEST(ChangedIntervalTest, TouchingEndpointsMerge) {
+  // Section V-C1: [y_ci, y_cj] and [y_ci', y_cj'] merge if y_cj >= y_ci'.
+  Intervals v{{1.0, 2.0}, {2.0, 3.0}};
+  MergeChangedIntervals(v);
+  EXPECT_EQ(v, (Intervals{{1.0, 3.0}}));
+}
+
+TEST(ChangedIntervalTest, ContainedIntervalAbsorbed) {
+  Intervals v{{1.0, 10.0}, {2.0, 3.0}, {4.0, 5.0}};
+  MergeChangedIntervals(v);
+  EXPECT_EQ(v, (Intervals{{1.0, 10.0}}));
+}
+
+TEST(ChangedIntervalTest, ChainMerge) {
+  Intervals v{{5.0, 6.0}, {1.0, 2.5}, {2.0, 3.5}, {3.0, 4.0}};
+  MergeChangedIntervals(v);
+  EXPECT_EQ(v, (Intervals{{1.0, 4.0}, {5.0, 6.0}}));
+}
+
+TEST(ChangedIntervalTest, RandomizedInvariants) {
+  Rng rng(60);
+  for (int trial = 0; trial < 200; ++trial) {
+    Intervals v;
+    const int n = 1 + static_cast<int>(rng.NextBounded(50));
+    for (int i = 0; i < n; ++i) {
+      const double lo = rng.Uniform(0, 10);
+      v.push_back({lo, lo + rng.Uniform(0, 2)});
+    }
+    const Intervals original = v;
+    MergeChangedIntervals(v);
+    // Sorted, disjoint, non-touching.
+    for (size_t i = 0; i + 1 < v.size(); ++i) {
+      ASSERT_LT(v[i].hi, v[i + 1].lo);
+    }
+    // Every input point is covered by the output and vice versa: check via
+    // sampled points from input endpoints.
+    auto covered = [](const Intervals& set, double x) {
+      for (const ChangedInterval& iv : set) {
+        if (iv.lo <= x && x <= iv.hi) return true;
+      }
+      return false;
+    };
+    for (const ChangedInterval& iv : original) {
+      for (const double x : {iv.lo, (iv.lo + iv.hi) / 2, iv.hi}) {
+        ASSERT_TRUE(covered(v, x));
+      }
+    }
+    for (const ChangedInterval& iv : v) {
+      for (const double x : {iv.lo, iv.hi}) {
+        ASSERT_TRUE(covered(original, x));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rnnhm

@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/stopwatch.h"
+
+namespace rnnhm {
+namespace {
+
+TEST(RngTest, DeterministicForEqualSeeds) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += a.NextU64() == b.NextU64();
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRespectsBounds) {
+  Rng rng(8);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.Uniform(-3.0, 5.0);
+    ASSERT_GE(d, -3.0);
+    ASSERT_LT(d, 5.0);
+  }
+}
+
+TEST(RngTest, NextBoundedCoversRangeWithoutBias) {
+  Rng rng(9);
+  int counts[7] = {};
+  for (int i = 0; i < 70000; ++i) {
+    const uint64_t v = rng.NextBounded(7);
+    ASSERT_LT(v, 7u);
+    ++counts[v];
+  }
+  for (const int c : counts) {
+    EXPECT_GT(c, 9000);
+    EXPECT_LT(c, 11000);
+  }
+}
+
+TEST(RngTest, GaussianMomentsAreSane) {
+  Rng rng(10);
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.NextGaussian();
+    sum += g;
+    sum2 += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.03);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(11);
+  Rng b = a.Fork();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += a.NextU64() == b.NextU64();
+  EXPECT_LT(equal, 3);
+}
+
+TEST(SplitMix64Test, KnownSequenceIsStable) {
+  uint64_t state = 0;
+  const uint64_t first = SplitMix64(state);
+  const uint64_t second = SplitMix64(state);
+  EXPECT_NE(first, second);
+  uint64_t state2 = 0;
+  EXPECT_EQ(SplitMix64(state2), first);
+}
+
+TEST(StopwatchTest, MeasuresElapsedTimeMonotonically) {
+  Stopwatch sw;
+  // Busy-wait a tiny amount.
+  volatile double x = 0.0;
+  for (int i = 0; i < 1000000; ++i) x += std::sqrt(static_cast<double>(i));
+  const double ms = sw.ElapsedMs();
+  EXPECT_GT(ms, 0.0);
+  EXPECT_GE(sw.ElapsedMs(), ms);  // monotone
+  // Seconds and milliseconds report the same clock within read jitter.
+  const double seconds = sw.ElapsedSeconds();
+  EXPECT_NEAR(seconds * 1000.0, sw.ElapsedMs(), 50.0);
+  sw.Reset();
+  EXPECT_LT(sw.ElapsedMs(), ms + 1000.0);
+}
+
+TEST(CheckTest, CheckAbortsOnFailure) {
+  EXPECT_DEATH({ RNNHM_CHECK(1 == 2); }, "CHECK failed");
+  EXPECT_DEATH({ RNNHM_CHECK_MSG(false, "context"); }, "context");
+}
+
+}  // namespace
+}  // namespace rnnhm

@@ -1,0 +1,275 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/brute_force.h"
+#include "core/crest_l2.h"
+#include "heatmap/influence.h"
+#include "nn/nn_circle_builder.h"
+
+namespace rnnhm {
+namespace {
+
+std::vector<NnCircle> RandomDisks(int n, Rng& rng, double max_r = 0.15) {
+  std::vector<NnCircle> out;
+  for (int i = 0; i < n; ++i) {
+    out.push_back(NnCircle{{rng.Uniform(0, 1), rng.Uniform(0, 1)},
+                           rng.Uniform(0.01, max_r), i});
+  }
+  return out;
+}
+
+std::map<std::vector<int32_t>, double> DistinctNonEmpty(
+    const DistinctSetSink& sink) {
+  std::map<std::vector<int32_t>, double> out;
+  for (const auto& [set, influence] : sink.sets()) {
+    if (!set.empty()) out[set] = influence;
+  }
+  return out;
+}
+
+TEST(CrestL2Test, SingleDisk) {
+  const std::vector<NnCircle> disks{{{0.5, 0.5}, 0.25, 0}};
+  SizeInfluence measure;
+  CollectingSink sink;
+  const CrestL2Stats stats = RunCrestL2(disks, measure, &sink);
+  ASSERT_EQ(sink.labels().size(), 1u);
+  EXPECT_EQ(sink.labels()[0].rnn, (std::vector<int32_t>{0}));
+  EXPECT_EQ(stats.num_cross_events, 0u);
+}
+
+TEST(CrestL2Test, TwoOverlappingDisksLensIsFound) {
+  const std::vector<NnCircle> disks{{{0.4, 0.5}, 0.2, 0},
+                                    {{0.6, 0.5}, 0.2, 1}};
+  SizeInfluence measure;
+  DistinctSetSink sink;
+  const CrestL2Stats stats = RunCrestL2(disks, measure, &sink);
+  EXPECT_EQ(stats.num_cross_events, 2u);
+  const auto sets = DistinctNonEmpty(sink);
+  ASSERT_EQ(sets.size(), 3u);
+  EXPECT_TRUE(sets.count({0}));
+  EXPECT_TRUE(sets.count({1}));
+  EXPECT_TRUE(sets.count({0, 1}));
+}
+
+TEST(CrestL2Test, DisjointAndNestedDisks) {
+  const std::vector<NnCircle> disks{{{0.2, 0.2}, 0.1, 0},
+                                    {{0.7, 0.7}, 0.25, 1},
+                                    {{0.7, 0.7}, 0.1, 2}};  // nested in 1
+  SizeInfluence measure;
+  DistinctSetSink sink;
+  const CrestL2Stats stats = RunCrestL2(disks, measure, &sink);
+  EXPECT_EQ(stats.num_cross_events, 0u);
+  const auto sets = DistinctNonEmpty(sink);
+  ASSERT_EQ(sets.size(), 3u);
+  EXPECT_TRUE(sets.count({0}));
+  EXPECT_TRUE(sets.count({1}));
+  EXPECT_TRUE(sets.count({1, 2}));
+}
+
+TEST(CrestL2Test, DuplicateDisksAreMerged) {
+  const std::vector<NnCircle> disks{{{0.5, 0.5}, 0.2, 0},
+                                    {{0.5, 0.5}, 0.2, 1}};
+  SizeInfluence measure;
+  DistinctSetSink sink;
+  const CrestL2Stats stats = RunCrestL2(disks, measure, &sink);
+  EXPECT_EQ(stats.num_circles, 1u);  // one swept disk carrying two clients
+  const auto sets = DistinctNonEmpty(sink);
+  ASSERT_EQ(sets.size(), 1u);
+  EXPECT_TRUE(sets.count({0, 1}));
+  EXPECT_DOUBLE_EQ(sets.at({0, 1}), 2.0);
+}
+
+TEST(CrestL2Test, ZeroRadiusSkipped) {
+  const std::vector<NnCircle> disks{{{0.5, 0.5}, 0.0, 0},
+                                    {{0.5, 0.5}, 0.2, 1}};
+  SizeInfluence measure;
+  DistinctSetSink sink;
+  const CrestL2Stats stats = RunCrestL2(disks, measure, &sink);
+  EXPECT_EQ(stats.num_skipped_circles, 1u);
+  EXPECT_EQ(DistinctNonEmpty(sink).size(), 1u);
+}
+
+struct L2Case {
+  int n;
+  double max_r;
+  uint64_t seed;
+};
+
+class CrestL2Property : public ::testing::TestWithParam<L2Case> {};
+
+TEST_P(CrestL2Property, DistinctSetsMatchBruteForceSampling) {
+  // Every labeled set must be a real region (checked at a witness point);
+  // and dense point sampling must not discover sets the sweep missed.
+  const L2Case c = GetParam();
+  Rng rng(c.seed);
+  const std::vector<NnCircle> disks = RandomDisks(c.n, rng, c.max_r);
+  SizeInfluence measure;
+  DistinctSetSink sink;
+  RunCrestL2(disks, measure, &sink);
+  const auto labeled = DistinctNonEmpty(sink);
+
+  // (a) sampling: every sampled point's RNN set appears among the labels.
+  std::map<std::vector<int32_t>, int> sampled;
+  for (int q = 0; q < 20000; ++q) {
+    const Point p{rng.Uniform(0, 1), rng.Uniform(0, 1)};
+    auto rnn = BruteForceRnnSet(p, disks, Metric::kL2);
+    if (!rnn.empty()) sampled[std::move(rnn)]++;
+  }
+  for (const auto& [set, count] : sampled) {
+    ASSERT_TRUE(labeled.count(set))
+        << "sampled set of size " << set.size() << " seen " << count
+        << " times but never labeled";
+  }
+  // (b) coverage sanity: the sweep found at least every sampled set.
+  EXPECT_GE(labeled.size(), sampled.size());
+}
+
+TEST_P(CrestL2Property, MaxInfluenceMatchesDenseSampling) {
+  const L2Case c = GetParam();
+  Rng rng(c.seed + 1);
+  const std::vector<NnCircle> disks = RandomDisks(c.n, rng, c.max_r);
+  SizeInfluence measure;
+  MaxInfluenceSink sink;
+  RunCrestL2(disks, measure, &sink);
+  ASSERT_TRUE(sink.HasResult());
+  double sampled_max = 0.0;
+  for (int q = 0; q < 30000; ++q) {
+    const Point p{rng.Uniform(0, 1), rng.Uniform(0, 1)};
+    sampled_max = std::max(
+        sampled_max, static_cast<double>(
+                         BruteForceRnnSet(p, disks, Metric::kL2).size()));
+  }
+  // Sampling can only under-estimate.
+  EXPECT_GE(sink.max_influence(), sampled_max);
+  // The witness region must be real: its center's oracle set has the
+  // reported influence (witness boxes of curved regions contain their
+  // region's points; use the reported RNN set directly instead).
+  EXPECT_EQ(static_cast<double>(sink.witness_rnn().size()),
+            sink.max_influence());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CrestL2Property,
+    ::testing::Values(L2Case{3, 0.3, 110}, L2Case{8, 0.25, 111},
+                      L2Case{20, 0.2, 112}, L2Case{60, 0.12, 113},
+                      L2Case{150, 0.07, 114}, L2Case{40, 0.4, 115}),
+    [](const ::testing::TestParamInfo<L2Case>& info) {
+      return "n" + std::to_string(info.param.n) + "_seed" +
+             std::to_string(info.param.seed);
+    });
+
+TEST(CrestL2Test, RegressionSharedFacilityMultiCrossing) {
+  // Minimized from a real city workload: clients 0, 2, 3 sit on the same
+  // vertical line as their shared facility (their disks are mutually
+  // tangent at the facility and bottom out exactly there), and disks 1, 4,
+  // 5 cross that point too. At the merged crossing event, arcs jump across
+  // the preserved adjacency (0L, 2L) without breaking it, which an
+  // adjacency-diff without involvement tracking misses: the region
+  // {0,1,2,3,5} was silently dropped.
+  const std::vector<NnCircle> disks{
+      {{-73.727000000000004, 40.739214085980684}, 0.018247869191817756, 0},
+      {{-73.731741082670993, 40.739358309772214}, 0.018993339601061754, 1},
+      {{-73.727000000000004, 40.731623653444096}, 0.010657436655229446, 2},
+      {{-73.727000000000004, 40.744741271100217}, 0.02377505431135063, 3},
+      {{-73.74260115632913, 40.739717067851984}, 0.024392426988658612, 4},
+      {{-73.754604017271447, 40.758993371509767}, 0.04698985279493266, 5}};
+  SizeInfluence measure;
+  DistinctSetSink sink;
+  RunCrestL2(disks, measure, &sink);
+  const Point p{-73.719839329296448, 40.727626738716111};
+  const auto want = BruteForceRnnSet(p, disks, Metric::kL2);
+  ASSERT_EQ(want, (std::vector<int32_t>{0, 1, 2, 3, 5}));
+  EXPECT_TRUE(sink.sets().count(want));
+}
+
+TEST(CrestL2Test, SharedFacilityDegeneracyProperty) {
+  // Stress the common-point degeneracy directly: many clients share one
+  // facility, so every NN-circle passes exactly through it. The sweep must
+  // still agree with the oracle at sampled points.
+  Rng rng(117);
+  std::vector<Point> clients;
+  for (int i = 0; i < 60; ++i) {
+    clients.push_back({rng.Uniform(0, 1), rng.Uniform(0, 1)});
+  }
+  // A handful of clients exactly aligned with the facility (vertical and
+  // horizontal), maximizing tangency degeneracies.
+  const Point f{0.5, 0.5};
+  for (const double d : {0.05, 0.1, 0.2, 0.3}) {
+    clients.push_back({f.x, f.y + d});
+    clients.push_back({f.x, f.y - d});
+    clients.push_back({f.x + d, f.y});
+    clients.push_back({f.x - d, f.y});
+  }
+  const auto disks = BuildNnCircles(clients, {f}, Metric::kL2);
+  SizeInfluence measure;
+  DistinctSetSink sink;
+  RunCrestL2(disks, measure, &sink);
+  int checked = 0;
+  for (int q = 0; q < 8000; ++q) {
+    const Point p{rng.Uniform(0, 1), rng.Uniform(0, 1)};
+    const auto rnn = BruteForceRnnSet(p, disks, Metric::kL2);
+    if (rnn.empty()) continue;
+    ASSERT_TRUE(sink.sets().count(rnn)) << "missing set of size "
+                                        << rnn.size();
+    ++checked;
+  }
+  EXPECT_GT(checked, 4000);
+}
+
+TEST(CrestL2Test, MonochromaticWorkload) {
+  // O = F under L2: RNN sets are at most 6-sized (Korn et al., Section
+  // VII-A) and the sweep must agree with the oracle.
+  Rng rng(118);
+  std::vector<Point> points;
+  for (int i = 0; i < 250; ++i) {
+    points.push_back({rng.Uniform(0, 1), rng.Uniform(0, 1)});
+  }
+  const auto disks = BuildMonochromaticNnCircles(points, Metric::kL2);
+  SizeInfluence measure;
+  DistinctSetSink sink;
+  MaxInfluenceSink max_sink;
+  TeeSink tee({&sink, &max_sink});
+  RunCrestL2(disks, measure, &tee);
+  ASSERT_TRUE(max_sink.HasResult());
+  EXPECT_LE(max_sink.max_influence(), 6.0);
+  for (int q = 0; q < 4000; ++q) {
+    const Point p{rng.Uniform(0, 1), rng.Uniform(0, 1)};
+    const auto rnn = BruteForceRnnSet(p, disks, Metric::kL2);
+    if (!rnn.empty()) {
+      ASSERT_TRUE(sink.sets().count(rnn));
+    }
+  }
+}
+
+TEST(CrestL2Test, RealNnCirclesWorkload) {
+  // End-to-end: NN-circles from a bichromatic workload under L2.
+  Rng rng(116);
+  std::vector<Point> clients, facilities;
+  for (int i = 0; i < 120; ++i) {
+    clients.push_back({rng.Uniform(0, 1), rng.Uniform(0, 1)});
+  }
+  for (int i = 0; i < 12; ++i) {
+    facilities.push_back({rng.Uniform(0, 1), rng.Uniform(0, 1)});
+  }
+  const auto disks = BuildNnCircles(clients, facilities, Metric::kL2);
+  SizeInfluence measure;
+  DistinctSetSink sink;
+  RunCrestL2(disks, measure, &sink);
+  const auto labeled = DistinctNonEmpty(sink);
+  EXPECT_GE(labeled.size(), 100u);  // at least one region per client circle
+  for (int q = 0; q < 5000; ++q) {
+    const Point p{rng.Uniform(0, 1), rng.Uniform(0, 1)};
+    const auto rnn = BruteForceRnnSet(p, disks, Metric::kL2);
+    if (!rnn.empty()) {
+      ASSERT_TRUE(labeled.count(rnn));
+      ASSERT_DOUBLE_EQ(labeled.at(rnn), static_cast<double>(rnn.size()));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rnnhm

@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "geom/geometry.h"
+#include "index/enclosure_index.h"
+
+namespace rnnhm {
+namespace {
+
+TEST(EnclosureIndexTest, EmptyIndex) {
+  EnclosureIndex index({});
+  EXPECT_EQ(index.size(), 0u);
+  EXPECT_TRUE(index.StabIds({0, 0}).empty());
+}
+
+TEST(EnclosureIndexTest, SingleRectangleClosedBoundaries) {
+  EnclosureIndex index({Rect{{0, 0}, {2, 2}}});
+  EXPECT_EQ(index.StabIds({1, 1}), (std::vector<int32_t>{0}));
+  EXPECT_EQ(index.StabIds({0, 0}), (std::vector<int32_t>{0}));   // corner
+  EXPECT_EQ(index.StabIds({2, 1}), (std::vector<int32_t>{0}));   // edge
+  EXPECT_TRUE(index.StabIds({2.01, 1}).empty());
+  EXPECT_TRUE(index.StabIds({-0.01, 1}).empty());
+}
+
+TEST(EnclosureIndexTest, NestedAndOverlapping) {
+  EnclosureIndex index({Rect{{0, 0}, {10, 10}}, Rect{{2, 2}, {8, 8}},
+                        Rect{{4, 4}, {6, 6}}, Rect{{9, 9}, {12, 12}}});
+  auto sorted = [](std::vector<int32_t> v) {
+    std::sort(v.begin(), v.end());
+    return v;
+  };
+  EXPECT_EQ(sorted(index.StabIds({5, 5})), (std::vector<int32_t>{0, 1, 2}));
+  EXPECT_EQ(sorted(index.StabIds({3, 3})), (std::vector<int32_t>{0, 1}));
+  EXPECT_EQ(sorted(index.StabIds({9.5, 9.5})),
+            (std::vector<int32_t>{0, 3}));
+  EXPECT_EQ(sorted(index.StabIds({11, 11})), (std::vector<int32_t>{3}));
+}
+
+class EnclosureProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(EnclosureProperty, MatchesBruteForce) {
+  const int n = GetParam();
+  Rng rng(1000 + n);
+  std::vector<Rect> rects;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Uniform(0, 1);
+    const double y = rng.Uniform(0, 1);
+    rects.push_back(
+        Rect{{x, y}, {x + rng.Uniform(0, 0.3), y + rng.Uniform(0, 0.3)}});
+  }
+  EnclosureIndex index(rects);
+  for (int q = 0; q < 300; ++q) {
+    const Point p{rng.Uniform(-0.1, 1.2), rng.Uniform(-0.1, 1.2)};
+    std::vector<int32_t> got = index.StabIds(p);
+    std::sort(got.begin(), got.end());
+    std::vector<int32_t> want;
+    for (size_t i = 0; i < rects.size(); ++i) {
+      if (rects[i].ContainsClosed(p)) want.push_back(static_cast<int32_t>(i));
+    }
+    ASSERT_EQ(got, want) << "point " << p.x << "," << p.y;
+  }
+}
+
+TEST_P(EnclosureProperty, QueriesAtSharedEndpoints) {
+  // Rectangles sharing endpoints stress the elementary-interval mapping.
+  const int n = GetParam();
+  Rng rng(2000 + n);
+  std::vector<Rect> rects;
+  for (int i = 0; i < n; ++i) {
+    const double x = static_cast<double>(rng.NextBounded(10));
+    const double y = static_cast<double>(rng.NextBounded(10));
+    rects.push_back(Rect{{x, y},
+                         {x + 1.0 + static_cast<double>(rng.NextBounded(3)),
+                          y + 1.0 + static_cast<double>(rng.NextBounded(3))}});
+  }
+  EnclosureIndex index(rects);
+  for (int gx = 0; gx <= 13; ++gx) {
+    for (int gy = 0; gy <= 13; ++gy) {
+      const Point p{static_cast<double>(gx), static_cast<double>(gy)};
+      std::vector<int32_t> got = index.StabIds(p);
+      std::sort(got.begin(), got.end());
+      std::vector<int32_t> want;
+      for (size_t i = 0; i < rects.size(); ++i) {
+        if (rects[i].ContainsClosed(p)) {
+          want.push_back(static_cast<int32_t>(i));
+        }
+      }
+      ASSERT_EQ(got, want) << "grid point " << gx << "," << gy;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, EnclosureProperty,
+                         ::testing::Values(1, 2, 10, 100, 1000),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return "n" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace rnnhm

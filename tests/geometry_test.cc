@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "geom/circle_geometry.h"
+#include "geom/geometry.h"
+
+namespace rnnhm {
+namespace {
+
+TEST(MetricTest, DistanceDefinitions) {
+  const Point a{1.0, 2.0};
+  const Point b{4.0, -2.0};
+  EXPECT_DOUBLE_EQ(DistanceLInf(a, b), 4.0);
+  EXPECT_DOUBLE_EQ(DistanceL1(a, b), 7.0);
+  EXPECT_DOUBLE_EQ(DistanceL2(a, b), 5.0);
+  EXPECT_DOUBLE_EQ(DistanceL2Squared(a, b), 25.0);
+}
+
+TEST(MetricTest, DispatcherMatchesDirectFunctions) {
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    const Point a{rng.Uniform(-10, 10), rng.Uniform(-10, 10)};
+    const Point b{rng.Uniform(-10, 10), rng.Uniform(-10, 10)};
+    EXPECT_DOUBLE_EQ(Distance(a, b, Metric::kLInf), DistanceLInf(a, b));
+    EXPECT_DOUBLE_EQ(Distance(a, b, Metric::kL1), DistanceL1(a, b));
+    EXPECT_DOUBLE_EQ(Distance(a, b, Metric::kL2), DistanceL2(a, b));
+  }
+}
+
+TEST(MetricTest, MetricInequalities) {
+  // Linf <= L2 <= L1 for every pair.
+  Rng rng(2);
+  for (int i = 0; i < 500; ++i) {
+    const Point a{rng.Uniform(-5, 5), rng.Uniform(-5, 5)};
+    const Point b{rng.Uniform(-5, 5), rng.Uniform(-5, 5)};
+    EXPECT_LE(DistanceLInf(a, b), DistanceL2(a, b) + 1e-12);
+    EXPECT_LE(DistanceL2(a, b), DistanceL1(a, b) + 1e-12);
+  }
+}
+
+TEST(MetricTest, NamesAreStable) {
+  EXPECT_EQ(MetricName(Metric::kLInf), "Linf");
+  EXPECT_EQ(MetricName(Metric::kL1), "L1");
+  EXPECT_EQ(MetricName(Metric::kL2), "L2");
+}
+
+TEST(RectTest, ContainmentOpenVsClosed) {
+  const Rect r{{0, 0}, {2, 2}};
+  EXPECT_TRUE(r.ContainsClosed({0, 0}));
+  EXPECT_FALSE(r.ContainsOpen({0, 0}));
+  EXPECT_TRUE(r.ContainsOpen({1, 1}));
+  EXPECT_FALSE(r.ContainsClosed({2.1, 1}));
+}
+
+TEST(RectTest, IntersectsAndContains) {
+  const Rect a{{0, 0}, {2, 2}};
+  const Rect b{{1, 1}, {3, 3}};
+  const Rect c{{2, 2}, {3, 3}};  // touching corner counts (closed rects)
+  const Rect d{{2.5, 0}, {3, 1}};
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_TRUE(a.Intersects(c));
+  EXPECT_FALSE(a.Intersects(d));
+  EXPECT_TRUE(Rect({{-1, -1}, {4, 4}}).Contains(a));
+  EXPECT_FALSE(a.Contains(b));
+}
+
+TEST(RectTest, UnionAreaEnlargement) {
+  const Rect a{{0, 0}, {1, 1}};
+  const Rect b{{2, 2}, {3, 4}};
+  const Rect u = a.Union(b);
+  EXPECT_EQ(u, Rect({{0, 0}, {3, 4}}));
+  EXPECT_DOUBLE_EQ(a.Area(), 1.0);
+  EXPECT_DOUBLE_EQ(b.Area(), 2.0);
+  EXPECT_DOUBLE_EQ(u.Area(), 12.0);
+  EXPECT_DOUBLE_EQ(a.Enlargement(b), 11.0);
+}
+
+TEST(RectTest, EmptyRectIsUnionIdentity) {
+  const Rect e = EmptyRect();
+  const Rect a{{-1, 2}, {3, 5}};
+  EXPECT_EQ(e.Union(a), a);
+  EXPECT_EQ(a.Union(e), a);
+  EXPECT_DOUBLE_EQ(e.Area(), 0.0);
+}
+
+TEST(RectTest, MinDistanceL2) {
+  const Rect r{{0, 0}, {2, 2}};
+  EXPECT_DOUBLE_EQ(r.MinDistanceL2({1, 1}), 0.0);
+  EXPECT_DOUBLE_EQ(r.MinDistanceL2({4, 1}), 2.0);
+  EXPECT_DOUBLE_EQ(r.MinDistanceL2({5, 6}), 5.0);
+}
+
+TEST(NnCircleTest, BoundsAndContainsPerMetric) {
+  const NnCircle c{{0, 0}, 1.0, 7};
+  EXPECT_EQ(c.Bounds(), Rect({{-1, -1}, {1, 1}}));
+  // Corner point: inside the square, outside diamond and disk.
+  const Point corner{0.9, 0.9};
+  EXPECT_TRUE(c.Contains(corner, Metric::kLInf));
+  EXPECT_FALSE(c.Contains(corner, Metric::kL1));
+  EXPECT_FALSE(c.Contains(corner, Metric::kL2));
+  // Boundary counts as inside (closed circle).
+  EXPECT_TRUE(c.Contains({1.0, 0.0}, Metric::kLInf));
+  EXPECT_TRUE(c.Contains({1.0, 0.0}, Metric::kL1));
+  EXPECT_TRUE(c.Contains({1.0, 0.0}, Metric::kL2));
+}
+
+TEST(RotationTest, RoundTripIsIdentity) {
+  Rng rng(3);
+  for (int i = 0; i < 300; ++i) {
+    const Point p{rng.Uniform(-100, 100), rng.Uniform(-100, 100)};
+    const Point q = RotateFromLInf(RotateToLInf(p));
+    EXPECT_NEAR(q.x, p.x, 1e-9);
+    EXPECT_NEAR(q.y, p.y, 1e-9);
+  }
+}
+
+TEST(RotationTest, L1BecomesScaledLInf) {
+  // Section VII-B: after the pi/4 rotation, L-infinity distance equals the
+  // original L1 distance divided by sqrt(2); NN relations are preserved.
+  Rng rng(4);
+  for (int i = 0; i < 300; ++i) {
+    const Point a{rng.Uniform(-10, 10), rng.Uniform(-10, 10)};
+    const Point b{rng.Uniform(-10, 10), rng.Uniform(-10, 10)};
+    const double got = DistanceLInf(RotateToLInf(a), RotateToLInf(b));
+    EXPECT_NEAR(got, DistanceL1(a, b) / std::sqrt(2.0), 1e-9);
+  }
+}
+
+TEST(CircleIntersectionTest, DisjointContainedTangent) {
+  EXPECT_EQ(IntersectCircles({0, 0}, 1, {5, 0}, 1).count, 0);    // disjoint
+  EXPECT_EQ(IntersectCircles({0, 0}, 3, {0.5, 0}, 1).count, 0);  // contained
+  EXPECT_EQ(IntersectCircles({0, 0}, 1, {0, 0}, 1).count, 0);    // coincident
+  const CircleIntersection tangent = IntersectCircles({0, 0}, 1, {2, 0}, 1);
+  ASSERT_EQ(tangent.count, 1);
+  EXPECT_NEAR(tangent.points[0].x, 1.0, 1e-12);
+  EXPECT_NEAR(tangent.points[0].y, 0.0, 1e-12);
+}
+
+TEST(CircleIntersectionTest, PointsLieOnBothBoundaries) {
+  Rng rng(5);
+  int proper = 0;
+  for (int i = 0; i < 500; ++i) {
+    const Point c0{rng.Uniform(-2, 2), rng.Uniform(-2, 2)};
+    const Point c1{rng.Uniform(-2, 2), rng.Uniform(-2, 2)};
+    const double r0 = rng.Uniform(0.1, 2.0);
+    const double r1 = rng.Uniform(0.1, 2.0);
+    const CircleIntersection isect = IntersectCircles(c0, r0, c1, r1);
+    EXPECT_EQ(isect.count == 2, CirclesProperlyIntersect(c0, r0, c1, r1));
+    for (int k = 0; k < isect.count; ++k) {
+      EXPECT_NEAR(DistanceL2(isect.points[k], c0), r0, 1e-9);
+      EXPECT_NEAR(DistanceL2(isect.points[k], c1), r1, 1e-9);
+    }
+    proper += isect.count == 2;
+  }
+  EXPECT_GT(proper, 50);  // the sweep actually exercised intersections
+}
+
+TEST(ArcYTest, MatchesCircleEquationAndClamps) {
+  const Point c{1.0, 2.0};
+  const double r = 2.0;
+  EXPECT_DOUBLE_EQ(ArcYAt(c, r, true, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(ArcYAt(c, r, false, 1.0), 0.0);
+  EXPECT_NEAR(ArcYAt(c, r, true, 2.0), 2.0 + std::sqrt(3.0), 1e-12);
+  // Clamped at and beyond the extremes.
+  EXPECT_DOUBLE_EQ(ArcYAt(c, r, true, 3.0), 2.0);
+  EXPECT_DOUBLE_EQ(ArcYAt(c, r, true, 5.0), 2.0);
+  EXPECT_DOUBLE_EQ(ArcYAt(c, r, false, -9.0), 2.0);
+}
+
+}  // namespace
+}  // namespace rnnhm

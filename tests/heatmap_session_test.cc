@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/brute_force.h"
+#include "heatmap/influence.h"
+#include "nn/nn_circle_builder.h"
+#include "query/heatmap_session.h"
+
+namespace rnnhm {
+namespace {
+
+// Reference: circles rebuilt from scratch for the session's current state.
+std::vector<NnCircle> Reference(const HeatmapSession& session) {
+  return BuildNnCircles(session.clients(), session.facilities(),
+                        session.metric());
+}
+
+void ExpectCirclesMatchReference(const HeatmapSession& session) {
+  const auto want = Reference(session);
+  const auto& got = session.circles();
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t i = 0; i < want.size(); ++i) {
+    ASSERT_EQ(got[i].center, want[i].center) << "client " << i;
+    ASSERT_DOUBLE_EQ(got[i].radius, want[i].radius) << "client " << i;
+  }
+}
+
+class SessionProperty : public ::testing::TestWithParam<Metric> {};
+
+TEST_P(SessionProperty, InitialCirclesMatchBatchConstruction) {
+  Rng rng(1000);
+  std::vector<Point> clients, facilities;
+  for (int i = 0; i < 200; ++i) {
+    clients.push_back({rng.Uniform(0, 1), rng.Uniform(0, 1)});
+  }
+  for (int i = 0; i < 20; ++i) {
+    facilities.push_back({rng.Uniform(0, 1), rng.Uniform(0, 1)});
+  }
+  HeatmapSession session(clients, facilities, GetParam());
+  ExpectCirclesMatchReference(session);
+}
+
+TEST_P(SessionProperty, RandomEditScriptStaysConsistent) {
+  const Metric metric = GetParam();
+  Rng rng(1001 + static_cast<int>(metric));
+  std::vector<Point> clients, facilities;
+  for (int i = 0; i < 100; ++i) {
+    clients.push_back({rng.Uniform(0, 1), rng.Uniform(0, 1)});
+  }
+  for (int i = 0; i < 10; ++i) {
+    facilities.push_back({rng.Uniform(0, 1), rng.Uniform(0, 1)});
+  }
+  HeatmapSession session(clients, facilities, metric);
+  for (int step = 0; step < 120; ++step) {
+    const double dice = rng.NextDouble();
+    if (dice < 0.45) {
+      const int32_t id =
+          static_cast<int32_t>(rng.NextBounded(session.num_clients()));
+      session.MoveClient(id, {rng.Uniform(0, 1), rng.Uniform(0, 1)});
+    } else if (dice < 0.65) {
+      session.AddClient({rng.Uniform(0, 1), rng.Uniform(0, 1)});
+    } else if (dice < 0.85) {
+      session.AddFacility({rng.Uniform(0, 1), rng.Uniform(0, 1)});
+    } else if (session.num_facilities() >= 2) {
+      session.RemoveFacility(
+          static_cast<int32_t>(rng.NextBounded(session.num_facilities())));
+    }
+    if (step % 10 == 0) ExpectCirclesMatchReference(session);
+  }
+  ExpectCirclesMatchReference(session);
+}
+
+INSTANTIATE_TEST_SUITE_P(Metrics, SessionProperty,
+                         ::testing::Values(Metric::kLInf, Metric::kL1,
+                                           Metric::kL2),
+                         [](const ::testing::TestParamInfo<Metric>& info) {
+                           return MetricName(info.param);
+                         });
+
+TEST(HeatmapSessionTest, RebuildSweepsTheCurrentState) {
+  Rng rng(1010);
+  std::vector<Point> clients, facilities;
+  for (int i = 0; i < 120; ++i) {
+    clients.push_back({rng.Uniform(0, 1), rng.Uniform(0, 1)});
+  }
+  for (int i = 0; i < 12; ++i) {
+    facilities.push_back({rng.Uniform(0, 1), rng.Uniform(0, 1)});
+  }
+  HeatmapSession session(clients, facilities, Metric::kL1);
+  SizeInfluence measure;
+  DistinctSetSink before;
+  session.Rebuild(measure, &before);
+  bool zero_before = false;
+  for (const auto& [set, v] : before.sets()) {
+    zero_before |= std::binary_search(set.begin(), set.end(), 0);
+  }
+  EXPECT_TRUE(zero_before);
+  // A facility placed exactly on client 0 makes its NN-circle degenerate:
+  // the client can no longer be won by any new location, so it must vanish
+  // from every region's RNN set.
+  session.AddFacility(clients[0]);
+  DistinctSetSink after;
+  session.Rebuild(measure, &after);
+  for (const auto& [set, v] : after.sets()) {
+    EXPECT_FALSE(std::binary_search(set.begin(), set.end(), 0));
+  }
+  for (int q = 0; q < 500; ++q) {
+    const Point p{rng.Uniform(0, 1), rng.Uniform(0, 1)};
+    const auto rnn = BruteForceRnnSet(p, session.circles(), Metric::kL1);
+    if (!rnn.empty()) {
+      ASSERT_TRUE(after.sets().count(rnn));
+    }
+  }
+}
+
+TEST(HeatmapSessionTest, MoveClientShrinksAndGrowsItsCircle) {
+  HeatmapSession session({{0.0, 0.0}}, {{1.0, 0.0}, {4.0, 0.0}},
+                         Metric::kL2);
+  EXPECT_DOUBLE_EQ(session.circles()[0].radius, 1.0);
+  session.MoveClient(0, {3.5, 0.0});
+  EXPECT_DOUBLE_EQ(session.circles()[0].radius, 0.5);  // now nearest to f1
+  session.MoveClient(0, {-2.0, 0.0});
+  EXPECT_DOUBLE_EQ(session.circles()[0].radius, 3.0);
+}
+
+TEST(HeatmapSessionTest, RemoveFacilityRequeriesItsClients) {
+  HeatmapSession session({{0.0, 0.0}, {10.0, 0.0}},
+                         {{1.0, 0.0}, {9.0, 0.0}}, Metric::kL2);
+  EXPECT_DOUBLE_EQ(session.circles()[0].radius, 1.0);
+  EXPECT_DOUBLE_EQ(session.circles()[1].radius, 1.0);
+  session.RemoveFacility(0);
+  EXPECT_DOUBLE_EQ(session.circles()[0].radius, 9.0);  // falls back to f@9
+  EXPECT_DOUBLE_EQ(session.circles()[1].radius, 1.0);
+}
+
+}  // namespace
+}  // namespace rnnhm

@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.h"
+#include "heatmap/influence.h"
+
+namespace rnnhm {
+namespace {
+
+TEST(SizeInfluenceTest, CountsClients) {
+  SizeInfluence m;
+  EXPECT_DOUBLE_EQ(m.Evaluate({}), 0.0);
+  const std::vector<int32_t> r{3, 1, 7};
+  EXPECT_DOUBLE_EQ(m.Evaluate(r), 3.0);
+}
+
+TEST(WeightedInfluenceTest, SumsWeights) {
+  WeightedInfluence m({1.0, 2.0, 4.0, 8.0});
+  const std::vector<int32_t> r{0, 2};
+  EXPECT_DOUBLE_EQ(m.Evaluate(r), 5.0);
+  EXPECT_DOUBLE_EQ(m.Evaluate({}), 0.0);
+}
+
+TEST(WeightedInfluenceTest, UpperBoundIgnoresNegativeOptionals) {
+  WeightedInfluence m({1.0, -2.0, 4.0});
+  const std::vector<int32_t> committed{0};
+  const std::vector<int32_t> optional{1, 2};
+  // Bound = 1 + max(0,-2) + max(0,4) = 5; any realizable set is <= 5.
+  EXPECT_DOUBLE_EQ(m.UpperBound(committed, optional), 5.0);
+  EXPECT_LE(m.Evaluate(std::vector<int32_t>{0, 1, 2}), 5.0);
+}
+
+// Naive reference for the capacity measure: recompute every facility's RNN
+// count after the steal.
+double NaiveCapacity(const std::vector<int32_t>& client_nn,
+                     const std::vector<int32_t>& caps, int32_t cand_cap,
+                     const std::vector<int32_t>& region) {
+  std::vector<int32_t> counts(caps.size(), 0);
+  for (const int32_t f : client_nn) ++counts[f];
+  for (const int32_t c : region) --counts[client_nn[c]];
+  double total = 0.0;
+  for (size_t f = 0; f < caps.size(); ++f) {
+    total += std::min(caps[f], counts[f]);
+  }
+  total += std::min<int32_t>(cand_cap, static_cast<int32_t>(region.size()));
+  return total;
+}
+
+TEST(CapacityInfluenceTest, MatchesNaiveOnHandCase) {
+  // 5 clients: NNs are facilities {0,0,1,1,1}; capacities {1, 2}; c(p)=2.
+  const std::vector<int32_t> client_nn{0, 0, 1, 1, 1};
+  const std::vector<int32_t> caps{1, 2};
+  CapacityInfluence m(client_nn, caps, 2);
+  // Base: min(1,2) + min(2,3) = 3.
+  EXPECT_DOUBLE_EQ(m.Evaluate({}), 3.0);
+  // Steal client 0 from facility 0: f0 has 1 left -> min(1,1)=1;
+  // candidate serves 1 -> total 1 + 2 + 1 = 4.
+  EXPECT_DOUBLE_EQ(m.Evaluate(std::vector<int32_t>{0}), 4.0);
+  // Steal all: f0 0, f1 0, candidate min(2,5)=2 -> 2.
+  EXPECT_DOUBLE_EQ(m.Evaluate(std::vector<int32_t>{0, 1, 2, 3, 4}), 2.0);
+}
+
+TEST(CapacityInfluenceTest, MatchesNaiveRandomized) {
+  Rng rng(130);
+  for (int trial = 0; trial < 100; ++trial) {
+    const int nf = 1 + static_cast<int>(rng.NextBounded(8));
+    const int nc = 1 + static_cast<int>(rng.NextBounded(40));
+    std::vector<int32_t> client_nn, caps;
+    for (int i = 0; i < nc; ++i) {
+      client_nn.push_back(static_cast<int32_t>(rng.NextBounded(nf)));
+    }
+    for (int f = 0; f < nf; ++f) {
+      caps.push_back(static_cast<int32_t>(rng.NextBounded(6)));
+    }
+    const int32_t cand_cap = static_cast<int32_t>(rng.NextBounded(6));
+    CapacityInfluence m(client_nn, caps, cand_cap);
+    for (int q = 0; q < 20; ++q) {
+      // Random subset as a region.
+      std::vector<int32_t> region;
+      for (int c = 0; c < nc; ++c) {
+        if (rng.NextDouble() < 0.3) region.push_back(c);
+      }
+      ASSERT_DOUBLE_EQ(m.Evaluate(region),
+                       NaiveCapacity(client_nn, caps, cand_cap, region));
+    }
+  }
+}
+
+TEST(CapacityInfluenceTest, UpperBoundDominatesAllSubsets) {
+  Rng rng(131);
+  const std::vector<int32_t> client_nn{0, 1, 2, 0, 1, 2, 0, 1};
+  const std::vector<int32_t> caps{2, 1, 3};
+  CapacityInfluence m(client_nn, caps, 3);
+  const std::vector<int32_t> committed{0, 3};
+  const std::vector<int32_t> optional{1, 4, 6};
+  const double bound = m.UpperBound(committed, optional);
+  // Enumerate all subsets of optional.
+  for (int mask = 0; mask < 8; ++mask) {
+    std::vector<int32_t> region = committed;
+    for (int b = 0; b < 3; ++b) {
+      if (mask & (1 << b)) region.push_back(optional[b]);
+    }
+    EXPECT_LE(m.Evaluate(region), bound + 1e-12);
+  }
+}
+
+TEST(CapacityInfluenceTest, EvaluateIsReentrantAcrossCalls) {
+  // The scratch arrays must be fully reset between calls.
+  CapacityInfluence m({0, 0, 0}, {2}, 1);
+  const double first = m.Evaluate(std::vector<int32_t>{0, 1});
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(m.Evaluate(std::vector<int32_t>{0, 1}), first);
+  }
+}
+
+TEST(ConnectivityInfluenceTest, CountsInducedEdges) {
+  // Fig. 3: o1, o2, o4 pairwise connected; o3 isolated.
+  ConnectivityInfluence m(4, {{0, 1}, {0, 3}, {1, 3}});
+  EXPECT_DOUBLE_EQ(m.Evaluate(std::vector<int32_t>{0, 1, 3}), 3.0);
+  EXPECT_DOUBLE_EQ(m.Evaluate(std::vector<int32_t>{0, 2, 3}), 1.0);
+  EXPECT_DOUBLE_EQ(m.Evaluate(std::vector<int32_t>{2}), 0.0);
+  EXPECT_DOUBLE_EQ(m.Evaluate({}), 0.0);
+}
+
+TEST(ConnectivityInfluenceTest, SelfLoopsIgnoredDuplicateEdgesCount) {
+  ConnectivityInfluence m(3, {{0, 0}, {0, 1}, {1, 0}});
+  // Self loop dropped; (0,1) appears twice -> counted twice (multigraph).
+  EXPECT_DOUBLE_EQ(m.Evaluate(std::vector<int32_t>{0, 1}), 2.0);
+}
+
+TEST(ConnectivityInfluenceTest, RandomizedAgainstNaive) {
+  Rng rng(132);
+  const int n = 30;
+  std::vector<std::pair<int32_t, int32_t>> edges;
+  for (int i = 0; i < 60; ++i) {
+    edges.push_back({static_cast<int32_t>(rng.NextBounded(n)),
+                     static_cast<int32_t>(rng.NextBounded(n))});
+  }
+  ConnectivityInfluence m(n, edges);
+  for (int q = 0; q < 50; ++q) {
+    std::vector<int32_t> region;
+    std::vector<uint8_t> in(n, 0);
+    for (int c = 0; c < n; ++c) {
+      if (rng.NextDouble() < 0.4) {
+        region.push_back(c);
+        in[c] = 1;
+      }
+    }
+    double want = 0.0;
+    for (const auto& [a, b] : edges) {
+      if (a != b && in[a] && in[b]) want += 1.0;
+    }
+    ASSERT_DOUBLE_EQ(m.Evaluate(region), want);
+  }
+}
+
+}  // namespace
+}  // namespace rnnhm

@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "index/interval_tree.h"
+
+namespace rnnhm {
+namespace {
+
+TEST(IntervalTreeTest, EmptyTree) {
+  IntervalTree tree({});
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_TRUE(tree.StabIds(0.0).empty());
+}
+
+TEST(IntervalTreeTest, SingleIntervalClosedEndpoints) {
+  IntervalTree tree({Interval{1.0, 3.0, 7}});
+  EXPECT_EQ(tree.StabIds(2.0), (std::vector<int32_t>{7}));
+  EXPECT_EQ(tree.StabIds(1.0), (std::vector<int32_t>{7}));
+  EXPECT_EQ(tree.StabIds(3.0), (std::vector<int32_t>{7}));
+  EXPECT_TRUE(tree.StabIds(0.999).empty());
+  EXPECT_TRUE(tree.StabIds(3.001).empty());
+}
+
+TEST(IntervalTreeTest, NestedAndDisjoint) {
+  IntervalTree tree({Interval{0, 10, 0}, Interval{2, 4, 1},
+                     Interval{3, 3, 2}, Interval{20, 30, 3}});
+  auto sorted = [&](double x) {
+    auto v = tree.StabIds(x);
+    std::sort(v.begin(), v.end());
+    return v;
+  };
+  EXPECT_EQ(sorted(3.0), (std::vector<int32_t>{0, 1, 2}));
+  EXPECT_EQ(sorted(5.0), (std::vector<int32_t>{0}));
+  EXPECT_EQ(sorted(25.0), (std::vector<int32_t>{3}));
+  EXPECT_TRUE(sorted(15.0).empty());
+}
+
+TEST(IntervalTreeTest, IdenticalIntervals) {
+  std::vector<Interval> intervals;
+  for (int i = 0; i < 50; ++i) intervals.push_back(Interval{1, 2, i});
+  IntervalTree tree(intervals);
+  EXPECT_EQ(tree.StabIds(1.5).size(), 50u);
+  EXPECT_TRUE(tree.StabIds(0.5).empty());
+}
+
+class IntervalTreeProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(IntervalTreeProperty, StabMatchesBruteForce) {
+  Rng rng(2400 + GetParam());
+  std::vector<Interval> intervals;
+  for (int i = 0; i < GetParam(); ++i) {
+    const double lo = rng.Uniform(0, 100);
+    intervals.push_back(Interval{lo, lo + rng.Uniform(0, 20), i});
+  }
+  IntervalTree tree(intervals);
+  for (int q = 0; q < 500; ++q) {
+    const double x = rng.Uniform(-5, 125);
+    auto got = tree.StabIds(x);
+    std::sort(got.begin(), got.end());
+    std::vector<int32_t> want;
+    for (const Interval& iv : intervals) {
+      if (iv.lo <= x && x <= iv.hi) want.push_back(iv.id);
+    }
+    ASSERT_EQ(got, want) << "x=" << x;
+  }
+}
+
+TEST_P(IntervalTreeProperty, EndpointQueriesAreExact) {
+  Rng rng(2500 + GetParam());
+  std::vector<Interval> intervals;
+  for (int i = 0; i < GetParam(); ++i) {
+    const double lo = rng.Uniform(0, 10);
+    intervals.push_back(Interval{lo, lo + rng.Uniform(0, 3), i});
+  }
+  IntervalTree tree(intervals);
+  for (const Interval& iv : intervals) {
+    for (const double x : {iv.lo, iv.hi}) {
+      auto got = tree.StabIds(x);
+      std::sort(got.begin(), got.end());
+      std::vector<int32_t> want;
+      for (const Interval& other : intervals) {
+        if (other.lo <= x && x <= other.hi) want.push_back(other.id);
+      }
+      ASSERT_EQ(got, want);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, IntervalTreeProperty,
+                         ::testing::Values(1, 10, 100, 1000),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return "n" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace rnnhm

@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "common/rng.h"
+#include "geom/geometry.h"
+#include "index/kdtree.h"
+
+namespace rnnhm {
+namespace {
+
+NnResult BruteNearest(const std::vector<Point>& pts, const Point& q,
+                      Metric metric, int32_t exclude) {
+  NnResult best;
+  best.distance = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < pts.size(); ++i) {
+    if (static_cast<int32_t>(i) == exclude) continue;
+    const double d = Distance(q, pts[i], metric);
+    if (d < best.distance ||
+        (d == best.distance && static_cast<int32_t>(i) < best.index)) {
+      best.distance = d;
+      best.index = static_cast<int32_t>(i);
+    }
+  }
+  if (best.index < 0) best.distance = 0.0;
+  return best;
+}
+
+TEST(KdTreeTest, EmptyTree) {
+  KdTree tree({});
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_EQ(tree.Nearest({0, 0}, Metric::kL2).index, -1);
+  EXPECT_TRUE(tree.KNearest({0, 0}, 3, Metric::kL2).empty());
+}
+
+TEST(KdTreeTest, SinglePoint) {
+  KdTree tree({{1, 2}});
+  const NnResult r = tree.Nearest({4, 6}, Metric::kL2);
+  EXPECT_EQ(r.index, 0);
+  EXPECT_DOUBLE_EQ(r.distance, 5.0);
+  // Excluding the only point yields no result.
+  EXPECT_EQ(tree.Nearest({4, 6}, Metric::kL2, 0).index, -1);
+}
+
+TEST(KdTreeTest, ExactHit) {
+  KdTree tree({{0, 0}, {1, 1}, {2, 2}});
+  const NnResult r = tree.Nearest({1, 1}, Metric::kL1);
+  EXPECT_EQ(r.index, 1);
+  EXPECT_DOUBLE_EQ(r.distance, 0.0);
+}
+
+struct KdTreeCase {
+  Metric metric;
+  size_t n;
+  uint64_t seed;
+};
+
+class KdTreeProperty : public ::testing::TestWithParam<KdTreeCase> {};
+
+TEST_P(KdTreeProperty, NearestMatchesBruteForce) {
+  const KdTreeCase c = GetParam();
+  Rng rng(c.seed);
+  std::vector<Point> pts;
+  for (size_t i = 0; i < c.n; ++i) {
+    pts.push_back({rng.Uniform(0, 1), rng.Uniform(0, 1)});
+  }
+  KdTree tree(pts);
+  for (int q = 0; q < 200; ++q) {
+    const Point query{rng.Uniform(-0.2, 1.2), rng.Uniform(-0.2, 1.2)};
+    const NnResult got = tree.Nearest(query, c.metric);
+    const NnResult want = BruteNearest(pts, query, c.metric, -1);
+    ASSERT_EQ(got.index, want.index) << "query " << query.x << "," << query.y;
+    EXPECT_DOUBLE_EQ(got.distance, want.distance);
+  }
+}
+
+TEST_P(KdTreeProperty, NearestWithExclusionMatchesBruteForce) {
+  const KdTreeCase c = GetParam();
+  Rng rng(c.seed + 1);
+  std::vector<Point> pts;
+  for (size_t i = 0; i < c.n; ++i) {
+    pts.push_back({rng.Uniform(0, 1), rng.Uniform(0, 1)});
+  }
+  KdTree tree(pts);
+  for (size_t i = 0; i < std::min<size_t>(c.n, 100); ++i) {
+    const int32_t exclude = static_cast<int32_t>(i);
+    const NnResult got = tree.Nearest(pts[i], c.metric, exclude);
+    const NnResult want = BruteNearest(pts, pts[i], c.metric, exclude);
+    ASSERT_EQ(got.index, want.index);
+    EXPECT_DOUBLE_EQ(got.distance, want.distance);
+    EXPECT_NE(got.index, exclude);
+  }
+}
+
+TEST_P(KdTreeProperty, KNearestMatchesBruteForce) {
+  const KdTreeCase c = GetParam();
+  Rng rng(c.seed + 2);
+  std::vector<Point> pts;
+  for (size_t i = 0; i < c.n; ++i) {
+    pts.push_back({rng.Uniform(0, 1), rng.Uniform(0, 1)});
+  }
+  KdTree tree(pts);
+  for (int q = 0; q < 50; ++q) {
+    const Point query{rng.Uniform(0, 1), rng.Uniform(0, 1)};
+    const int k = 1 + static_cast<int>(rng.NextBounded(8));
+    const auto got = tree.KNearest(query, k, c.metric);
+    // Brute force: sort all by (distance, index).
+    std::vector<NnResult> all;
+    for (size_t i = 0; i < pts.size(); ++i) {
+      all.push_back({static_cast<int32_t>(i),
+                     Distance(query, pts[i], c.metric)});
+    }
+    std::sort(all.begin(), all.end(), [](const NnResult& a, const NnResult& b) {
+      if (a.distance != b.distance) return a.distance < b.distance;
+      return a.index < b.index;
+    });
+    const size_t want_size = std::min<size_t>(k, pts.size());
+    ASSERT_EQ(got.size(), want_size);
+    for (size_t i = 0; i < want_size; ++i) {
+      EXPECT_DOUBLE_EQ(got[i].distance, all[i].distance);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, KdTreeProperty,
+    ::testing::Values(KdTreeCase{Metric::kLInf, 1, 10},
+                      KdTreeCase{Metric::kLInf, 50, 11},
+                      KdTreeCase{Metric::kLInf, 500, 12},
+                      KdTreeCase{Metric::kL1, 2, 13},
+                      KdTreeCase{Metric::kL1, 100, 14},
+                      KdTreeCase{Metric::kL1, 1000, 15},
+                      KdTreeCase{Metric::kL2, 3, 16},
+                      KdTreeCase{Metric::kL2, 200, 17},
+                      KdTreeCase{Metric::kL2, 2000, 18}),
+    [](const ::testing::TestParamInfo<KdTreeCase>& info) {
+      return MetricName(info.param.metric) + "_n" +
+             std::to_string(info.param.n);
+    });
+
+TEST(KdTreeTest, DuplicatePointsTieBreakByIndex) {
+  KdTree tree({{1, 1}, {1, 1}, {1, 1}});
+  const NnResult r = tree.Nearest({1, 1}, Metric::kL2);
+  EXPECT_EQ(r.index, 0);  // deterministic: smallest index wins ties
+  EXPECT_DOUBLE_EQ(r.distance, 0.0);
+  const NnResult r2 = tree.Nearest({1, 1}, Metric::kL2, 0);
+  EXPECT_EQ(r2.index, 1);
+}
+
+TEST(KdTreeTest, CollinearDegenerateInput) {
+  std::vector<Point> pts;
+  for (int i = 0; i < 64; ++i) pts.push_back({static_cast<double>(i), 0.0});
+  KdTree tree(pts);
+  for (int q = 0; q < 64; ++q) {
+    const Point query{q + 0.25, 3.0};
+    const NnResult got = tree.Nearest(query, Metric::kL2);
+    EXPECT_EQ(got.index, q);
+  }
+}
+
+}  // namespace
+}  // namespace rnnhm

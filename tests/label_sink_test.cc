@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "core/crest.h"
+#include "core/influence_measure.h"
+#include "core/label_sink.h"
+#include "heatmap/influence.h"
+
+namespace rnnhm {
+namespace {
+
+const Rect kRect{{0, 0}, {1, 1}};
+
+TEST(MaxInfluenceSinkTest, TracksMaxAndWitness) {
+  MaxInfluenceSink sink;
+  EXPECT_FALSE(sink.HasResult());
+  const std::vector<int32_t> a{3, 1};
+  const std::vector<int32_t> b{2};
+  sink.OnRegionLabel(Rect{{0, 0}, {1, 1}}, a, 2.0);
+  sink.OnRegionLabel(Rect{{5, 5}, {6, 6}}, b, 1.0);
+  ASSERT_TRUE(sink.HasResult());
+  EXPECT_DOUBLE_EQ(sink.max_influence(), 2.0);
+  EXPECT_EQ(sink.witness_rnn(), (std::vector<int32_t>{1, 3}));  // sorted
+  EXPECT_EQ(sink.witness(), kRect);
+}
+
+TEST(MaxInfluenceSinkTest, FirstLabelWinsTies) {
+  MaxInfluenceSink sink;
+  const std::vector<int32_t> a{0};
+  const std::vector<int32_t> b{1};
+  sink.OnRegionLabel(Rect{{0, 0}, {1, 1}}, a, 5.0);
+  sink.OnRegionLabel(Rect{{2, 2}, {3, 3}}, b, 5.0);
+  EXPECT_EQ(sink.witness_rnn(), (std::vector<int32_t>{0}));
+}
+
+TEST(MaxInfluenceSinkTest, NegativeInfluenceStillTracked) {
+  // Generic measures may be negative; the sink must report the max anyway.
+  MaxInfluenceSink sink;
+  const std::vector<int32_t> a{0};
+  sink.OnRegionLabel(kRect, a, -7.0);
+  ASSERT_TRUE(sink.HasResult());
+  EXPECT_DOUBLE_EQ(sink.max_influence(), -7.0);
+}
+
+TEST(CountingSinkTest, CountsEveryCall) {
+  CountingSink sink;
+  const std::vector<int32_t> a{0};
+  for (int i = 0; i < 17; ++i) sink.OnRegionLabel(kRect, a, 1.0);
+  EXPECT_EQ(sink.count(), 17u);
+}
+
+TEST(TeeSinkTest, BroadcastsToAllChildren) {
+  CountingSink c1, c2;
+  MaxInfluenceSink m;
+  TeeSink tee({&c1, &c2, &m});
+  const std::vector<int32_t> a{4};
+  tee.OnRegionLabel(kRect, a, 9.0);
+  tee.OnRegionLabel(kRect, a, 3.0);
+  EXPECT_EQ(c1.count(), 2u);
+  EXPECT_EQ(c2.count(), 2u);
+  EXPECT_DOUBLE_EQ(m.max_influence(), 9.0);
+}
+
+TEST(DistinctSetSinkTest, KeysAreSortedAndDeduplicated) {
+  DistinctSetSink sink;
+  const std::vector<int32_t> a{5, 2, 9};
+  const std::vector<int32_t> a_permuted{9, 5, 2};
+  sink.OnRegionLabel(kRect, a, 3.0);
+  sink.OnRegionLabel(kRect, a_permuted, 3.0);
+  ASSERT_EQ(sink.sets().size(), 1u);
+  EXPECT_TRUE(sink.sets().count({2, 5, 9}));
+}
+
+// The genericity contract: the sweep calls Evaluate exactly once per
+// labeling, never more (influence computation may be arbitrarily
+// expensive, cf. the capacity measure of [22]).
+class CountingMeasure : public InfluenceMeasure {
+ public:
+  double Evaluate(std::span<const int32_t> clients) const override {
+    ++evaluations_;
+    return static_cast<double>(clients.size());
+  }
+  mutable size_t evaluations_ = 0;
+};
+
+TEST(MeasureContractTest, OneEvaluationPerLabeling) {
+  Rng rng(77);
+  std::vector<NnCircle> circles;
+  for (int i = 0; i < 120; ++i) {
+    circles.push_back(NnCircle{{rng.Uniform(0, 1), rng.Uniform(0, 1)},
+                               rng.Uniform(0.02, 0.2), i});
+  }
+  CountingMeasure measure;
+  CountingSink sink;
+  const CrestStats stats = RunCrest(circles, measure, &sink);
+  EXPECT_EQ(measure.evaluations_, stats.num_labelings);
+}
+
+TEST(MeasureContractTest, CrestAAlsoEvaluatesOncePerLabeling) {
+  Rng rng(78);
+  std::vector<NnCircle> circles;
+  for (int i = 0; i < 80; ++i) {
+    circles.push_back(NnCircle{{rng.Uniform(0, 1), rng.Uniform(0, 1)},
+                               rng.Uniform(0.02, 0.2), i});
+  }
+  CountingMeasure measure;
+  CountingSink sink;
+  CrestOptions options;
+  options.use_changed_intervals = false;
+  const CrestStats stats = RunCrest(circles, measure, &sink, options);
+  EXPECT_EQ(measure.evaluations_, stats.num_labelings);
+}
+
+}  // namespace
+}  // namespace rnnhm

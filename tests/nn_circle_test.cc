@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include "common/rng.h"
+#include "nn/nn_circle_builder.h"
+
+namespace rnnhm {
+namespace {
+
+TEST(NnCircleBuilderTest, SingleFacility) {
+  const std::vector<Point> clients{{0, 0}, {3, 4}};
+  const std::vector<Point> facilities{{0, 0}};
+  const auto circles = BuildNnCircles(clients, facilities, Metric::kL2);
+  ASSERT_EQ(circles.size(), 2u);
+  EXPECT_DOUBLE_EQ(circles[0].radius, 0.0);  // client on top of facility
+  EXPECT_DOUBLE_EQ(circles[1].radius, 5.0);
+  EXPECT_EQ(circles[0].client, 0);
+  EXPECT_EQ(circles[1].client, 1);
+}
+
+class NnCircleProperty : public ::testing::TestWithParam<Metric> {};
+
+TEST_P(NnCircleProperty, RadiusIsExactNnDistance) {
+  const Metric metric = GetParam();
+  Rng rng(31);
+  std::vector<Point> clients, facilities;
+  for (int i = 0; i < 300; ++i) {
+    clients.push_back({rng.Uniform(0, 1), rng.Uniform(0, 1)});
+  }
+  for (int i = 0; i < 40; ++i) {
+    facilities.push_back({rng.Uniform(0, 1), rng.Uniform(0, 1)});
+  }
+  const auto circles = BuildNnCircles(clients, facilities, metric);
+  ASSERT_EQ(circles.size(), clients.size());
+  for (size_t i = 0; i < clients.size(); ++i) {
+    double want = std::numeric_limits<double>::infinity();
+    for (const Point& f : facilities) {
+      want = std::min(want, Distance(clients[i], f, metric));
+    }
+    EXPECT_DOUBLE_EQ(circles[i].radius, want);
+    EXPECT_EQ(circles[i].center, clients[i]);
+    EXPECT_EQ(circles[i].client, static_cast<int32_t>(i));
+  }
+}
+
+TEST_P(NnCircleProperty, NoFacilityStrictlyInsideAnyCircle) {
+  // Defining property of NN-circles: the open circle contains no facility.
+  const Metric metric = GetParam();
+  Rng rng(32);
+  std::vector<Point> clients, facilities;
+  for (int i = 0; i < 200; ++i) {
+    clients.push_back({rng.Uniform(0, 1), rng.Uniform(0, 1)});
+  }
+  for (int i = 0; i < 50; ++i) {
+    facilities.push_back({rng.Uniform(0, 1), rng.Uniform(0, 1)});
+  }
+  const auto circles = BuildNnCircles(clients, facilities, metric);
+  for (const NnCircle& c : circles) {
+    for (const Point& f : facilities) {
+      EXPECT_GE(Distance(c.center, f, metric), c.radius - 1e-12);
+    }
+  }
+}
+
+TEST_P(NnCircleProperty, MonochromaticExcludesSelf) {
+  const Metric metric = GetParam();
+  Rng rng(33);
+  std::vector<Point> points;
+  for (int i = 0; i < 200; ++i) {
+    points.push_back({rng.Uniform(0, 1), rng.Uniform(0, 1)});
+  }
+  const auto circles = BuildMonochromaticNnCircles(points, metric);
+  for (size_t i = 0; i < points.size(); ++i) {
+    EXPECT_GT(circles[i].radius, 0.0);  // distinct random points
+    double want = std::numeric_limits<double>::infinity();
+    for (size_t j = 0; j < points.size(); ++j) {
+      if (j == i) continue;
+      want = std::min(want, Distance(points[i], points[j], metric));
+    }
+    EXPECT_DOUBLE_EQ(circles[i].radius, want);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Metrics, NnCircleProperty,
+                         ::testing::Values(Metric::kLInf, Metric::kL1,
+                                           Metric::kL2),
+                         [](const ::testing::TestParamInfo<Metric>& info) {
+                           return MetricName(info.param);
+                         });
+
+TEST(NnCircleBuilderTest, RotateCirclesToLInfPreservesMembership) {
+  // A point is in an L1 NN-circle iff its rotation is in the rotated
+  // L-infinity circle.
+  Rng rng(34);
+  std::vector<Point> clients, facilities;
+  for (int i = 0; i < 100; ++i) {
+    clients.push_back({rng.Uniform(0, 1), rng.Uniform(0, 1)});
+  }
+  for (int i = 0; i < 10; ++i) {
+    facilities.push_back({rng.Uniform(0, 1), rng.Uniform(0, 1)});
+  }
+  const auto l1 = BuildNnCircles(clients, facilities, Metric::kL1);
+  const auto rot = RotateCirclesToLInf(l1);
+  ASSERT_EQ(rot.size(), l1.size());
+  for (int q = 0; q < 500; ++q) {
+    const Point p{rng.Uniform(0, 1), rng.Uniform(0, 1)};
+    const Point pr = RotateToLInf(p);
+    for (size_t i = 0; i < l1.size(); ++i) {
+      // Tolerate boundary coincidences by testing strictly-inside points.
+      const double d1 = DistanceL1(p, l1[i].center) - l1[i].radius;
+      const double d2 = DistanceLInf(pr, rot[i].center) - rot[i].radius;
+      if (std::fabs(d1) < 1e-9) continue;
+      ASSERT_EQ(d1 < 0, d2 < 0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rnnhm

@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "core/crest.h"
+#include "heatmap/influence.h"
+#include "heatmap/postprocess.h"
+
+namespace rnnhm {
+namespace {
+
+TEST(RegionQueryTest, TopKOrderingAndTruncation) {
+  RegionQuerySink sink;
+  const Rect r{{0, 0}, {1, 1}};
+  const std::vector<int32_t> a{0}, b{1}, c{0, 1};
+  sink.OnRegionLabel(r, a, 1.0);
+  sink.OnRegionLabel(r, b, 5.0);
+  sink.OnRegionLabel(r, c, 3.0);
+  const auto top2 = sink.TopK(2);
+  ASSERT_EQ(top2.size(), 2u);
+  EXPECT_DOUBLE_EQ(top2[0].influence, 5.0);
+  EXPECT_EQ(top2[0].rnn, b);
+  EXPECT_DOUBLE_EQ(top2[1].influence, 3.0);
+  const auto top10 = sink.TopK(10);
+  EXPECT_EQ(top10.size(), 3u);
+}
+
+TEST(RegionQueryTest, RelabelingSameSetKeepsOneEntry) {
+  RegionQuerySink sink;
+  const std::vector<int32_t> a{2, 5};
+  sink.OnRegionLabel(Rect{{0, 0}, {1, 1}}, a, 2.0);
+  sink.OnRegionLabel(Rect{{3, 3}, {4, 4}}, a, 2.0);
+  EXPECT_EQ(sink.NumDistinctSets(), 1u);
+  const auto top = sink.TopK(5);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0].representative, Rect({{3, 3}, {4, 4}}));
+}
+
+TEST(RegionQueryTest, ThresholdFiltersInclusively) {
+  RegionQuerySink sink;
+  const Rect r{{0, 0}, {1, 1}};
+  const std::vector<int32_t> a{0}, b{1}, c{2};
+  sink.OnRegionLabel(r, a, 1.0);
+  sink.OnRegionLabel(r, b, 2.0);
+  sink.OnRegionLabel(r, c, 3.0);
+  const auto above = sink.AboveThreshold(2.0);
+  ASSERT_EQ(above.size(), 2u);
+  EXPECT_DOUBLE_EQ(above[0].influence, 3.0);
+  EXPECT_DOUBLE_EQ(above[1].influence, 2.0);
+  EXPECT_TRUE(sink.AboveThreshold(100.0).empty());
+}
+
+TEST(RegionQueryTest, EndToEndWithCrest) {
+  Rng rng(150);
+  std::vector<NnCircle> circles;
+  for (int i = 0; i < 80; ++i) {
+    circles.push_back(NnCircle{{rng.Uniform(0, 1), rng.Uniform(0, 1)},
+                               rng.Uniform(0.05, 0.25), i});
+  }
+  SizeInfluence measure;
+  RegionQuerySink query;
+  MaxInfluenceSink max_sink;
+  TeeSink tee({&query, &max_sink});
+  RunCrest(circles, measure, &tee);
+  const auto top = query.TopK(5);
+  ASSERT_FALSE(top.empty());
+  // Top-1 must equal the global max; the list must be non-increasing.
+  EXPECT_DOUBLE_EQ(top[0].influence, max_sink.max_influence());
+  for (size_t i = 1; i < top.size(); ++i) {
+    EXPECT_GE(top[i - 1].influence, top[i].influence);
+  }
+  // Thresholding at the k-th value returns at least k regions.
+  const auto above = query.AboveThreshold(top.back().influence);
+  EXPECT_GE(above.size(), top.size());
+}
+
+}  // namespace
+}  // namespace rnnhm

@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/brute_force.h"
+#include "core/crest_l2.h"
+#include "core/pruning.h"
+#include "heatmap/influence.h"
+
+namespace rnnhm {
+namespace {
+
+std::vector<NnCircle> RandomDisks(int n, Rng& rng, double max_r = 0.15) {
+  std::vector<NnCircle> out;
+  for (int i = 0; i < n; ++i) {
+    out.push_back(NnCircle{{rng.Uniform(0, 1), rng.Uniform(0, 1)},
+                           rng.Uniform(0.01, max_r), i});
+  }
+  return out;
+}
+
+TEST(PruningTest, SingleDisk) {
+  const std::vector<NnCircle> disks{{{0.5, 0.5}, 0.2, 0}};
+  SizeInfluence measure;
+  const PruningResult result = RunPruning(disks, measure);
+  EXPECT_DOUBLE_EQ(result.max_influence, 1.0);
+  EXPECT_EQ(result.best_rnn, (std::vector<int32_t>{0}));
+  EXPECT_FALSE(result.timed_out);
+}
+
+TEST(PruningTest, TwoOverlappingDisks) {
+  const std::vector<NnCircle> disks{{{0.4, 0.5}, 0.2, 0},
+                                    {{0.6, 0.5}, 0.2, 1}};
+  SizeInfluence measure;
+  const PruningResult result = RunPruning(disks, measure);
+  EXPECT_DOUBLE_EQ(result.max_influence, 2.0);
+  EXPECT_EQ(result.best_rnn, (std::vector<int32_t>{0, 1}));
+}
+
+TEST(PruningTest, DisjointDisksMaxIsOne) {
+  const std::vector<NnCircle> disks{{{0.2, 0.2}, 0.05, 0},
+                                    {{0.8, 0.8}, 0.05, 1},
+                                    {{0.2, 0.8}, 0.05, 2}};
+  SizeInfluence measure;
+  const PruningResult result = RunPruning(disks, measure);
+  EXPECT_DOUBLE_EQ(result.max_influence, 1.0);
+}
+
+TEST(PruningTest, NestedDisksFindInnerRegion) {
+  const std::vector<NnCircle> disks{{{0.5, 0.5}, 0.3, 0},
+                                    {{0.5, 0.5}, 0.15, 1},
+                                    {{0.5, 0.5}, 0.05, 2}};
+  SizeInfluence measure;
+  const PruningResult result = RunPruning(disks, measure);
+  EXPECT_DOUBLE_EQ(result.max_influence, 3.0);
+  EXPECT_EQ(result.best_rnn, (std::vector<int32_t>{0, 1, 2}));
+}
+
+class PruningVsCrestL2 : public ::testing::TestWithParam<std::tuple<int, int>> {
+};
+
+TEST_P(PruningVsCrestL2, MaxInfluenceAgrees) {
+  const auto [n, seed] = GetParam();
+  Rng rng(seed);
+  const std::vector<NnCircle> disks = RandomDisks(n, rng);
+  SizeInfluence measure;
+  const PruningResult pruning = RunPruning(disks, measure);
+  ASSERT_FALSE(pruning.timed_out);
+  MaxInfluenceSink sink;
+  RunCrestL2(disks, measure, &sink);
+  ASSERT_TRUE(sink.HasResult());
+  EXPECT_DOUBLE_EQ(pruning.max_influence, sink.max_influence());
+}
+
+TEST_P(PruningVsCrestL2, BoundPruningDoesNotChangeTheAnswer) {
+  const auto [n, seed] = GetParam();
+  Rng rng(seed + 1000);
+  const std::vector<NnCircle> disks = RandomDisks(n, rng);
+  SizeInfluence measure;
+  PruningOptions no_pruning;
+  no_pruning.use_bound_pruning = false;
+  const PruningResult with = RunPruning(disks, measure);
+  const PruningResult without = RunPruning(disks, measure, no_pruning);
+  EXPECT_DOUBLE_EQ(with.max_influence, without.max_influence);
+  // Bound pruning can only reduce the explored node count.
+  EXPECT_LE(with.num_nodes, without.num_nodes);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PruningVsCrestL2,
+    ::testing::Values(std::tuple{3, 120}, std::tuple{8, 121},
+                      std::tuple{15, 122}, std::tuple{30, 123},
+                      std::tuple{60, 124}),
+    [](const ::testing::TestParamInfo<std::tuple<int, int>>& info) {
+      return "n" + std::to_string(std::get<0>(info.param)) + "_seed" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(PruningTest, TimeBudgetStopsEarly) {
+  // A dense arrangement with a tiny budget must report a timeout but still
+  // return a lower bound on the max influence.
+  Rng rng(125);
+  std::vector<NnCircle> disks;
+  for (int i = 0; i < 400; ++i) {
+    disks.push_back(NnCircle{{rng.Uniform(0.45, 0.55), rng.Uniform(0.45, 0.55)},
+                             rng.Uniform(0.3, 0.5), i});
+  }
+  SizeInfluence measure;
+  PruningOptions options;
+  options.time_budget_ms = 5.0;
+  const PruningResult result = RunPruning(disks, measure, options);
+  EXPECT_TRUE(result.timed_out);
+  EXPECT_GE(result.max_influence, 0.0);
+}
+
+TEST(PruningTest, RefinementRejectsNonexistentRegions) {
+  // Disks 0 and 2 overlap pairwise, but their lens lies entirely inside
+  // disk 1, so the enumerated combination "inside {0,2}, outside 1" does
+  // not exist. Disable bound pruning so the enumeration actually reaches
+  // those leaves and the refinement step has to reject them.
+  const std::vector<NnCircle> disks{{{0.45, 0.5}, 0.1, 0},
+                                    {{0.5, 0.5}, 0.3, 1},
+                                    {{0.55, 0.5}, 0.1, 2}};
+  SizeInfluence measure;
+  PruningOptions options;
+  options.use_bound_pruning = false;
+  const PruningResult result = RunPruning(disks, measure, options);
+  // Region {0, 2} without 1 does not exist; best is {0, 1, 2}.
+  EXPECT_DOUBLE_EQ(result.max_influence, 3.0);
+  EXPECT_GT(result.num_leaves, result.num_existing_regions);
+}
+
+TEST(PruningTest, EmptyInput) {
+  SizeInfluence measure;
+  const PruningResult result = RunPruning({}, measure);
+  EXPECT_DOUBLE_EQ(result.max_influence, 0.0);
+  EXPECT_TRUE(result.best_rnn.empty());
+}
+
+}  // namespace
+}  // namespace rnnhm

@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "geom/geometry.h"
+#include "index/quadtree.h"
+
+namespace rnnhm {
+namespace {
+
+std::vector<Rect> RandomRects(size_t n, Rng& rng, double max_size = 0.25) {
+  std::vector<Rect> out;
+  for (size_t i = 0; i < n; ++i) {
+    const double x = rng.Uniform(0, 1);
+    const double y = rng.Uniform(0, 1);
+    out.push_back(Rect{{x, y}, {x + rng.Uniform(0, max_size),
+                                y + rng.Uniform(0, max_size)}});
+  }
+  return out;
+}
+
+TEST(QuadTreeTest, EmptyTree) {
+  QuadTree tree({});
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_TRUE(tree.StabIds({0.5, 0.5}).empty());
+}
+
+TEST(QuadTreeTest, SingleRect) {
+  QuadTree tree({Rect{{0, 0}, {1, 1}}});
+  EXPECT_EQ(tree.StabIds({0.5, 0.5}), (std::vector<int32_t>{0}));
+  EXPECT_EQ(tree.StabIds({0, 0}), (std::vector<int32_t>{0}));  // corner
+  EXPECT_TRUE(tree.StabIds({1.5, 0.5}).empty());
+}
+
+TEST(QuadTreeTest, SubdividesDenseInput) {
+  Rng rng(2000);
+  const auto rects = RandomRects(500, rng, 0.05);
+  QuadTree tree(rects);
+  EXPECT_GT(tree.NumNodes(), 10u);  // actually built a hierarchy
+}
+
+class QuadTreeProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(QuadTreeProperty, StabMatchesBruteForce) {
+  Rng rng(2100 + GetParam());
+  const auto rects = RandomRects(GetParam(), rng);
+  QuadTree tree(rects);
+  for (int q = 0; q < 400; ++q) {
+    const Point p{rng.Uniform(-0.1, 1.3), rng.Uniform(-0.1, 1.3)};
+    auto got = tree.StabIds(p);
+    std::sort(got.begin(), got.end());
+    std::vector<int32_t> want;
+    for (size_t i = 0; i < rects.size(); ++i) {
+      if (rects[i].ContainsClosed(p)) want.push_back(static_cast<int32_t>(i));
+    }
+    ASSERT_EQ(got, want);
+  }
+}
+
+TEST_P(QuadTreeProperty, QueryMatchesBruteForce) {
+  Rng rng(2200 + GetParam());
+  const auto rects = RandomRects(GetParam(), rng);
+  QuadTree tree(rects);
+  for (int q = 0; q < 100; ++q) {
+    const double x = rng.Uniform(0, 1);
+    const double y = rng.Uniform(0, 1);
+    const Rect window{{x, y}, {x + 0.3, y + 0.3}};
+    std::vector<int32_t> got;
+    tree.Query(window, [&](int32_t id) { got.push_back(id); });
+    std::sort(got.begin(), got.end());
+    std::vector<int32_t> want;
+    for (size_t i = 0; i < rects.size(); ++i) {
+      if (rects[i].Intersects(window)) want.push_back(static_cast<int32_t>(i));
+    }
+    ASSERT_EQ(got, want);
+  }
+}
+
+TEST_P(QuadTreeProperty, StabOnSplitLinesIsExact) {
+  // Queries exactly on quadrant boundaries must not lose rectangles.
+  Rng rng(2300 + GetParam());
+  const auto rects = RandomRects(GetParam(), rng);
+  QuadTree tree(rects);
+  Rect bounds = EmptyRect();
+  for (const Rect& r : rects) bounds = bounds.Union(r);
+  const Point mid = bounds.Center();  // the root split point
+  for (const Point p : {mid,
+                        Point{mid.x, rng.Uniform(0, 1)},
+                        Point{rng.Uniform(0, 1), mid.y}}) {
+    auto got = tree.StabIds(p);
+    std::sort(got.begin(), got.end());
+    std::vector<int32_t> want;
+    for (size_t i = 0; i < rects.size(); ++i) {
+      if (rects[i].ContainsClosed(p)) want.push_back(static_cast<int32_t>(i));
+    }
+    ASSERT_EQ(got, want);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, QuadTreeProperty,
+                         ::testing::Values(1, 10, 100, 1000),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return "n" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace rnnhm

@@ -1,0 +1,121 @@
+// Tests of RunRegionColoring on arbitrary (non-square) rectangles — the
+// general Region Coloring problem of Definition 2 and the substrate of the
+// parallel slab decomposition.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/crest.h"
+#include "heatmap/influence.h"
+
+namespace rnnhm {
+namespace {
+
+std::vector<int32_t> OracleSet(const Point& p,
+                               const std::vector<ColoredRect>& rects) {
+  std::vector<int32_t> out;
+  for (const ColoredRect& r : rects) {
+    if (r.box.ContainsClosed(p)) out.push_back(r.client);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST(RegionColoringTest, SingleRectangle) {
+  const std::vector<ColoredRect> rects{{Rect{{0, 0}, {3, 1}}, 5}};
+  SizeInfluence measure;
+  CollectingSink sink;
+  const CrestStats stats = RunRegionColoring(rects, measure, &sink);
+  ASSERT_EQ(sink.labels().size(), 1u);
+  EXPECT_EQ(sink.labels()[0].rnn, (std::vector<int32_t>{5}));
+  EXPECT_EQ(stats.num_circles, 1u);
+}
+
+TEST(RegionColoringTest, DegenerateRectanglesSkipped) {
+  const std::vector<ColoredRect> rects{
+      {Rect{{0, 0}, {0, 1}}, 0},   // zero width
+      {Rect{{0, 0}, {1, 0}}, 1},   // zero height
+      {Rect{{2, 2}, {1, 1}}, 2},   // inverted
+      {Rect{{0, 0}, {1, 1}}, 3}};  // the only real one
+  SizeInfluence measure;
+  DistinctSetSink sink;
+  const CrestStats stats = RunRegionColoring(rects, measure, &sink);
+  EXPECT_EQ(stats.num_skipped_circles, 3u);
+  EXPECT_EQ(stats.num_circles, 1u);
+  ASSERT_EQ(sink.sets().size(), 1u);
+  EXPECT_TRUE(sink.sets().count({3}));
+}
+
+TEST(RegionColoringTest, ThinWideMixtures) {
+  // Extreme aspect ratios: a thin horizontal bar crossing a thin vertical
+  // bar produces the classic 5-region plus cross layout.
+  const std::vector<ColoredRect> rects{
+      {Rect{{0, 0.45}, {1, 0.55}}, 0},   // horizontal bar
+      {Rect{{0.45, 0}, {0.55, 1}}, 1}};  // vertical bar
+  SizeInfluence measure;
+  DistinctSetSink sink;
+  RunRegionColoring(rects, measure, &sink);
+  EXPECT_TRUE(sink.sets().count({0}));
+  EXPECT_TRUE(sink.sets().count({1}));
+  EXPECT_TRUE(sink.sets().count({0, 1}));
+}
+
+class RegionColoringProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(RegionColoringProperty, LabelsMatchOracleAtRectCenters) {
+  Rng rng(4000 + GetParam());
+  std::vector<ColoredRect> rects;
+  for (int i = 0; i < GetParam(); ++i) {
+    const double x = rng.Uniform(0, 1);
+    const double y = rng.Uniform(0, 1);
+    // Deliberately skewed aspect ratios.
+    rects.push_back(ColoredRect{
+        Rect{{x, y}, {x + rng.Uniform(0.001, 0.5), y + rng.Uniform(0.001, 0.05)}},
+        i});
+  }
+  SizeInfluence measure;
+  CollectingSink sink;
+  RunRegionColoring(rects, measure, &sink);
+  int checked = 0;
+  for (const auto& label : sink.labels()) {
+    const Rect& r = label.subregion;
+    if (!(r.lo.x < r.hi.x && r.lo.y < r.hi.y)) continue;
+    ASSERT_EQ(label.rnn, OracleSet(r.Center(), rects));
+    ++checked;
+  }
+  EXPECT_GT(checked, GetParam() / 2);
+}
+
+TEST_P(RegionColoringProperty, DistinctSetsCoverSampledPoints) {
+  Rng rng(4100 + GetParam());
+  std::vector<ColoredRect> rects;
+  for (int i = 0; i < GetParam(); ++i) {
+    const double x = rng.Uniform(0, 1);
+    const double y = rng.Uniform(0, 1);
+    rects.push_back(ColoredRect{
+        Rect{{x, y}, {x + rng.Uniform(0.01, 0.4), y + rng.Uniform(0.01, 0.4)}},
+        i});
+  }
+  SizeInfluence measure;
+  DistinctSetSink sink;
+  RunRegionColoring(rects, measure, &sink);
+  for (int q = 0; q < 3000; ++q) {
+    const Point p{rng.Uniform(0, 1.2), rng.Uniform(0, 1.2)};
+    const auto want = OracleSet(p, rects);
+    if (!want.empty()) {
+      ASSERT_TRUE(sink.sets().count(want));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RegionColoringProperty,
+                         ::testing::Values(5, 40, 200),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return "n" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace rnnhm

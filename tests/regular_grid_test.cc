@@ -1,0 +1,69 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/brute_force.h"
+#include "core/crest.h"
+#include "core/regular_grid.h"
+#include "heatmap/influence.h"
+
+namespace rnnhm {
+namespace {
+
+std::vector<NnCircle> RandomCircles(int n, Rng& rng, double max_r = 0.15) {
+  std::vector<NnCircle> out;
+  for (int i = 0; i < n; ++i) {
+    out.push_back(NnCircle{{rng.Uniform(0, 1), rng.Uniform(0, 1)},
+                           rng.Uniform(0.01, max_r), i});
+  }
+  return out;
+}
+
+TEST(RegularGridTest, LabelsEveryCellWithTheOracleSet) {
+  Rng rng(600);
+  const auto circles = RandomCircles(30, rng);
+  SizeInfluence measure;
+  CollectingSink sink;
+  const RegularGridStats stats = RunRegularGrid(circles, measure, &sink, 16);
+  EXPECT_EQ(stats.num_cells, 256u);
+  EXPECT_EQ(sink.labels().size(), 256u);
+  for (const auto& label : sink.labels()) {
+    const auto want =
+        BruteForceRnnSet(label.subregion.Center(), circles, Metric::kLInf);
+    ASSERT_EQ(label.rnn, want);
+  }
+}
+
+TEST(RegularGridTest, CoarseGridMissesRegionsFineGridWastesCells) {
+  // The Section I granularity dilemma, measured: a coarse grid reports
+  // fewer distinct RNN sets than exist; a fine grid reports (nearly) all
+  // of them but spends quadratically many cells.
+  Rng rng(601);
+  const auto circles = RandomCircles(40, rng);
+  SizeInfluence measure;
+  DistinctSetSink exact_sink;
+  RunCrest(circles, measure, &exact_sink);
+  const size_t exact = exact_sink.sets().size();
+
+  CountingSink c1, c2;
+  const RegularGridStats coarse = RunRegularGrid(circles, measure, &c1, 8);
+  const RegularGridStats fine = RunRegularGrid(circles, measure, &c2, 256);
+  EXPECT_LT(coarse.num_distinct_sets, exact);
+  EXPECT_GT(fine.num_distinct_sets, coarse.num_distinct_sets);
+  EXPECT_EQ(fine.num_cells, 256u * 256u);
+  // Even 65536 cells typically miss sliver regions entirely.
+  EXPECT_LE(fine.num_distinct_sets, exact + 1);
+}
+
+TEST(RegularGridTest, DegenerateInputs) {
+  SizeInfluence measure;
+  CountingSink sink;
+  EXPECT_EQ(RunRegularGrid({}, measure, &sink, 8).num_cells, 0u);
+  const std::vector<NnCircle> zero{{{0.5, 0.5}, 0.0, 0}};
+  EXPECT_EQ(RunRegularGrid(zero, measure, &sink, 8).num_cells, 0u);
+}
+
+}  // namespace
+}  // namespace rnnhm

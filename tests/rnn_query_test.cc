@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/brute_force.h"
+#include "query/rnn_query.h"
+
+namespace rnnhm {
+namespace {
+
+TEST(RnnQueryTest, HandExample) {
+  // Fig. 4: two clients, one facility; both NN-circles reach f1.
+  const std::vector<Point> clients{{1, 1}, {3, 2}};
+  const std::vector<Point> facilities{{2, 1}};
+  RnnQueryEngine engine(clients, facilities, Metric::kLInf);
+  // A point inside both NN-circles.
+  EXPECT_EQ(engine.Query({2.0, 1.2}), (std::vector<int32_t>{0, 1}));
+  // Far away: nobody adopts it.
+  EXPECT_TRUE(engine.Query({10, 10}).empty());
+  EXPECT_EQ(engine.QueryCount({2.0, 1.2}), 2u);
+}
+
+struct QueryCase {
+  Metric metric;
+  bool monochromatic;
+  uint64_t seed;
+};
+
+class RnnQueryProperty : public ::testing::TestWithParam<QueryCase> {};
+
+TEST_P(RnnQueryProperty, MatchesBruteForceOracle) {
+  const QueryCase c = GetParam();
+  Rng rng(c.seed);
+  std::vector<Point> clients, facilities;
+  for (int i = 0; i < 300; ++i) {
+    clients.push_back({rng.Uniform(0, 1), rng.Uniform(0, 1)});
+  }
+  for (int i = 0; i < 30; ++i) {
+    facilities.push_back({rng.Uniform(0, 1), rng.Uniform(0, 1)});
+  }
+  auto engine = c.monochromatic
+                    ? RnnQueryEngine(clients, c.metric)
+                    : RnnQueryEngine(clients, facilities, c.metric);
+  for (int q = 0; q < 500; ++q) {
+    const Point p{rng.Uniform(-0.2, 1.2), rng.Uniform(-0.2, 1.2)};
+    const auto got = engine.Query(p);
+    const auto want = BruteForceRnnSet(p, engine.circles(), c.metric);
+    ASSERT_EQ(got, want);
+    ASSERT_EQ(engine.QueryCount(p), want.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RnnQueryProperty,
+    ::testing::Values(QueryCase{Metric::kLInf, false, 500},
+                      QueryCase{Metric::kL1, false, 501},
+                      QueryCase{Metric::kL2, false, 502},
+                      QueryCase{Metric::kLInf, true, 503},
+                      QueryCase{Metric::kL1, true, 504},
+                      QueryCase{Metric::kL2, true, 505}),
+    [](const ::testing::TestParamInfo<QueryCase>& info) {
+      return MetricName(info.param.metric) +
+             (info.param.monochromatic ? "_mono" : "_bi");
+    });
+
+TEST(RnnQueryTest, MonochromaticRnnSetsAreBounded) {
+  // Korn et al.: monochromatic RNN sets have O(1) size.
+  Rng rng(506);
+  std::vector<Point> points;
+  for (int i = 0; i < 500; ++i) {
+    points.push_back({rng.Uniform(0, 1), rng.Uniform(0, 1)});
+  }
+  RnnQueryEngine engine(points, Metric::kL2);
+  for (int q = 0; q < 300; ++q) {
+    const Point p{rng.Uniform(0, 1), rng.Uniform(0, 1)};
+    EXPECT_LE(engine.QueryCount(p), 6u);  // Section VII-A
+  }
+}
+
+}  // namespace
+}  // namespace rnnhm

@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "geom/geometry.h"
+#include "index/rtree.h"
+
+namespace rnnhm {
+namespace {
+
+std::vector<Rect> RandomRects(size_t n, Rng& rng, double max_size = 0.2) {
+  std::vector<Rect> out;
+  for (size_t i = 0; i < n; ++i) {
+    const double x = rng.Uniform(0, 1);
+    const double y = rng.Uniform(0, 1);
+    const double w = rng.Uniform(0, max_size);
+    const double h = rng.Uniform(0, max_size);
+    out.push_back(Rect{{x, y}, {x + w, y + h}});
+  }
+  return out;
+}
+
+std::set<int32_t> BruteQuery(const std::vector<Rect>& rects,
+                             const Rect& window) {
+  std::set<int32_t> out;
+  for (size_t i = 0; i < rects.size(); ++i) {
+    if (rects[i].Intersects(window)) out.insert(static_cast<int32_t>(i));
+  }
+  return out;
+}
+
+std::set<int32_t> CollectQuery(const RTree& tree, const Rect& window) {
+  std::set<int32_t> out;
+  tree.Query(window, [&](int32_t id) { out.insert(id); });
+  return out;
+}
+
+TEST(RTreeTest, EmptyTree) {
+  RTree tree;
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_EQ(tree.Height(), 0);
+  EXPECT_TRUE(CollectQuery(tree, Rect{{0, 0}, {1, 1}}).empty());
+  EXPECT_EQ(tree.NearestRect({0, 0}).id, -1);
+}
+
+TEST(RTreeTest, BulkLoadSmall) {
+  RTree tree;
+  tree.BulkLoad({Rect{{0, 0}, {1, 1}}, Rect{{2, 2}, {3, 3}}});
+  EXPECT_EQ(tree.size(), 2u);
+  EXPECT_EQ(CollectQuery(tree, Rect{{0.5, 0.5}, {0.6, 0.6}}),
+            (std::set<int32_t>{0}));
+  EXPECT_EQ(CollectQuery(tree, Rect{{-1, -1}, {4, 4}}),
+            (std::set<int32_t>{0, 1}));
+}
+
+class RTreeProperty : public ::testing::TestWithParam<std::tuple<int, bool>> {
+};
+
+TEST_P(RTreeProperty, QueryMatchesBruteForce) {
+  const auto [n, bulk] = GetParam();
+  Rng rng(100 + n);
+  const std::vector<Rect> rects = RandomRects(n, rng);
+  RTree tree;
+  if (bulk) {
+    tree.BulkLoad(rects);
+  } else {
+    for (size_t i = 0; i < rects.size(); ++i) {
+      tree.Insert(rects[i], static_cast<int32_t>(i));
+    }
+  }
+  ASSERT_EQ(tree.size(), rects.size());
+  for (int q = 0; q < 100; ++q) {
+    const double x = rng.Uniform(-0.1, 1.0);
+    const double y = rng.Uniform(-0.1, 1.0);
+    const Rect window{{x, y},
+                      {x + rng.Uniform(0, 0.4), y + rng.Uniform(0, 0.4)}};
+    ASSERT_EQ(CollectQuery(tree, window), BruteQuery(rects, window));
+  }
+}
+
+TEST_P(RTreeProperty, StabMatchesBruteForce) {
+  const auto [n, bulk] = GetParam();
+  Rng rng(200 + n);
+  const std::vector<Rect> rects = RandomRects(n, rng);
+  RTree tree;
+  if (bulk) {
+    tree.BulkLoad(rects);
+  } else {
+    for (size_t i = 0; i < rects.size(); ++i) {
+      tree.Insert(rects[i], static_cast<int32_t>(i));
+    }
+  }
+  for (int q = 0; q < 200; ++q) {
+    const Point p{rng.Uniform(0, 1), rng.Uniform(0, 1)};
+    std::vector<int32_t> got = tree.StabIds(p);
+    std::sort(got.begin(), got.end());
+    std::vector<int32_t> want;
+    for (size_t i = 0; i < rects.size(); ++i) {
+      if (rects[i].ContainsClosed(p)) want.push_back(static_cast<int32_t>(i));
+    }
+    ASSERT_EQ(got, want);
+  }
+}
+
+TEST_P(RTreeProperty, NearestRectMatchesBruteForce) {
+  const auto [n, bulk] = GetParam();
+  Rng rng(300 + n);
+  const std::vector<Rect> rects = RandomRects(n, rng);
+  RTree tree;
+  if (bulk) {
+    tree.BulkLoad(rects);
+  } else {
+    for (size_t i = 0; i < rects.size(); ++i) {
+      tree.Insert(rects[i], static_cast<int32_t>(i));
+    }
+  }
+  for (int q = 0; q < 100; ++q) {
+    const Point p{rng.Uniform(-0.5, 1.5), rng.Uniform(-0.5, 1.5)};
+    const RTree::NnEntry got = tree.NearestRect(p);
+    double want = std::numeric_limits<double>::infinity();
+    for (const Rect& r : rects) want = std::min(want, r.MinDistanceL2(p));
+    ASSERT_GE(got.id, 0);
+    EXPECT_NEAR(got.distance, want, 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RTreeProperty,
+    ::testing::Combine(::testing::Values(1, 16, 17, 100, 1000),
+                       ::testing::Bool()),
+    [](const ::testing::TestParamInfo<std::tuple<int, bool>>& info) {
+      return std::string(std::get<1>(info.param) ? "bulk" : "insert") + "_n" +
+             std::to_string(std::get<0>(info.param));
+    });
+
+TEST(RTreeTest, HeightGrowsLogarithmically) {
+  Rng rng(9);
+  const std::vector<Rect> rects = RandomRects(4096, rng);
+  RTree tree;
+  tree.BulkLoad(rects);
+  // 4096 entries at fan-out 16 pack into height exactly 3.
+  EXPECT_EQ(tree.Height(), 3);
+}
+
+TEST(RTreeTest, MixedBulkThenInsert) {
+  Rng rng(10);
+  std::vector<Rect> rects = RandomRects(256, rng);
+  RTree tree;
+  tree.BulkLoad(rects);
+  const std::vector<Rect> extra = RandomRects(256, rng);
+  for (const Rect& r : extra) {
+    tree.Insert(r, static_cast<int32_t>(rects.size()));
+    rects.push_back(r);
+  }
+  EXPECT_EQ(tree.size(), 512u);
+  for (int q = 0; q < 50; ++q) {
+    const double x = rng.Uniform(0, 1);
+    const double y = rng.Uniform(0, 1);
+    const Rect window{{x, y}, {x + 0.2, y + 0.2}};
+    ASSERT_EQ(CollectQuery(tree, window), BruteQuery(rects, window));
+  }
+}
+
+}  // namespace
+}  // namespace rnnhm

@@ -1,0 +1,60 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "common/rng.h"
+#include "heatmap/heatmap.h"
+#include "heatmap/serialization.h"
+
+namespace rnnhm {
+namespace {
+
+TEST(SerializationTest, RoundTripPreservesEverything) {
+  Rng rng(3000);
+  HeatmapGrid grid(37, 21, Rect{{-2.5, 3.5}, {4.5, 9.5}});
+  for (int i = 0; i < 37; ++i) {
+    for (int j = 0; j < 21; ++j) grid.At(i, j) = rng.Uniform(-5, 5);
+  }
+  const std::string path = "/tmp/rnnhm_grid.bin";
+  ASSERT_TRUE(SaveHeatmap(grid, path));
+  const auto loaded = LoadHeatmap(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->width(), grid.width());
+  EXPECT_EQ(loaded->height(), grid.height());
+  EXPECT_EQ(loaded->domain(), grid.domain());
+  for (int i = 0; i < 37; ++i) {
+    for (int j = 0; j < 21; ++j) {
+      ASSERT_DOUBLE_EQ(loaded->At(i, j), grid.At(i, j));
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, MissingFileFails) {
+  EXPECT_FALSE(LoadHeatmap("/nonexistent/grid.bin").has_value());
+  HeatmapGrid grid(2, 2, Rect{{0, 0}, {1, 1}});
+  EXPECT_FALSE(SaveHeatmap(grid, "/nonexistent_dir/grid.bin"));
+}
+
+TEST(SerializationTest, RejectsBadMagicAndTruncation) {
+  const std::string path = "/tmp/rnnhm_bad.bin";
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  std::fputs("not a heatmap at all", f);
+  std::fclose(f);
+  EXPECT_FALSE(LoadHeatmap(path).has_value());
+
+  // Valid header, truncated payload.
+  HeatmapGrid grid(64, 64, Rect{{0, 0}, {1, 1}}, 1.0);
+  ASSERT_TRUE(SaveHeatmap(grid, path));
+  f = std::fopen(path.c_str(), "r+b");
+  std::fseek(f, 0, SEEK_END);
+  const long full = std::ftell(f);
+  std::fclose(f);
+  ASSERT_EQ(truncate(path.c_str(), full / 2), 0);
+  EXPECT_FALSE(LoadHeatmap(path).has_value());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace rnnhm

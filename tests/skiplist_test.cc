@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "index/skiplist.h"
+
+namespace rnnhm {
+namespace {
+
+using List = SkipList<double, int>;
+
+std::vector<std::pair<double, int>> Contents(const List& list) {
+  std::vector<std::pair<double, int>> out;
+  for (auto* n = list.First(); n != nullptr; n = List::Next(n)) {
+    out.push_back({n->key, n->value});
+  }
+  return out;
+}
+
+TEST(SkipListTest, EmptyList) {
+  List list;
+  EXPECT_TRUE(list.empty());
+  EXPECT_EQ(list.First(), nullptr);
+  EXPECT_EQ(list.Last(), nullptr);
+  EXPECT_EQ(list.LowerBound(0.0), nullptr);
+  EXPECT_EQ(list.UpperBound(0.0), nullptr);
+}
+
+TEST(SkipListTest, InsertKeepsOrder) {
+  List list;
+  list.Insert(3.0, 3);
+  list.Insert(1.0, 1);
+  list.Insert(2.0, 2);
+  ASSERT_EQ(list.size(), 3u);
+  const auto c = Contents(list);
+  EXPECT_EQ(c, (std::vector<std::pair<double, int>>{{1, 1}, {2, 2}, {3, 3}}));
+  EXPECT_EQ(list.First()->value, 1);
+  EXPECT_EQ(list.Last()->value, 3);
+}
+
+TEST(SkipListTest, EqualKeysInsertAfterExisting) {
+  List list;
+  list.Insert(1.0, 10);
+  list.Insert(1.0, 11);
+  list.Insert(1.0, 12);
+  const auto c = Contents(list);
+  EXPECT_EQ(c,
+            (std::vector<std::pair<double, int>>{{1, 10}, {1, 11}, {1, 12}}));
+}
+
+TEST(SkipListTest, EraseByHandle) {
+  List list;
+  auto* a = list.Insert(1.0, 1);
+  auto* b = list.Insert(2.0, 2);
+  auto* c = list.Insert(3.0, 3);
+  list.Erase(b);
+  EXPECT_EQ(Contents(list),
+            (std::vector<std::pair<double, int>>{{1, 1}, {3, 3}}));
+  EXPECT_EQ(List::Next(a), c);
+  EXPECT_EQ(list.Prev(c), a);
+  list.Erase(a);
+  EXPECT_EQ(list.First(), c);
+  EXPECT_EQ(list.Prev(c), nullptr);
+  list.Erase(c);
+  EXPECT_TRUE(list.empty());
+  EXPECT_EQ(list.Last(), nullptr);
+}
+
+TEST(SkipListTest, EraseAmongEqualKeysRemovesExactNode) {
+  List list;
+  auto* a = list.Insert(1.0, 10);
+  auto* b = list.Insert(1.0, 11);
+  auto* c = list.Insert(1.0, 12);
+  list.Erase(b);
+  EXPECT_EQ(Contents(list),
+            (std::vector<std::pair<double, int>>{{1, 10}, {1, 12}}));
+  EXPECT_EQ(List::Next(a), c);
+  list.Erase(a);
+  list.Erase(c);
+  EXPECT_TRUE(list.empty());
+}
+
+TEST(SkipListTest, LowerAndUpperBound) {
+  List list;
+  for (const double k : {1.0, 2.0, 2.0, 4.0}) {
+    list.Insert(k, static_cast<int>(k * 10));
+  }
+  EXPECT_EQ(list.LowerBound(0.0)->key, 1.0);
+  EXPECT_EQ(list.LowerBound(2.0)->key, 2.0);
+  EXPECT_EQ(list.UpperBound(2.0)->key, 4.0);
+  EXPECT_EQ(list.LowerBound(3.0)->key, 4.0);
+  EXPECT_EQ(list.LowerBound(5.0), nullptr);
+  EXPECT_EQ(list.UpperBound(4.0), nullptr);
+  // LowerBound of an equal-key run returns the first among equals.
+  auto* lb = list.LowerBound(2.0);
+  EXPECT_EQ(lb->value, 20);
+}
+
+TEST(SkipListTest, PrevWalksBackward) {
+  List list;
+  for (int i = 0; i < 10; ++i) list.Insert(i, i);
+  auto* n = list.Last();
+  for (int i = 9; i >= 0; --i) {
+    ASSERT_NE(n, nullptr);
+    EXPECT_EQ(n->value, i);
+    n = list.Prev(n);
+  }
+  EXPECT_EQ(n, nullptr);
+}
+
+// Property: a long random mixed workload agrees with std::multimap.
+TEST(SkipListTest, RandomizedAgainstMultimap) {
+  Rng rng(42);
+  List list;
+  std::multimap<double, int> reference;
+  std::vector<List::Node*> handles;
+  std::vector<std::multimap<double, int>::iterator> ref_iters;
+  for (int step = 0; step < 20000; ++step) {
+    const bool insert = handles.empty() || rng.NextDouble() < 0.6;
+    if (insert) {
+      const double key = rng.Uniform(0, 100);
+      const int value = step;
+      handles.push_back(list.Insert(key, value));
+      ref_iters.push_back(reference.emplace(key, value));
+    } else {
+      const size_t i = rng.NextBounded(handles.size());
+      list.Erase(handles[i]);
+      reference.erase(ref_iters[i]);
+      handles.erase(handles.begin() + i);
+      ref_iters.erase(ref_iters.begin() + i);
+    }
+    ASSERT_EQ(list.size(), reference.size());
+  }
+  // Key multisets agree (values may interleave among equal keys, which the
+  // line status tolerates).
+  std::multiset<double> got, want;
+  for (auto* n = list.First(); n != nullptr; n = List::Next(n)) {
+    got.insert(n->key);
+  }
+  for (const auto& [k, v] : reference) want.insert(k);
+  EXPECT_EQ(got, want);
+  // Keys must be non-decreasing along the list.
+  for (auto* n = list.First(); n != nullptr; n = List::Next(n)) {
+    auto* nxt = List::Next(n);
+    if (nxt != nullptr) {
+      EXPECT_LE(n->key, nxt->key);
+    }
+  }
+  // LowerBound agrees with the reference on random probes.
+  for (int probe = 0; probe < 1000; ++probe) {
+    const double k = rng.Uniform(-5, 105);
+    auto* lb = list.LowerBound(k);
+    auto ref_lb = reference.lower_bound(k);
+    if (ref_lb == reference.end()) {
+      EXPECT_EQ(lb, nullptr);
+    } else {
+      ASSERT_NE(lb, nullptr);
+      EXPECT_EQ(lb->key, ref_lb->first);
+    }
+  }
+}
+
+TEST(SkipListTest, DeterministicAcrossRuns) {
+  auto build = [] {
+    List list(123);
+    Rng rng(7);
+    std::vector<List::Node*> handles;
+    for (int i = 0; i < 500; ++i) {
+      handles.push_back(list.Insert(rng.Uniform(0, 10), i));
+      if (i % 3 == 0) {
+        const size_t victim = rng.NextBounded(handles.size());
+        list.Erase(handles[victim]);
+        handles.erase(handles.begin() + victim);
+      }
+    }
+    return Contents(list);
+  };
+  EXPECT_EQ(build(), build());
+}
+
+TEST(SkipListTest, LargeSequentialInsertStaysLogarithmic) {
+  // Smoke check that tower heights are sane: 100k sequential inserts and
+  // full scan complete quickly and in order.
+  List list;
+  for (int i = 0; i < 100000; ++i) list.Insert(static_cast<double>(i), i);
+  EXPECT_EQ(list.size(), 100000u);
+  int expected = 0;
+  for (auto* n = list.First(); n != nullptr; n = List::Next(n)) {
+    ASSERT_EQ(n->value, expected++);
+  }
+  EXPECT_EQ(expected, 100000);
+}
+
+}  // namespace
+}  // namespace rnnhm

@@ -1,0 +1,156 @@
+// Invariants of the strip-rasterization hook (DESIGN.md "Strip visitor"):
+// spans tile each strip exactly — same x-range, non-overlapping y-ranges in
+// ascending order — and carry influence values that match the oracle.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/brute_force.h"
+#include "core/crest.h"
+#include "heatmap/influence.h"
+
+namespace rnnhm {
+namespace {
+
+struct Span {
+  double x0, x1, y0, y1, influence;
+};
+
+class RecordingStripSink : public StripSink {
+ public:
+  void OnSpan(double x0, double x1, double y0, double y1,
+              double influence) override {
+    spans.push_back(Span{x0, x1, y0, y1, influence});
+  }
+  std::vector<Span> spans;
+};
+
+std::vector<NnCircle> RandomCircles(int n, Rng& rng, double max_r = 0.2) {
+  std::vector<NnCircle> out;
+  for (int i = 0; i < n; ++i) {
+    out.push_back(NnCircle{{rng.Uniform(0, 1), rng.Uniform(0, 1)},
+                           rng.Uniform(0.02, max_r), i});
+  }
+  return out;
+}
+
+class StripSinkProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(StripSinkProperty, SpansTileStripsInOrder) {
+  Rng rng(700 + GetParam());
+  const auto circles = RandomCircles(GetParam(), rng);
+  SizeInfluence measure;
+  RecordingStripSink strip;
+  CountingSink counter;
+  CrestOptions options;
+  options.strip_sink = &strip;
+  RunCrest(circles, measure, &counter, options);
+  ASSERT_FALSE(strip.spans.empty());
+  // Group by strip (x0, x1); within each strip, spans must be y-ascending
+  // and non-overlapping, with consistent x-ranges.
+  for (size_t i = 0; i < strip.spans.size(); ++i) {
+    const Span& s = strip.spans[i];
+    ASSERT_LT(s.x0, s.x1);
+    ASSERT_LT(s.y0, s.y1);
+    if (i > 0) {
+      const Span& prev = strip.spans[i - 1];
+      if (prev.x0 == s.x0) {
+        ASSERT_EQ(prev.x1, s.x1);
+        ASSERT_LE(prev.y1, s.y0) << "spans overlap within a strip";
+      } else {
+        ASSERT_LE(prev.x1, s.x0) << "strips out of order";
+      }
+    }
+  }
+}
+
+TEST_P(StripSinkProperty, SpanValuesMatchOracleAtSpanCenters) {
+  Rng rng(800 + GetParam());
+  const auto circles = RandomCircles(GetParam(), rng);
+  SizeInfluence measure;
+  RecordingStripSink strip;
+  CountingSink counter;
+  CrestOptions options;
+  options.strip_sink = &strip;
+  RunCrest(circles, measure, &counter, options);
+  for (const Span& s : strip.spans) {
+    const Point center{(s.x0 + s.x1) / 2, (s.y0 + s.y1) / 2};
+    const auto rnn = BruteForceRnnSet(center, circles, Metric::kLInf);
+    ASSERT_DOUBLE_EQ(s.influence, static_cast<double>(rnn.size()))
+        << "span at (" << center.x << ", " << center.y << ")";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, StripSinkProperty,
+                         ::testing::Values(2, 10, 50, 150),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return "n" + std::to_string(info.param);
+                         });
+
+TEST(StripSinkTest, RegressionRevivedTopmostPairValue) {
+  // Pattern that left a stale cached span value: circle 0's upper side
+  // pairs with circle 1's range (value {1}); circle 1 is removed, making
+  // circle 0's upper side the topmost element (no pair); circle 2 is later
+  // inserted above it, reviving the pair with the empty set — the cached
+  // value must not leak the old {1}.
+  const std::vector<NnCircle> circles{
+      {{0.2100, 0.6383}, 0.1080, 0},   // removed first
+      {{0.3285, 0.4228}, 0.1285, 1},   // its upper side survives
+      {{0.4284, 0.6400}, 0.0348, 2}};  // inserted above the gap
+  SizeInfluence measure;
+  RecordingStripSink strip;
+  CountingSink counter;
+  CrestOptions options;
+  options.strip_sink = &strip;
+  RunCrest(circles, measure, &counter, options);
+  for (const Span& s : strip.spans) {
+    const Point center{(s.x0 + s.x1) / 2, (s.y0 + s.y1) / 2};
+    const auto rnn = BruteForceRnnSet(center, circles, Metric::kLInf);
+    ASSERT_DOUBLE_EQ(s.influence, static_cast<double>(rnn.size()))
+        << "span at (" << center.x << ", " << center.y << ")";
+  }
+}
+
+TEST(StripSinkTest, ManySeedsRasterMatchesBruteForce) {
+  // Broad randomized sweep of the raster path (the staleness bug above
+  // needed a specific removal/insertion pattern to surface).
+  SizeInfluence measure;
+  for (const uint64_t seed : {11u, 212u, 1212u, 9001u, 4444u}) {
+    Rng rng(seed);
+    const int n = 5 + static_cast<int>(rng.NextBounded(60));
+    const auto circles = RandomCircles(n, rng, 0.15);
+    RecordingStripSink strip;
+    CountingSink counter;
+    CrestOptions options;
+    options.strip_sink = &strip;
+    RunCrest(circles, measure, &counter, options);
+    for (const Span& s : strip.spans) {
+      const Point center{(s.x0 + s.x1) / 2, (s.y0 + s.y1) / 2};
+      const auto rnn = BruteForceRnnSet(center, circles, Metric::kLInf);
+      ASSERT_DOUBLE_EQ(s.influence, static_cast<double>(rnn.size()))
+          << "seed " << seed;
+    }
+  }
+}
+
+TEST(StripSinkTest, CrestAModeAlsoSupportsStrips) {
+  Rng rng(900);
+  const auto circles = RandomCircles(60, rng);
+  SizeInfluence measure;
+  RecordingStripSink strip;
+  CountingSink counter;
+  CrestOptions options;
+  options.strip_sink = &strip;
+  options.use_changed_intervals = false;
+  RunCrest(circles, measure, &counter, options);
+  for (const Span& s : strip.spans) {
+    const Point center{(s.x0 + s.x1) / 2, (s.y0 + s.y1) / 2};
+    const auto rnn = BruteForceRnnSet(center, circles, Metric::kLInf);
+    ASSERT_DOUBLE_EQ(s.influence, static_cast<double>(rnn.size()));
+  }
+}
+
+}  // namespace
+}  // namespace rnnhm

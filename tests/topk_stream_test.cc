@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "core/crest.h"
+#include "heatmap/influence.h"
+#include "heatmap/postprocess.h"
+#include "heatmap/topk_stream.h"
+
+namespace rnnhm {
+namespace {
+
+TEST(TopKStreamTest, KeepsBestKDistinct) {
+  TopKStreamSink sink(2);
+  const Rect r{{0, 0}, {1, 1}};
+  const std::vector<int32_t> a{0}, b{1}, c{2}, d{3};
+  sink.OnRegionLabel(r, a, 1.0);
+  sink.OnRegionLabel(r, b, 5.0);
+  sink.OnRegionLabel(r, c, 3.0);
+  sink.OnRegionLabel(r, d, 0.5);
+  const auto result = sink.Result();
+  ASSERT_EQ(result.size(), 2u);
+  EXPECT_DOUBLE_EQ(result[0].influence, 5.0);
+  EXPECT_DOUBLE_EQ(result[1].influence, 3.0);
+  EXPECT_DOUBLE_EQ(sink.Threshold(), 3.0);
+}
+
+TEST(TopKStreamTest, DuplicateSetsCountOnce) {
+  TopKStreamSink sink(3);
+  const Rect r{{0, 0}, {1, 1}};
+  const std::vector<int32_t> a{7, 3};
+  for (int i = 0; i < 10; ++i) sink.OnRegionLabel(r, a, 4.0);
+  const auto result = sink.Result();
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_EQ(result[0].rnn, (std::vector<int32_t>{3, 7}));  // sorted
+}
+
+TEST(TopKStreamTest, ZeroKIsANoOp) {
+  TopKStreamSink sink(0);
+  const std::vector<int32_t> a{0};
+  sink.OnRegionLabel(Rect{{0, 0}, {1, 1}}, a, 9.0);
+  EXPECT_TRUE(sink.Result().empty());
+}
+
+TEST(TopKStreamTest, ThresholdIsMinusInfinityUntilFull) {
+  TopKStreamSink sink(2);
+  const std::vector<int32_t> a{0};
+  EXPECT_LT(sink.Threshold(), -1e308);
+  sink.OnRegionLabel(Rect{{0, 0}, {1, 1}}, a, 1.0);
+  EXPECT_LT(sink.Threshold(), -1e308);
+  const std::vector<int32_t> b{1};
+  sink.OnRegionLabel(Rect{{0, 0}, {1, 1}}, b, 2.0);
+  EXPECT_DOUBLE_EQ(sink.Threshold(), 1.0);
+}
+
+TEST(TopKStreamTest, AgreesWithRegionQuerySinkOnRealSweep) {
+  Rng rng(620);
+  std::vector<NnCircle> circles;
+  for (int i = 0; i < 150; ++i) {
+    circles.push_back(NnCircle{{rng.Uniform(0, 1), rng.Uniform(0, 1)},
+                               rng.Uniform(0.03, 0.2), i});
+  }
+  SizeInfluence measure;
+  for (const size_t k : {1u, 5u, 20u}) {
+    TopKStreamSink stream(k);
+    RegionQuerySink reference;
+    TeeSink tee({&stream, &reference});
+    RunCrest(circles, measure, &tee);
+    const auto got = stream.Result();
+    const auto want = reference.TopK(k);
+    ASSERT_EQ(got.size(), want.size());
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_DOUBLE_EQ(got[i].influence, want[i].influence) << "k=" << k;
+      EXPECT_EQ(got[i].rnn, want[i].rnn) << "k=" << k;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rnnhm

@@ -1,0 +1,349 @@
+// rnnhm — command-line front end to the library.
+//
+// Subcommands:
+//   generate <nyc|la|uniform|zipfian> <count> <out.csv> [--seed S]
+//       Write a synthetic data set as "x,y" CSV.
+//   heatmap --clients A.csv --facilities B.csv [--metric linf|l1|l2]
+//           [--size N] [--out map.ppm] [--ascii]
+//       Build the RNN heat map (size measure) and export it.
+//   topk --clients A.csv --facilities B.csv [--metric ...] [--k K]
+//       Print the K most influential regions.
+//   query --clients A.csv --facilities B.csv --x X --y Y [--metric ...]
+//       Print R((X, Y)): the clients a facility at that point would win.
+//   render --load map.bin [--out map.ppm] [--ascii]
+//       Re-render a heat map saved with `heatmap --save`.
+//   stats --clients A.csv --facilities B.csv [--metric linf|l1]
+//       Exact area-weighted influence distribution (histogram, quantiles).
+//
+// Exit codes: 0 success, 1 usage error, 2 I/O failure.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/crest.h"
+#include "core/crest_l2.h"
+#include "data/dataset.h"
+#include "data/generators.h"
+#include "data/io.h"
+#include "heatmap/ascii.h"
+#include "heatmap/heatmap.h"
+#include "heatmap/histogram.h"
+#include "heatmap/image.h"
+#include "heatmap/influence.h"
+#include "heatmap/postprocess.h"
+#include "heatmap/serialization.h"
+#include "nn/nn_circle_builder.h"
+#include "query/rnn_query.h"
+
+namespace {
+
+using namespace rnnhm;
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  rnnhm_cli generate <nyc|la|uniform|zipfian> <count> <out.csv> "
+      "[--seed S]\n"
+      "  rnnhm_cli heatmap --clients A.csv --facilities B.csv\n"
+      "            [--metric linf|l1|l2] [--size N] [--out map.ppm] "
+      "[--ascii]\n"
+      "  rnnhm_cli topk --clients A.csv --facilities B.csv [--k K] "
+      "[--metric ...]\n"
+      "  rnnhm_cli query --clients A.csv --facilities B.csv --x X --y Y "
+      "[--metric ...]\n");
+  return 1;
+}
+
+// Minimal flag parser: --name value pairs after the subcommand.
+struct Args {
+  std::vector<std::string> positional;
+  std::vector<std::pair<std::string, std::string>> flags;
+
+  const char* Flag(const std::string& name,
+                   const char* fallback = nullptr) const {
+    for (const auto& [k, v] : flags) {
+      if (k == name) return v.c_str();
+    }
+    return fallback;
+  }
+  bool Has(const std::string& name) const {
+    for (const auto& [k, v] : flags) {
+      if (k == name) return true;
+    }
+    return false;
+  }
+};
+
+bool Parse(int argc, char** argv, Args* out) {
+  for (int i = 2; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--", 2) == 0) {
+      const std::string name = argv[i] + 2;
+      if (name == "ascii") {  // boolean flag
+        out->flags.emplace_back(name, "1");
+      } else if (i + 1 < argc) {
+        out->flags.emplace_back(name, argv[++i]);
+      } else {
+        return false;
+      }
+    } else {
+      out->positional.push_back(argv[i]);
+    }
+  }
+  return true;
+}
+
+bool ParseMetric(const Args& args, Metric* metric) {
+  const std::string name = args.Flag("metric", "l1");
+  if (name == "linf") {
+    *metric = Metric::kLInf;
+  } else if (name == "l1") {
+    *metric = Metric::kL1;
+  } else if (name == "l2") {
+    *metric = Metric::kL2;
+  } else {
+    std::fprintf(stderr, "unknown metric '%s'\n", name.c_str());
+    return false;
+  }
+  return true;
+}
+
+bool LoadWorkload(const Args& args, std::vector<Point>* clients,
+                  std::vector<Point>* facilities) {
+  const char* cpath = args.Flag("clients");
+  const char* fpath = args.Flag("facilities");
+  if (cpath == nullptr || fpath == nullptr) {
+    std::fprintf(stderr, "--clients and --facilities are required\n");
+    return false;
+  }
+  if (!ReadPointsCsv(cpath, clients) || clients->empty()) {
+    std::fprintf(stderr, "failed to read clients from %s\n", cpath);
+    return false;
+  }
+  if (!ReadPointsCsv(fpath, facilities) || facilities->empty()) {
+    std::fprintf(stderr, "failed to read facilities from %s\n", fpath);
+    return false;
+  }
+  return true;
+}
+
+int CmdGenerate(const Args& args) {
+  if (args.positional.size() != 3) return Usage();
+  const std::string kind_name = args.positional[0];
+  const size_t count = std::strtoull(args.positional[1].c_str(), nullptr, 10);
+  const uint64_t seed = std::strtoull(args.Flag("seed", "1"), nullptr, 10);
+  DatasetKind kind;
+  if (kind_name == "nyc") {
+    kind = DatasetKind::kNyc;
+  } else if (kind_name == "la") {
+    kind = DatasetKind::kLa;
+  } else if (kind_name == "uniform") {
+    kind = DatasetKind::kUniform;
+  } else if (kind_name == "zipfian") {
+    kind = DatasetKind::kZipfian;
+  } else {
+    std::fprintf(stderr, "unknown data set '%s'\n", kind_name.c_str());
+    return 1;
+  }
+  const Dataset ds = MakeDataset(kind, seed, count);
+  if (!WritePointsCsv(ds.points, args.positional[2])) {
+    std::fprintf(stderr, "cannot write %s\n", args.positional[2].c_str());
+    return 2;
+  }
+  std::printf("wrote %zu %s points to %s\n", ds.points.size(),
+              ds.name.c_str(), args.positional[2].c_str());
+  return 0;
+}
+
+int CmdHeatmap(const Args& args) {
+  std::vector<Point> clients, facilities;
+  Metric metric;
+  if (!LoadWorkload(args, &clients, &facilities) ||
+      !ParseMetric(args, &metric)) {
+    return 1;
+  }
+  const int size = std::atoi(args.Flag("size", "512"));
+  if (size <= 0) return Usage();
+  SizeInfluence measure;
+  const Rect domain = BoundingBox(clients, 0.02);
+  HeatmapGrid grid = [&] {
+    switch (metric) {
+      case Metric::kLInf:
+        return BuildHeatmapLInf(
+            BuildNnCircles(clients, facilities, Metric::kLInf), measure,
+            domain, size, size);
+      case Metric::kL1:
+        return BuildHeatmapL1(clients, facilities, measure, domain, size,
+                              size);
+      case Metric::kL2:
+      default:
+        // Exact strips are square/diamond-specific; the L2 map is built by
+        // per-pixel evaluation (exact at pixel centers).
+        return BuildHeatmapBruteForce(
+            BuildNnCircles(clients, facilities, Metric::kL2), Metric::kL2,
+            measure, domain, size, size);
+    }
+  }();
+  std::printf("heat map %dx%d, max influence %.0f\n", size, size,
+              grid.MaxValue());
+  if (args.Has("ascii")) {
+    std::fputs(RenderAscii(grid).c_str(), stdout);
+  }
+  const char* out = args.Flag("out");
+  if (out != nullptr) {
+    if (!WritePpm(grid, out)) {
+      std::fprintf(stderr, "cannot write %s\n", out);
+      return 2;
+    }
+    std::printf("wrote %s\n", out);
+  }
+  const char* save = args.Flag("save");
+  if (save != nullptr) {
+    if (!SaveHeatmap(grid, save)) {
+      std::fprintf(stderr, "cannot save %s\n", save);
+      return 2;
+    }
+    std::printf("saved %s\n", save);
+  }
+  return 0;
+}
+
+int CmdRender(const Args& args) {
+  const char* load = args.Flag("load");
+  if (load == nullptr) {
+    std::fprintf(stderr, "--load is required\n");
+    return 1;
+  }
+  const auto grid = LoadHeatmap(load);
+  if (!grid.has_value()) {
+    std::fprintf(stderr, "cannot load %s\n", load);
+    return 2;
+  }
+  std::printf("loaded %dx%d heat map, max influence %.0f\n", grid->width(),
+              grid->height(), grid->MaxValue());
+  if (args.Has("ascii")) {
+    std::fputs(RenderAscii(*grid).c_str(), stdout);
+  }
+  const char* out = args.Flag("out");
+  if (out != nullptr) {
+    if (!WritePpm(*grid, out)) {
+      std::fprintf(stderr, "cannot write %s\n", out);
+      return 2;
+    }
+    std::printf("wrote %s\n", out);
+  }
+  return 0;
+}
+
+int CmdStats(const Args& args) {
+  std::vector<Point> clients, facilities;
+  Metric metric;
+  if (!LoadWorkload(args, &clients, &facilities) ||
+      !ParseMetric(args, &metric)) {
+    return 1;
+  }
+  if (metric == Metric::kL2) {
+    std::fprintf(stderr,
+                 "stats uses the exact strip decomposition (linf/l1)\n");
+    return 1;
+  }
+  SizeInfluence measure;
+  auto circles = BuildNnCircles(clients, facilities, metric);
+  if (metric == Metric::kL1) circles = RotateCirclesToLInf(circles);
+  AreaHistogramSink histogram;
+  CountingSink counter;
+  CrestOptions options;
+  options.strip_sink = &histogram;
+  RunCrest(circles, measure, &counter, options);
+  const double total = histogram.TotalArea();
+  std::printf("arrangement area: %.6f (note: L1 stats are computed in the "
+              "rotated frame; areas are preserved)\n", total);
+  std::printf("area-weighted influence quantiles:\n");
+  for (const double q : {0.01, 0.05, 0.25, 0.50}) {
+    std::printf("  top %4.0f%% of area has influence >= %.0f\n", q * 100,
+                histogram.QuantileInfluence(q));
+  }
+  std::printf("area by influence (head):\n");
+  int shown = 0;
+  for (auto it = histogram.area_by_influence().rbegin();
+       it != histogram.area_by_influence().rend() && shown < 10;
+       ++it, ++shown) {
+    std::printf("  influence %4.0f: %.2f%% of area\n", it->first,
+                100.0 * it->second / total);
+  }
+  return 0;
+}
+
+int CmdTopK(const Args& args) {
+  std::vector<Point> clients, facilities;
+  Metric metric;
+  if (!LoadWorkload(args, &clients, &facilities) ||
+      !ParseMetric(args, &metric)) {
+    return 1;
+  }
+  const size_t k = std::strtoull(args.Flag("k", "5"), nullptr, 10);
+  SizeInfluence measure;
+  const auto circles = BuildNnCircles(clients, facilities, metric);
+  RegionQuerySink regions;
+  switch (metric) {
+    case Metric::kLInf:
+      RunCrest(circles, measure, &regions);
+      break;
+    case Metric::kL1:
+      RunCrestL1(circles, measure, &regions);
+      break;
+    case Metric::kL2:
+      RunCrestL2(circles, measure, &regions);
+      break;
+  }
+  std::printf("top-%zu regions by influence (|RNN set|):\n", k);
+  for (const InfluentialRegion& r : regions.TopK(k)) {
+    Point site = r.representative.Center();
+    if (metric == Metric::kL1) site = RotateFromLInf(site);
+    std::printf("  %.0f clients near (%.6f, %.6f)\n", r.influence, site.x,
+                site.y);
+  }
+  return 0;
+}
+
+int CmdQuery(const Args& args) {
+  std::vector<Point> clients, facilities;
+  Metric metric;
+  if (!LoadWorkload(args, &clients, &facilities) ||
+      !ParseMetric(args, &metric)) {
+    return 1;
+  }
+  if (!args.Has("x") || !args.Has("y")) {
+    std::fprintf(stderr, "--x and --y are required\n");
+    return 1;
+  }
+  const Point q{std::atof(args.Flag("x")), std::atof(args.Flag("y"))};
+  RnnQueryEngine engine(clients, facilities, metric);
+  const auto rnn = engine.Query(q);
+  std::printf("R((%.6f, %.6f)) under %s: %zu clients\n", q.x, q.y,
+              MetricName(metric).c_str(), rnn.size());
+  for (const int32_t c : rnn) {
+    std::printf("  client %d at (%.6f, %.6f)\n", c, clients[c].x,
+                clients[c].y);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  Args args;
+  if (!Parse(argc, argv, &args)) return Usage();
+  const std::string cmd = argv[1];
+  if (cmd == "generate") return CmdGenerate(args);
+  if (cmd == "heatmap") return CmdHeatmap(args);
+  if (cmd == "render") return CmdRender(args);
+  if (cmd == "stats") return CmdStats(args);
+  if (cmd == "topk") return CmdTopK(args);
+  if (cmd == "query") return CmdQuery(args);
+  return Usage();
+}
