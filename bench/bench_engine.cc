@@ -1,0 +1,74 @@
+// HeatmapEngine throughput: a batch of B independent heat-map requests
+// served across worker counts and slab counts. Columns are wall-clock
+// milliseconds for the whole batch; the 1-thread/1-slab cell is the
+// sequential reference the others should beat.
+//
+// Set RNNHM_BENCH_FULL=1 for larger batches and request sizes.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "heatmap/influence.h"
+#include "query/heatmap_engine.h"
+
+namespace rnnhm::bench {
+namespace {
+
+std::vector<HeatmapRequest> MakeBatch(const Dataset& dataset, int batch,
+                                      size_t clients, size_t facilities,
+                                      int resolution) {
+  std::vector<HeatmapRequest> out;
+  out.reserve(batch);
+  for (int b = 0; b < batch; ++b) {
+    const PreparedWorkload w = Prepare(dataset, clients, facilities,
+                                       Metric::kLInf, 9000 + b);
+    HeatmapRequest req;
+    req.circles = w.circles;
+    req.domain = Rect{{0, 0}, {1, 1}};
+    req.width = resolution;
+    req.height = resolution;
+    out.push_back(std::move(req));
+  }
+  return out;
+}
+
+void Run() {
+  const bool full = FullMode();
+  const int batch = full ? 64 : 16;
+  const size_t clients = full ? 20000 : 4000;
+  const size_t facilities = clients / 100;
+  const int resolution = full ? 512 : 256;
+  const Dataset dataset = MakeDataset(DatasetKind::kUniform, 42,
+                                      clients * 4);
+  const auto requests =
+      MakeBatch(dataset, batch, clients, facilities, resolution);
+  SizeInfluence measure;
+
+  std::printf("batch of %d heat maps, %zu clients, %zu facilities, "
+              "%dx%d raster\n\n",
+              batch, clients, facilities, resolution, resolution);
+  PrintHeader("threads", {"slabs=1", "slabs=2", "slabs=4"});
+  for (const int threads : {1, 2, 4, 8}) {
+    std::vector<Cell> row;
+    for (const int slabs : {1, 2, 4}) {
+      HeatmapEngineOptions options;
+      options.num_threads = threads;
+      options.slabs_per_request = slabs;
+      HeatmapEngine engine(measure, options);
+      std::vector<HeatmapRequest> copy = requests;
+      Cell cell;
+      cell.ms = TimeMs([&] { engine.RunBatch(std::move(copy)); });
+      row.push_back(cell);
+    }
+    PrintRow(std::to_string(threads), row);
+  }
+}
+
+}  // namespace
+}  // namespace rnnhm::bench
+
+int main() {
+  rnnhm::bench::Run();
+  return 0;
+}

@@ -17,6 +17,8 @@
 #include "data/generators.h"
 #include "heatmap/influence.h"
 #include "heatmap/topk_stream.h"
+#include "nn/nn_circle_builder.h"
+#include "query/heatmap_engine.h"
 #include "query/heatmap_session.h"
 
 using namespace rnnhm;
@@ -33,6 +35,16 @@ int main(int argc, char** argv) {
   SizeInfluence measure;
 
   double total_sweep_ms = 0.0;
+  // The session sweeps L1 in the rotated frame; archived rasters cover the
+  // rotated city's bounding box.
+  Rect rot_city = EmptyRect();
+  for (const Point& corner :
+       {city.lo, Point{city.hi.x, city.lo.y}, Point{city.lo.x, city.hi.y},
+        city.hi}) {
+    const Point r = RotateToLInf(corner);
+    rot_city = rot_city.Union(Rect{r, r});
+  }
+  std::vector<HeatmapRequest> archive;  // per-tick snapshots, rendered below
   for (int tick = 0; tick < ticks; ++tick) {
     // Passengers drift (walking to better corners); a few new requests.
     for (int m = 0; m < 40; ++m) {
@@ -63,10 +75,36 @@ int main(int argc, char** argv) {
       // Dispatch: a taxi "arrives" there — the fleet adapts.
       session.AddFacility(hot);
     }
+
+    // Snapshot this tick for the batched replay.
+    archive.push_back(HeatmapRequest{RotateCirclesToLInf(session.circles()),
+                                     rot_city, 96, 96});
   }
   std::printf("\naverage sweep time per tick: %.1f ms (%zu clients, %zu "
               "taxis at the end)\n",
               total_sweep_ms / ticks, session.num_clients(),
               session.num_facilities());
+
+  // Replay: render every tick's heat map in one batched engine run — the
+  // "dashboard" view a dispatcher would archive. Requests are independent,
+  // so the pool parallelizes across ticks.
+  Stopwatch sw;
+  HeatmapEngineOptions engine_options;
+  engine_options.num_threads = 4;
+  HeatmapEngine engine(measure, engine_options);
+  const std::vector<HeatmapResponse> frames =
+      engine.RunBatch(std::move(archive));
+  double peak = 0.0;
+  int peak_tick = 0;
+  for (size_t t = 0; t < frames.size(); ++t) {
+    if (frames[t].grid.MaxValue() > peak) {
+      peak = frames[t].grid.MaxValue();
+      peak_tick = static_cast<int>(t);
+    }
+  }
+  std::printf("rendered %zu archived tick heat maps in %.1f ms with %d "
+              "workers; hottest tick %d (influence %.0f)\n",
+              frames.size(), sw.ElapsedMs(), engine.num_threads(),
+              peak_tick, peak);
   return 0;
 }

@@ -107,4 +107,16 @@ CrestStats RunCrestParallel(const std::vector<NnCircle>& circles,
                           shard_sinks, options);
 }
 
+CrestStats RunCrestParallelStrips(const std::vector<NnCircle>& circles,
+                                  const InfluenceMeasure& measure,
+                                  int num_slabs,
+                                  const CrestOptions& options) {
+  RNNHM_CHECK(num_slabs >= 1);
+  std::vector<CountingSink> counters(num_slabs);
+  std::vector<RegionLabelSink*> sinks;
+  sinks.reserve(counters.size());
+  for (CountingSink& c : counters) sinks.push_back(&c);
+  return RunCrestParallel(circles, measure, sinks, options);
+}
+
 }  // namespace rnnhm

@@ -45,6 +45,14 @@ CrestStats RunCrestParallel(
     std::span<RegionLabelSink* const> shard_sinks,
     const CrestOptions& options = {});
 
+/// Convenience for callers that only consume `options.strip_sink` output
+/// (parallel rasterization): sweeps with `num_slabs` shards, discarding the
+/// region labels through private counting sinks. Returns the summed stats.
+CrestStats RunCrestParallelStrips(const std::vector<NnCircle>& circles,
+                                  const InfluenceMeasure& measure,
+                                  int num_slabs,
+                                  const CrestOptions& options = {});
+
 }  // namespace rnnhm
 
 #endif  // RNNHM_CORE_CREST_PARALLEL_H_

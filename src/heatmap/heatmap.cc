@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "core/brute_force.h"
+#include "core/crest_parallel.h"
 #include "heatmap/raster_sink.h"
 #include "nn/nn_circle_builder.h"
 
@@ -49,6 +50,18 @@ HeatmapGrid BuildHeatmapLInf(const std::vector<NnCircle>& circles,
   CrestOptions options;
   options.strip_sink = &raster;
   RunCrest(circles, measure, &counter, options);
+  return grid;
+}
+
+HeatmapGrid BuildHeatmapLInfParallel(const std::vector<NnCircle>& circles,
+                                     const InfluenceMeasure& measure,
+                                     const Rect& domain, int width,
+                                     int height, int num_slabs) {
+  HeatmapGrid grid(width, height, domain, measure.Evaluate({}));
+  RasterStripSink raster(&grid);
+  CrestOptions options;
+  options.strip_sink = &raster;
+  RunCrestParallelStrips(circles, measure, num_slabs, options);
   return grid;
 }
 

@@ -62,6 +62,14 @@ HeatmapGrid BuildHeatmapLInf(const std::vector<NnCircle>& circles,
                              const InfluenceMeasure& measure,
                              const Rect& domain, int width, int height);
 
+/// As BuildHeatmapLInf with the slab-parallel sweep: `num_slabs` shards
+/// paint disjoint strips of the shared grid. Output is bit-identical to
+/// the sequential builder for every slab count.
+HeatmapGrid BuildHeatmapLInfParallel(const std::vector<NnCircle>& circles,
+                                     const InfluenceMeasure& measure,
+                                     const Rect& domain, int width,
+                                     int height, int num_slabs);
+
 /// Builds the heat map for the L1 metric: rotates clients and facilities
 /// into the L-infinity frame, sweeps there, and resamples the rotated grid
 /// back into `domain`. `oversample` scales the intermediate grid.

@@ -1,0 +1,136 @@
+#include "query/heatmap_engine.h"
+
+#include <algorithm>
+#include <exception>
+#include <optional>
+#include <utility>
+
+#include "common/check.h"
+#include "core/crest_parallel.h"
+#include "core/label_sink.h"
+#include "heatmap/raster_sink.h"
+
+namespace rnnhm {
+
+namespace {
+
+// Contract checks fire at the submitting call site, not on a worker thread.
+void ValidateRequest(const HeatmapRequest& request) {
+  RNNHM_CHECK_MSG(request.width > 0 && request.height > 0,
+                  "HeatmapRequest needs a positive raster size");
+  RNNHM_CHECK_MSG(request.domain.lo.x < request.domain.hi.x &&
+                      request.domain.lo.y < request.domain.hi.y,
+                  "HeatmapRequest needs a non-degenerate domain");
+}
+
+}  // namespace
+
+HeatmapEngine::HeatmapEngine(const InfluenceMeasure& measure,
+                             HeatmapEngineOptions options)
+    : measure_(measure), options_(options) {
+  RNNHM_CHECK_MSG(options_.crest.strip_sink == nullptr,
+                  "HeatmapEngine owns the strip sink");
+  RNNHM_CHECK(options_.num_threads >= 0);
+  RNNHM_CHECK(options_.slabs_per_request >= 1);
+  int n = options_.num_threads;
+  if (n == 0) {
+    n = std::max(1u, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+HeatmapEngine::~HeatmapEngine() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+std::future<HeatmapResponse> HeatmapEngine::Submit(HeatmapRequest request) {
+  ValidateRequest(request);
+  PendingRequest pending{std::move(request), {}};
+  std::future<HeatmapResponse> future = pending.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    RNNHM_CHECK_MSG(!stopping_, "Submit on a stopping HeatmapEngine");
+    queue_.push_back(std::move(pending));
+    ++in_flight_;
+  }
+  work_available_.notify_one();
+  return future;
+}
+
+std::vector<HeatmapResponse> HeatmapEngine::RunBatch(
+    std::vector<HeatmapRequest> requests) {
+  std::vector<std::future<HeatmapResponse>> futures;
+  futures.reserve(requests.size());
+  for (HeatmapRequest& r : requests) futures.push_back(Submit(std::move(r)));
+  std::vector<HeatmapResponse> out;
+  out.reserve(futures.size());
+  for (std::future<HeatmapResponse>& f : futures) out.push_back(f.get());
+  return out;
+}
+
+HeatmapResponse HeatmapEngine::Execute(const HeatmapRequest& request) const {
+  ValidateRequest(request);
+  HeatmapGrid grid(request.width, request.height, request.domain,
+                   measure_.Evaluate({}));
+  RasterStripSink raster(&grid);
+  CrestOptions crest = options_.crest;
+  crest.strip_sink = &raster;
+  CrestStats stats;
+  if (options_.slabs_per_request > 1) {
+    // Slab-decomposed sweep: shards paint disjoint strips of the shared
+    // grid; region labels themselves are not needed.
+    stats = RunCrestParallelStrips(request.circles, measure_,
+                                   options_.slabs_per_request, crest);
+  } else {
+    CountingSink counter;
+    stats = RunCrest(request.circles, measure_, &counter, crest);
+  }
+  return HeatmapResponse{std::move(grid), stats};
+}
+
+size_t HeatmapEngine::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return in_flight_;
+}
+
+void HeatmapEngine::WorkerLoop() {
+  for (;;) {
+    std::optional<PendingRequest> work;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_available_.wait(lock,
+                           [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ with a drained queue
+      work.emplace(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+    std::optional<HeatmapResponse> response;
+    std::exception_ptr error;
+    try {
+      response.emplace(Execute(work->request));
+    } catch (...) {
+      error = std::current_exception();
+    }
+    // Leave the pending count before fulfilling the future, so a caller
+    // that has observed every future resolve also observes pending() == 0.
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --in_flight_;
+    }
+    if (error) {
+      work->promise.set_exception(error);
+    } else {
+      work->promise.set_value(std::move(*response));
+    }
+  }
+}
+
+}  // namespace rnnhm

@@ -1,0 +1,123 @@
+// Batched, multi-threaded heat-map serving facade.
+//
+// The paper's motivating workloads (taxi sharing, location planning) issue
+// many independent RNNHM computations: one per city tile, per time tick, or
+// per what-if facility placement. HeatmapEngine turns those into a service:
+// requests are submitted from any thread, queued, and dispatched across a
+// worker pool; each request runs the CREST sweep and rasterizes its heat
+// map exactly as the sequential BuildHeatmapLInf path does, so batched
+// output is bit-identical to a sequential run over the same inputs.
+//
+// Two parallelism axes compose:
+//   * across requests — `num_threads` workers drain the shared queue;
+//   * within a request — `slabs_per_request > 1` sweeps each request with
+//     the slab-decomposed RunCrestParallel, painting one shared grid
+//     through the strip sink (slab strips never overlap, so the raster is
+//     still exact and deterministic).
+//
+// Determinism contract: a request's grid depends only on the request and
+// the measure, never on scheduling. `HeatmapEngineOptions{.num_threads = 1}`
+// additionally serializes execution in submission order — the mode tests
+// use as the reference.
+//
+// The engine holds a reference to one shared InfluenceMeasure; it must be
+// safe for concurrent Evaluate (SizeInfluence, WeightedInfluence and
+// ConnectivityInfluence are — see the crest_parallel contract).
+#ifndef RNNHM_QUERY_HEATMAP_ENGINE_H_
+#define RNNHM_QUERY_HEATMAP_ENGINE_H_
+
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/crest.h"
+#include "core/influence_measure.h"
+#include "geom/geometry.h"
+#include "heatmap/heatmap.h"
+
+namespace rnnhm {
+
+/// One heat-map computation: sweep `circles` (L-infinity NN-circles) and
+/// rasterize the influence field over `domain` at `width` x `height`.
+struct HeatmapRequest {
+  std::vector<NnCircle> circles;
+  Rect domain;
+  int width = 0;
+  int height = 0;
+};
+
+/// The finished raster plus the sweep's counters.
+struct HeatmapResponse {
+  HeatmapGrid grid;
+  CrestStats stats;
+};
+
+struct HeatmapEngineOptions {
+  /// Worker threads draining the request queue. 0 picks the hardware
+  /// concurrency; 1 gives the deterministic single-worker mode (requests
+  /// execute one at a time in submission order).
+  int num_threads = 0;
+  /// Slabs per request for the intra-request parallel sweep. 1 runs the
+  /// plain sequential RunCrest per request (the bit-identity reference);
+  /// higher values decompose each sweep via RunCrestParallel.
+  int slabs_per_request = 1;
+  /// Sweep tuning forwarded to every request. `strip_sink` is owned by the
+  /// engine and must be left null here.
+  CrestOptions crest;
+};
+
+/// Thread-safe batched facade over CREST heat-map construction.
+class HeatmapEngine {
+ public:
+  explicit HeatmapEngine(const InfluenceMeasure& measure,
+                         HeatmapEngineOptions options = {});
+  ~HeatmapEngine();
+
+  HeatmapEngine(const HeatmapEngine&) = delete;
+  HeatmapEngine& operator=(const HeatmapEngine&) = delete;
+
+  /// Enqueues one request; callable concurrently from any thread. Invalid
+  /// requests (non-positive raster size, degenerate domain) CHECK-fail
+  /// here, at the call site; the future carries the response or any
+  /// exception thrown while serving.
+  std::future<HeatmapResponse> Submit(HeatmapRequest request);
+
+  /// Submits a whole batch and waits; responses are returned in request
+  /// order regardless of completion order.
+  std::vector<HeatmapResponse> RunBatch(std::vector<HeatmapRequest> requests);
+
+  /// Computes one request synchronously on the calling thread, bypassing
+  /// the queue. This is exactly the code path workers run.
+  HeatmapResponse Execute(const HeatmapRequest& request) const;
+
+  /// Resolved worker count.
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Requests accepted but not yet finished.
+  size_t pending() const;
+
+ private:
+  void WorkerLoop();
+
+  const InfluenceMeasure& measure_;
+  const HeatmapEngineOptions options_;
+
+  struct PendingRequest {
+    HeatmapRequest request;
+    std::promise<HeatmapResponse> promise;
+  };
+
+  mutable std::mutex mu_;
+  std::condition_variable work_available_;
+  std::deque<PendingRequest> queue_;
+  size_t in_flight_ = 0;  // queued + currently executing
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace rnnhm
+
+#endif  // RNNHM_QUERY_HEATMAP_ENGINE_H_

@@ -1,6 +1,8 @@
 #include "query/heatmap_session.h"
 
 #include "common/check.h"
+#include "core/crest_parallel.h"
+#include "nn/nn_circle_builder.h"
 
 namespace rnnhm {
 
@@ -95,6 +97,19 @@ void HeatmapSession::Rebuild(const InfluenceMeasure& measure,
       RunCrestL2(circles_, measure, sink);
       break;
   }
+}
+
+CrestStats HeatmapSession::RebuildParallel(
+    const InfluenceMeasure& measure,
+    std::span<RegionLabelSink* const> shard_sinks,
+    const CrestOptions& options) const {
+  RNNHM_CHECK_MSG(metric_ != Metric::kL2,
+                  "RebuildParallel supports L-infinity and L1 only");
+  if (metric_ == Metric::kL1) {
+    return RunCrestParallel(RotateCirclesToLInf(circles_), measure,
+                            shard_sinks, options);
+  }
+  return RunCrestParallel(circles_, measure, shard_sinks, options);
 }
 
 }  // namespace rnnhm

@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "core/crest.h"
@@ -63,6 +64,15 @@ class HeatmapSession {
   /// circles (L1 is swept in the rotated frame, as RunCrestL1).
   void Rebuild(const InfluenceMeasure& measure, RegionLabelSink* sink,
                const CrestOptions& options = {}) const;
+
+  /// As Rebuild with the slab-parallel sweep: shard i labels slab i through
+  /// `shard_sinks[i]` (see core/crest_parallel.h for the thread-safety
+  /// contract; L1 sessions sweep and label in the rotated frame). Returns
+  /// the summed per-shard stats. Rectilinear metrics only — the L2 arc
+  /// sweep has no slab decomposition yet.
+  CrestStats RebuildParallel(const InfluenceMeasure& measure,
+                             std::span<RegionLabelSink* const> shard_sinks,
+                             const CrestOptions& options = {}) const;
 
  private:
   void EnsureFacilityTree();

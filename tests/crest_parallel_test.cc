@@ -144,5 +144,37 @@ TEST(ParallelCrestTest, PerShardMeasuresForUnsafeMeasures) {
   EXPECT_EQ(merged, sequential.sets());
 }
 
+TEST(ParallelCrestTest, StripsHelperRasterMatchesSequentialSweep) {
+  // RunCrestParallelStrips discards labels and feeds only the strip sink;
+  // the painted raster must be bit-identical to a sequential sweep's.
+  Rng rng(1500);
+  const auto circles = RandomCircles(120, rng);
+  SizeInfluence measure;
+  const Rect domain{{-0.2, -0.2}, {1.2, 1.2}};
+
+  HeatmapGrid sequential(96, 96, domain, measure.Evaluate({}));
+  {
+    RasterStripSink raster(&sequential);
+    CountingSink counter;
+    CrestOptions options;
+    options.strip_sink = &raster;
+    RunCrest(circles, measure, &counter, options);
+  }
+  for (const int slabs : {1, 2, 4, 7}) {
+    HeatmapGrid parallel(96, 96, domain, measure.Evaluate({}));
+    RasterStripSink raster(&parallel);
+    CrestOptions options;
+    options.strip_sink = &raster;
+    const CrestStats stats =
+        RunCrestParallelStrips(circles, measure, slabs, options);
+    EXPECT_GT(stats.num_labelings, 0u);
+    ASSERT_EQ(parallel.values().size(), sequential.values().size());
+    for (size_t i = 0; i < parallel.values().size(); ++i) {
+      ASSERT_EQ(parallel.values()[i], sequential.values()[i])
+          << "slabs " << slabs << ", flat index " << i;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace rnnhm

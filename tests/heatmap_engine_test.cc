@@ -1,0 +1,183 @@
+#include "query/heatmap_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "heatmap/heatmap.h"
+#include "heatmap/influence.h"
+
+namespace rnnhm {
+namespace {
+
+std::vector<NnCircle> RandomCircles(int n, Rng& rng, double max_r = 0.15) {
+  std::vector<NnCircle> out;
+  for (int i = 0; i < n; ++i) {
+    out.push_back(NnCircle{{rng.Uniform(0, 1), rng.Uniform(0, 1)},
+                           rng.Uniform(0.01, max_r), i});
+  }
+  return out;
+}
+
+HeatmapEngineOptions Options(int threads, int slabs = 1) {
+  HeatmapEngineOptions options;
+  options.num_threads = threads;
+  options.slabs_per_request = slabs;
+  return options;
+}
+
+HeatmapRequest RandomRequest(int n, uint64_t seed) {
+  Rng rng(seed);
+  HeatmapRequest req;
+  req.circles = RandomCircles(n, rng);
+  req.domain = Rect{{-0.1, -0.1}, {1.1, 1.1}};
+  req.width = 64;
+  req.height = 64;
+  return req;
+}
+
+std::vector<HeatmapRequest> RandomBatch(int count) {
+  std::vector<HeatmapRequest> batch;
+  for (int i = 0; i < count; ++i) {
+    batch.push_back(RandomRequest(40 + 10 * i, 1000 + i));
+  }
+  return batch;
+}
+
+/// The sequential reference every engine configuration must reproduce
+/// bit-for-bit.
+HeatmapGrid Reference(const HeatmapRequest& req,
+                      const InfluenceMeasure& measure) {
+  return BuildHeatmapLInf(req.circles, measure, req.domain, req.width,
+                          req.height);
+}
+
+void ExpectBitIdentical(const HeatmapGrid& got, const HeatmapGrid& want) {
+  ASSERT_EQ(got.width(), want.width());
+  ASSERT_EQ(got.height(), want.height());
+  ASSERT_EQ(got.values().size(), want.values().size());
+  for (size_t i = 0; i < got.values().size(); ++i) {
+    ASSERT_EQ(got.values()[i], want.values()[i]) << "flat index " << i;
+  }
+}
+
+TEST(HeatmapEngineTest, SingleThreadModeMatchesSequentialCrest) {
+  SizeInfluence measure;
+  HeatmapEngine engine(measure, Options(1));
+  EXPECT_EQ(engine.num_threads(), 1);
+  const auto batch = RandomBatch(6);
+  const auto responses = engine.RunBatch(batch);
+  ASSERT_EQ(responses.size(), batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    ExpectBitIdentical(responses[i].grid, Reference(batch[i], measure));
+    EXPECT_GT(responses[i].stats.num_labelings, 0u);
+  }
+}
+
+TEST(HeatmapEngineTest, MultiThreadBatchIsBitIdenticalToSequential) {
+  SizeInfluence measure;
+  HeatmapEngine engine(measure, Options(4));
+  EXPECT_EQ(engine.num_threads(), 4);
+  const auto batch = RandomBatch(12);
+  const auto responses = engine.RunBatch(batch);
+  ASSERT_EQ(responses.size(), batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    ExpectBitIdentical(responses[i].grid, Reference(batch[i], measure));
+  }
+}
+
+TEST(HeatmapEngineTest, SlabParallelSweepIsBitIdenticalToSequential) {
+  SizeInfluence measure;
+  HeatmapEngine engine(measure, Options(2, 4));
+  const auto batch = RandomBatch(4);
+  const auto responses = engine.RunBatch(batch);
+  for (size_t i = 0; i < batch.size(); ++i) {
+    ExpectBitIdentical(responses[i].grid, Reference(batch[i], measure));
+  }
+}
+
+TEST(HeatmapEngineTest, WeightedMeasureFlowsThroughUnchanged) {
+  Rng rng(7);
+  std::vector<double> weights;
+  for (int i = 0; i < 80; ++i) weights.push_back(rng.Uniform(0.5, 2.0));
+  WeightedInfluence measure(weights);
+  HeatmapEngine engine(measure, Options(3));
+  const auto req = RandomRequest(80, 42);
+  const auto response = engine.Submit(req).get();
+  ExpectBitIdentical(response.grid, Reference(req, measure));
+}
+
+TEST(HeatmapEngineTest, ExecuteBypassesQueueWithSameResult) {
+  SizeInfluence measure;
+  HeatmapEngine engine(measure, Options(2));
+  const auto req = RandomRequest(50, 99);
+  ExpectBitIdentical(engine.Execute(req).grid, Reference(req, measure));
+}
+
+TEST(HeatmapEngineTest, EmptyBatchAndEmptyRequestAreServed) {
+  SizeInfluence measure;
+  HeatmapEngine engine(measure, Options(2));
+  EXPECT_TRUE(engine.RunBatch({}).empty());
+  HeatmapRequest req;  // no circles
+  req.domain = Rect{{0, 0}, {1, 1}};
+  req.width = 8;
+  req.height = 8;
+  const auto response = engine.Submit(std::move(req)).get();
+  for (const double v : response.grid.values()) EXPECT_EQ(v, 0.0);
+  EXPECT_EQ(response.stats.num_events, 0u);
+}
+
+// Many client threads hammering Submit concurrently; run under ASan/TSan to
+// catch races. Every response must still equal the sequential reference.
+TEST(HeatmapEngineTest, ConcurrentSubmissionFromManyThreadsIsRaceFree) {
+  SizeInfluence measure;
+  HeatmapEngine engine(measure, Options(4));
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 4;
+  std::vector<std::thread> clients;
+  std::vector<std::vector<std::future<HeatmapResponse>>> futures(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&engine, &futures, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        futures[t].push_back(
+            engine.Submit(RandomRequest(30, 500 + t * kPerThread + i)));
+      }
+    });
+  }
+  for (std::thread& c : clients) c.join();
+  for (int t = 0; t < kThreads; ++t) {
+    for (int i = 0; i < kPerThread; ++i) {
+      const auto response = futures[t][i].get();
+      const auto req = RandomRequest(30, 500 + t * kPerThread + i);
+      ExpectBitIdentical(response.grid, Reference(req, measure));
+    }
+  }
+  EXPECT_EQ(engine.pending(), 0u);
+}
+
+TEST(HeatmapEngineTest, PendingDrainsToZero) {
+  SizeInfluence measure;
+  HeatmapEngine engine(measure, Options(2));
+  auto batch = RandomBatch(5);
+  std::vector<std::future<HeatmapResponse>> futures;
+  for (auto& r : batch) futures.push_back(engine.Submit(std::move(r)));
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(engine.pending(), 0u);
+}
+
+TEST(HeatmapEngineTest, DestructorDrainsOutstandingRequests) {
+  SizeInfluence measure;
+  std::future<HeatmapResponse> future;
+  {
+    HeatmapEngine engine(measure, Options(1));
+    future = engine.Submit(RandomRequest(60, 7));
+  }  // destructor joins after serving the queue
+  const auto response = future.get();
+  EXPECT_GT(response.stats.num_labelings, 0u);
+}
+
+}  // namespace
+}  // namespace rnnhm

@@ -127,6 +127,35 @@ TEST(HeatmapSessionTest, MoveClientShrinksAndGrowsItsCircle) {
   EXPECT_DOUBLE_EQ(session.circles()[0].radius, 3.0);
 }
 
+TEST(HeatmapSessionTest, RebuildParallelShardUnionMatchesRebuild) {
+  Rng rng(1600);
+  std::vector<Point> clients, facilities;
+  for (int i = 0; i < 150; ++i) {
+    clients.push_back({rng.Uniform(0, 1), rng.Uniform(0, 1)});
+  }
+  for (int i = 0; i < 12; ++i) {
+    facilities.push_back({rng.Uniform(0, 1), rng.Uniform(0, 1)});
+  }
+  SizeInfluence measure;
+  for (const Metric metric : {Metric::kLInf, Metric::kL1}) {
+    HeatmapSession session(clients, facilities, metric);
+    DistinctSetSink sequential;
+    session.Rebuild(measure, &sequential);
+
+    std::vector<DistinctSetSink> shard_sinks(4);
+    std::vector<RegionLabelSink*> sink_ptrs;
+    for (auto& s : shard_sinks) sink_ptrs.push_back(&s);
+    const CrestStats stats = session.RebuildParallel(measure, sink_ptrs);
+    EXPECT_GT(stats.num_labelings, 0u);
+
+    std::map<std::vector<int32_t>, double> merged;
+    for (const auto& s : shard_sinks) {
+      for (const auto& [set, influence] : s.sets()) merged[set] = influence;
+    }
+    EXPECT_EQ(merged, sequential.sets()) << MetricName(metric);
+  }
+}
+
 TEST(HeatmapSessionTest, RemoveFacilityRequeriesItsClients) {
   HeatmapSession session({{0.0, 0.0}, {10.0, 0.0}},
                          {{1.0, 0.0}, {9.0, 0.0}}, Metric::kL2);

@@ -171,6 +171,28 @@ TEST(ImageTest, FailsOnUnwritablePath) {
   EXPECT_FALSE(WritePpm(grid, "/nonexistent_dir/x.ppm"));
 }
 
+TEST(HeatmapBuilderTest, ParallelLInfBuilderIsBitIdenticalToSequential) {
+  Rng rng(90);
+  std::vector<NnCircle> circles;
+  for (int i = 0; i < 150; ++i) {
+    circles.push_back(NnCircle{{rng.Uniform(0, 1), rng.Uniform(0, 1)},
+                               rng.Uniform(0.01, 0.15), i});
+  }
+  SizeInfluence measure;
+  const Rect domain{{-0.1, -0.1}, {1.1, 1.1}};
+  const HeatmapGrid want =
+      BuildHeatmapLInf(circles, measure, domain, 80, 80);
+  for (const int slabs : {1, 3, 8}) {
+    const HeatmapGrid got =
+        BuildHeatmapLInfParallel(circles, measure, domain, 80, 80, slabs);
+    ASSERT_EQ(got.values().size(), want.values().size());
+    for (size_t i = 0; i < want.values().size(); ++i) {
+      ASSERT_EQ(got.values()[i], want.values()[i])
+          << "slabs " << slabs << ", flat index " << i;
+    }
+  }
+}
+
 TEST(BoundingBoxTest, ComputesAndPads) {
   const std::vector<Point> pts{{0, 0}, {2, 1}, {-1, 3}};
   const Rect box = BoundingBox(pts);

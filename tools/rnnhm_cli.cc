@@ -4,8 +4,9 @@
 //   generate <nyc|la|uniform|zipfian> <count> <out.csv> [--seed S]
 //       Write a synthetic data set as "x,y" CSV.
 //   heatmap --clients A.csv --facilities B.csv [--metric linf|l1|l2]
-//           [--size N] [--out map.ppm] [--ascii]
-//       Build the RNN heat map (size measure) and export it.
+//           [--size N] [--threads T] [--out map.ppm] [--ascii]
+//       Build the RNN heat map (size measure) and export it. --threads
+//       slab-parallelizes the linf sweep (bit-identical output).
 //   topk --clients A.csv --facilities B.csv [--metric ...] [--k K]
 //       Print the K most influential regions.
 //   query --clients A.csv --facilities B.csv --x X --y Y [--metric ...]
@@ -49,8 +50,8 @@ int Usage() {
       "  rnnhm_cli generate <nyc|la|uniform|zipfian> <count> <out.csv> "
       "[--seed S]\n"
       "  rnnhm_cli heatmap --clients A.csv --facilities B.csv\n"
-      "            [--metric linf|l1|l2] [--size N] [--out map.ppm] "
-      "[--ascii]\n"
+      "            [--metric linf|l1|l2] [--size N] [--threads T] "
+      "[--out map.ppm] [--ascii]\n"
       "  rnnhm_cli topk --clients A.csv --facilities B.csv [--k K] "
       "[--metric ...]\n"
       "  rnnhm_cli query --clients A.csv --facilities B.csv --x X --y Y "
@@ -166,15 +167,16 @@ int CmdHeatmap(const Args& args) {
     return 1;
   }
   const int size = std::atoi(args.Flag("size", "512"));
-  if (size <= 0) return Usage();
+  const int threads = std::atoi(args.Flag("threads", "1"));
+  if (size <= 0 || threads <= 0) return Usage();
   SizeInfluence measure;
   const Rect domain = BoundingBox(clients, 0.02);
   HeatmapGrid grid = [&] {
     switch (metric) {
       case Metric::kLInf:
-        return BuildHeatmapLInf(
+        return BuildHeatmapLInfParallel(
             BuildNnCircles(clients, facilities, Metric::kLInf), measure,
-            domain, size, size);
+            domain, size, size, threads);
       case Metric::kL1:
         return BuildHeatmapL1(clients, facilities, measure, domain, size,
                               size);
