@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <map>
+#include <thread>
 #include <utility>
 
 #include "common/check.h"
@@ -25,7 +26,7 @@ struct SweepDisk {
 enum class EventType : uint8_t {
   kRemove = 0,  // applied before insertions at the same x
   kInsert = 1,
-  kCenter = 2,  // monotonicity breakpoint; forces a re-sort checkpoint
+  kCenter = 2,  // monotonicity breakpoint; splits the strip, no re-sort
   kCross = 3,   // order change; forces a re-sort checkpoint
 };
 
@@ -63,9 +64,12 @@ struct ArcKey {
 class SweepL2 {
  public:
   SweepL2(const std::vector<NnCircle>& circles,
-          const InfluenceMeasure& measure, RegionLabelSink* sink)
-      : measure_(measure), sink_(sink) {
+          const InfluenceMeasure& measure, RegionLabelSink* sink,
+          const CrestL2Options& options)
+      : measure_(measure), sink_(sink), options_(options) {
     RNNHM_CHECK_MSG(sink != nullptr, "CREST-L2 requires a label sink");
+    RNNHM_CHECK_MSG(options.clip_lo < options.clip_hi,
+                    "CREST-L2 clip range must be non-empty");
     std::map<std::pair<std::pair<double, double>, double>, int32_t> dedup;
     for (const NnCircle& c : circles) {
       if (c.radius <= 0.0) {
@@ -90,6 +94,7 @@ class SweepL2 {
     live_index_.assign(n, -1);
     succ_of_.assign(2 * n, kNoArc);
     involved_.assign(2 * n, 0);
+    region_influence_.assign(2 * n, 0.0);
   }
 
   CrestL2Stats Run() {
@@ -100,9 +105,12 @@ class SweepL2 {
     // facility every NN-circle passes through); their computed x's spread
     // over a few ulps, and processing them one-by-one would order arcs
     // inside strips far narrower than the rounding noise.
-    double span = 0.0;
-    for (const SweepDisk& d : disks_) {
-      span = std::max(span, std::fabs(d.center.x) + d.radius);
+    double span = options_.event_group_span;
+    if (span < 0.0) {
+      span = 0.0;
+      for (const SweepDisk& d : disks_) {
+        span = std::max(span, std::fabs(d.center.x) + d.radius);
+      }
     }
     const double x_eps = span * 1e-12;
     BaseSet base(universe_);
@@ -165,9 +173,16 @@ class SweepL2 {
             break;
         }
       }
+      const double next_x = i < events_.size() ? events_[i].x : x;
       if (needs_checkpoint) {
-        const double next_x = i < events_.size() ? events_[i].x : x;
         Checkpoint(x, next_x, base);
+      }
+      // Rasterize the strip up to the next event. Checkpoints skip groups
+      // with no structural change (center events preserve order and region
+      // contents), but every strip must still be painted; the cached
+      // per-pair influence makes that free of influence evaluations.
+      if (options_.arc_sink != nullptr && x < next_x) {
+        EmitStrip(x, next_x);
       }
     }
     return stats_;
@@ -186,13 +201,26 @@ class SweepL2 {
   }
 
   void BuildEvents() {
+    // Disks are clipped to [clip_lo, clip_hi): an arc entering the slab
+    // inserts at the boundary exactly like a sweep starting mid-way, so the
+    // first checkpoint rebuilds the full line status there. Crossings at
+    // the low boundary are redundant (every arc live there is freshly
+    // inserted and involved), so only events strictly inside matter.
+    const double lo = options_.clip_lo;
+    const double hi = options_.clip_hi;
     for (int32_t i = 0; i < static_cast<int32_t>(disks_.size()); ++i) {
       const SweepDisk& d = disks_[i];
-      events_.push_back(Event{d.center.x - d.radius, EventType::kInsert, i});
-      events_.push_back(Event{d.center.x, EventType::kCenter, i});
-      events_.push_back(Event{d.center.x + d.radius, EventType::kRemove, i});
+      const double in_x = std::max(d.center.x - d.radius, lo);
+      const double out_x = std::min(d.center.x + d.radius, hi);
+      if (!(in_x < out_x)) continue;  // disk outside the slab
+      events_.push_back(Event{in_x, EventType::kInsert, i});
+      if (d.center.x > in_x && d.center.x < out_x) {
+        events_.push_back(Event{d.center.x, EventType::kCenter, i});
+      }
+      events_.push_back(Event{out_x, EventType::kRemove, i});
     }
-    // Pairwise boundary intersections via an R-tree over disk boxes.
+    // Pairwise boundary intersections via an R-tree over disk boxes,
+    // queried with the slab-clipped box so off-slab pairs are pruned.
     std::vector<Rect> boxes;
     boxes.reserve(disks_.size());
     for (const SweepDisk& d : disks_) {
@@ -201,7 +229,11 @@ class SweepL2 {
     RTree rtree;
     rtree.BulkLoad(boxes);
     for (int32_t i = 0; i < static_cast<int32_t>(disks_.size()); ++i) {
-      rtree.Query(boxes[i], [&](int32_t j) {
+      Rect query = boxes[i];
+      query.lo.x = std::max(query.lo.x, lo);
+      query.hi.x = std::min(query.hi.x, hi);
+      if (!(query.lo.x < query.hi.x)) continue;
+      rtree.Query(query, [&](int32_t j) {
         if (j <= i) return;
         const SweepDisk& di = disks_[i];
         const SweepDisk& dj = disks_[j];
@@ -212,8 +244,10 @@ class SweepL2 {
         const CircleIntersection isect =
             IntersectCircles(di.center, di.radius, dj.center, dj.radius);
         for (int k = 0; k < isect.count; ++k) {
-          events_.push_back(
-              Event{isect.points[k].x, EventType::kCross, i, j});
+          if (isect.points[k].x > lo && isect.points[k].x < hi) {
+            events_.push_back(
+                Event{isect.points[k].x, EventType::kCross, i, j});
+          }
         }
       });
     }
@@ -319,6 +353,7 @@ class SweepL2 {
         base.CopyTo(scratch_);
         const double influence = measure_.Evaluate(scratch_);
         ++stats_.num_labelings;
+        region_influence_[KeyOf(arc)] = influence;
         const double y0 = ArcY(sorted_[t], xm);
         const double y1 = ArcY(sorted_[t + 1], xm);
         sink_->OnRegionLabel(
@@ -331,8 +366,30 @@ class SweepL2 {
     }
   }
 
+  // Reports every adjacent-arc region of the strip [x, next_x) to the arc
+  // sink. Influence values come from the per-pair cache maintained by
+  // ProcessRange: a pair missing from this checkpoint's dirty runs bounds a
+  // region whose contents have not changed since it was last labeled, so
+  // its cached value is current. The regions below the lowest and above the
+  // highest arc carry the empty RNN set, whose influence the sink's grid
+  // holds as background.
+  void EmitStrip(double x, double next_x) {
+    const int m = static_cast<int>(sorted_.size());
+    for (int t = 0; t + 1 < m; ++t) {
+      const SweepDisk& dl = disks_[sorted_[t].disk];
+      const SweepDisk& du = disks_[sorted_[t + 1].disk];
+      options_.arc_sink->OnArcStrip(
+          x, next_x,
+          ArcStripSink::ArcGeom{dl.center, dl.radius, sorted_[t].is_upper},
+          ArcStripSink::ArcGeom{du.center, du.radius,
+                                sorted_[t + 1].is_upper},
+          region_influence_[KeyOf(sorted_[t])]);
+    }
+  }
+
   const InfluenceMeasure& measure_;
   RegionLabelSink* sink_;
+  const CrestL2Options options_;
   std::vector<SweepDisk> disks_;
   std::vector<Event> events_;
   std::vector<Arc> sorted_;        // status order over the current strip
@@ -346,18 +403,143 @@ class SweepL2 {
   std::vector<int32_t> involved_keys_;
   std::vector<std::vector<int32_t>> records_;
   std::vector<uint8_t> has_record_;
+  std::vector<double> region_influence_;  // per arc key: region above it
   std::vector<int32_t> scratch_;
   int32_t universe_ = 0;
   CrestL2Stats stats_;
 };
 
+// Slab boundaries at event quantiles. The cheap per-disk events (x-extremes
+// and centers) stand in for the full event set — crossing x's would need
+// the all-pairs pass the shards are meant to divide — and already balance
+// typical workloads well.
+std::vector<double> SlabBoundariesL2(const std::vector<NnCircle>& circles,
+                                     size_t shards) {
+  std::vector<double> xs;
+  xs.reserve(circles.size() * 3);
+  for (const NnCircle& c : circles) {
+    if (c.radius <= 0.0) continue;
+    xs.push_back(c.center.x - c.radius);
+    xs.push_back(c.center.x);
+    xs.push_back(c.center.x + c.radius);
+  }
+  std::sort(xs.begin(), xs.end());
+  std::vector<double> bounds;
+  bounds.reserve(shards + 1);
+  // Outer boundaries are infinite so no arc is ever lost to rounding at
+  // the extreme event coordinates. Duplicate interior boundaries (heavy
+  // ties) collapse to empty slabs, which no-op.
+  bounds.push_back(-std::numeric_limits<double>::infinity());
+  for (size_t s = 1; s < shards; ++s) {
+    bounds.push_back(xs.empty() ? bounds.back()
+                                : xs[xs.size() * s / shards]);
+  }
+  bounds.push_back(std::numeric_limits<double>::infinity());
+  return bounds;
+}
+
 }  // namespace
 
 CrestL2Stats RunCrestL2(const std::vector<NnCircle>& circles,
                         const InfluenceMeasure& measure,
-                        RegionLabelSink* sink) {
-  SweepL2 sweep(circles, measure, sink);
+                        RegionLabelSink* sink,
+                        const CrestL2Options& options) {
+  SweepL2 sweep(circles, measure, sink, options);
   return sweep.Run();
+}
+
+CrestL2Stats RunCrestL2Parallel(
+    const std::vector<NnCircle>& circles,
+    std::span<const InfluenceMeasure* const> shard_measures,
+    std::span<RegionLabelSink* const> shard_sinks,
+    const CrestL2Options& options) {
+  RNNHM_CHECK_MSG(!shard_sinks.empty(), "need at least one shard sink");
+  RNNHM_CHECK_MSG(shard_measures.size() == shard_sinks.size(),
+                  "one measure per shard");
+  RNNHM_CHECK_MSG(std::isinf(options.clip_lo) && std::isinf(options.clip_hi),
+                  "the parallel driver owns the slab clipping");
+  const size_t shards = shard_sinks.size();
+
+  // The grouping epsilon must be shared by every shard (and match the
+  // sequential sweep) so simultaneous-event groups do not depend on the
+  // slab decomposition.
+  double span = options.event_group_span;
+  if (span < 0.0) {
+    span = 0.0;
+    for (const NnCircle& c : circles) {
+      if (c.radius > 0.0) {
+        span = std::max(span, std::fabs(c.center.x) + c.radius);
+      }
+    }
+  }
+
+  if (shards == 1) {
+    CrestL2Options seq = options;
+    seq.event_group_span = span;
+    return RunCrestL2(circles, *shard_measures[0], shard_sinks[0], seq);
+  }
+
+  const std::vector<double> bounds = SlabBoundariesL2(circles, shards);
+  std::vector<CrestL2Stats> shard_stats(shards);
+  std::vector<uint8_t> ran(shards, 0);
+  std::vector<std::thread> workers;
+  workers.reserve(shards);
+  for (size_t s = 0; s < shards; ++s) {
+    workers.emplace_back([&, s] {
+      if (!(bounds[s] < bounds[s + 1])) return;  // empty slab
+      CrestL2Options shard = options;
+      shard.clip_lo = bounds[s];
+      shard.clip_hi = bounds[s + 1];
+      shard.event_group_span = span;
+      shard_stats[s] =
+          RunCrestL2(circles, *shard_measures[s], shard_sinks[s], shard);
+      ran[s] = 1;
+    });
+  }
+  for (std::thread& t : workers) t.join();
+
+  // Every shard that ran reports the full input's circle accounting (the
+  // sweep dedups and counts before clipping), so the global counts come
+  // from any of them — the slab from -inf to +inf guarantees at least one.
+  // Sweep counters sum, with boundary-spanning regions counted once per
+  // slab they touch.
+  CrestL2Stats total;
+  for (size_t s = 0; s < shards; ++s) {
+    if (ran[s]) {
+      total.num_circles = shard_stats[s].num_circles;
+      total.num_skipped_circles = shard_stats[s].num_skipped_circles;
+      break;
+    }
+  }
+  for (const CrestL2Stats& s : shard_stats) {
+    total.num_events += s.num_events;
+    total.num_cross_events += s.num_cross_events;
+    total.num_labelings += s.num_labelings;
+  }
+  return total;
+}
+
+CrestL2Stats RunCrestL2Parallel(const std::vector<NnCircle>& circles,
+                                const InfluenceMeasure& measure,
+                                std::span<RegionLabelSink* const> shard_sinks,
+                                const CrestL2Options& options) {
+  std::vector<const InfluenceMeasure*> measures(shard_sinks.size(),
+                                                &measure);
+  return RunCrestL2Parallel(
+      circles, std::span<const InfluenceMeasure* const>(measures),
+      shard_sinks, options);
+}
+
+CrestL2Stats RunCrestL2ParallelStrips(const std::vector<NnCircle>& circles,
+                                      const InfluenceMeasure& measure,
+                                      int num_slabs,
+                                      const CrestL2Options& options) {
+  RNNHM_CHECK(num_slabs >= 1);
+  std::vector<CountingSink> counters(num_slabs);
+  std::vector<RegionLabelSink*> sinks;
+  sinks.reserve(counters.size());
+  for (CountingSink& c : counters) sinks.push_back(&c);
+  return RunCrestL2Parallel(circles, measure, sinks, options);
 }
 
 }  // namespace rnnhm

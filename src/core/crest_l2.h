@@ -18,6 +18,8 @@
 #define RNNHM_CORE_CREST_L2_H_
 
 #include <cstdint>
+#include <limits>
+#include <span>
 #include <vector>
 
 #include "core/influence_measure.h"
@@ -35,14 +37,96 @@ struct CrestL2Stats {
   size_t num_labelings = 0;         ///< k: labelings = influence evals
 };
 
+/// Receiver of the curved analogue of StripSink spans: the region between
+/// two vertically adjacent arcs over one sweep strip. Consumers evaluate
+/// the arc ordinates themselves (ArcYAt) wherever they need them — e.g. a
+/// rasterizer samples both arcs at each pixel-column center, which is what
+/// makes the painted grid independent of how strips were subdivided.
+/// Strips of one sweep tile its x-range; regions of one strip tile the
+/// y-range between the lowest and highest live arc.
+class ArcStripSink {
+ public:
+  /// One bounding arc: the lower or upper semicircle of a disk.
+  struct ArcGeom {
+    Point center;
+    double radius = 0.0;
+    bool is_upper = false;
+  };
+
+  virtual ~ArcStripSink() = default;
+
+  /// The region between `lower` and `upper` over x in [x0, x1) carries
+  /// `influence`. At every x in the strip, lower's ordinate is <= upper's.
+  virtual void OnArcStrip(double x0, double x1, const ArcGeom& lower,
+                          const ArcGeom& upper, double influence) = 0;
+};
+
+/// Tuning knobs and hooks for an L2 sweep run.
+struct CrestL2Options {
+  /// Optional rasterization hook; receives every adjacent-arc region of
+  /// every strip (curved analogue of CrestOptions::strip_sink).
+  ArcStripSink* arc_sink = nullptr;
+  /// Sweep only the vertical slab [clip_lo, clip_hi): disks are clipped to
+  /// the slab (arcs entering it behave like a sweep starting mid-way), and
+  /// events outside it are dropped. Defaults sweep the whole plane. Used by
+  /// RunCrestL2Parallel; labels of a clipped run are correct region labels
+  /// whose representative boxes are clipped to the slab.
+  double clip_lo = -std::numeric_limits<double>::infinity();
+  double clip_hi = std::numeric_limits<double>::infinity();
+  /// Override for the coordinate span that scales the simultaneous-event
+  /// grouping epsilon. Negative derives it from the swept disks; the
+  /// parallel driver passes the whole input's span so every shard groups
+  /// events exactly like the sequential sweep.
+  double event_group_span = -1.0;
+};
+
 /// Runs the L2 CREST sweep over disks built with Metric::kL2. Labeled
 /// "rectangles" are per-strip bounding boxes of the curved subregions.
 /// Requires the input to be in general position (no two identical disks);
 /// exact duplicates are deduplicated defensively by keeping one disk per
 /// (center, radius) — the duplicate clients still appear in RNN sets.
+/// `stats.num_circles` / `num_skipped_circles` always count the full input,
+/// even when `options` clips the sweep to a slab.
 CrestL2Stats RunCrestL2(const std::vector<NnCircle>& circles,
                         const InfluenceMeasure& measure,
-                        RegionLabelSink* sink);
+                        RegionLabelSink* sink,
+                        const CrestL2Options& options = {});
+
+/// Slab-parallel L2 sweep: decomposes the x-axis into one vertical slab per
+/// sink in `shard_sinks`, cut at event quantiles (disk x-extremes and
+/// centers), and sweeps the slabs on independent threads. Disks are clipped
+/// to each slab they overlap — x-extremes, centers and pairwise boundary
+/// intersections inside a slab stay events there, so per-slab labels are
+/// correct region labels; a region spanning a boundary is labeled once per
+/// slab it touches (same RNN set). `options.arc_sink`, when set, receives
+/// strips from all shards concurrently; shard strips never overlap in x
+/// (half-open slabs), so RasterArcSink painting a shared grid is safe and
+/// the raster is bit-identical to a sequential sweep's for measures whose
+/// value does not depend on RNN-set iteration order.
+/// `options.clip_lo`/`clip_hi` must be left at their defaults — the driver
+/// owns the slab decomposition. Returns the per-shard sums; num_circles and
+/// num_skipped_circles are global counts matching the sequential sweep.
+CrestL2Stats RunCrestL2Parallel(const std::vector<NnCircle>& circles,
+                                const InfluenceMeasure& measure,
+                                std::span<RegionLabelSink* const> shard_sinks,
+                                const CrestL2Options& options = {});
+
+/// As above with one measure instance per shard (for measures with
+/// per-instance scratch, e.g. CapacityInfluence). `shard_measures` must
+/// have the same length as `shard_sinks`.
+CrestL2Stats RunCrestL2Parallel(
+    const std::vector<NnCircle>& circles,
+    std::span<const InfluenceMeasure* const> shard_measures,
+    std::span<RegionLabelSink* const> shard_sinks,
+    const CrestL2Options& options = {});
+
+/// Convenience for callers that only consume `options.arc_sink` output
+/// (parallel rasterization): sweeps with `num_slabs` shards, discarding the
+/// region labels through private counting sinks. Returns the summed stats.
+CrestL2Stats RunCrestL2ParallelStrips(const std::vector<NnCircle>& circles,
+                                      const InfluenceMeasure& measure,
+                                      int num_slabs,
+                                      const CrestL2Options& options = {});
 
 }  // namespace rnnhm
 

@@ -4,6 +4,7 @@
 #include <thread>
 
 #include "common/check.h"
+#include "nn/nn_circle_builder.h"
 
 namespace rnnhm {
 
@@ -117,6 +118,29 @@ CrestStats RunCrestParallelStrips(const std::vector<NnCircle>& circles,
   sinks.reserve(counters.size());
   for (CountingSink& c : counters) sinks.push_back(&c);
   return RunCrestParallel(circles, measure, sinks, options);
+}
+
+MetricSweepStats RunCrestParallelMetric(
+    Metric metric, const std::vector<NnCircle>& circles,
+    const InfluenceMeasure& measure,
+    std::span<RegionLabelSink* const> shard_sinks,
+    const CrestOptions& crest_options, const CrestL2Options& l2_options) {
+  MetricSweepStats stats;
+  switch (metric) {
+    case Metric::kLInf:
+      stats.crest =
+          RunCrestParallel(circles, measure, shard_sinks, crest_options);
+      break;
+    case Metric::kL1:
+      stats.crest = RunCrestParallel(RotateCirclesToLInf(circles), measure,
+                                     shard_sinks, crest_options);
+      break;
+    case Metric::kL2:
+      stats.l2 =
+          RunCrestL2Parallel(circles, measure, shard_sinks, l2_options);
+      break;
+  }
+  return stats;
 }
 
 }  // namespace rnnhm

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "core/crest.h"
+#include "core/crest_l2.h"
 
 namespace rnnhm {
 
@@ -52,6 +53,31 @@ CrestStats RunCrestParallelStrips(const std::vector<NnCircle>& circles,
                                   const InfluenceMeasure& measure,
                                   int num_slabs,
                                   const CrestOptions& options = {});
+
+/// Counters of a metric-dispatched parallel sweep: exactly one of the two
+/// members is populated, depending on which sweep ran.
+struct MetricSweepStats {
+  CrestStats crest;  ///< rectilinear sweeps (kLInf, and kL1 via rotation)
+  CrestL2Stats l2;   ///< the arc sweep (kL2)
+
+  size_t num_labelings() const {
+    return crest.num_labelings + l2.num_labelings;
+  }
+  size_t num_events() const { return crest.num_events + l2.num_events; }
+};
+
+/// The single dispatching entry point over all three metrics: slab-sweeps
+/// `circles` (which must have been built under `metric`) with one thread
+/// per shard sink. kLInf runs RunCrestParallel directly, kL1 rotates into
+/// the L-infinity frame first (labels are in the rotated frame), and kL2
+/// runs the arc sweep via RunCrestL2Parallel. `crest_options` applies to
+/// the rectilinear sweeps only, `l2_options` to the arc sweep only.
+MetricSweepStats RunCrestParallelMetric(
+    Metric metric, const std::vector<NnCircle>& circles,
+    const InfluenceMeasure& measure,
+    std::span<RegionLabelSink* const> shard_sinks,
+    const CrestOptions& crest_options = {},
+    const CrestL2Options& l2_options = {});
 
 }  // namespace rnnhm
 

@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "core/brute_force.h"
+#include "core/crest_l2.h"
 #include "core/crest_parallel.h"
 #include "heatmap/raster_sink.h"
 #include "nn/nn_circle_builder.h"
@@ -65,6 +66,50 @@ HeatmapGrid BuildHeatmapLInfParallel(const std::vector<NnCircle>& circles,
   return grid;
 }
 
+namespace {
+
+// Shared tail of the L1 builders: sweep rotated (L-infinity) circles over
+// the rotated domain and resample back into the requested frame.
+HeatmapGrid ResampleRotatedSweep(const std::vector<NnCircle>& rot_circles,
+                                 const InfluenceMeasure& measure,
+                                 const Rect& domain, int width, int height,
+                                 int num_slabs, double oversample,
+                                 CrestStats* stats_out,
+                                 const CrestOptions& sweep_options) {
+  const Point corners[4] = {domain.lo,
+                            {domain.hi.x, domain.lo.y},
+                            {domain.lo.x, domain.hi.y},
+                            domain.hi};
+  Rect rot_domain = EmptyRect();
+  for (const Point& c : corners) {
+    const Point r = RotateToLInf(c);
+    rot_domain = rot_domain.Union(Rect{r, r});
+  }
+  const int rot_res = static_cast<int>(
+      std::ceil(std::max(width, height) * std::max(1.0, oversample)));
+  HeatmapGrid rotated(rot_res, rot_res, rot_domain, measure.Evaluate({}));
+  {
+    RNNHM_CHECK_MSG(sweep_options.strip_sink == nullptr,
+                    "the L1 builder owns the strip sink");
+    RasterStripSink raster(&rotated);
+    CrestOptions options = sweep_options;
+    options.strip_sink = &raster;
+    const CrestStats stats =
+        RunCrestParallelStrips(rot_circles, measure, num_slabs, options);
+    if (stats_out != nullptr) *stats_out = stats;
+  }
+
+  HeatmapGrid out(width, height, domain, measure.Evaluate({}));
+  for (int i = 0; i < width; ++i) {
+    for (int j = 0; j < height; ++j) {
+      out.At(i, j) = rotated.Sample(RotateToLInf(out.PixelCenter(i, j)));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
 HeatmapGrid BuildHeatmapL1(const std::vector<Point>& clients,
                            const std::vector<Point>& facilities,
                            const InfluenceMeasure& measure,
@@ -81,28 +126,39 @@ HeatmapGrid BuildHeatmapL1(const std::vector<Point>& clients,
   }
   const std::vector<NnCircle> circles =
       BuildNnCircles(rot_clients, rot_facilities, Metric::kLInf);
+  return ResampleRotatedSweep(circles, measure, domain, width, height,
+                              /*num_slabs=*/1, oversample,
+                              /*stats_out=*/nullptr, CrestOptions{});
+}
 
-  const Point corners[4] = {domain.lo,
-                            {domain.hi.x, domain.lo.y},
-                            {domain.lo.x, domain.hi.y},
-                            domain.hi};
-  Rect rot_domain = EmptyRect();
-  for (const Point& c : corners) {
-    const Point r = RotateToLInf(c);
-    rot_domain = rot_domain.Union(Rect{r, r});
-  }
-  const int rot_res = static_cast<int>(
-      std::ceil(std::max(width, height) * std::max(1.0, oversample)));
-  HeatmapGrid rotated =
-      BuildHeatmapLInf(circles, measure, rot_domain, rot_res, rot_res);
+HeatmapGrid BuildHeatmapL1Parallel(const std::vector<NnCircle>& l1_circles,
+                                   const InfluenceMeasure& measure,
+                                   const Rect& domain, int width, int height,
+                                   int num_slabs, double oversample,
+                                   CrestStats* stats_out,
+                                   const CrestOptions& sweep_options) {
+  return ResampleRotatedSweep(RotateCirclesToLInf(l1_circles), measure,
+                              domain, width, height, num_slabs, oversample,
+                              stats_out, sweep_options);
+}
 
-  HeatmapGrid out(width, height, domain, measure.Evaluate({}));
-  for (int i = 0; i < width; ++i) {
-    for (int j = 0; j < height; ++j) {
-      out.At(i, j) = rotated.Sample(RotateToLInf(out.PixelCenter(i, j)));
-    }
-  }
-  return out;
+HeatmapGrid BuildHeatmapL2(const std::vector<NnCircle>& circles,
+                           const InfluenceMeasure& measure,
+                           const Rect& domain, int width, int height) {
+  return BuildHeatmapL2Parallel(circles, measure, domain, width, height,
+                                /*num_slabs=*/1);
+}
+
+HeatmapGrid BuildHeatmapL2Parallel(const std::vector<NnCircle>& circles,
+                                   const InfluenceMeasure& measure,
+                                   const Rect& domain, int width, int height,
+                                   int num_slabs) {
+  HeatmapGrid grid(width, height, domain, measure.Evaluate({}));
+  RasterArcSink raster(&grid);
+  CrestL2Options options;
+  options.arc_sink = &raster;
+  RunCrestL2ParallelStrips(circles, measure, num_slabs, options);
+  return grid;
 }
 
 HeatmapGrid BuildHeatmapBruteForce(const std::vector<NnCircle>& circles,

@@ -79,6 +79,36 @@ HeatmapGrid BuildHeatmapL1(const std::vector<Point>& clients,
                            const Rect& domain, int width, int height,
                            double oversample = 1.5);
 
+/// As BuildHeatmapL1 from prebuilt L1 NN-circles (diamond radii): rotates
+/// the circles, sweeps the rotated frame with `num_slabs` slab shards, and
+/// resamples into `domain`. Output is identical for every slab count.
+/// `stats_out`, when non-null, receives the rotated sweep's counters.
+/// `sweep_options` forwards sweep tuning; its `strip_sink` must be null
+/// (the builder owns the rasterizing sink).
+HeatmapGrid BuildHeatmapL1Parallel(const std::vector<NnCircle>& l1_circles,
+                                   const InfluenceMeasure& measure,
+                                   const Rect& domain, int width, int height,
+                                   int num_slabs, double oversample = 1.5,
+                                   CrestStats* stats_out = nullptr,
+                                   const CrestOptions& sweep_options = {});
+
+/// Builds the exact heat map of L2 NN-circles (disks) via the arc sweep's
+/// strip rasterizer: every pixel's value is the influence of the region
+/// containing its center. Pixels outside every region keep the influence
+/// of the empty RNN set.
+HeatmapGrid BuildHeatmapL2(const std::vector<NnCircle>& circles,
+                           const InfluenceMeasure& measure,
+                           const Rect& domain, int width, int height);
+
+/// As BuildHeatmapL2 with the slab-parallel arc sweep: `num_slabs` shards
+/// paint disjoint pixel columns of the shared grid. Output is bit-identical
+/// to the sequential builder for every slab count (see
+/// core/crest_l2.h::RunCrestL2Parallel for the measure caveat).
+HeatmapGrid BuildHeatmapL2Parallel(const std::vector<NnCircle>& circles,
+                                   const InfluenceMeasure& measure,
+                                   const Rect& domain, int width, int height,
+                                   int num_slabs);
+
 /// Reference builder: evaluates the RNN set of every pixel center directly.
 /// O(width * height * n); use for tests and small showcases only.
 HeatmapGrid BuildHeatmapBruteForce(const std::vector<NnCircle>& circles,

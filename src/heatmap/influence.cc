@@ -76,19 +76,24 @@ ConnectivityInfluence::ConnectivityInfluence(
     adjacency_[a].push_back(b);
     adjacency_[b].push_back(a);
   }
-  in_set_.assign(num_clients, 0);
 }
 
 double ConnectivityInfluence::Evaluate(
     std::span<const int32_t> clients) const {
-  for (const int32_t c : clients) in_set_[c] = 1;
+  // Thread-local membership scratch keeps concurrent Evaluate safe (the
+  // slab-parallel sweeps share one measure across shards). It only ever
+  // grows, is zero outside this call, and is restored to zero before
+  // returning, so instances of any size can share it.
+  thread_local std::vector<uint8_t> in_set;
+  if (in_set.size() < adjacency_.size()) in_set.resize(adjacency_.size());
+  for (const int32_t c : clients) in_set[c] = 1;
   int64_t twice_edges = 0;
   for (const int32_t c : clients) {
     for (const int32_t nb : adjacency_[c]) {
-      if (in_set_[nb]) ++twice_edges;
+      if (in_set[nb]) ++twice_edges;
     }
   }
-  for (const int32_t c : clients) in_set_[c] = 0;
+  for (const int32_t c : clients) in_set[c] = 0;
   return static_cast<double>(twice_edges) / 2.0;
 }
 

@@ -79,7 +79,8 @@ class CapacityInfluence : public InfluenceMeasure {
 /// The taxi-sharing measure of Fig. 3: clients are graph vertices, an edge
 /// connects passengers with close destinations, and the influence of a
 /// region is the number of edges both of whose endpoints are in the RNN
-/// set.
+/// set. Evaluate keeps its membership scratch thread-local, so one
+/// instance is safe to share across concurrent sweep shards.
 class ConnectivityInfluence : public InfluenceMeasure {
  public:
   /// `num_clients` vertices; `edges` are undirected (i, j) pairs.
@@ -90,7 +91,6 @@ class ConnectivityInfluence : public InfluenceMeasure {
 
  private:
   std::vector<std::vector<int32_t>> adjacency_;
-  mutable std::vector<uint8_t> in_set_;
 };
 
 }  // namespace rnnhm

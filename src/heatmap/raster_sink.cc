@@ -3,12 +3,42 @@
 #include <algorithm>
 #include <cmath>
 
+#include "geom/circle_geometry.h"
+
 namespace rnnhm {
 
 RasterStripSink::RasterStripSink(HeatmapGrid* grid) : grid_(grid) {
   const Rect& d = grid_->domain();
   dx_ = (d.hi.x - d.lo.x) / grid_->width();
   dy_ = (d.hi.y - d.lo.y) / grid_->height();
+}
+
+RasterArcSink::RasterArcSink(HeatmapGrid* grid) : grid_(grid) {
+  const Rect& d = grid_->domain();
+  dx_ = (d.hi.x - d.lo.x) / grid_->width();
+  dy_ = (d.hi.y - d.lo.y) / grid_->height();
+}
+
+void RasterArcSink::OnArcStrip(double x0, double x1, const ArcGeom& lower,
+                               const ArcGeom& upper, double influence) {
+  const Rect& d = grid_->domain();
+  const int i0 =
+      std::max(0, static_cast<int>(std::ceil((x0 - d.lo.x) / dx_ - 0.5)));
+  for (int i = i0; i < grid_->width(); ++i) {
+    const double cx = d.lo.x + (i + 0.5) * dx_;
+    if (cx >= x1) break;
+    if (cx < x0) continue;
+    const double ylo = ArcYAt(lower.center, lower.radius, lower.is_upper, cx);
+    const double yhi = ArcYAt(upper.center, upper.radius, upper.is_upper, cx);
+    const int j0 =
+        std::max(0, static_cast<int>(std::ceil((ylo - d.lo.y) / dy_ - 0.5)));
+    for (int j = j0; j < grid_->height(); ++j) {
+      const double cy = d.lo.y + (j + 0.5) * dy_;
+      if (cy >= yhi) break;
+      if (cy < ylo) continue;
+      grid_->At(i, j) = influence;
+    }
+  }
 }
 
 void RasterStripSink::OnSpan(double x0, double x1, double y0, double y1,

@@ -1,7 +1,8 @@
-// StripSink implementation that paints exact heat spans into a HeatmapGrid.
+// Sink implementations that paint exact heat spans into a HeatmapGrid.
 #ifndef RNNHM_HEATMAP_RASTER_SINK_H_
 #define RNNHM_HEATMAP_RASTER_SINK_H_
 
+#include "core/crest_l2.h"
 #include "core/label_sink.h"
 #include "heatmap/heatmap.h"
 
@@ -16,6 +17,27 @@ class RasterStripSink : public StripSink {
 
   void OnSpan(double x0, double x1, double y0, double y1,
               double influence) override;
+
+ private:
+  HeatmapGrid* grid_;
+  double dx_;
+  double dy_;
+};
+
+/// Paints the L2 sweep's curved strips into a grid. For every pixel column
+/// whose center abscissa lies in the strip, both bounding arcs are sampled
+/// at exactly that abscissa and the pixels whose center ordinate falls in
+/// [lower, upper) are painted. Because each pixel's value depends only on
+/// the arcs live at its own center — never on where the strip was cut —
+/// slab-decomposed sweeps paint bit-identical grids, and shards writing
+/// through one shared sink touch disjoint columns (strips of different
+/// slabs never overlap in x).
+class RasterArcSink : public ArcStripSink {
+ public:
+  explicit RasterArcSink(HeatmapGrid* grid);
+
+  void OnArcStrip(double x0, double x1, const ArcGeom& lower,
+                  const ArcGeom& upper, double influence) override;
 
  private:
   HeatmapGrid* grid_;

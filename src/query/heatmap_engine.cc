@@ -78,6 +78,28 @@ std::vector<HeatmapResponse> HeatmapEngine::RunBatch(
 
 HeatmapResponse HeatmapEngine::Execute(const HeatmapRequest& request) const {
   ValidateRequest(request);
+  switch (request.metric) {
+    case Metric::kL1: {
+      CrestStats stats;
+      HeatmapGrid grid = BuildHeatmapL1Parallel(
+          request.circles, measure_, request.domain, request.width,
+          request.height, options_.slabs_per_request, /*oversample=*/1.5,
+          &stats, options_.crest);
+      return HeatmapResponse{std::move(grid), stats, {}};
+    }
+    case Metric::kL2: {
+      HeatmapGrid grid(request.width, request.height, request.domain,
+                       measure_.Evaluate({}));
+      RasterArcSink raster(&grid);
+      CrestL2Options l2;
+      l2.arc_sink = &raster;
+      const CrestL2Stats stats = RunCrestL2ParallelStrips(
+          request.circles, measure_, options_.slabs_per_request, l2);
+      return HeatmapResponse{std::move(grid), {}, stats};
+    }
+    case Metric::kLInf:
+      break;
+  }
   HeatmapGrid grid(request.width, request.height, request.domain,
                    measure_.Evaluate({}));
   RasterStripSink raster(&grid);
@@ -93,7 +115,7 @@ HeatmapResponse HeatmapEngine::Execute(const HeatmapRequest& request) const {
     CountingSink counter;
     stats = RunCrest(request.circles, measure_, &counter, crest);
   }
-  return HeatmapResponse{std::move(grid), stats};
+  return HeatmapResponse{std::move(grid), stats, {}};
 }
 
 size_t HeatmapEngine::pending() const {

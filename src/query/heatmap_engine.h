@@ -4,16 +4,17 @@
 // many independent RNNHM computations: one per city tile, per time tick, or
 // per what-if facility placement. HeatmapEngine turns those into a service:
 // requests are submitted from any thread, queued, and dispatched across a
-// worker pool; each request runs the CREST sweep and rasterizes its heat
-// map exactly as the sequential BuildHeatmapLInf path does, so batched
-// output is bit-identical to a sequential run over the same inputs.
+// worker pool; each request runs the CREST sweep of its metric and
+// rasterizes its heat map exactly as the sequential builder for that metric
+// does (BuildHeatmapLInf / BuildHeatmapL1Parallel / BuildHeatmapL2), so
+// batched output is bit-identical to a sequential run over the same inputs.
 //
 // Two parallelism axes compose:
 //   * across requests — `num_threads` workers drain the shared queue;
 //   * within a request — `slabs_per_request > 1` sweeps each request with
-//     the slab-decomposed RunCrestParallel, painting one shared grid
-//     through the strip sink (slab strips never overlap, so the raster is
-//     still exact and deterministic).
+//     the slab-decomposed RunCrestParallel / RunCrestL2Parallel, painting
+//     one shared grid through the strip sink (slab strips never overlap,
+//     so the raster is still exact and deterministic).
 //
 // Determinism contract: a request's grid depends only on the request and
 // the measure, never on scheduling. `HeatmapEngineOptions{.num_threads = 1}`
@@ -34,25 +35,32 @@
 #include <vector>
 
 #include "core/crest.h"
+#include "core/crest_l2.h"
 #include "core/influence_measure.h"
 #include "geom/geometry.h"
 #include "heatmap/heatmap.h"
 
 namespace rnnhm {
 
-/// One heat-map computation: sweep `circles` (L-infinity NN-circles) and
-/// rasterize the influence field over `domain` at `width` x `height`.
+/// One heat-map computation: sweep `circles` (NN-circles built under
+/// `metric`) and rasterize the influence field over `domain` at
+/// `width` x `height`. L2 requests run the arc sweep and are exact at
+/// pixel centers; L1 requests sweep the rotated frame and resample.
 struct HeatmapRequest {
   std::vector<NnCircle> circles;
   Rect domain;
   int width = 0;
   int height = 0;
+  Metric metric = Metric::kLInf;
 };
 
-/// The finished raster plus the sweep's counters.
+/// The finished raster plus the sweep's counters: `stats` for the
+/// rectilinear sweeps (kLInf, kL1), `l2_stats` for the arc sweep (kL2);
+/// the counters of the sweep that did not run stay zero.
 struct HeatmapResponse {
   HeatmapGrid grid;
   CrestStats stats;
+  CrestL2Stats l2_stats;
 };
 
 struct HeatmapEngineOptions {

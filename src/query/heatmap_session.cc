@@ -99,17 +99,12 @@ void HeatmapSession::Rebuild(const InfluenceMeasure& measure,
   }
 }
 
-CrestStats HeatmapSession::RebuildParallel(
+MetricSweepStats HeatmapSession::RebuildParallel(
     const InfluenceMeasure& measure,
     std::span<RegionLabelSink* const> shard_sinks,
     const CrestOptions& options) const {
-  RNNHM_CHECK_MSG(metric_ != Metric::kL2,
-                  "RebuildParallel supports L-infinity and L1 only");
-  if (metric_ == Metric::kL1) {
-    return RunCrestParallel(RotateCirclesToLInf(circles_), measure,
-                            shard_sinks, options);
-  }
-  return RunCrestParallel(circles_, measure, shard_sinks, options);
+  return RunCrestParallelMetric(metric_, circles_, measure, shard_sinks,
+                                options);
 }
 
 }  // namespace rnnhm

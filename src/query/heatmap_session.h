@@ -23,6 +23,7 @@
 
 #include "core/crest.h"
 #include "core/crest_l2.h"
+#include "core/crest_parallel.h"
 #include "core/influence_measure.h"
 #include "core/label_sink.h"
 #include "geom/geometry.h"
@@ -67,12 +68,14 @@ class HeatmapSession {
 
   /// As Rebuild with the slab-parallel sweep: shard i labels slab i through
   /// `shard_sinks[i]` (see core/crest_parallel.h for the thread-safety
-  /// contract; L1 sessions sweep and label in the rotated frame). Returns
-  /// the summed per-shard stats. Rectilinear metrics only — the L2 arc
-  /// sweep has no slab decomposition yet.
-  CrestStats RebuildParallel(const InfluenceMeasure& measure,
-                             std::span<RegionLabelSink* const> shard_sinks,
-                             const CrestOptions& options = {}) const;
+  /// contract; L1 sessions sweep and label in the rotated frame, L2
+  /// sessions run the slab-decomposed arc sweep). Returns the summed
+  /// per-shard stats of whichever sweep ran. `options` applies to the
+  /// rectilinear sweeps only.
+  MetricSweepStats RebuildParallel(
+      const InfluenceMeasure& measure,
+      std::span<RegionLabelSink* const> shard_sinks,
+      const CrestOptions& options = {}) const;
 
  private:
   void EnsureFacilityTree();

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <future>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -177,6 +178,165 @@ TEST(HeatmapEngineTest, DestructorDrainsOutstandingRequests) {
   }  // destructor joins after serving the queue
   const auto response = future.get();
   EXPECT_GT(response.stats.num_labelings, 0u);
+}
+
+TEST(HeatmapEngineTest, DestructorDrainsDeepQueueAcrossWorkers) {
+  // Many requests still queued when the engine dies: every future must
+  // still resolve with a correct response (no request is dropped).
+  SizeInfluence measure;
+  std::vector<std::future<HeatmapResponse>> futures;
+  constexpr int kQueued = 16;
+  {
+    HeatmapEngine engine(measure, Options(2));
+    for (int i = 0; i < kQueued; ++i) {
+      futures.push_back(engine.Submit(RandomRequest(40, 9000 + i)));
+    }
+  }
+  for (int i = 0; i < kQueued; ++i) {
+    const auto response = futures[i].get();
+    ExpectBitIdentical(response.grid,
+                       Reference(RandomRequest(40, 9000 + i), measure));
+  }
+}
+
+// --- Failure paths --------------------------------------------------------
+
+/// Throws for every nonempty RNN set; the empty-set evaluation that seeds
+/// the grid background stays safe.
+class ThrowingInfluence : public InfluenceMeasure {
+ public:
+  double Evaluate(std::span<const int32_t> clients) const override {
+    if (!clients.empty()) {
+      throw std::runtime_error("influence backend unavailable");
+    }
+    return 0.0;
+  }
+};
+
+TEST(HeatmapEngineTest, SubmitFuturePropagatesWorkerExceptions) {
+  ThrowingInfluence measure;
+  HeatmapEngine engine(measure, Options(2));
+  auto failing = engine.Submit(RandomRequest(40, 1));
+  EXPECT_THROW(failing.get(), std::runtime_error);
+  // The worker that threw must survive and keep serving. An empty request
+  // never evaluates a nonempty set, so it succeeds on the same engine.
+  HeatmapRequest empty;
+  empty.domain = Rect{{0, 0}, {1, 1}};
+  empty.width = 4;
+  empty.height = 4;
+  const auto response = engine.Submit(std::move(empty)).get();
+  EXPECT_EQ(response.stats.num_events, 0u);
+  EXPECT_EQ(engine.pending(), 0u);
+}
+
+TEST(HeatmapEngineTest, AllFailingBatchResolvesEveryFuture) {
+  ThrowingInfluence measure;
+  HeatmapEngine engine(measure, Options(4));
+  std::vector<std::future<HeatmapResponse>> futures;
+  for (int i = 0; i < 12; ++i) {
+    futures.push_back(engine.Submit(RandomRequest(30, 100 + i)));
+  }
+  for (auto& f : futures) EXPECT_THROW(f.get(), std::runtime_error);
+  EXPECT_EQ(engine.pending(), 0u);
+}
+
+TEST(HeatmapEngineTest, RunBatchKeepsRequestOrderUnderContention) {
+  // Responses must come back in request order even with workers racing and
+  // other threads hammering Submit concurrently. Each request's raster
+  // size encodes its batch position.
+  SizeInfluence measure;
+  HeatmapEngine engine(measure, Options(4));
+  std::vector<HeatmapRequest> batch;
+  constexpr int kBatch = 24;
+  for (int i = 0; i < kBatch; ++i) {
+    HeatmapRequest req = RandomRequest(30 + i, 700 + i);
+    req.width = 8 + i;  // marker: response i must have width 8 + i
+    batch.push_back(std::move(req));
+  }
+  std::thread noise([&engine] {
+    std::vector<std::future<HeatmapResponse>> side;
+    for (int i = 0; i < 48; ++i) {
+      side.push_back(engine.Submit(RandomRequest(20, 3000 + i)));
+    }
+    for (auto& f : side) f.get();
+  });
+  const auto responses = engine.RunBatch(std::move(batch));
+  noise.join();
+  ASSERT_EQ(responses.size(), static_cast<size_t>(kBatch));
+  for (int i = 0; i < kBatch; ++i) {
+    EXPECT_EQ(responses[i].grid.width(), 8 + i) << "position " << i;
+  }
+}
+
+// --- L2 requests through the engine ---------------------------------------
+
+std::vector<NnCircle> RandomDisks(int n, uint64_t seed) {
+  Rng rng(seed);
+  return RandomCircles(n, rng);
+}
+
+HeatmapRequest L2Request(int n, uint64_t seed) {
+  HeatmapRequest req;
+  req.circles = RandomDisks(n, seed);
+  req.domain = Rect{{-0.1, -0.1}, {1.1, 1.1}};
+  req.width = 56;
+  req.height = 56;
+  req.metric = Metric::kL2;
+  return req;
+}
+
+TEST(HeatmapEngineTest, L2RequestsMatchSequentialArcSweepBitForBit) {
+  SizeInfluence measure;
+  for (const int slabs : {1, 2, 4, 8}) {
+    HeatmapEngine engine(measure, Options(2, slabs));
+    const auto req = L2Request(60, 2100 + slabs);
+    const auto response = engine.Submit(req).get();
+    ExpectBitIdentical(response.grid,
+                       BuildHeatmapL2(req.circles, measure, req.domain,
+                                      req.width, req.height));
+    EXPECT_GT(response.l2_stats.num_labelings, 0u);
+    EXPECT_EQ(response.stats.num_labelings, 0u);  // arc sweep only
+  }
+}
+
+TEST(HeatmapEngineTest, L2StatsAggregateAcrossSlabs) {
+  // The engine must surface the arc sweep's counters: global circle counts
+  // equal the sequential sweep's, per-shard counters sum to at least it.
+  SizeInfluence measure;
+  const auto req = L2Request(80, 2200);
+  CountingSink sink;
+  const CrestL2Stats sequential =
+      RunCrestL2(req.circles, measure, &sink);
+  for (const int slabs : {1, 4}) {
+    HeatmapEngine engine(measure, Options(1, slabs));
+    const auto response = engine.Submit(req).get();
+    EXPECT_EQ(response.l2_stats.num_circles, sequential.num_circles);
+    EXPECT_EQ(response.l2_stats.num_skipped_circles,
+              sequential.num_skipped_circles);
+    EXPECT_GE(response.l2_stats.num_labelings, sequential.num_labelings);
+    if (slabs == 1) {
+      EXPECT_EQ(response.l2_stats.num_labelings, sequential.num_labelings);
+      EXPECT_EQ(response.l2_stats.num_events, sequential.num_events);
+    }
+  }
+}
+
+TEST(HeatmapEngineTest, MixedMetricBatchDispatchesPerRequest) {
+  SizeInfluence measure;
+  HeatmapEngine engine(measure, Options(3, 2));
+  std::vector<HeatmapRequest> batch;
+  batch.push_back(RandomRequest(40, 51));       // kLInf
+  batch.push_back(L2Request(40, 52));           // kL2
+  HeatmapRequest l1 = RandomRequest(40, 53);
+  l1.metric = Metric::kL1;
+  batch.push_back(std::move(l1));
+  const auto responses = engine.RunBatch(std::move(batch));
+  ASSERT_EQ(responses.size(), 3u);
+  EXPECT_GT(responses[0].stats.num_labelings, 0u);
+  EXPECT_EQ(responses[0].l2_stats.num_labelings, 0u);
+  EXPECT_GT(responses[1].l2_stats.num_labelings, 0u);
+  EXPECT_EQ(responses[1].stats.num_labelings, 0u);
+  EXPECT_GT(responses[2].stats.num_labelings, 0u);
 }
 
 }  // namespace

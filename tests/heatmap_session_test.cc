@@ -137,7 +137,7 @@ TEST(HeatmapSessionTest, RebuildParallelShardUnionMatchesRebuild) {
     facilities.push_back({rng.Uniform(0, 1), rng.Uniform(0, 1)});
   }
   SizeInfluence measure;
-  for (const Metric metric : {Metric::kLInf, Metric::kL1}) {
+  for (const Metric metric : {Metric::kLInf, Metric::kL1, Metric::kL2}) {
     HeatmapSession session(clients, facilities, metric);
     DistinctSetSink sequential;
     session.Rebuild(measure, &sequential);
@@ -145,8 +145,9 @@ TEST(HeatmapSessionTest, RebuildParallelShardUnionMatchesRebuild) {
     std::vector<DistinctSetSink> shard_sinks(4);
     std::vector<RegionLabelSink*> sink_ptrs;
     for (auto& s : shard_sinks) sink_ptrs.push_back(&s);
-    const CrestStats stats = session.RebuildParallel(measure, sink_ptrs);
-    EXPECT_GT(stats.num_labelings, 0u);
+    const MetricSweepStats stats =
+        session.RebuildParallel(measure, sink_ptrs);
+    EXPECT_GT(stats.num_labelings(), 0u);
 
     std::map<std::vector<int32_t>, double> merged;
     for (const auto& s : shard_sinks) {

@@ -6,7 +6,8 @@
 //   heatmap --clients A.csv --facilities B.csv [--metric linf|l1|l2]
 //           [--size N] [--threads T] [--out map.ppm] [--ascii]
 //       Build the RNN heat map (size measure) and export it. --threads
-//       slab-parallelizes the linf sweep (bit-identical output).
+//       slab-parallelizes the linf, l1 and l2 sweeps (bit-identical
+//       output for every thread count).
 //   topk --clients A.csv --facilities B.csv [--metric ...] [--k K]
 //       Print the K most influential regions.
 //   query --clients A.csv --facilities B.csv --x X --y Y [--metric ...]
@@ -178,15 +179,16 @@ int CmdHeatmap(const Args& args) {
             BuildNnCircles(clients, facilities, Metric::kLInf), measure,
             domain, size, size, threads);
       case Metric::kL1:
-        return BuildHeatmapL1(clients, facilities, measure, domain, size,
-                              size);
+        return BuildHeatmapL1Parallel(
+            BuildNnCircles(clients, facilities, Metric::kL1), measure,
+            domain, size, size, threads);
       case Metric::kL2:
       default:
-        // Exact strips are square/diamond-specific; the L2 map is built by
-        // per-pixel evaluation (exact at pixel centers).
-        return BuildHeatmapBruteForce(
-            BuildNnCircles(clients, facilities, Metric::kL2), Metric::kL2,
-            measure, domain, size, size);
+        // Exact arc-sweep rasterization (exact at pixel centers),
+        // slab-parallel across --threads.
+        return BuildHeatmapL2Parallel(
+            BuildNnCircles(clients, facilities, Metric::kL2), measure,
+            domain, size, size, threads);
     }
   }();
   std::printf("heat map %dx%d, max influence %.0f\n", size, size,
