@@ -464,14 +464,7 @@ CrestL2Stats RunCrestL2Parallel(
   // sequential sweep) so simultaneous-event groups do not depend on the
   // slab decomposition.
   double span = options.event_group_span;
-  if (span < 0.0) {
-    span = 0.0;
-    for (const NnCircle& c : circles) {
-      if (c.radius > 0.0) {
-        span = std::max(span, std::fabs(c.center.x) + c.radius);
-      }
-    }
-  }
+  if (span < 0.0) span = DiskEventGroupSpan(circles);
 
   if (shards == 1) {
     CrestL2Options seq = options;
@@ -540,6 +533,16 @@ CrestL2Stats RunCrestL2ParallelStrips(const std::vector<NnCircle>& circles,
   sinks.reserve(counters.size());
   for (CountingSink& c : counters) sinks.push_back(&c);
   return RunCrestL2Parallel(circles, measure, sinks, options);
+}
+
+double DiskEventGroupSpan(const std::vector<NnCircle>& circles) {
+  double span = 0.0;
+  for (const NnCircle& c : circles) {
+    if (c.radius > 0.0) {
+      span = std::max(span, std::fabs(c.center.x) + c.radius);
+    }
+  }
+  return span;
 }
 
 }  // namespace rnnhm

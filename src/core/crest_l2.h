@@ -128,6 +128,14 @@ CrestL2Stats RunCrestL2ParallelStrips(const std::vector<NnCircle>& circles,
                                       int num_slabs,
                                       const CrestL2Options& options = {});
 
+/// The coordinate span that scales the sweep's simultaneous-event grouping
+/// epsilon, derived from the full disk set exactly as the sequential sweep
+/// derives it. Any clipped sweep over a subset of the plane (a parallel
+/// shard, an incremental dirty slab) must pass this via
+/// `CrestL2Options::event_group_span` so its event groups match the
+/// sequential sweep's bit for bit.
+double DiskEventGroupSpan(const std::vector<NnCircle>& circles);
+
 }  // namespace rnnhm
 
 #endif  // RNNHM_CORE_CREST_L2_H_

@@ -79,6 +79,35 @@ MetricSweepStats RunCrestParallelMetric(
     const CrestOptions& crest_options = {},
     const CrestL2Options& l2_options = {});
 
+/// Sweeps exactly one vertical slab [clip_lo, clip_hi) of the L-infinity
+/// arrangement on the calling thread: every circle's bounding square is
+/// clipped to the slab (identical to one shard of RunCrestParallel) and the
+/// clipped arrangement is swept sequentially. Labels are correct region
+/// labels of the full arrangement restricted to the slab;
+/// `options.strip_sink` receives only spans inside the slab. This is the
+/// building block of the incremental re-sweep (heatmap/incremental.h),
+/// which retains a raster and re-runs only the slabs an edit dirtied.
+/// Requires clip_lo < clip_hi (both finite).
+CrestStats RunCrestSlab(const std::vector<NnCircle>& circles,
+                        const InfluenceMeasure& measure,
+                        RegionLabelSink* sink, double clip_lo, double clip_hi,
+                        const CrestOptions& options = {});
+
+/// Metric-dispatched single-slab sweep: kLInf clips squares and runs
+/// RunCrestSlab, kL2 clips disks via CrestL2Options::clip_lo/clip_hi and
+/// runs the arc sweep (with the event-grouping span derived from the full
+/// input, so event groups match the unclipped sweep exactly). kL1 is not
+/// supported — its sweep runs in the pi/4-rotated frame, where a vertical
+/// slab of the original frame is not a vertical slab (callers fall back to
+/// a full rebuild; see HeatmapSession::RasterIncremental).
+MetricSweepStats RunCrestSlabMetric(Metric metric,
+                                    const std::vector<NnCircle>& circles,
+                                    const InfluenceMeasure& measure,
+                                    RegionLabelSink* sink, double clip_lo,
+                                    double clip_hi,
+                                    const CrestOptions& crest_options = {},
+                                    const CrestL2Options& l2_options = {});
+
 }  // namespace rnnhm
 
 #endif  // RNNHM_CORE_CREST_PARALLEL_H_

@@ -1,0 +1,60 @@
+// Dirty x-interval tracking for incremental re-sweeps.
+//
+// The paper frames heat maps as an interactive exploration tool: a session
+// edit (move a client, add a facility, ...) perturbs a handful of
+// NN-circles, yet a from-scratch Rebuild re-sweeps everything. Because the
+// influence at a point p can only change when p's membership in one of the
+// *edited* circles changes, the x-extents of the edited circles' old and
+// new footprints bound every pixel column whose value may differ. A
+// DirtyIntervalSet accumulates those extents across edits; the incremental
+// rasterizer (heatmap/incremental.h) then re-sweeps only the slabs they
+// cover and splices the recomputed columns into the retained grid.
+#ifndef RNNHM_CORE_DIRTY_INTERVAL_H_
+#define RNNHM_CORE_DIRTY_INTERVAL_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace rnnhm {
+
+/// Closed interval [lo, hi] of x-coordinates (lo <= hi).
+struct DirtyInterval {
+  double lo;
+  double hi;
+
+  friend bool operator==(const DirtyInterval&,
+                         const DirtyInterval&) = default;
+};
+
+/// Accumulates closed x-intervals across session edits and exposes them as
+/// a merged, sorted, pairwise-disjoint list. Intervals are merged lazily:
+/// Add is O(1) amortized, Merged() is O(b log b) for b pending intervals.
+class DirtyIntervalSet {
+ public:
+  /// Marks [lo, hi] dirty. Requires lo <= hi (a degenerate point interval
+  /// is allowed: a zero-radius circle still has a footprint boundary).
+  void Add(double lo, double hi);
+
+  /// True iff no interval has been added since construction / last Clear.
+  bool empty() const { return intervals_.empty(); }
+
+  /// Number of intervals added since the last Clear (before merging).
+  size_t num_pending() const { return intervals_.size(); }
+
+  /// The merged view: sorted ascending, pairwise disjoint (touching
+  /// intervals coalesce). Idempotent; Add may follow.
+  const std::vector<DirtyInterval>& Merged() const;
+
+  /// Forgets all accumulated intervals (after a rebuild consumed them).
+  void Clear();
+
+ private:
+  // Mutable so Merged() can normalize in place while staying const to
+  // callers that only read the merged view.
+  mutable std::vector<DirtyInterval> intervals_;
+  mutable bool merged_ = true;
+};
+
+}  // namespace rnnhm
+
+#endif  // RNNHM_CORE_DIRTY_INTERVAL_H_

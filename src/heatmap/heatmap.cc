@@ -161,6 +161,22 @@ HeatmapGrid BuildHeatmapL2Parallel(const std::vector<NnCircle>& circles,
   return grid;
 }
 
+HeatmapGrid BuildHeatmapForMetric(Metric metric,
+                                  const std::vector<NnCircle>& circles,
+                                  const InfluenceMeasure& measure,
+                                  const Rect& domain, int width, int height) {
+  switch (metric) {
+    case Metric::kLInf:
+      return BuildHeatmapLInf(circles, measure, domain, width, height);
+    case Metric::kL1:
+      return BuildHeatmapL1Parallel(circles, measure, domain, width, height,
+                                    /*num_slabs=*/1);
+    case Metric::kL2:
+    default:
+      return BuildHeatmapL2(circles, measure, domain, width, height);
+  }
+}
+
 HeatmapGrid BuildHeatmapBruteForce(const std::vector<NnCircle>& circles,
                                    Metric metric,
                                    const InfluenceMeasure& measure,

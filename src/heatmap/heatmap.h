@@ -109,6 +109,16 @@ HeatmapGrid BuildHeatmapL2Parallel(const std::vector<NnCircle>& circles,
                                    const Rect& domain, int width, int height,
                                    int num_slabs);
 
+/// The sequential from-scratch builder for any metric over prebuilt
+/// circles: dispatches to BuildHeatmapLInf / BuildHeatmapL1Parallel
+/// (one slab) / BuildHeatmapL2. This is the single reference recipe the
+/// session's full-rebuild path and verification tools share, so they can
+/// never drift apart.
+HeatmapGrid BuildHeatmapForMetric(Metric metric,
+                                  const std::vector<NnCircle>& circles,
+                                  const InfluenceMeasure& measure,
+                                  const Rect& domain, int width, int height);
+
 /// Reference builder: evaluates the RNN set of every pixel center directly.
 /// O(width * height * n); use for tests and small showcases only.
 HeatmapGrid BuildHeatmapBruteForce(const std::vector<NnCircle>& circles,

@@ -1,0 +1,88 @@
+#include "heatmap/incremental.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "core/label_sink.h"
+#include "heatmap/raster_sink.h"
+
+namespace rnnhm {
+
+IncrementalRasterStats RecomputeDirtyColumns(
+    HeatmapGrid* grid, Metric metric, const std::vector<NnCircle>& circles,
+    const InfluenceMeasure& measure, const DirtyIntervalSet& dirty) {
+  RNNHM_CHECK(grid != nullptr);
+  RNNHM_CHECK_MSG(metric != Metric::kL1,
+                  "kL1 sweeps the rotated frame; use a full rebuild");
+  IncrementalRasterStats stats;
+  stats.total_columns = grid->width();
+  if (dirty.empty()) return stats;
+
+  const Rect& domain = grid->domain();
+  const double dx = (domain.hi.x - domain.lo.x) / grid->width();
+  const double background = measure.Evaluate({});
+
+  // The event-grouping span must come from the full input so each slab
+  // sweep groups simultaneous events exactly like an unclipped sweep.
+  CrestL2Options l2_options;
+  if (metric == Metric::kL2) {
+    l2_options.event_group_span = DiskEventGroupSpan(circles);
+  }
+
+  RasterStripSink strip_raster(grid);
+  RasterArcSink arc_raster(grid);
+  CrestOptions crest_options;
+  crest_options.strip_sink = &strip_raster;
+  l2_options.arc_sink = &arc_raster;
+
+  for (const DirtyInterval& interval : dirty.Merged()) {
+    // Columns whose centers lie in the closed dirty interval. Only those
+    // pixels can have changed; everything else keeps its retained value.
+    // Clamp in double space first: a far-off-domain edit produces column
+    // ordinals beyond int range, and casting those is undefined behavior.
+    const double width = grid->width();
+    const double lo_col = std::ceil((interval.lo - domain.lo.x) / dx - 0.5);
+    const double hi_col =
+        std::floor((interval.hi - domain.lo.x) / dx - 0.5);
+    if (hi_col < 0.0 || lo_col > width - 1.0) continue;  // off-screen
+    const int i0 = static_cast<int>(std::max(0.0, lo_col));
+    const int i1 = static_cast<int>(std::min(width - 1.0, hi_col));
+    if (i0 > i1) continue;  // between two column centers
+
+    // Reset the dirty columns to the empty-set influence, then repaint
+    // them with a sweep clipped to the pixel-aligned slab. Slab edges sit
+    // half a pixel away from every column center, so the half-open paint
+    // conventions put exactly the columns i0..i1 inside the slab.
+    for (int i = i0; i <= i1; ++i) {
+      for (int j = 0; j < grid->height(); ++j) {
+        grid->At(i, j) = background;
+      }
+    }
+    const double clip_lo = domain.lo.x + i0 * dx;
+    const double clip_hi = domain.lo.x + (i1 + 1) * dx;
+    CountingSink labels;  // only the painted strips are needed
+    const MetricSweepStats slab_stats =
+        RunCrestSlabMetric(metric, circles, measure, &labels, clip_lo,
+                           clip_hi, crest_options, l2_options);
+    stats.sweep.crest.num_events += slab_stats.crest.num_events;
+    stats.sweep.crest.num_labelings += slab_stats.crest.num_labelings;
+    stats.sweep.crest.num_merged_intervals +=
+        slab_stats.crest.num_merged_intervals;
+    stats.sweep.crest.num_elements_walked +=
+        slab_stats.crest.num_elements_walked;
+    stats.sweep.l2.num_events += slab_stats.l2.num_events;
+    stats.sweep.l2.num_cross_events += slab_stats.l2.num_cross_events;
+    stats.sweep.l2.num_labelings += slab_stats.l2.num_labelings;
+    stats.sweep.crest.num_circles = slab_stats.crest.num_circles;
+    stats.sweep.crest.num_skipped_circles =
+        slab_stats.crest.num_skipped_circles;
+    stats.sweep.l2.num_circles = slab_stats.l2.num_circles;
+    stats.sweep.l2.num_skipped_circles = slab_stats.l2.num_skipped_circles;
+    ++stats.dirty_slabs;
+    stats.dirty_columns += i1 - i0 + 1;
+  }
+  return stats;
+}
+
+}  // namespace rnnhm

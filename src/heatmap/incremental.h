@@ -1,0 +1,51 @@
+// Incremental heat-map maintenance: re-sweep only dirty slabs and splice
+// the recomputed pixel columns into a retained grid.
+//
+// Exactness rests on the raster sinks' column-center sampling convention:
+// a pixel's value depends only on the sweep elements live at its own
+// center abscissa, never on where slabs were cut (RasterStripSink paints
+// half-open spans, RasterArcSink samples both bounding arcs at each
+// column center). A sweep clipped to any slab [lo, hi) therefore paints
+// the columns whose centers fall in [lo, hi) bit-identically to a full
+// sweep — so recomputing just the slabs covering a session edit's dirty
+// x-intervals, after resetting those columns to the background influence,
+// reproduces the from-scratch raster exactly.
+//
+// Supported for the two column-separable sweeps (kLInf squares, kL2
+// disks). kL1 sweeps the pi/4-rotated frame, where a vertical slab of the
+// output frame is not a vertical slab; its callers fall back to a full
+// rebuild (see HeatmapSession::RasterIncremental).
+#ifndef RNNHM_HEATMAP_INCREMENTAL_H_
+#define RNNHM_HEATMAP_INCREMENTAL_H_
+
+#include <vector>
+
+#include "core/crest_parallel.h"
+#include "core/dirty_interval.h"
+#include "heatmap/heatmap.h"
+
+namespace rnnhm {
+
+/// Counters of one incremental recompute pass.
+struct IncrementalRasterStats {
+  int dirty_slabs = 0;     ///< merged dirty intervals that touched the grid
+  int dirty_columns = 0;   ///< pixel columns reset and recomputed
+  int total_columns = 0;   ///< grid width (for dirty-fraction reporting)
+  MetricSweepStats sweep;  ///< summed counters of the clipped sweeps run
+};
+
+/// Recomputes in place every pixel column of `grid` whose center abscissa
+/// lies in one of `dirty`'s merged intervals: the columns are reset to
+/// `measure.Evaluate({})` and repainted by sweeps of the *current*
+/// `circles` clipped to the pixel-aligned slab covering each interval.
+/// `metric` must be kLInf or kL2 (the column-separable sweeps) and must
+/// match the metric the circles were built under. Dirty intervals outside
+/// the grid's x-range are skipped (off-screen edits change no pixel).
+/// Returns the pass counters; the grid is untouched when `dirty` is empty.
+IncrementalRasterStats RecomputeDirtyColumns(
+    HeatmapGrid* grid, Metric metric, const std::vector<NnCircle>& circles,
+    const InfluenceMeasure& measure, const DirtyIntervalSet& dirty);
+
+}  // namespace rnnhm
+
+#endif  // RNNHM_HEATMAP_INCREMENTAL_H_

@@ -37,6 +37,10 @@ bool SaveHeatmap(const HeatmapGrid& grid, const std::string& path) {
   return (std::fclose(f) == 0) && ok;
 }
 
+size_t SerializedSizeBytes(const HeatmapGrid& grid) {
+  return sizeof(Header) + grid.values().size() * sizeof(double);
+}
+
 std::optional<HeatmapGrid> LoadHeatmap(const std::string& path) {
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) return std::nullopt;

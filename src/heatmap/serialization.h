@@ -7,6 +7,7 @@
 #ifndef RNNHM_HEATMAP_SERIALIZATION_H_
 #define RNNHM_HEATMAP_SERIALIZATION_H_
 
+#include <cstddef>
 #include <optional>
 #include <string>
 
@@ -20,6 +21,11 @@ bool SaveHeatmap(const HeatmapGrid& grid, const std::string& path);
 /// Loads a grid written by SaveHeatmap. Returns nullopt on I/O failure,
 /// bad magic/version, or a truncated payload.
 std::optional<HeatmapGrid> LoadHeatmap(const std::string& path);
+
+/// Exact size in bytes of the file SaveHeatmap would write for `grid`
+/// (header + row-major payload). Doubles as the resident-size estimate the
+/// engine's SweepCache charges per memoized grid.
+size_t SerializedSizeBytes(const HeatmapGrid& grid);
 
 }  // namespace rnnhm
 

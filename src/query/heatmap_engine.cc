@@ -9,6 +9,7 @@
 #include "core/crest_parallel.h"
 #include "core/label_sink.h"
 #include "heatmap/raster_sink.h"
+#include "query/sweep_cache.h"
 
 namespace rnnhm {
 
@@ -23,11 +24,19 @@ void ValidateRequest(const HeatmapRequest& request) {
                   "HeatmapRequest needs a non-degenerate domain");
 }
 
+std::unique_ptr<SweepCache> MakeCache(const HeatmapEngineOptions& options) {
+  if (options.cache_bytes == 0) return nullptr;
+  SweepCacheOptions cache_options;
+  cache_options.max_bytes = options.cache_bytes;
+  cache_options.max_entries = options.cache_entries;
+  return std::make_unique<SweepCache>(cache_options);
+}
+
 }  // namespace
 
 HeatmapEngine::HeatmapEngine(const InfluenceMeasure& measure,
                              HeatmapEngineOptions options)
-    : measure_(measure), options_(options) {
+    : measure_(measure), options_(options), cache_(MakeCache(options_)) {
   RNNHM_CHECK_MSG(options_.crest.strip_sink == nullptr,
                   "HeatmapEngine owns the strip sink");
   RNNHM_CHECK(options_.num_threads >= 0);
@@ -77,7 +86,33 @@ std::vector<HeatmapResponse> HeatmapEngine::RunBatch(
 }
 
 HeatmapResponse HeatmapEngine::Execute(const HeatmapRequest& request) const {
+  return Serve(request, /*owned=*/nullptr);
+}
+
+HeatmapResponse HeatmapEngine::Execute(HeatmapRequest&& request) const {
+  return Serve(request, &request);
+}
+
+HeatmapResponse HeatmapEngine::Serve(const HeatmapRequest& request,
+                                     HeatmapRequest* owned) const {
   ValidateRequest(request);
+  if (cache_ != nullptr) {
+    std::optional<HeatmapResponse> hit = cache_->Lookup(request);
+    if (hit.has_value()) return std::move(*hit);
+  }
+  HeatmapResponse response = Sweep(request);
+  if (cache_ != nullptr) {
+    if (owned != nullptr) {
+      cache_->Insert(std::move(*owned), response);
+    } else {
+      cache_->Insert(request, response);
+    }
+    response.cache = cache_->stats();
+  }
+  return response;
+}
+
+HeatmapResponse HeatmapEngine::Sweep(const HeatmapRequest& request) const {
   switch (request.metric) {
     case Metric::kL1: {
       CrestStats stats;
@@ -85,7 +120,7 @@ HeatmapResponse HeatmapEngine::Execute(const HeatmapRequest& request) const {
           request.circles, measure_, request.domain, request.width,
           request.height, options_.slabs_per_request, /*oversample=*/1.5,
           &stats, options_.crest);
-      return HeatmapResponse{std::move(grid), stats, {}};
+      return HeatmapResponse{std::move(grid), stats, {}, false, {}};
     }
     case Metric::kL2: {
       HeatmapGrid grid(request.width, request.height, request.domain,
@@ -95,7 +130,7 @@ HeatmapResponse HeatmapEngine::Execute(const HeatmapRequest& request) const {
       l2.arc_sink = &raster;
       const CrestL2Stats stats = RunCrestL2ParallelStrips(
           request.circles, measure_, options_.slabs_per_request, l2);
-      return HeatmapResponse{std::move(grid), {}, stats};
+      return HeatmapResponse{std::move(grid), {}, stats, false, {}};
     }
     case Metric::kLInf:
       break;
@@ -115,12 +150,16 @@ HeatmapResponse HeatmapEngine::Execute(const HeatmapRequest& request) const {
     CountingSink counter;
     stats = RunCrest(request.circles, measure_, &counter, crest);
   }
-  return HeatmapResponse{std::move(grid), stats, {}};
+  return HeatmapResponse{std::move(grid), stats, {}, false, {}};
 }
 
 size_t HeatmapEngine::pending() const {
   std::lock_guard<std::mutex> lock(mu_);
   return in_flight_;
+}
+
+SweepCacheStats HeatmapEngine::cache_stats() const {
+  return cache_ != nullptr ? cache_->stats() : SweepCacheStats{};
 }
 
 void HeatmapEngine::WorkerLoop() {
@@ -137,7 +176,7 @@ void HeatmapEngine::WorkerLoop() {
     std::optional<HeatmapResponse> response;
     std::exception_ptr error;
     try {
-      response.emplace(Execute(work->request));
+      response.emplace(Execute(std::move(work->request)));
     } catch (...) {
       error = std::current_exception();
     }

@@ -15,6 +15,11 @@
 //     the slab-decomposed RunCrestParallel / RunCrestL2Parallel, painting
 //     one shared grid through the strip sink (slab strips never overlap,
 //     so the raster is still exact and deterministic).
+// A third axis avoids the sweep altogether: `cache_bytes > 0` enables the
+// content-addressed SweepCache (query/sweep_cache.h), which memoizes whole
+// responses across Submit/RunBatch/Execute — repeated workloads are served
+// bit-identically without recomputation, and every response reports
+// whether it was a hit (`from_cache`) plus the cache counters (`cache`).
 //
 // Determinism contract: a request's grid depends only on the request and
 // the measure, never on scheduling. `HeatmapEngineOptions{.num_threads = 1}`
@@ -28,8 +33,10 @@
 #define RNNHM_QUERY_HEATMAP_ENGINE_H_
 
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -42,16 +49,34 @@
 
 namespace rnnhm {
 
+class SweepCache;
+
 /// One heat-map computation: sweep `circles` (NN-circles built under
 /// `metric`) and rasterize the influence field over `domain` at
 /// `width` x `height`. L2 requests run the arc sweep and are exact at
 /// pixel centers; L1 requests sweep the rotated frame and resample.
 struct HeatmapRequest {
+  /// NN-circles to sweep; must have been built under `metric`.
   std::vector<NnCircle> circles;
+  /// Rectangular raster window (need not cover every circle).
   Rect domain;
+  /// Raster resolution in pixels; both must be positive.
   int width = 0;
   int height = 0;
+  /// Metric the circles were built under; selects the sweep pipeline.
   Metric metric = Metric::kLInf;
+};
+
+/// Aggregate counters of a SweepCache (also snapshotted onto every
+/// response served by a cache-enabled engine). Hits/misses/insertions/
+/// evictions are cumulative; entries/bytes describe the current contents.
+struct SweepCacheStats {
+  uint64_t hits = 0;        ///< lookups answered from the cache
+  uint64_t misses = 0;      ///< lookups that fell through to a sweep
+  uint64_t insertions = 0;  ///< responses admitted
+  uint64_t evictions = 0;   ///< entries dropped by the LRU/byte budget
+  size_t entries = 0;       ///< resident entries
+  size_t bytes = 0;         ///< resident bytes (grids + keys)
 };
 
 /// The finished raster plus the sweep's counters: `stats` for the
@@ -61,6 +86,12 @@ struct HeatmapResponse {
   HeatmapGrid grid;
   CrestStats stats;
   CrestL2Stats l2_stats;
+  /// True iff this response was served from the engine's SweepCache
+  /// without running a sweep (always false on cache-disabled engines).
+  bool from_cache = false;
+  /// Snapshot of the engine's cache counters taken when this response was
+  /// served (all zero on cache-disabled engines).
+  SweepCacheStats cache;
 };
 
 struct HeatmapEngineOptions {
@@ -75,6 +106,16 @@ struct HeatmapEngineOptions {
   /// Sweep tuning forwarded to every request. `strip_sink` is owned by the
   /// engine and must be left null here.
   CrestOptions crest;
+  /// Byte budget of the engine's result cache (SweepCache): 0 disables
+  /// caching, any positive value memoizes whole responses keyed by the
+  /// request content. Repeated workloads (sessions re-submitting
+  /// near-identical circle sets every tick, what-if replays) then skip the
+  /// sweep entirely; cached responses are bit-identical to freshly
+  /// computed ones.
+  size_t cache_bytes = 0;
+  /// Entry-count ceiling of the result cache (LRU evicts beyond either
+  /// budget). Ignored when `cache_bytes` is 0.
+  size_t cache_entries = 256;
 };
 
 /// Thread-safe batched facade over CREST heat-map construction.
@@ -98,8 +139,13 @@ class HeatmapEngine {
   std::vector<HeatmapResponse> RunBatch(std::vector<HeatmapRequest> requests);
 
   /// Computes one request synchronously on the calling thread, bypassing
-  /// the queue. This is exactly the code path workers run.
+  /// the queue (but not the result cache). This is exactly the code path
+  /// workers run: consult the cache when enabled, sweep on a miss, admit
+  /// the response. Cache hits never copy the request; the rvalue overload
+  /// additionally moves a missing request's circles straight into the
+  /// cache entry (workers use it), where the const-ref overload copies.
   HeatmapResponse Execute(const HeatmapRequest& request) const;
+  HeatmapResponse Execute(HeatmapRequest&& request) const;
 
   /// Resolved worker count.
   int num_threads() const { return static_cast<int>(workers_.size()); }
@@ -107,11 +153,24 @@ class HeatmapEngine {
   /// Requests accepted but not yet finished.
   size_t pending() const;
 
+  /// Current result-cache counters; all-zero when caching is disabled.
+  SweepCacheStats cache_stats() const;
+
  private:
   void WorkerLoop();
+  // Shared body of both Execute overloads; `owned`, when non-null, is the
+  // caller's request to move into the cache on a miss.
+  HeatmapResponse Serve(const HeatmapRequest& request,
+                        HeatmapRequest* owned) const;
+  // The uncached sweep of one request (cache miss path).
+  HeatmapResponse Sweep(const HeatmapRequest& request) const;
 
   const InfluenceMeasure& measure_;
   const HeatmapEngineOptions options_;
+  // Result cache shared by all workers (internally synchronized); null
+  // when options_.cache_bytes == 0. Const pointer, mutable pointee: the
+  // cache may be consulted from the const Execute path.
+  const std::unique_ptr<SweepCache> cache_;
 
   struct PendingRequest {
     HeatmapRequest request;

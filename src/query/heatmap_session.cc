@@ -20,6 +20,12 @@ HeatmapSession::HeatmapSession(std::vector<Point> clients,
     circles_.push_back(NnCircle{clients_[i], 0.0, static_cast<int32_t>(i)});
     RequeryClient(static_cast<int32_t>(i));
   }
+  dirty_.Clear();  // the first raster is a full build anyway
+}
+
+void HeatmapSession::MarkCircleDirty(const NnCircle& circle) {
+  const Rect box = circle.Bounds();
+  dirty_.Add(box.lo.x, box.hi.x);
 }
 
 void HeatmapSession::EnsureFacilityTree() {
@@ -34,10 +40,14 @@ void HeatmapSession::RequeryClient(int32_t id) {
   RNNHM_DCHECK(nn.index >= 0);
   circles_[id] = NnCircle{clients_[id], nn.distance, id};
   client_nn_[id] = nn.index;
+  // The new footprint is dirty; callers whose edit also removed an old
+  // footprint (MoveClient) mark that one themselves before updating.
+  MarkCircleDirty(circles_[id]);
 }
 
 void HeatmapSession::MoveClient(int32_t id, const Point& to) {
   RNNHM_CHECK(id >= 0 && id < static_cast<int32_t>(clients_.size()));
+  MarkCircleDirty(circles_[id]);  // influence changes inside the old circle
   clients_[id] = to;
   RequeryClient(id);
 }
@@ -60,6 +70,9 @@ void HeatmapSession::AddFacility(const Point& at) {
   for (size_t i = 0; i < clients_.size(); ++i) {
     const double d = Distance(clients_[i], at, metric_);
     if (d < circles_[i].radius) {
+      // A shrink keeps the center: the old footprint covers the new one,
+      // so marking it dirty covers every point whose RNN set changed.
+      MarkCircleDirty(circles_[i]);
       circles_[i].radius = d;
       client_nn_[i] = id;
     }
@@ -105,6 +118,35 @@ MetricSweepStats HeatmapSession::RebuildParallel(
     const CrestOptions& options) const {
   return RunCrestParallelMetric(metric_, circles_, measure, shard_sinks,
                                 options);
+}
+
+const HeatmapGrid& HeatmapSession::RasterIncremental(
+    const InfluenceMeasure& measure, const Rect& domain, int width,
+    int height, IncrementalRebuildStats* stats) {
+  IncrementalRebuildStats out;
+  const bool spliceable =
+      raster_ != nullptr && raster_measure_ == &measure &&
+      raster_->width() == width && raster_->height() == height &&
+      raster_->domain() == domain && metric_ != Metric::kL1;
+  if (spliceable) {
+    out.raster =
+        RecomputeDirtyColumns(raster_.get(), metric_, circles_, measure,
+                              dirty_);
+  } else {
+    out.full_rebuild = true;
+    raster_ = std::make_unique<HeatmapGrid>(BuildHeatmapForMetric(
+        metric_, circles_, measure, domain, width, height));
+    raster_measure_ = &measure;
+  }
+  dirty_.Clear();
+  if (stats != nullptr) *stats = out;
+  return *raster_;
+}
+
+void HeatmapSession::InvalidateRaster() {
+  raster_.reset();
+  raster_measure_ = nullptr;
+  dirty_.Clear();
 }
 
 }  // namespace rnnhm

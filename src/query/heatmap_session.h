@@ -12,7 +12,11 @@
 //     (facility tree rebuilt lazily).
 // Rebuild() then runs the sweep over the current circles, which is where
 // an efficient RNNHM algorithm matters — CREST's O(n log n + r lambda)
-// makes per-tick recomputation feasible.
+// makes per-tick recomputation feasible. RasterIncremental() goes one step
+// further for kLInf/kL2 sessions: it retains the previous raster, tracks
+// the x-intervals each edit dirties, and re-sweeps only the slabs covering
+// them — bit-identical to a from-scratch rebuild at a fraction of the
+// work when edits are local.
 #ifndef RNNHM_QUERY_HEATMAP_SESSION_H_
 #define RNNHM_QUERY_HEATMAP_SESSION_H_
 
@@ -24,12 +28,26 @@
 #include "core/crest.h"
 #include "core/crest_l2.h"
 #include "core/crest_parallel.h"
+#include "core/dirty_interval.h"
 #include "core/influence_measure.h"
 #include "core/label_sink.h"
 #include "geom/geometry.h"
+#include "heatmap/heatmap.h"
+#include "heatmap/incremental.h"
 #include "index/kdtree.h"
 
 namespace rnnhm {
+
+/// Outcome of one HeatmapSession::RasterIncremental call.
+struct IncrementalRebuildStats {
+  /// True when the call swept everything from scratch instead of splicing:
+  /// the first raster, a domain/size/measure change, an explicit
+  /// InvalidateRaster, or a kL1 session (whose sweep runs in the rotated
+  /// frame and is not column-separable). `raster` stays zero then.
+  bool full_rebuild = false;
+  /// Counters of the splice pass (dirty slabs/columns, clipped-sweep work).
+  IncrementalRasterStats raster;
+};
 
 /// Mutable bichromatic workload with incrementally maintained NN-circles.
 class HeatmapSession {
@@ -38,8 +56,11 @@ class HeatmapSession {
   HeatmapSession(std::vector<Point> clients, std::vector<Point> facilities,
                  Metric metric);
 
+  /// Number of clients currently in the workload (edits can grow it).
   size_t num_clients() const { return clients_.size(); }
+  /// Number of facilities currently in the workload (always >= 1).
   size_t num_facilities() const { return facilities_.size(); }
+  /// The distance metric every circle radius is measured in.
   Metric metric() const { return metric_; }
 
   /// Moves client `id`; O(log |F|).
@@ -56,9 +77,11 @@ class HeatmapSession {
   /// re-queries only the clients that were served by the removed facility.
   void RemoveFacility(int32_t id);
 
-  /// The current NN-circles (metric-specific radii).
+  /// The current NN-circles (metric-specific radii), index == client id.
   const std::vector<NnCircle>& circles() const { return circles_; }
+  /// Current client locations, index == client id.
   const std::vector<Point>& clients() const { return clients_; }
+  /// Current facility locations (RemoveFacility swap-compacts ids).
   const std::vector<Point>& facilities() const { return facilities_; }
 
   /// Runs the sweep appropriate for the session metric over the current
@@ -77,9 +100,32 @@ class HeatmapSession {
       std::span<RegionLabelSink* const> shard_sinks,
       const CrestOptions& options = {}) const;
 
+  /// Maintains a retained raster across edits: the first call (or any call
+  /// after the domain, size or measure changed) sweeps from scratch; later
+  /// calls re-sweep only the pixel-aligned slabs covering the x-intervals
+  /// the edits since the previous call dirtied, and splice the recomputed
+  /// columns into the retained grid (see heatmap/incremental.h for why the
+  /// splice is bit-identical to a from-scratch build). kL1 sessions always
+  /// rebuild fully — their sweep runs in the rotated frame. The returned
+  /// reference stays valid until the next RasterIncremental or
+  /// InvalidateRaster. `measure` is identified by address and must be the
+  /// same object across calls for splicing to engage.
+  const HeatmapGrid& RasterIncremental(
+      const InfluenceMeasure& measure, const Rect& domain, int width,
+      int height, IncrementalRebuildStats* stats = nullptr);
+
+  /// Drops the retained raster; the next RasterIncremental rebuilds fully.
+  void InvalidateRaster();
+
+  /// The x-intervals dirtied by edits since the last RasterIncremental
+  /// (exposed for tests and monitoring; consumed — and cleared — by
+  /// RasterIncremental).
+  const DirtyIntervalSet& dirty_intervals() const { return dirty_; }
+
  private:
   void EnsureFacilityTree();
   void RequeryClient(int32_t id);
+  void MarkCircleDirty(const NnCircle& circle);
 
   Metric metric_;
   std::vector<Point> clients_;
@@ -87,6 +133,13 @@ class HeatmapSession {
   std::vector<NnCircle> circles_;
   std::vector<int32_t> client_nn_;  // facility currently nearest per client
   std::unique_ptr<KdTree> facility_tree_;  // rebuilt lazily
+
+  // Incremental raster state: the retained grid, the measure it was built
+  // with (compared by address only, never dereferenced), and the dirty
+  // x-intervals accumulated since it was last brought up to date.
+  DirtyIntervalSet dirty_;
+  std::unique_ptr<HeatmapGrid> raster_;
+  const InfluenceMeasure* raster_measure_ = nullptr;
 };
 
 }  // namespace rnnhm

@@ -39,6 +39,7 @@ class RnnQueryEngine {
   /// The precomputed NN-circles (also usable as sweep input).
   const std::vector<NnCircle>& circles() const { return circles_; }
 
+  /// The distance metric queries and circle radii are measured in.
   Metric metric() const { return metric_; }
 
  private:

@@ -1,0 +1,151 @@
+#include "query/sweep_cache.h"
+
+#include <cstring>
+
+#include "heatmap/serialization.h"
+
+namespace rnnhm {
+
+namespace {
+
+constexpr uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+void HashBytes(uint64_t* h, const void* data, size_t len) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < len; ++i) {
+    *h ^= p[i];
+    *h *= kFnvPrime;
+  }
+}
+
+void HashDouble(uint64_t* h, double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  HashBytes(h, &bits, sizeof(bits));
+}
+
+bool SameRequest(const HeatmapRequest& a, const HeatmapRequest& b) {
+  if (a.metric != b.metric || a.width != b.width || a.height != b.height ||
+      !(a.domain == b.domain) || a.circles.size() != b.circles.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < a.circles.size(); ++i) {
+    if (!(a.circles[i].center == b.circles[i].center) ||
+        a.circles[i].radius != b.circles[i].radius ||
+        a.circles[i].client != b.circles[i].client) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// Resident footprint of one entry: the memoized grid at its serialized
+// size plus the key's circle payload (what dominates in practice).
+size_t EntryBytes(const HeatmapRequest& request,
+                  const HeatmapResponse& response) {
+  return SerializedSizeBytes(response.grid) +
+         request.circles.size() * sizeof(NnCircle) + sizeof(HeatmapRequest);
+}
+
+}  // namespace
+
+SweepCache::SweepCache(SweepCacheOptions options) : options_(options) {}
+
+uint64_t SweepCache::Fingerprint(const HeatmapRequest& request) {
+  uint64_t h = kFnvOffset;
+  const int32_t metric = static_cast<int32_t>(request.metric);
+  HashBytes(&h, &metric, sizeof(metric));
+  HashBytes(&h, &request.width, sizeof(request.width));
+  HashBytes(&h, &request.height, sizeof(request.height));
+  HashDouble(&h, request.domain.lo.x);
+  HashDouble(&h, request.domain.lo.y);
+  HashDouble(&h, request.domain.hi.x);
+  HashDouble(&h, request.domain.hi.y);
+  for (const NnCircle& c : request.circles) {
+    HashDouble(&h, c.center.x);
+    HashDouble(&h, c.center.y);
+    HashDouble(&h, c.radius);
+    HashBytes(&h, &c.client, sizeof(c.client));
+  }
+  return h;
+}
+
+std::optional<HeatmapResponse> SweepCache::Lookup(
+    const HeatmapRequest& request) {
+  const uint64_t key = Fingerprint(request);
+  std::shared_ptr<const HeatmapResponse> found;
+  SweepCacheStats snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = index_.find(key);
+    if (it == index_.end() || !SameRequest(it->second->request, request)) {
+      ++stats_.misses;
+      return std::nullopt;
+    }
+    lru_.splice(lru_.begin(), lru_, it->second);  // mark most-recently used
+    ++stats_.hits;
+    found = it->second->response;
+    snapshot = stats_;
+  }
+  // Materialize the caller's copy outside the critical section: the entry
+  // is immutable, so concurrent hits copy the grid in parallel (eviction
+  // in another thread only drops the shared reference, never the bytes).
+  HeatmapResponse out = *found;
+  out.from_cache = true;
+  out.cache = snapshot;
+  return out;
+}
+
+void SweepCache::Insert(HeatmapRequest request,
+                        const HeatmapResponse& response) {
+  const uint64_t key = Fingerprint(request);
+  const size_t bytes = EntryBytes(request, response);
+  if (bytes > options_.max_bytes) return;  // would evict everything for one
+  // Copy the response before taking the lock (it is the expensive part);
+  // stored copies are pristine: no hit flag, no stale stats snapshot.
+  auto stored = std::make_shared<HeatmapResponse>(response);
+  stored->from_cache = false;
+  stored->cache = SweepCacheStats{};
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = index_.find(key);
+  if (it != index_.end()) {  // replace (also heals a fingerprint collision)
+    stats_.bytes -= it->second->bytes;
+    lru_.erase(it->second);
+    index_.erase(it);
+    --stats_.entries;
+  }
+  lru_.push_front(Entry{key, std::move(request), std::move(stored), bytes});
+  index_[key] = lru_.begin();
+  stats_.bytes += bytes;
+  ++stats_.entries;
+  ++stats_.insertions;
+  EvictToFitLocked();
+}
+
+void SweepCache::EvictToFitLocked() {
+  while (!lru_.empty() && (stats_.bytes > options_.max_bytes ||
+                           stats_.entries > options_.max_entries)) {
+    const Entry& victim = lru_.back();
+    stats_.bytes -= victim.bytes;
+    --stats_.entries;
+    ++stats_.evictions;
+    index_.erase(victim.key);
+    lru_.pop_back();
+  }
+}
+
+SweepCacheStats SweepCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void SweepCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  index_.clear();
+  stats_.entries = 0;
+  stats_.bytes = 0;
+}
+
+}  // namespace rnnhm

@@ -1,0 +1,93 @@
+// Content-addressed memoization of heat-map responses.
+//
+// The paper's interactive workloads re-request near-identical heat maps
+// constantly: a session re-submits its circle set every tick, a what-if
+// exploration toggles between a handful of facility placements, a tile
+// server re-renders the same tile for every viewer. A SweepCache memoizes
+// whole HeatmapResponses keyed by the *content* of the request — the exact
+// circle multiset, metric, domain and resolution — so any byte-identical
+// re-request is served without sweeping, and any perturbation (one circle
+// nudged) safely misses.
+//
+// Keys are 64-bit FNV-1a fingerprints of the canonical request bytes;
+// every hit additionally verifies full request equality, so a fingerprint
+// collision degrades to a miss instead of returning the wrong map.
+// Eviction is LRU under two ceilings: resident bytes (grids are sized via
+// SerializedSizeBytes, keys by their circle payload) and entry count.
+// All methods are thread-safe; workers of one engine share one instance.
+#ifndef RNNHM_QUERY_SWEEP_CACHE_H_
+#define RNNHM_QUERY_SWEEP_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+
+#include "query/heatmap_engine.h"
+
+namespace rnnhm {
+
+/// Budgets for a SweepCache; entries evict (LRU first) whenever either
+/// ceiling is exceeded.
+struct SweepCacheOptions {
+  /// Resident-byte ceiling (response grids + request keys). An entry
+  /// larger than the whole budget is never admitted.
+  size_t max_bytes = 64ull << 20;
+  /// Resident-entry ceiling.
+  size_t max_entries = 256;
+};
+
+/// Thread-safe LRU response cache keyed by request content.
+class SweepCache {
+ public:
+  explicit SweepCache(SweepCacheOptions options);
+
+  /// Returns the memoized response for a byte-identical earlier request
+  /// (marking it most-recently used), or nullopt. The returned copy has
+  /// `from_cache` set and carries a fresh stats snapshot.
+  std::optional<HeatmapResponse> Lookup(const HeatmapRequest& request);
+
+  /// Admits `response` for `request`, evicting LRU entries to fit. A
+  /// response too large for the byte budget is silently not admitted; a
+  /// re-insert under an existing key replaces the entry. The request is
+  /// taken by value so owning callers can move it in (the engine's miss
+  /// path moves the swept request's circles straight into the entry).
+  void Insert(HeatmapRequest request, const HeatmapResponse& response);
+
+  /// Current counters (cumulative hit/miss/insert/evict, resident sizes).
+  SweepCacheStats stats() const;
+
+  /// Drops every entry (counters other than entries/bytes are kept).
+  void Clear();
+
+  /// The 64-bit content fingerprint used as the index key: FNV-1a over
+  /// (metric, domain, width, height, every circle's center/radius/client).
+  /// Exposed for tests and for callers that shard by key.
+  static uint64_t Fingerprint(const HeatmapRequest& request);
+
+ private:
+  struct Entry {
+    uint64_t key;
+    HeatmapRequest request;  // kept to verify equality on hit
+    // Immutable once admitted; hits grab the pointer under the lock and
+    // materialize the caller's copy outside it, so concurrent hits never
+    // serialize on the multi-megabyte grid copy.
+    std::shared_ptr<const HeatmapResponse> response;
+    size_t bytes;
+  };
+
+  // Evicts LRU entries until both budgets hold. Caller holds mu_.
+  void EvictToFitLocked();
+
+  const SweepCacheOptions options_;
+  mutable std::mutex mu_;
+  std::list<Entry> lru_;  // front = most recently used
+  std::unordered_map<uint64_t, std::list<Entry>::iterator> index_;
+  SweepCacheStats stats_;
+};
+
+}  // namespace rnnhm
+
+#endif  // RNNHM_QUERY_SWEEP_CACHE_H_

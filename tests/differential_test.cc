@@ -33,6 +33,8 @@
 #include "core/crest_parallel.h"
 #include "heatmap/heatmap.h"
 #include "heatmap/influence.h"
+#include "query/heatmap_engine.h"
+#include "query/heatmap_session.h"
 
 namespace rnnhm {
 namespace {
@@ -297,6 +299,116 @@ INSTANTIATE_TEST_SUITE_P(
              std::get<1>(info.param) +
              ScenarioName(std::get<2>(info.param));
     });
+
+// --- Incremental re-sweep and result cache -------------------------------
+//
+// The acceptance gate for the incremental subsystem: for both
+// column-separable metrics, a session replaying a randomized edit sequence
+// must produce — after every single edit — a spliced raster that is
+// *bit-identical* to a from-scratch build of its current circles at every
+// slab count, under both an order-independent measure (Size) and exact
+// dyadic weighted sums (the same determinism precondition the parallel
+// contract documents).
+
+using IncrementalParam = std::tuple<Metric, std::string>;
+
+class IncrementalDifferentialTest
+    : public ::testing::TestWithParam<IncrementalParam> {};
+
+TEST_P(IncrementalDifferentialTest, EditReplayMatchesFromScratch) {
+  const auto [metric, measure_name] = GetParam();
+  for (const uint64_t seed : {3u, 17u}) {
+    Rng rng(7000 + seed);
+    std::vector<Point> clients, facilities;
+    for (int i = 0; i < 60; ++i) {
+      clients.push_back({rng.Uniform(0, 1), rng.Uniform(0, 1)});
+    }
+    for (int i = 0; i < 8; ++i) {
+      facilities.push_back({rng.Uniform(0, 1), rng.Uniform(0, 1)});
+    }
+    // Weights sized for every client this replay can ever add.
+    const auto measure = MakeMeasure(measure_name, 60 + 40, 7100 + seed);
+    HeatmapSession session(clients, facilities, metric);
+    SCOPED_TRACE(MetricName(metric) + " seed " + std::to_string(seed));
+
+    IncrementalRebuildStats stats;
+    session.RasterIncremental(*measure, kDomain, kRaster, kRaster, &stats);
+    ASSERT_TRUE(stats.full_rebuild);
+
+    int spliced_ticks = 0;
+    for (int tick = 0; tick < 40; ++tick) {
+      const double dice = rng.NextDouble();
+      if (dice < 0.4) {
+        session.MoveClient(
+            static_cast<int32_t>(rng.NextBounded(session.num_clients())),
+            {rng.Uniform(0, 1), rng.Uniform(0, 1)});
+      } else if (dice < 0.6) {
+        session.AddClient({rng.Uniform(0, 1), rng.Uniform(0, 1)});
+      } else if (dice < 0.8 || session.num_facilities() < 2) {
+        session.AddFacility({rng.Uniform(0, 1), rng.Uniform(0, 1)});
+      } else {
+        session.RemoveFacility(
+            static_cast<int32_t>(rng.NextBounded(session.num_facilities())));
+      }
+      const HeatmapGrid& spliced = session.RasterIncremental(
+          *measure, kDomain, kRaster, kRaster, &stats);
+      ASSERT_FALSE(stats.full_rebuild) << "tick " << tick;
+      spliced_ticks += stats.raster.dirty_columns < kRaster ? 1 : 0;
+
+      // Bit-identical to a from-scratch build at every slab count.
+      for (const int slabs : kSlabCounts) {
+        const HeatmapGrid scratch =
+            ParallelRaster(metric, session.circles(), *measure, slabs);
+        ASSERT_EQ(spliced.values(), scratch.values())
+            << "tick " << tick << " slabs " << slabs;
+      }
+    }
+    // The replay must actually exercise partial recomputation, not
+    // degenerate into full-width dirty slabs every tick.
+    EXPECT_GT(spliced_ticks, 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, IncrementalDifferentialTest,
+    ::testing::Combine(::testing::Values(Metric::kLInf, Metric::kL2),
+                       ::testing::Values(std::string("Size"),
+                                         std::string("Weighted"))),
+    [](const ::testing::TestParamInfo<IncrementalParam>& info) {
+      return MetricName(std::get<0>(info.param)) + std::get<1>(info.param);
+    });
+
+// Cache hits must be bit-identical to the response a cache-less engine
+// computes for the same request — for both exact metrics and all slab
+// counts the engine can sweep with.
+TEST(CacheDifferentialTest, HitsAreBitIdenticalToFreshSweeps) {
+  SizeInfluence measure;
+  for (const Metric metric : {Metric::kLInf, Metric::kL2}) {
+    const auto circles = MakeCircles(Scenario::kSnapped, 4211, 70);
+    for (const int slabs : kSlabCounts) {
+      HeatmapEngineOptions cached_options;
+      cached_options.num_threads = 1;
+      cached_options.slabs_per_request = slabs;
+      cached_options.cache_bytes = 32 << 20;
+      HeatmapEngine cached(measure, cached_options);
+      HeatmapEngineOptions plain_options;
+      plain_options.num_threads = 1;
+      plain_options.slabs_per_request = slabs;
+      HeatmapEngine plain(measure, plain_options);
+
+      const HeatmapRequest request{circles, kDomain, kRaster, kRaster,
+                                   metric};
+      const HeatmapResponse cold = cached.Execute(request);
+      const HeatmapResponse warm = cached.Execute(request);
+      const HeatmapResponse fresh = plain.Execute(request);
+      ASSERT_FALSE(cold.from_cache);
+      ASSERT_TRUE(warm.from_cache);
+      EXPECT_EQ(warm.grid.values(), fresh.grid.values())
+          << MetricName(metric) << " slabs " << slabs;
+      EXPECT_EQ(cold.grid.values(), fresh.grid.values());
+    }
+  }
+}
 
 // Parallel stat sums must stay consistent with the sequential sweep: the
 // circle accounting is global and exact, the per-shard sweep counters can

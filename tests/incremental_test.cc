@@ -1,0 +1,246 @@
+#include "heatmap/incremental.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "core/dirty_interval.h"
+#include "core/label_sink.h"
+#include "heatmap/heatmap.h"
+#include "heatmap/influence.h"
+#include "query/heatmap_session.h"
+
+namespace rnnhm {
+namespace {
+
+TEST(DirtyIntervalSetTest, MergesOverlappingAndTouchingIntervals) {
+  DirtyIntervalSet set;
+  EXPECT_TRUE(set.empty());
+  set.Add(0.4, 0.6);
+  set.Add(0.1, 0.2);
+  set.Add(0.55, 0.7);  // overlaps [0.4, 0.6]
+  set.Add(0.2, 0.25);  // touches [0.1, 0.2]
+  const auto& merged = set.Merged();
+  ASSERT_EQ(merged.size(), 2u);
+  EXPECT_EQ(merged[0], (DirtyInterval{0.1, 0.25}));
+  EXPECT_EQ(merged[1], (DirtyInterval{0.4, 0.7}));
+}
+
+TEST(DirtyIntervalSetTest, PointIntervalsAndClearWork) {
+  DirtyIntervalSet set;
+  set.Add(0.5, 0.5);  // zero-radius circle footprint
+  EXPECT_FALSE(set.empty());
+  ASSERT_EQ(set.Merged().size(), 1u);
+  EXPECT_EQ(set.Merged()[0], (DirtyInterval{0.5, 0.5}));
+  set.Clear();
+  EXPECT_TRUE(set.empty());
+  EXPECT_TRUE(set.Merged().empty());
+}
+
+TEST(DirtyIntervalSetTest, RepeatedLocalEditsStayCompact) {
+  DirtyIntervalSet set;
+  for (int i = 0; i < 1000; ++i) {
+    set.Add(0.3, 0.4);  // same neighborhood over and over
+  }
+  EXPECT_EQ(set.num_pending(), 1u);  // absorbed, not accumulated
+}
+
+std::vector<NnCircle> RandomCircles(uint64_t seed, int n) {
+  Rng rng(seed);
+  std::vector<NnCircle> out;
+  for (int i = 0; i < n; ++i) {
+    out.push_back(NnCircle{{rng.Uniform(0, 1), rng.Uniform(0, 1)},
+                           rng.Uniform(0.02, 0.2), i});
+  }
+  return out;
+}
+
+// RunCrestSlab must label the slab's regions exactly like the regions a
+// full sweep labels there (modulo clipping of representative boxes).
+TEST(RunCrestSlabTest, SlabLabelsMatchFullSweepWithinTheSlab) {
+  const auto circles = RandomCircles(90, 60);
+  SizeInfluence measure;
+  for (const Metric metric : {Metric::kLInf, Metric::kL2}) {
+    DistinctSetSink full;
+    std::vector<RegionLabelSink*> full_sinks{&full};
+    RunCrestParallelMetric(metric, circles, measure, full_sinks);
+    DistinctSetSink slab;
+    RunCrestSlabMetric(metric, circles, measure, &slab, 0.3, 0.7);
+    auto slab_sets = slab.sets();
+    slab_sets.erase(std::vector<int32_t>{});
+    auto full_sets = full.sets();
+    full_sets.erase(std::vector<int32_t>{});
+    EXPECT_FALSE(slab_sets.empty());
+    for (const auto& [set, influence] : slab_sets) {
+      const auto it = full_sets.find(set);
+      ASSERT_NE(it, full_sets.end()) << MetricName(metric);
+      EXPECT_EQ(it->second, influence);
+    }
+  }
+}
+
+// Painting only the dirty slab of a grid whose other columns hold the
+// old raster must reproduce the new full raster bit for bit.
+TEST(RecomputeDirtyColumnsTest, SpliceEqualsFullRebuild) {
+  SizeInfluence measure;
+  const Rect domain{{-0.05, -0.05}, {1.05, 1.05}};
+  constexpr int kRes = 40;
+  for (const Metric metric : {Metric::kLInf, Metric::kL2}) {
+    auto circles = RandomCircles(91, 50);
+    HeatmapGrid grid =
+        metric == Metric::kL2
+            ? BuildHeatmapL2(circles, measure, domain, kRes, kRes)
+            : BuildHeatmapLInf(circles, measure, domain, kRes, kRes);
+
+    // Perturb one circle; its old+new footprints bound the change.
+    DirtyIntervalSet dirty;
+    const Rect old_box = circles[17].Bounds();
+    dirty.Add(old_box.lo.x, old_box.hi.x);
+    circles[17].center = {0.31, 0.62};
+    circles[17].radius = 0.17;
+    const Rect new_box = circles[17].Bounds();
+    dirty.Add(new_box.lo.x, new_box.hi.x);
+
+    const IncrementalRasterStats stats =
+        RecomputeDirtyColumns(&grid, metric, circles, measure, dirty);
+    EXPECT_GT(stats.dirty_columns, 0);
+    EXPECT_LT(stats.dirty_columns, kRes);  // strictly partial recompute
+    EXPECT_EQ(stats.total_columns, kRes);
+
+    const HeatmapGrid reference =
+        metric == Metric::kL2
+            ? BuildHeatmapL2(circles, measure, domain, kRes, kRes)
+            : BuildHeatmapLInf(circles, measure, domain, kRes, kRes);
+    EXPECT_EQ(grid.values(), reference.values()) << MetricName(metric);
+  }
+}
+
+TEST(RecomputeDirtyColumnsTest, EmptyDirtySetLeavesTheGridUntouched) {
+  SizeInfluence measure;
+  const auto circles = RandomCircles(92, 30);
+  const Rect domain{{0, 0}, {1, 1}};
+  HeatmapGrid grid = BuildHeatmapLInf(circles, measure, domain, 16, 16);
+  const std::vector<double> before = grid.values();
+  DirtyIntervalSet dirty;
+  const IncrementalRasterStats stats =
+      RecomputeDirtyColumns(&grid, Metric::kLInf, circles, measure, dirty);
+  EXPECT_EQ(stats.dirty_slabs, 0);
+  EXPECT_EQ(grid.values(), before);
+}
+
+TEST(RecomputeDirtyColumnsTest, OffScreenDirtyIntervalIsSkipped) {
+  SizeInfluence measure;
+  const auto circles = RandomCircles(93, 30);
+  const Rect domain{{0, 0}, {1, 1}};
+  HeatmapGrid grid = BuildHeatmapLInf(circles, measure, domain, 16, 16);
+  const std::vector<double> before = grid.values();
+  DirtyIntervalSet dirty;
+  dirty.Add(5.0, 6.0);      // right of the whole domain
+  dirty.Add(1e12, 1e13);    // column ordinals far beyond int range
+  dirty.Add(-1e13, -1e12);  // and far left of it
+  const IncrementalRasterStats stats =
+      RecomputeDirtyColumns(&grid, Metric::kLInf, circles, measure, dirty);
+  EXPECT_EQ(stats.dirty_slabs, 0);
+  EXPECT_EQ(stats.dirty_columns, 0);
+  EXPECT_EQ(grid.values(), before);
+}
+
+// --- Session-level tracking ----------------------------------------------
+
+TEST(SessionIncrementalTest, EditsAccumulateDirtyIntervals) {
+  HeatmapSession session({{0.2, 0.5}, {0.8, 0.5}}, {{0.5, 0.5}},
+                         Metric::kL2);
+  EXPECT_TRUE(session.dirty_intervals().empty());  // fresh session
+  session.MoveClient(0, {0.25, 0.5});
+  EXPECT_FALSE(session.dirty_intervals().empty());
+  // Old circle [0.2 +- 0.3] and new circle [0.25 +- 0.25] merge into one.
+  const auto& merged = session.dirty_intervals().Merged();
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_NEAR(merged[0].lo, -0.1, 1e-12);
+  EXPECT_NEAR(merged[0].hi, 0.5, 1e-12);
+}
+
+TEST(SessionIncrementalTest, FirstCallIsFullThenSplices) {
+  Rng rng(94);
+  std::vector<Point> clients, facilities;
+  for (int i = 0; i < 80; ++i) {
+    clients.push_back({rng.Uniform(0, 1), rng.Uniform(0, 1)});
+  }
+  for (int i = 0; i < 8; ++i) {
+    facilities.push_back({rng.Uniform(0, 1), rng.Uniform(0, 1)});
+  }
+  SizeInfluence measure;
+  const Rect domain{{0, 0}, {1, 1}};
+  HeatmapSession session(clients, facilities, Metric::kLInf);
+
+  IncrementalRebuildStats stats;
+  session.RasterIncremental(measure, domain, 32, 32, &stats);
+  EXPECT_TRUE(stats.full_rebuild);
+
+  session.MoveClient(3, {0.4, 0.4});
+  session.RasterIncremental(measure, domain, 32, 32, &stats);
+  EXPECT_FALSE(stats.full_rebuild);
+  EXPECT_GT(stats.raster.dirty_columns, 0);
+  EXPECT_TRUE(session.dirty_intervals().empty());  // consumed
+
+  // No edits since: nothing to recompute.
+  session.RasterIncremental(measure, domain, 32, 32, &stats);
+  EXPECT_FALSE(stats.full_rebuild);
+  EXPECT_EQ(stats.raster.dirty_columns, 0);
+}
+
+TEST(SessionIncrementalTest, ShapeMeasureOrInvalidateForcesFullRebuild) {
+  Rng rng(95);
+  std::vector<Point> clients, facilities;
+  for (int i = 0; i < 40; ++i) {
+    clients.push_back({rng.Uniform(0, 1), rng.Uniform(0, 1)});
+  }
+  for (int i = 0; i < 5; ++i) {
+    facilities.push_back({rng.Uniform(0, 1), rng.Uniform(0, 1)});
+  }
+  SizeInfluence measure;
+  const Rect domain{{0, 0}, {1, 1}};
+  HeatmapSession session(clients, facilities, Metric::kL2);
+  IncrementalRebuildStats stats;
+  session.RasterIncremental(measure, domain, 16, 16, &stats);
+  ASSERT_TRUE(stats.full_rebuild);
+
+  session.RasterIncremental(measure, domain, 24, 24, &stats);
+  EXPECT_TRUE(stats.full_rebuild) << "resolution change";
+
+  const Rect wider{{-0.5, 0}, {1.5, 1}};
+  session.RasterIncremental(measure, wider, 24, 24, &stats);
+  EXPECT_TRUE(stats.full_rebuild) << "domain change";
+
+  SizeInfluence other_measure;
+  session.RasterIncremental(other_measure, wider, 24, 24, &stats);
+  EXPECT_TRUE(stats.full_rebuild) << "measure identity change";
+
+  session.InvalidateRaster();
+  session.RasterIncremental(other_measure, wider, 24, 24, &stats);
+  EXPECT_TRUE(stats.full_rebuild) << "explicit invalidation";
+
+  session.RasterIncremental(other_measure, wider, 24, 24, &stats);
+  EXPECT_FALSE(stats.full_rebuild) << "steady state splices again";
+}
+
+TEST(SessionIncrementalTest, L1SessionsAlwaysRebuildFully) {
+  HeatmapSession session({{0.3, 0.3}, {0.7, 0.7}}, {{0.5, 0.5}},
+                         Metric::kL1);
+  SizeInfluence measure;
+  const Rect domain{{0, 0}, {1, 1}};
+  IncrementalRebuildStats stats;
+  session.RasterIncremental(measure, domain, 16, 16, &stats);
+  EXPECT_TRUE(stats.full_rebuild);
+  session.MoveClient(0, {0.4, 0.4});
+  const HeatmapGrid& grid =
+      session.RasterIncremental(measure, domain, 16, 16, &stats);
+  EXPECT_TRUE(stats.full_rebuild);
+  const HeatmapGrid reference = BuildHeatmapL1Parallel(
+      session.circles(), measure, domain, 16, 16, /*num_slabs=*/1);
+  EXPECT_EQ(grid.values(), reference.values());
+}
+
+}  // namespace
+}  // namespace rnnhm

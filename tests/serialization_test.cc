@@ -1,7 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <string>
+#include <utility>
 
 #include "common/rng.h"
 #include "heatmap/heatmap.h"
@@ -28,6 +31,97 @@ TEST(SerializationTest, RoundTripPreservesEverything) {
       ASSERT_DOUBLE_EQ(loaded->At(i, j), grid.At(i, j));
     }
   }
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, SerializedSizeMatchesTheFileExactly) {
+  for (const auto& [w, h] : {std::pair{1, 1}, {1, 64}, {64, 1}, {37, 21}}) {
+    HeatmapGrid grid(w, h, Rect{{0, 0}, {1, 1}}, 0.5);
+    const std::string path = "/tmp/rnnhm_size.bin";
+    ASSERT_TRUE(SaveHeatmap(grid, path));
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 0, SEEK_END);
+    const long on_disk = std::ftell(f);
+    std::fclose(f);
+    EXPECT_EQ(static_cast<size_t>(on_disk), SerializedSizeBytes(grid))
+        << w << "x" << h;
+    std::remove(path.c_str());
+  }
+}
+
+// The degenerate shapes the cache must size and round-trip correctly: the
+// minimal 1x1 grid and single-row/column strips.
+TEST(SerializationTest, DegenerateGridsRoundTrip) {
+  Rng rng(3100);
+  for (const auto& [w, h] : {std::pair{1, 1}, {1, 48}, {48, 1}}) {
+    HeatmapGrid grid(w, h, Rect{{-1e6, -0.25}, {1e6, 0.75}});
+    for (int i = 0; i < w; ++i) {
+      for (int j = 0; j < h; ++j) grid.At(i, j) = rng.Uniform(-1e9, 1e9);
+    }
+    const std::string path = "/tmp/rnnhm_degenerate.bin";
+    ASSERT_TRUE(SaveHeatmap(grid, path));
+    const auto loaded = LoadHeatmap(path);
+    ASSERT_TRUE(loaded.has_value()) << w << "x" << h;
+    EXPECT_EQ(loaded->width(), w);
+    EXPECT_EQ(loaded->height(), h);
+    EXPECT_EQ(loaded->domain(), grid.domain());
+    EXPECT_EQ(loaded->values(), grid.values());  // bit-exact payload
+    std::remove(path.c_str());
+  }
+}
+
+// Extreme but representable values must survive the binary round trip
+// bit for bit (the cache trusts grids to be value-faithful).
+TEST(SerializationTest, ExtremeValuesRoundTripBitExactly) {
+  HeatmapGrid grid(3, 2, Rect{{0, 0}, {1, 1}});
+  grid.At(0, 0) = 0.0;
+  grid.At(1, 0) = -0.0;
+  grid.At(2, 0) = 1e308;
+  grid.At(0, 1) = -1e308;
+  grid.At(1, 1) = 5e-324;  // smallest subnormal
+  grid.At(2, 1) = 0.1;     // not exactly representable
+  const std::string path = "/tmp/rnnhm_extreme.bin";
+  ASSERT_TRUE(SaveHeatmap(grid, path));
+  const auto loaded = LoadHeatmap(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->values(), grid.values());
+  EXPECT_TRUE(std::signbit(loaded->At(1, 0)));
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, RejectsNonPositiveDimensionsAndBadDomain) {
+  // Hand-craft headers with corrupted fields; every one must be refused.
+  HeatmapGrid grid(4, 4, Rect{{0, 0}, {1, 1}}, 1.0);
+  const std::string path = "/tmp/rnnhm_header.bin";
+  ASSERT_TRUE(SaveHeatmap(grid, path));
+  // Header layout: magic[4], version u32, width i32, height i32, domain.
+  struct Patch {
+    long offset;
+    int32_t value;
+  };
+  for (const Patch& patch :
+       {Patch{8, 0}, Patch{8, -4}, Patch{12, 0}, Patch{12, -4}}) {
+    HeatmapGrid fresh(4, 4, Rect{{0, 0}, {1, 1}}, 1.0);
+    ASSERT_TRUE(SaveHeatmap(fresh, path));
+    std::FILE* f = std::fopen(path.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, patch.offset, SEEK_SET);
+    std::fwrite(&patch.value, sizeof(patch.value), 1, f);
+    std::fclose(f);
+    EXPECT_FALSE(LoadHeatmap(path).has_value())
+        << "offset " << patch.offset << " value " << patch.value;
+  }
+  // Inverted domain (lo.x >= hi.x): patch the four domain doubles.
+  HeatmapGrid fresh(4, 4, Rect{{0, 0}, {1, 1}}, 1.0);
+  ASSERT_TRUE(SaveHeatmap(fresh, path));
+  std::FILE* f = std::fopen(path.c_str(), "r+b");
+  ASSERT_NE(f, nullptr);
+  const double bad_lo_x = 2.0;  // domain.lo.x at offset 16
+  std::fseek(f, 16, SEEK_SET);
+  std::fwrite(&bad_lo_x, sizeof(bad_lo_x), 1, f);
+  std::fclose(f);
+  EXPECT_FALSE(LoadHeatmap(path).has_value());
   std::remove(path.c_str());
 }
 

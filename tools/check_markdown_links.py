@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Checks that every relative markdown link in the repo resolves.
+
+Scans all tracked *.md files for inline links/images and validates that
+link targets pointing into the repository exist on disk (anchors are
+checked against the target file's headings). External URLs (http/https/
+mailto) are skipped — CI must not depend on the network. Exits non-zero
+listing every broken link, so documentation rot fails the build.
+"""
+
+import os
+import re
+import subprocess
+import sys
+
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^#+\s+(.*)$", re.MULTILINE)
+
+
+def anchor_of(heading: str) -> str:
+    """GitHub-style anchor: lowercase, spaces to dashes, punctuation out."""
+    anchor = heading.strip().lower()
+    anchor = re.sub(r"[^\w\- ]", "", anchor)
+    return anchor.replace(" ", "-")
+
+
+def anchors_in(path: str) -> set:
+    with open(path, encoding="utf-8") as f:
+        return {anchor_of(h) for h in HEADING_RE.findall(f.read())}
+
+
+def main() -> int:
+    root = subprocess.run(
+        ["git", "rev-parse", "--show-toplevel"], capture_output=True,
+        text=True, check=True).stdout.strip()
+    md_files = subprocess.run(
+        ["git", "ls-files", "*.md"], capture_output=True, text=True,
+        cwd=root, check=True).stdout.split()
+    broken = []
+    for md in md_files:
+        md_path = os.path.join(root, md)
+        with open(md_path, encoding="utf-8") as f:
+            text = f.read()
+        for target in LINK_RE.findall(text):
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            path_part, _, anchor = target.partition("#")
+            if not path_part:  # same-file anchor
+                if anchor and anchor not in anchors_in(md_path):
+                    broken.append(f"{md}: missing anchor #{anchor}")
+                continue
+            resolved = os.path.normpath(
+                os.path.join(os.path.dirname(md_path), path_part))
+            if not os.path.exists(resolved):
+                broken.append(f"{md}: missing target {target}")
+            elif anchor and resolved.endswith(".md") and \
+                    anchor not in anchors_in(resolved):
+                broken.append(f"{md}: missing anchor {target}")
+    if broken:
+        print("broken markdown links:")
+        for b in broken:
+            print(f"  {b}")
+        return 1
+    print(f"checked {len(md_files)} markdown files: all links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -5,9 +5,20 @@
 //       Write a synthetic data set as "x,y" CSV.
 //   heatmap --clients A.csv --facilities B.csv [--metric linf|l1|l2]
 //           [--size N] [--threads T] [--out map.ppm] [--ascii]
+//           [--cache BYTES] [--repeat N]
 //       Build the RNN heat map (size measure) and export it. --threads
 //       slab-parallelizes the linf, l1 and l2 sweeps (bit-identical
-//       output for every thread count).
+//       output for every thread count). --cache routes the build through
+//       a HeatmapEngine with a result cache of that many bytes and runs
+//       it --repeat times (default 2), reporting cold/warm timings and
+//       hit counters.
+//   replay --clients A.csv --facilities B.csv [--metric linf|l1|l2]
+//          [--size N] [--edits K] [--seed S] [--verify] [--out map.ppm]
+//       Edit-replay mode: start a HeatmapSession, apply K random edits
+//       (move/add client, add/remove facility) and refresh the map after
+//       each via the incremental re-sweep, reporting per-tick dirty
+//       columns and timings. --verify additionally rebuilds each tick
+//       from scratch and fails unless the spliced raster is bit-identical.
 //   topk --clients A.csv --facilities B.csv [--metric ...] [--k K]
 //       Print the K most influential regions.
 //   query --clients A.csv --facilities B.csv --x X --y Y [--metric ...]
@@ -25,6 +36,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/stopwatch.h"
 #include "core/crest.h"
 #include "core/crest_l2.h"
 #include "data/dataset.h"
@@ -38,6 +50,8 @@
 #include "heatmap/postprocess.h"
 #include "heatmap/serialization.h"
 #include "nn/nn_circle_builder.h"
+#include "query/heatmap_engine.h"
+#include "query/heatmap_session.h"
 #include "query/rnn_query.h"
 
 namespace {
@@ -53,6 +67,10 @@ int Usage() {
       "  rnnhm_cli heatmap --clients A.csv --facilities B.csv\n"
       "            [--metric linf|l1|l2] [--size N] [--threads T] "
       "[--out map.ppm] [--ascii]\n"
+      "            [--cache BYTES] [--repeat N]\n"
+      "  rnnhm_cli replay --clients A.csv --facilities B.csv\n"
+      "            [--metric linf|l1|l2] [--size N] [--edits K] [--seed S] "
+      "[--verify] [--out map.ppm]\n"
       "  rnnhm_cli topk --clients A.csv --facilities B.csv [--k K] "
       "[--metric ...]\n"
       "  rnnhm_cli query --clients A.csv --facilities B.csv --x X --y Y "
@@ -84,7 +102,7 @@ bool Parse(int argc, char** argv, Args* out) {
   for (int i = 2; i < argc; ++i) {
     if (std::strncmp(argv[i], "--", 2) == 0) {
       const std::string name = argv[i] + 2;
-      if (name == "ascii") {  // boolean flag
+      if (name == "ascii" || name == "verify") {  // boolean flags
         out->flags.emplace_back(name, "1");
       } else if (i + 1 < argc) {
         out->flags.emplace_back(name, argv[++i]);
@@ -169,10 +187,44 @@ int CmdHeatmap(const Args& args) {
   }
   const int size = std::atoi(args.Flag("size", "512"));
   const int threads = std::atoi(args.Flag("threads", "1"));
-  if (size <= 0 || threads <= 0) return Usage();
+  char* cache_end = nullptr;
+  const char* cache_arg = args.Flag("cache", "0");
+  const long long cache_value = std::strtoll(cache_arg, &cache_end, 10);
+  if (cache_end == cache_arg || *cache_end != '\0' || cache_value < 0) {
+    std::fprintf(stderr, "--cache needs a non-negative byte count\n");
+    return Usage();
+  }
+  const size_t cache_bytes = static_cast<size_t>(cache_value);
+  const int repeat =
+      std::atoi(args.Flag("repeat", cache_bytes > 0 ? "2" : "1"));
+  if (size <= 0 || threads <= 0 || repeat <= 0) return Usage();
   SizeInfluence measure;
   const Rect domain = BoundingBox(clients, 0.02);
   HeatmapGrid grid = [&] {
+    if (cache_bytes > 0) {
+      // Engine path: the result cache serves every byte-identical
+      // re-request (iterations 2..repeat) without sweeping.
+      HeatmapEngineOptions options;
+      options.num_threads = 1;
+      options.slabs_per_request = threads;
+      options.cache_bytes = cache_bytes;
+      HeatmapEngine engine(measure, options);
+      HeatmapRequest request{BuildNnCircles(clients, facilities, metric),
+                             domain, size, size, metric};
+      HeatmapResponse last{HeatmapGrid(1, 1, Rect{{0, 0}, {1, 1}}),
+                           {}, {}, false, {}};
+      for (int i = 0; i < repeat; ++i) {
+        Stopwatch sw;
+        last = engine.Execute(request);
+        std::printf("iteration %d: %.2f ms (%s)\n", i + 1, sw.ElapsedMs(),
+                    last.from_cache ? "cache hit" : "swept");
+      }
+      std::printf("cache: %llu hits, %llu misses, %zu entries, %zu bytes\n",
+                  static_cast<unsigned long long>(last.cache.hits),
+                  static_cast<unsigned long long>(last.cache.misses),
+                  last.cache.entries, last.cache.bytes);
+      return std::move(last.grid);
+    }
     switch (metric) {
       case Metric::kLInf:
         return BuildHeatmapLInfParallel(
@@ -211,6 +263,101 @@ int CmdHeatmap(const Args& args) {
       return 2;
     }
     std::printf("saved %s\n", save);
+  }
+  return 0;
+}
+
+int CmdReplay(const Args& args) {
+  std::vector<Point> clients, facilities;
+  Metric metric;
+  if (!LoadWorkload(args, &clients, &facilities) ||
+      !ParseMetric(args, &metric)) {
+    return 1;
+  }
+  const int size = std::atoi(args.Flag("size", "256"));
+  const int edits = std::atoi(args.Flag("edits", "50"));
+  const uint64_t seed = std::strtoull(args.Flag("seed", "1"), nullptr, 10);
+  const bool verify = args.Has("verify");
+  if (size <= 0 || edits < 0) return Usage();
+
+  SizeInfluence measure;
+  const Rect domain = BoundingBox(clients, 0.02);
+  HeatmapSession session(clients, facilities, metric);
+
+  Stopwatch sw;
+  session.RasterIncremental(measure, domain, size, size);
+  std::printf("initial %dx%d map (%s): %.2f ms full sweep\n", size, size,
+              MetricName(metric).c_str(), sw.ElapsedMs());
+
+  Rng rng(seed);
+  double incremental_ms = 0.0;
+  double reference_ms = 0.0;
+  long dirty_columns = 0;
+  long full_rebuilds = 0;
+  for (int tick = 0; tick < edits; ++tick) {
+    const double dice = rng.NextDouble();
+    if (dice < 0.45) {
+      session.MoveClient(
+          static_cast<int32_t>(rng.NextBounded(session.num_clients())),
+          {rng.Uniform(domain.lo.x, domain.hi.x),
+           rng.Uniform(domain.lo.y, domain.hi.y)});
+    } else if (dice < 0.65) {
+      session.AddClient({rng.Uniform(domain.lo.x, domain.hi.x),
+                         rng.Uniform(domain.lo.y, domain.hi.y)});
+    } else if (dice < 0.85 || session.num_facilities() < 2) {
+      session.AddFacility({rng.Uniform(domain.lo.x, domain.hi.x),
+                           rng.Uniform(domain.lo.y, domain.hi.y)});
+    } else {
+      session.RemoveFacility(
+          static_cast<int32_t>(rng.NextBounded(session.num_facilities())));
+    }
+    IncrementalRebuildStats stats;
+    sw.Reset();
+    const HeatmapGrid& grid =
+        session.RasterIncremental(measure, domain, size, size, &stats);
+    incremental_ms += sw.ElapsedMs();
+    if (stats.full_rebuild) {
+      ++full_rebuilds;
+    } else {
+      dirty_columns += stats.raster.dirty_columns;
+    }
+    if (verify) {
+      sw.Reset();
+      // The same from-scratch recipe the session's full rebuild uses.
+      const HeatmapGrid reference = BuildHeatmapForMetric(
+          session.metric(), session.circles(), measure, domain, size, size);
+      reference_ms += sw.ElapsedMs();
+      if (grid.values() != reference.values()) {
+        std::fprintf(stderr,
+                     "tick %d: incremental raster diverged from the "
+                     "from-scratch build\n",
+                     tick);
+        return 2;
+      }
+    }
+  }
+  std::printf("%d edits: %.2f ms incremental total (%.2f ms/tick), "
+              "%ld full rebuilds, %.1f%% columns recomputed/tick avg\n",
+              edits, incremental_ms, edits > 0 ? incremental_ms / edits : 0.0,
+              full_rebuilds,
+              edits > full_rebuilds
+                  ? 100.0 * dirty_columns / (size * (edits - full_rebuilds))
+                  : 0.0);
+  if (verify) {
+    std::printf("verified bit-identical against %d from-scratch rebuilds "
+                "(%.2f ms/tick from scratch)\n",
+                edits, edits > 0 ? reference_ms / edits : 0.0);
+  }
+  const HeatmapGrid& final_grid =
+      session.RasterIncremental(measure, domain, size, size);
+  std::printf("final max influence %.0f\n", final_grid.MaxValue());
+  const char* out = args.Flag("out");
+  if (out != nullptr) {
+    if (!WritePpm(final_grid, out)) {
+      std::fprintf(stderr, "cannot write %s\n", out);
+      return 2;
+    }
+    std::printf("wrote %s\n", out);
   }
   return 0;
 }
@@ -345,6 +492,7 @@ int main(int argc, char** argv) {
   const std::string cmd = argv[1];
   if (cmd == "generate") return CmdGenerate(args);
   if (cmd == "heatmap") return CmdHeatmap(args);
+  if (cmd == "replay") return CmdReplay(args);
   if (cmd == "render") return CmdRender(args);
   if (cmd == "stats") return CmdStats(args);
   if (cmd == "topk") return CmdTopK(args);
