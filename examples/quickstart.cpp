@@ -3,8 +3,9 @@
 //
 //   $ ./examples/quickstart
 //
-// Walks the whole public API surface in ~60 lines: NN-circle computation,
-// the CREST sweep, an influence measure, post-processing, rasterization.
+// Walks the whole public API surface: NN-circle computation, the CREST
+// sweep, an influence measure, post-processing, rasterization, and the
+// serving API v2 (registered circle-set handles + the batched engine).
 #include <cstdio>
 
 #include "core/crest.h"
@@ -58,28 +59,38 @@ int main() {
                 grid.MaxValue());
   }
 
-  // 6. Serving at scale: HeatmapEngine batches independent requests across
-  //    a worker pool — here, four what-if maps with one facility removed
-  //    each. Output is bit-identical to running each sweep sequentially.
+  // 6. Serving at scale (API v2): HeatmapEngine batches independent
+  //    requests across a worker pool. Each what-if circle set is
+  //    registered once in the engine's CircleSetRegistry; the requests
+  //    carry only a handle (id + content hash), so nothing is copied per
+  //    submit and the result cache keys off the handle directly. Output
+  //    is bit-identical to running each sweep sequentially.
   HeatmapEngineOptions engine_options;
   engine_options.num_threads = 2;
+  engine_options.cache_bytes = 8 << 20;  // memoize repeated what-ifs
   HeatmapEngine engine(measure, engine_options);
-  std::vector<HeatmapRequest> batch;
+  std::vector<HeatmapRequestV2> batch;
   for (size_t drop = 0; drop < 4; ++drop) {
     std::vector<Point> remaining;
     for (size_t f = 0; f < facilities.size(); ++f) {
       if (f != drop) remaining.push_back(facilities[f]);
     }
-    batch.push_back(HeatmapRequest{
-        BuildNnCircles(clients, remaining, Metric::kLInf), domain, 128,
-        128});
+    const CircleSetHandle handle = engine.registry().Register(
+        BuildNnCircles(clients, remaining, Metric::kLInf), Metric::kLInf);
+    batch.push_back(HeatmapRequestV2{handle, domain, 128, 128});
   }
-  const std::vector<HeatmapResponse> what_ifs =
-      engine.RunBatch(std::move(batch));
+  const std::vector<HeatmapResponse> what_ifs = engine.RunBatch(batch);
   std::printf("\nwhat-if analysis (remove one facility, L-inf):\n");
   for (size_t drop = 0; drop < what_ifs.size(); ++drop) {
     std::printf("  without facility %zu: max influence %.0f\n", drop,
                 what_ifs[drop].grid.MaxValue());
   }
+
+  // 7. Re-running a what-if is free: the handle's content hash finds the
+  //    memoized response, bit-identical to the sweep above.
+  const HeatmapResponse again = engine.Execute(batch[0]);
+  std::printf("re-running what-if 0: %s (max influence %.0f)\n",
+              again.from_cache ? "served from cache" : "recomputed",
+              again.grid.MaxValue());
   return 0;
 }

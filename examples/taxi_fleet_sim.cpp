@@ -8,6 +8,9 @@
 // Demonstrates the incremental HeatmapSession API: per-tick costs are one
 // k-d tree query per moved client plus one CREST sweep — fast enough for
 // real-time recomputation, which is exactly why sweep efficiency matters.
+// The archived per-tick snapshots use the serving API v2: each tick's
+// circle set registers into the engine's CircleSetRegistry and the replay
+// submits lightweight handles instead of copying circle vectors.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -44,7 +47,13 @@ int main(int argc, char** argv) {
     const Point r = RotateToLInf(corner);
     rot_city = rot_city.Union(Rect{r, r});
   }
-  std::vector<HeatmapRequest> archive;  // per-tick snapshots, rendered below
+  // The dispatcher's archive engine: per-tick circle sets register here
+  // (stored once each, content-addressed) and render in one batch below.
+  SizeInfluence archive_measure;
+  HeatmapEngineOptions engine_options;
+  engine_options.num_threads = 4;
+  HeatmapEngine engine(archive_measure, engine_options);
+  std::vector<HeatmapRequestV2> archive;  // handles, not circle copies
   for (int tick = 0; tick < ticks; ++tick) {
     // Passengers drift (walking to better corners); a few new requests.
     for (int m = 0; m < 40; ++m) {
@@ -76,9 +85,11 @@ int main(int argc, char** argv) {
       session.AddFacility(hot);
     }
 
-    // Snapshot this tick for the batched replay.
-    archive.push_back(HeatmapRequest{RotateCirclesToLInf(session.circles()),
-                                     rot_city, 96, 96});
+    // Snapshot this tick for the batched replay: the rotated circles
+    // register once; the archive keeps only the handle.
+    const CircleSetHandle snapshot = engine.registry().Register(
+        RotateCirclesToLInf(session.circles()), Metric::kLInf);
+    archive.push_back(HeatmapRequestV2{snapshot, rot_city, 96, 96});
   }
   std::printf("\naverage sweep time per tick: %.1f ms (%zu clients, %zu "
               "taxis at the end)\n",
@@ -89,11 +100,7 @@ int main(int argc, char** argv) {
   // "dashboard" view a dispatcher would archive. Requests are independent,
   // so the pool parallelizes across ticks.
   Stopwatch sw;
-  HeatmapEngineOptions engine_options;
-  engine_options.num_threads = 4;
-  HeatmapEngine engine(measure, engine_options);
-  const std::vector<HeatmapResponse> frames =
-      engine.RunBatch(std::move(archive));
+  const std::vector<HeatmapResponse> frames = engine.RunBatch(archive);
   double peak = 0.0;
   int peak_tick = 0;
   for (size_t t = 0; t < frames.size(); ++t) {

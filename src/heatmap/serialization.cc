@@ -16,11 +16,14 @@ struct Header {
   int32_t height;
   double lo_x, lo_y, hi_x, hi_y;
 };
+
+bool Fail(std::string* error, const char* message) {
+  if (error != nullptr) *error = message;
+  return false;
+}
 }  // namespace
 
-bool SaveHeatmap(const HeatmapGrid& grid, const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "wb");
-  if (f == nullptr) return false;
+void EncodeHeatmap(const HeatmapGrid& grid, std::vector<uint8_t>* out) {
   Header h;
   std::memcpy(h.magic, kMagic, 4);
   h.version = kVersion;
@@ -30,10 +33,69 @@ bool SaveHeatmap(const HeatmapGrid& grid, const std::string& path) {
   h.lo_y = grid.domain().lo.y;
   h.hi_x = grid.domain().hi.x;
   h.hi_y = grid.domain().hi.y;
-  bool ok = std::fwrite(&h, sizeof(h), 1, f) == 1;
-  ok = ok && std::fwrite(grid.values().data(), sizeof(double),
-                         grid.values().size(),
-                         f) == grid.values().size();
+  const size_t start = out->size();
+  out->resize(start + SerializedSizeBytes(grid));
+  std::memcpy(out->data() + start, &h, sizeof(h));
+  std::memcpy(out->data() + start + sizeof(h), grid.values().data(),
+              grid.values().size() * sizeof(double));
+}
+
+std::optional<HeatmapGrid> DecodeHeatmap(const uint8_t* data, size_t size,
+                                         size_t* consumed,
+                                         std::string* error) {
+  Header h;
+  if (size < sizeof(h)) {
+    Fail(error, "heatmap blob shorter than its header");
+    return std::nullopt;
+  }
+  std::memcpy(&h, data, sizeof(h));
+  if (std::memcmp(h.magic, kMagic, 4) != 0) {
+    Fail(error, "bad heatmap magic");
+    return std::nullopt;
+  }
+  if (h.version != kVersion) {
+    Fail(error, "unsupported heatmap version");
+    return std::nullopt;
+  }
+  if (h.width <= 0 || h.height <= 0) {
+    Fail(error, "non-positive heatmap dimensions");
+    return std::nullopt;
+  }
+  if (!(h.lo_x < h.hi_x) || !(h.lo_y < h.hi_y)) {
+    Fail(error, "degenerate heatmap domain");
+    return std::nullopt;
+  }
+  const uint64_t count =
+      static_cast<uint64_t>(h.width) * static_cast<uint64_t>(h.height);
+  if ((size - sizeof(h)) / sizeof(double) < count) {
+    Fail(error, "truncated heatmap payload");
+    return std::nullopt;
+  }
+  HeatmapGrid grid(h.width, h.height,
+                   Rect{{h.lo_x, h.lo_y}, {h.hi_x, h.hi_y}});
+  const uint8_t* payload = data + sizeof(h);
+  for (int j = 0; j < h.height; ++j) {
+    for (int i = 0; i < h.width; ++i) {
+      double v;
+      std::memcpy(&v, payload + (static_cast<size_t>(j) * h.width + i) *
+                                    sizeof(double),
+                  sizeof(v));
+      grid.At(i, j) = v;
+    }
+  }
+  if (consumed != nullptr) {
+    *consumed = sizeof(h) + static_cast<size_t>(count) * sizeof(double);
+  }
+  return grid;
+}
+
+bool SaveHeatmap(const HeatmapGrid& grid, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  std::vector<uint8_t> bytes;
+  EncodeHeatmap(grid, &bytes);
+  const bool ok =
+      std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size();
   return (std::fclose(f) == 0) && ok;
 }
 
@@ -44,28 +106,16 @@ size_t SerializedSizeBytes(const HeatmapGrid& grid) {
 std::optional<HeatmapGrid> LoadHeatmap(const std::string& path) {
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) return std::nullopt;
-  Header h;
-  if (std::fread(&h, sizeof(h), 1, f) != 1 ||
-      std::memcmp(h.magic, kMagic, 4) != 0 || h.version != kVersion ||
-      h.width <= 0 || h.height <= 0 || !(h.lo_x < h.hi_x) ||
-      !(h.lo_y < h.hi_y)) {
-    std::fclose(f);
-    return std::nullopt;
+  std::vector<uint8_t> bytes;
+  uint8_t chunk[1 << 16];
+  size_t got;
+  while ((got = std::fread(chunk, 1, sizeof(chunk), f)) > 0) {
+    bytes.insert(bytes.end(), chunk, chunk + got);
   }
-  HeatmapGrid grid(h.width, h.height, Rect{{h.lo_x, h.lo_y}, {h.hi_x, h.hi_y}});
-  const size_t count = static_cast<size_t>(h.width) * h.height;
-  std::vector<double> values(count);
-  if (std::fread(values.data(), sizeof(double), count, f) != count) {
-    std::fclose(f);
-    return std::nullopt;
-  }
+  const bool read_ok = std::ferror(f) == 0;
   std::fclose(f);
-  for (int j = 0; j < h.height; ++j) {
-    for (int i = 0; i < h.width; ++i) {
-      grid.At(i, j) = values[static_cast<size_t>(j) * h.width + i];
-    }
-  }
-  return grid;
+  if (!read_ok) return std::nullopt;
+  return DecodeHeatmap(bytes.data(), bytes.size(), nullptr);
 }
 
 }  // namespace rnnhm

@@ -3,17 +3,35 @@
 // Simple versioned little-endian format ("RNHM"): header with dimensions
 // and domain, then row-major doubles. Lets expensive city-scale maps be
 // computed once and re-rendered / re-queried later (see the CLI's
-// `render` subcommand).
+// `render` subcommand), and doubles as the grid payload of the serving
+// wire protocol (query/wire.h): EncodeHeatmap/DecodeHeatmap are the
+// buffer-level primitives, SaveHeatmap/LoadHeatmap the file wrappers.
 #ifndef RNNHM_HEATMAP_SERIALIZATION_H_
 #define RNNHM_HEATMAP_SERIALIZATION_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "heatmap/heatmap.h"
 
 namespace rnnhm {
+
+/// Appends the grid's serialized bytes (the exact byte stream SaveHeatmap
+/// writes) to `*out`.
+void EncodeHeatmap(const HeatmapGrid& grid, std::vector<uint8_t>* out);
+
+/// Decodes one grid from the front of [data, data + size). On success
+/// advances `*consumed` by the number of bytes read (trailing bytes are
+/// left for the caller). On any malformed input — short buffer, bad
+/// magic/version, non-positive dimensions, degenerate domain, truncated
+/// payload — returns nullopt and, when `error` is non-null, describes the
+/// failure; never CHECK-fails, so it is safe on untrusted bytes.
+std::optional<HeatmapGrid> DecodeHeatmap(const uint8_t* data, size_t size,
+                                         size_t* consumed,
+                                         std::string* error = nullptr);
 
 /// Writes the grid to `path`. Returns false on I/O failure.
 bool SaveHeatmap(const HeatmapGrid& grid, const std::string& path);
@@ -22,8 +40,8 @@ bool SaveHeatmap(const HeatmapGrid& grid, const std::string& path);
 /// bad magic/version, or a truncated payload.
 std::optional<HeatmapGrid> LoadHeatmap(const std::string& path);
 
-/// Exact size in bytes of the file SaveHeatmap would write for `grid`
-/// (header + row-major payload). Doubles as the resident-size estimate the
+/// Exact size in bytes of the serialized form of `grid` (header +
+/// row-major payload). Doubles as the resident-size estimate the
 /// engine's SweepCache charges per memoized grid.
 size_t SerializedSizeBytes(const HeatmapGrid& grid);
 

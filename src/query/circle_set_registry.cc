@@ -1,0 +1,145 @@
+#include "query/circle_set_registry.h"
+
+#include <cstring>
+#include <utility>
+
+namespace rnnhm {
+
+namespace {
+
+constexpr uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+void HashBytes(uint64_t* h, const void* data, size_t len) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < len; ++i) {
+    *h ^= p[i];
+    *h *= kFnvPrime;
+  }
+}
+
+void HashDouble(uint64_t* h, double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  HashBytes(h, &bits, sizeof(bits));
+}
+
+}  // namespace
+
+uint64_t HashCircleSet(std::span<const NnCircle> circles, Metric metric) {
+  uint64_t h = kFnvOffset;
+  const int32_t m = static_cast<int32_t>(metric);
+  HashBytes(&h, &m, sizeof(m));
+  for (const NnCircle& c : circles) {
+    HashDouble(&h, c.center.x);
+    HashDouble(&h, c.center.y);
+    HashDouble(&h, c.radius);
+    HashBytes(&h, &c.client, sizeof(c.client));
+  }
+  return h;
+}
+
+CircleSetSnapshot::CircleSetSnapshot(std::vector<NnCircle> circles,
+                                     Metric metric)
+    : circles_(std::move(circles)),
+      metric_(metric),
+      content_hash_(HashCircleSet(circles_, metric_)) {}
+
+std::shared_ptr<const CircleSetSnapshot> CircleSetSnapshot::Make(
+    std::vector<NnCircle> circles, Metric metric) {
+  // make_shared needs a public constructor; new keeps it private.
+  return std::shared_ptr<const CircleSetSnapshot>(
+      new CircleSetSnapshot(std::move(circles), metric));
+}
+
+bool CircleSetSnapshot::SameContent(std::span<const NnCircle> circles,
+                                    Metric metric) const {
+  if (metric != metric_ || circles.size() != circles_.size()) return false;
+  for (size_t i = 0; i < circles.size(); ++i) {
+    if (!(circles[i].center == circles_[i].center) ||
+        circles[i].radius != circles_[i].radius ||
+        circles[i].client != circles_[i].client) {
+      return false;
+    }
+  }
+  return true;
+}
+
+CircleSetHandle CircleSetRegistry::Register(std::vector<NnCircle> circles,
+                                            Metric metric) {
+  return RegisterImpl(circles, metric, &circles);
+}
+
+CircleSetHandle CircleSetRegistry::Register(std::span<const NnCircle> circles,
+                                            Metric metric) {
+  return RegisterImpl(circles, metric, nullptr);
+}
+
+CircleSetHandle CircleSetRegistry::RegisterImpl(
+    std::span<const NnCircle> circles, Metric metric,
+    std::vector<NnCircle>* owned) {
+  const uint64_t hash = HashCircleSet(circles, metric);
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto [lo, hi] = by_hash_.equal_range(hash);
+  for (auto it = lo; it != hi; ++it) {
+    Entry& entry = by_id_.at(it->second);
+    if (entry.set->SameContent(circles, metric)) {
+      ++entry.registrations;
+      return CircleSetHandle{it->second, hash};
+    }
+  }
+  const uint64_t id = next_id_++;
+  std::shared_ptr<const CircleSetSnapshot> set = CircleSetSnapshot::Make(
+      owned != nullptr ? std::move(*owned)
+                       : std::vector<NnCircle>(circles.begin(), circles.end()),
+      metric);
+  by_id_.emplace(id, Entry{std::move(set), 1});
+  by_hash_.emplace(hash, id);
+  return CircleSetHandle{id, hash};
+}
+
+std::shared_ptr<const CircleSetSnapshot> CircleSetRegistry::Resolve(
+    const CircleSetHandle& handle) const {
+  if (!handle.valid()) return nullptr;
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = by_id_.find(handle.id);
+  if (it == by_id_.end() ||
+      it->second.set->content_hash() != handle.content_hash) {
+    return nullptr;
+  }
+  return it->second.set;
+}
+
+CircleSetHandle CircleSetRegistry::FindByHash(uint64_t content_hash) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = by_hash_.find(content_hash);
+  if (it == by_hash_.end()) return CircleSetHandle{};
+  return CircleSetHandle{it->second, content_hash};
+}
+
+bool CircleSetRegistry::Release(const CircleSetHandle& handle) {
+  if (!handle.valid()) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = by_id_.find(handle.id);
+  if (it == by_id_.end() ||
+      it->second.set->content_hash() != handle.content_hash) {
+    return false;
+  }
+  if (--it->second.registrations > 0) return true;
+  const auto [lo, hi] = by_hash_.equal_range(handle.content_hash);
+  for (auto h = lo; h != hi; ++h) {
+    if (h->second == handle.id) {
+      by_hash_.erase(h);
+      break;
+    }
+  }
+  by_id_.erase(it);
+  return true;
+}
+
+size_t CircleSetRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return by_id_.size();
+}
+
+}  // namespace rnnhm

@@ -1,0 +1,151 @@
+// Registered, immutable, content-addressed circle sets — the shared
+// currency of the serving API v2.
+//
+// The paper's motivating workloads (taxi sharing, what-if facility
+// planning) issue many heat-map requests over the *same* client/facility
+// population: a session renders its circles at several resolutions, a
+// what-if exploration toggles between a handful of placements, a tile
+// server fans one city-wide set out across tiles. Inlining the circle
+// vector into every request copies the dataset per submit and re-hashes
+// it per cache probe. The registry replaces the inline vector with a
+// CircleSetHandle: a small, trivially copyable, wire-transferable
+// identity (registry id + 64-bit content hash) backed by a ref-counted
+// immutable CircleSetSnapshot.
+//
+// Content addressing: two registrations of byte-identical (circles,
+// metric) content deduplicate to the same handle — the registry compares
+// full content on hash-bucket candidates, so a 64-bit collision yields
+// two distinct handles rather than aliasing two different sets. The
+// content hash doubles as the engine's SweepCache key component, which is
+// what makes cache lookups O(1) in the circle count for handle requests.
+//
+// Lifetime: the registry holds one reference per net Register of a given
+// content (Register of already-registered content bumps a registration
+// count; Release decrements it and drops the registry's reference at
+// zero). Snapshots are shared_ptr-backed, so resolved snapshots outlive a
+// Release — in-flight requests keep the data alive. All methods are
+// thread-safe.
+#ifndef RNNHM_QUERY_CIRCLE_SET_REGISTRY_H_
+#define RNNHM_QUERY_CIRCLE_SET_REGISTRY_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "geom/geometry.h"
+
+namespace rnnhm {
+
+/// The identity of a registered circle set: `id` names the registry entry
+/// (unique per distinct content within one registry, never reused),
+/// `content_hash` fingerprints the (circles, metric) content. The hash is
+/// what crosses process boundaries — a peer that registered the same
+/// content computes the same hash — while the id is local to one
+/// registry. A default-constructed handle is invalid.
+struct CircleSetHandle {
+  uint64_t id = 0;
+  uint64_t content_hash = 0;
+
+  bool valid() const { return id != 0; }
+
+  friend bool operator==(const CircleSetHandle&,
+                         const CircleSetHandle&) = default;
+};
+
+/// 64-bit FNV-1a fingerprint of a circle set's content: the metric, then
+/// every circle's center/radius/client in order. This is the canonical
+/// content hash shared by the registry, the engine's SweepCache and the
+/// wire protocol — keep them in lockstep.
+uint64_t HashCircleSet(std::span<const NnCircle> circles, Metric metric);
+
+/// An immutable circle set plus the metric its radii were measured in and
+/// its content hash, computed once at construction. Snapshots are always
+/// held through shared_ptr<const CircleSetSnapshot>; the circle data is
+/// safe to read concurrently and never changes.
+class CircleSetSnapshot {
+ public:
+  /// Builds a snapshot, hashing the content once. Moving the vector in
+  /// makes construction copy-free.
+  static std::shared_ptr<const CircleSetSnapshot> Make(
+      std::vector<NnCircle> circles, Metric metric);
+
+  const std::vector<NnCircle>& circles() const { return circles_; }
+  Metric metric() const { return metric_; }
+  uint64_t content_hash() const { return content_hash_; }
+
+  /// True iff the (circles, metric) content is byte-identical.
+  bool SameContent(std::span<const NnCircle> circles, Metric metric) const;
+
+ private:
+  CircleSetSnapshot(std::vector<NnCircle> circles, Metric metric);
+
+  std::vector<NnCircle> circles_;
+  Metric metric_;
+  uint64_t content_hash_;
+};
+
+/// Thread-safe, deduplicating store of circle-set snapshots.
+class CircleSetRegistry {
+ public:
+  CircleSetRegistry() = default;
+  CircleSetRegistry(const CircleSetRegistry&) = delete;
+  CircleSetRegistry& operator=(const CircleSetRegistry&) = delete;
+
+  /// Registers the content and returns its handle. Already-registered
+  /// content (full equality, not just hash equality) returns the existing
+  /// handle and bumps its registration count; the vector is moved into
+  /// the new snapshot otherwise.
+  CircleSetHandle Register(std::vector<NnCircle> circles, Metric metric);
+
+  /// As above without taking ownership: the circles are copied only when
+  /// the content is new. Use for callers that keep their own vector (a
+  /// session publishing its working set every tick).
+  CircleSetHandle Register(std::span<const NnCircle> circles, Metric metric);
+
+  /// The snapshot behind a handle, or null when the handle was never
+  /// issued by this registry, has been fully released, or carries a
+  /// content hash that does not match its entry (a stale or forged
+  /// handle).
+  std::shared_ptr<const CircleSetSnapshot> Resolve(
+      const CircleSetHandle& handle) const;
+
+  /// The handle of the entry whose content hash is `content_hash`, or an
+  /// invalid handle. This is the wire server's by-reference lookup; it
+  /// trusts the 64-bit hash (the registry itself never aliases two
+  /// contents, so the only ambiguity is between two *registered* sets
+  /// colliding — in that case the first registered wins).
+  CircleSetHandle FindByHash(uint64_t content_hash) const;
+
+  /// Decrements the handle's registration count, dropping the registry's
+  /// snapshot reference at zero. Returns false for an unknown or already
+  /// fully released handle. Outstanding shared_ptrs keep the data alive.
+  bool Release(const CircleSetHandle& handle);
+
+  /// Number of resident (not fully released) entries.
+  size_t size() const;
+
+ private:
+  struct Entry {
+    std::shared_ptr<const CircleSetSnapshot> set;
+    size_t registrations = 0;
+  };
+
+  // Shared body of both Register overloads: `owned`, when non-null, is
+  // moved into a new snapshot; otherwise `circles` is copied on demand.
+  CircleSetHandle RegisterImpl(std::span<const NnCircle> circles,
+                               Metric metric, std::vector<NnCircle>* owned);
+
+  mutable std::mutex mu_;
+  uint64_t next_id_ = 1;
+  std::unordered_map<uint64_t, Entry> by_id_;
+  // content_hash -> ids with that hash (more than one only on a true
+  // 64-bit collision between distinct contents).
+  std::unordered_multimap<uint64_t, uint64_t> by_hash_;
+};
+
+}  // namespace rnnhm
+
+#endif  // RNNHM_QUERY_CIRCLE_SET_REGISTRY_H_

@@ -16,11 +16,10 @@ namespace rnnhm {
 namespace {
 
 // Contract checks fire at the submitting call site, not on a worker thread.
-void ValidateRequest(const HeatmapRequest& request) {
-  RNNHM_CHECK_MSG(request.width > 0 && request.height > 0,
+void ValidateGeometry(const Rect& domain, int width, int height) {
+  RNNHM_CHECK_MSG(width > 0 && height > 0,
                   "HeatmapRequest needs a positive raster size");
-  RNNHM_CHECK_MSG(request.domain.lo.x < request.domain.hi.x &&
-                      request.domain.lo.y < request.domain.hi.y,
+  RNNHM_CHECK_MSG(domain.lo.x < domain.hi.x && domain.lo.y < domain.hi.y,
                   "HeatmapRequest needs a non-degenerate domain");
 }
 
@@ -32,11 +31,20 @@ std::unique_ptr<SweepCache> MakeCache(const HeatmapEngineOptions& options) {
   return std::make_unique<SweepCache>(cache_options);
 }
 
+std::shared_ptr<CircleSetRegistry> MakeRegistry(
+    const HeatmapEngineOptions& options) {
+  if (options.registry != nullptr) return options.registry;
+  return std::make_shared<CircleSetRegistry>();
+}
+
 }  // namespace
 
 HeatmapEngine::HeatmapEngine(const InfluenceMeasure& measure,
                              HeatmapEngineOptions options)
-    : measure_(measure), options_(options), cache_(MakeCache(options_)) {
+    : measure_(measure),
+      options_(std::move(options)),
+      registry_(MakeRegistry(options_)),
+      cache_(MakeCache(options_)) {
   RNNHM_CHECK_MSG(options_.crest.strip_sink == nullptr,
                   "HeatmapEngine owns the strip sink");
   RNNHM_CHECK(options_.num_threads >= 0);
@@ -60,8 +68,19 @@ HeatmapEngine::~HeatmapEngine() {
   for (std::thread& t : workers_) t.join();
 }
 
-std::future<HeatmapResponse> HeatmapEngine::Submit(HeatmapRequest request) {
-  ValidateRequest(request);
+HeatmapEngine::ResolvedRequest HeatmapEngine::Resolve(
+    const HeatmapRequestV2& request) const {
+  ValidateGeometry(request.domain, request.width, request.height);
+  std::shared_ptr<const CircleSetSnapshot> set =
+      registry_->Resolve(request.circles);
+  RNNHM_CHECK_MSG(set != nullptr,
+                  "HeatmapRequestV2 handle is not registered with this "
+                  "engine's registry");
+  return ResolvedRequest{std::move(set), request.domain, request.width,
+                         request.height};
+}
+
+std::future<HeatmapResponse> HeatmapEngine::Enqueue(ResolvedRequest request) {
   PendingRequest pending{std::move(request), {}};
   std::future<HeatmapResponse> future = pending.promise.get_future();
   {
@@ -72,6 +91,21 @@ std::future<HeatmapResponse> HeatmapEngine::Submit(HeatmapRequest request) {
   }
   work_available_.notify_one();
   return future;
+}
+
+std::future<HeatmapResponse> HeatmapEngine::Submit(HeatmapRequest request) {
+  ValidateGeometry(request.domain, request.width, request.height);
+  // The legacy shim: the inline vector moves into an immutable snapshot
+  // (hashed once here, on the submitting thread), then flows through the
+  // same handle path v2 requests take.
+  return Enqueue(ResolvedRequest{
+      CircleSetSnapshot::Make(std::move(request.circles), request.metric),
+      request.domain, request.width, request.height});
+}
+
+std::future<HeatmapResponse> HeatmapEngine::Submit(
+    const HeatmapRequestV2& request) {
+  return Enqueue(Resolve(request));
 }
 
 std::vector<HeatmapResponse> HeatmapEngine::RunBatch(
@@ -85,58 +119,92 @@ std::vector<HeatmapResponse> HeatmapEngine::RunBatch(
   return out;
 }
 
+std::vector<HeatmapResponse> HeatmapEngine::RunBatch(
+    const std::vector<HeatmapRequestV2>& requests) {
+  std::vector<std::future<HeatmapResponse>> futures;
+  futures.reserve(requests.size());
+  for (const HeatmapRequestV2& r : requests) futures.push_back(Submit(r));
+  std::vector<HeatmapResponse> out;
+  out.reserve(futures.size());
+  for (std::future<HeatmapResponse>& f : futures) out.push_back(f.get());
+  return out;
+}
+
 HeatmapResponse HeatmapEngine::Execute(const HeatmapRequest& request) const {
-  return Serve(request, /*owned=*/nullptr);
-}
-
-HeatmapResponse HeatmapEngine::Execute(HeatmapRequest&& request) const {
-  return Serve(request, &request);
-}
-
-HeatmapResponse HeatmapEngine::Serve(const HeatmapRequest& request,
-                                     HeatmapRequest* owned) const {
-  ValidateRequest(request);
-  if (cache_ != nullptr) {
-    std::optional<HeatmapResponse> hit = cache_->Lookup(request);
-    if (hit.has_value()) return std::move(*hit);
+  ValidateGeometry(request.domain, request.width, request.height);
+  if (cache_ == nullptr) {
+    return Sweep(request.circles, request.metric, request.domain,
+                 request.width, request.height);
   }
-  HeatmapResponse response = Sweep(request);
-  if (cache_ != nullptr) {
-    if (owned != nullptr) {
-      cache_->Insert(std::move(*owned), response);
-    } else {
-      cache_->Insert(request, response);
-    }
-    response.cache = cache_->stats();
-  }
+  // Hash in place (no snapshot yet): a hit is served without touching the
+  // caller's circle vector, a miss copies it once into the cache entry.
+  const SweepCacheKey key = SweepCache::KeyOf(request);
+  std::optional<HeatmapResponse> hit =
+      cache_->Lookup(key, request.circles, request.metric);
+  if (hit.has_value()) return std::move(*hit);
+  HeatmapResponse response = Sweep(request.circles, request.metric,
+                                   request.domain, request.width,
+                                   request.height);
+  cache_->Insert(key, CircleSetSnapshot::Make(request.circles, request.metric),
+                 response);
+  response.cache = cache_->stats();
   return response;
 }
 
-HeatmapResponse HeatmapEngine::Sweep(const HeatmapRequest& request) const {
-  switch (request.metric) {
+HeatmapResponse HeatmapEngine::Execute(HeatmapRequest&& request) const {
+  ValidateGeometry(request.domain, request.width, request.height);
+  return Serve(ResolvedRequest{
+      CircleSetSnapshot::Make(std::move(request.circles), request.metric),
+      request.domain, request.width, request.height});
+}
+
+HeatmapResponse HeatmapEngine::Execute(const HeatmapRequestV2& request) const {
+  return Serve(Resolve(request));
+}
+
+HeatmapResponse HeatmapEngine::Serve(const ResolvedRequest& request) const {
+  const CircleSetSnapshot& set = *request.set;
+  if (cache_ != nullptr) {
+    const SweepCacheKey key{set.content_hash(), request.domain, request.width,
+                            request.height};
+    std::optional<HeatmapResponse> hit = cache_->Lookup(key, request.set);
+    if (hit.has_value()) return std::move(*hit);
+    HeatmapResponse response = Sweep(set.circles(), set.metric(),
+                                     request.domain, request.width,
+                                     request.height);
+    cache_->Insert(key, request.set, response);
+    response.cache = cache_->stats();
+    return response;
+  }
+  return Sweep(set.circles(), set.metric(), request.domain, request.width,
+               request.height);
+}
+
+HeatmapResponse HeatmapEngine::Sweep(const std::vector<NnCircle>& circles,
+                                     Metric metric, const Rect& domain,
+                                     int width, int height) const {
+  switch (metric) {
     case Metric::kL1: {
       CrestStats stats;
       HeatmapGrid grid = BuildHeatmapL1Parallel(
-          request.circles, measure_, request.domain, request.width,
-          request.height, options_.slabs_per_request, /*oversample=*/1.5,
-          &stats, options_.crest);
+          circles, measure_, domain, width, height,
+          options_.slabs_per_request, /*oversample=*/1.5, &stats,
+          options_.crest);
       return HeatmapResponse{std::move(grid), stats, {}, false, {}};
     }
     case Metric::kL2: {
-      HeatmapGrid grid(request.width, request.height, request.domain,
-                       measure_.Evaluate({}));
+      HeatmapGrid grid(width, height, domain, measure_.Evaluate({}));
       RasterArcSink raster(&grid);
       CrestL2Options l2;
       l2.arc_sink = &raster;
       const CrestL2Stats stats = RunCrestL2ParallelStrips(
-          request.circles, measure_, options_.slabs_per_request, l2);
+          circles, measure_, options_.slabs_per_request, l2);
       return HeatmapResponse{std::move(grid), {}, stats, false, {}};
     }
     case Metric::kLInf:
       break;
   }
-  HeatmapGrid grid(request.width, request.height, request.domain,
-                   measure_.Evaluate({}));
+  HeatmapGrid grid(width, height, domain, measure_.Evaluate({}));
   RasterStripSink raster(&grid);
   CrestOptions crest = options_.crest;
   crest.strip_sink = &raster;
@@ -144,11 +212,11 @@ HeatmapResponse HeatmapEngine::Sweep(const HeatmapRequest& request) const {
   if (options_.slabs_per_request > 1) {
     // Slab-decomposed sweep: shards paint disjoint strips of the shared
     // grid; region labels themselves are not needed.
-    stats = RunCrestParallelStrips(request.circles, measure_,
+    stats = RunCrestParallelStrips(circles, measure_,
                                    options_.slabs_per_request, crest);
   } else {
     CountingSink counter;
-    stats = RunCrest(request.circles, measure_, &counter, crest);
+    stats = RunCrest(circles, measure_, &counter, crest);
   }
   return HeatmapResponse{std::move(grid), stats, {}, false, {}};
 }
@@ -176,7 +244,7 @@ void HeatmapEngine::WorkerLoop() {
     std::optional<HeatmapResponse> response;
     std::exception_ptr error;
     try {
-      response.emplace(Execute(std::move(work->request)));
+      response.emplace(Serve(work->request));
     } catch (...) {
       error = std::current_exception();
     }

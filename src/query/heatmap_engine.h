@@ -9,6 +9,16 @@
 // does (BuildHeatmapLInf / BuildHeatmapL1Parallel / BuildHeatmapL2), so
 // batched output is bit-identical to a sequential run over the same inputs.
 //
+// Two request forms share one execution path:
+//   * HeatmapRequestV2 (preferred) references a circle set registered in
+//     the engine's CircleSetRegistry by CircleSetHandle — submits never
+//     copy circle data, and cache probes key off the handle's precomputed
+//     content hash (O(1) in the circle count);
+//   * the legacy HeatmapRequest inlines its circle vector and is adapted
+//     internally (an immutable snapshot is made of the moved-in vector; the
+//     const-ref Execute overload hashes in place and copies only on a cache
+//     miss, so hits are copy-free).
+//
 // Two parallelism axes compose:
 //   * across requests — `num_threads` workers drain the shared queue;
 //   * within a request — `slabs_per_request > 1` sweeps each request with
@@ -46,15 +56,19 @@
 #include "core/influence_measure.h"
 #include "geom/geometry.h"
 #include "heatmap/heatmap.h"
+#include "query/circle_set_registry.h"
 
 namespace rnnhm {
 
 class SweepCache;
+struct SweepCacheKey;
 
 /// One heat-map computation: sweep `circles` (NN-circles built under
 /// `metric`) and rasterize the influence field over `domain` at
 /// `width` x `height`. L2 requests run the arc sweep and are exact at
 /// pixel centers; L1 requests sweep the rotated frame and resample.
+/// This is the legacy inline form; HeatmapRequestV2 shares the circle
+/// data instead of embedding it.
 struct HeatmapRequest {
   /// NN-circles to sweep; must have been built under `metric`.
   std::vector<NnCircle> circles;
@@ -65,6 +79,21 @@ struct HeatmapRequest {
   int height = 0;
   /// Metric the circles were built under; selects the sweep pipeline.
   Metric metric = Metric::kLInf;
+};
+
+/// The v2 request: the circle set travels as a handle into the engine's
+/// CircleSetRegistry (register via `engine.registry().Register(...)`), so
+/// a population shared by many requests is stored once and cache probes
+/// reuse the handle's precomputed content hash. The metric is a property
+/// of the registered set, not of the request.
+struct HeatmapRequestV2 {
+  /// Handle of a set registered in the serving engine's registry.
+  CircleSetHandle circles;
+  /// Rectangular raster window (need not cover every circle).
+  Rect domain;
+  /// Raster resolution in pixels; both must be positive.
+  int width = 0;
+  int height = 0;
 };
 
 /// Aggregate counters of a SweepCache (also snapshotted onto every
@@ -116,6 +145,11 @@ struct HeatmapEngineOptions {
   /// Entry-count ceiling of the result cache (LRU evicts beyond either
   /// budget). Ignored when `cache_bytes` is 0.
   size_t cache_entries = 256;
+  /// Circle-set registry v2 requests resolve against. Null makes the
+  /// engine create a private one (reachable via `registry()`); pass a
+  /// shared registry to let several engines or sessions publish into the
+  /// same handle space.
+  std::shared_ptr<CircleSetRegistry> registry;
 };
 
 /// Thread-safe batched facade over CREST heat-map construction.
@@ -131,21 +165,39 @@ class HeatmapEngine {
   /// Enqueues one request; callable concurrently from any thread. Invalid
   /// requests (non-positive raster size, degenerate domain) CHECK-fail
   /// here, at the call site; the future carries the response or any
-  /// exception thrown while serving.
+  /// exception thrown while serving. The circle vector is moved into an
+  /// immutable snapshot, never copied.
   std::future<HeatmapResponse> Submit(HeatmapRequest request);
+
+  /// Enqueues one v2 request. The handle must name a live set in
+  /// `registry()` (CHECK-fails here otherwise — resolve untrusted handles
+  /// yourself first); the snapshot is pinned for the request's lifetime,
+  /// so a concurrent Release cannot unmap it mid-sweep.
+  std::future<HeatmapResponse> Submit(const HeatmapRequestV2& request);
 
   /// Submits a whole batch and waits; responses are returned in request
   /// order regardless of completion order.
   std::vector<HeatmapResponse> RunBatch(std::vector<HeatmapRequest> requests);
+  std::vector<HeatmapResponse> RunBatch(
+      const std::vector<HeatmapRequestV2>& requests);
 
   /// Computes one request synchronously on the calling thread, bypassing
   /// the queue (but not the result cache). This is exactly the code path
   /// workers run: consult the cache when enabled, sweep on a miss, admit
-  /// the response. Cache hits never copy the request; the rvalue overload
-  /// additionally moves a missing request's circles straight into the
-  /// cache entry (workers use it), where the const-ref overload copies.
+  /// the response. Cache hits never copy the request's circles; the
+  /// const-ref overload copies them only into a cache entry on a miss,
+  /// and the rvalue overload moves them instead (workers use it).
   HeatmapResponse Execute(const HeatmapRequest& request) const;
   HeatmapResponse Execute(HeatmapRequest&& request) const;
+
+  /// Computes one v2 request synchronously. Copy-free on every path: the
+  /// cache is probed with the handle's precomputed hash, and hit or miss,
+  /// the circle data is only ever shared, never duplicated.
+  HeatmapResponse Execute(const HeatmapRequestV2& request) const;
+
+  /// The registry v2 handles resolve against (engine-private unless one
+  /// was passed in via options).
+  CircleSetRegistry& registry() const { return *registry_; }
 
   /// Resolved worker count.
   int num_threads() const { return static_cast<int>(workers_.size()); }
@@ -157,23 +209,35 @@ class HeatmapEngine {
   SweepCacheStats cache_stats() const;
 
  private:
+  // The canonical in-flight form both request structs reduce to: a pinned
+  // immutable circle-set snapshot plus the raster geometry.
+  struct ResolvedRequest {
+    std::shared_ptr<const CircleSetSnapshot> set;
+    Rect domain;
+    int width = 0;
+    int height = 0;
+  };
+
   void WorkerLoop();
-  // Shared body of both Execute overloads; `owned`, when non-null, is the
-  // caller's request to move into the cache on a miss.
-  HeatmapResponse Serve(const HeatmapRequest& request,
-                        HeatmapRequest* owned) const;
-  // The uncached sweep of one request (cache miss path).
-  HeatmapResponse Sweep(const HeatmapRequest& request) const;
+  std::future<HeatmapResponse> Enqueue(ResolvedRequest request);
+  ResolvedRequest Resolve(const HeatmapRequestV2& request) const;
+  // The shared serve path: cache probe keyed by the snapshot's content
+  // hash, sweep on a miss, admit sharing the snapshot.
+  HeatmapResponse Serve(const ResolvedRequest& request) const;
+  // The uncached sweep (cache miss path).
+  HeatmapResponse Sweep(const std::vector<NnCircle>& circles, Metric metric,
+                        const Rect& domain, int width, int height) const;
 
   const InfluenceMeasure& measure_;
   const HeatmapEngineOptions options_;
+  const std::shared_ptr<CircleSetRegistry> registry_;
   // Result cache shared by all workers (internally synchronized); null
   // when options_.cache_bytes == 0. Const pointer, mutable pointee: the
   // cache may be consulted from the const Execute path.
   const std::unique_ptr<SweepCache> cache_;
 
   struct PendingRequest {
-    HeatmapRequest request;
+    ResolvedRequest request;
     std::promise<HeatmapResponse> promise;
   };
 

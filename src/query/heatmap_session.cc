@@ -149,4 +149,28 @@ void HeatmapSession::InvalidateRaster() {
   dirty_.Clear();
 }
 
+CircleSetHandle HeatmapSession::PublishCircles(CircleSetRegistry& registry) {
+  // The span overload copies the circles only when the content is new to
+  // the registry; a tick that reverted (or a sibling session at the same
+  // state) deduplicates to the existing snapshot.
+  const CircleSetHandle handle =
+      registry.Register(std::span<const NnCircle>(circles_), metric_);
+  // Drop the previous tick's registration (after the new one, so shared
+  // content never transits through zero). Re-publishing unchanged content
+  // nets out: Register bumped the count, this restores it.
+  if (published_registry_ == &registry && published_.valid()) {
+    registry.Release(published_);
+  }
+  published_ = handle;
+  published_registry_ = &registry;
+  return handle;
+}
+
+HeatmapResponse HeatmapSession::RenderThroughEngine(HeatmapEngine& engine,
+                                                    const Rect& domain,
+                                                    int width, int height) {
+  const CircleSetHandle handle = PublishCircles(engine.registry());
+  return engine.Execute(HeatmapRequestV2{handle, domain, width, height});
+}
+
 }  // namespace rnnhm

@@ -35,6 +35,8 @@
 #include "heatmap/heatmap.h"
 #include "heatmap/incremental.h"
 #include "index/kdtree.h"
+#include "query/circle_set_registry.h"
+#include "query/heatmap_engine.h"
 
 namespace rnnhm {
 
@@ -117,6 +119,26 @@ class HeatmapSession {
   /// Drops the retained raster; the next RasterIncremental rebuilds fully.
   void InvalidateRaster();
 
+  /// Publishes the session's current circles into `registry` and returns
+  /// the shared handle. Identical workloads — two sessions at the same
+  /// tick, or a session whose edits reverted — deduplicate to the same
+  /// handle, so their engine requests share one snapshot and one cache
+  /// key. The session releases its previous publication into the same
+  /// registry automatically (a ticking session holds at most one
+  /// registration there); it never releases into a different registry,
+  /// and never on destruction — callers that switch or drop registries
+  /// manage those registrations themselves.
+  CircleSetHandle PublishCircles(CircleSetRegistry& registry);
+
+  /// Publishes into `engine.registry()` and executes a v2 request for the
+  /// current circles: the serving-path analogue of Rebuild. On a
+  /// cache-enabled engine, ticks whose circle set matches one already
+  /// served — by this or any other session sharing the engine — come back
+  /// `from_cache`, bit-identical to a fresh sweep.
+  HeatmapResponse RenderThroughEngine(HeatmapEngine& engine,
+                                      const Rect& domain, int width,
+                                      int height);
+
   /// The x-intervals dirtied by edits since the last RasterIncremental
   /// (exposed for tests and monitoring; consumed — and cleared — by
   /// RasterIncremental).
@@ -140,6 +162,11 @@ class HeatmapSession {
   DirtyIntervalSet dirty_;
   std::unique_ptr<HeatmapGrid> raster_;
   const InfluenceMeasure* raster_measure_ = nullptr;
+
+  // The session's latest publication (see PublishCircles): released into
+  // the same registry on the next publish so stale ticks don't accumulate.
+  CircleSetHandle published_;
+  CircleSetRegistry* published_registry_ = nullptr;
 };
 
 }  // namespace rnnhm

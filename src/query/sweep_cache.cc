@@ -1,6 +1,7 @@
 #include "query/sweep_cache.h"
 
 #include <cstring>
+#include <utility>
 
 #include "heatmap/serialization.h"
 
@@ -25,61 +26,53 @@ void HashDouble(uint64_t* h, double v) {
   HashBytes(h, &bits, sizeof(bits));
 }
 
-bool SameRequest(const HeatmapRequest& a, const HeatmapRequest& b) {
-  if (a.metric != b.metric || a.width != b.width || a.height != b.height ||
-      !(a.domain == b.domain) || a.circles.size() != b.circles.size()) {
-    return false;
-  }
-  for (size_t i = 0; i < a.circles.size(); ++i) {
-    if (!(a.circles[i].center == b.circles[i].center) ||
-        a.circles[i].radius != b.circles[i].radius ||
-        a.circles[i].client != b.circles[i].client) {
-      return false;
-    }
-  }
-  return true;
-}
-
 // Resident footprint of one entry: the memoized grid at its serialized
 // size plus the key's circle payload (what dominates in practice).
-size_t EntryBytes(const HeatmapRequest& request,
-                  const HeatmapResponse& response) {
-  return SerializedSizeBytes(response.grid) +
-         request.circles.size() * sizeof(NnCircle) + sizeof(HeatmapRequest);
+// Deliberately conservative for v2 entries: several entries sharing one
+// snapshot each charge the full circle payload, so the budget over- (never
+// under-) estimates residency and hit/miss behavior matches the legacy
+// per-request accounting exactly.
+size_t EntryBytes(size_t num_circles, const HeatmapResponse& response) {
+  return SerializedSizeBytes(response.grid) + num_circles * sizeof(NnCircle) +
+         sizeof(HeatmapRequest);
 }
 
 }  // namespace
 
 SweepCache::SweepCache(SweepCacheOptions options) : options_(options) {}
 
-uint64_t SweepCache::Fingerprint(const HeatmapRequest& request) {
+SweepCacheKey SweepCache::KeyOf(const HeatmapRequest& request) {
+  return SweepCacheKey{HashCircleSet(request.circles, request.metric),
+                       request.domain, request.width, request.height};
+}
+
+uint64_t SweepCache::Fingerprint(const SweepCacheKey& key) {
   uint64_t h = kFnvOffset;
-  const int32_t metric = static_cast<int32_t>(request.metric);
-  HashBytes(&h, &metric, sizeof(metric));
-  HashBytes(&h, &request.width, sizeof(request.width));
-  HashBytes(&h, &request.height, sizeof(request.height));
-  HashDouble(&h, request.domain.lo.x);
-  HashDouble(&h, request.domain.lo.y);
-  HashDouble(&h, request.domain.hi.x);
-  HashDouble(&h, request.domain.hi.y);
-  for (const NnCircle& c : request.circles) {
-    HashDouble(&h, c.center.x);
-    HashDouble(&h, c.center.y);
-    HashDouble(&h, c.radius);
-    HashBytes(&h, &c.client, sizeof(c.client));
-  }
+  HashBytes(&h, &key.set_hash, sizeof(key.set_hash));
+  HashDouble(&h, key.domain.lo.x);
+  HashDouble(&h, key.domain.lo.y);
+  HashDouble(&h, key.domain.hi.x);
+  HashDouble(&h, key.domain.hi.y);
+  HashBytes(&h, &key.width, sizeof(key.width));
+  HashBytes(&h, &key.height, sizeof(key.height));
   return h;
 }
 
-std::optional<HeatmapResponse> SweepCache::Lookup(
-    const HeatmapRequest& request) {
-  const uint64_t key = Fingerprint(request);
+uint64_t SweepCache::Fingerprint(const HeatmapRequest& request) {
+  return Fingerprint(KeyOf(request));
+}
+
+template <typename SameSet>
+std::optional<HeatmapResponse> SweepCache::LookupImpl(
+    const SweepCacheKey& key, const SameSet& same_set) {
+  const uint64_t fingerprint = Fingerprint(key);
   std::shared_ptr<const HeatmapResponse> found;
   SweepCacheStats snapshot;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    const auto it = index_.find(key);
-    if (it == index_.end() || !SameRequest(it->second->request, request)) {
+    const auto it = index_.find(fingerprint);
+    if (it == index_.end() || !(it->second->key == key) ||
+        !same_set(*it->second->set)) {
       ++stats_.misses;
       return std::nullopt;
     }
@@ -97,10 +90,33 @@ std::optional<HeatmapResponse> SweepCache::Lookup(
   return out;
 }
 
-void SweepCache::Insert(HeatmapRequest request,
+std::optional<HeatmapResponse> SweepCache::Lookup(
+    const SweepCacheKey& key,
+    const std::shared_ptr<const CircleSetSnapshot>& set) {
+  return LookupImpl(key, [&](const CircleSetSnapshot& entry_set) {
+    return &entry_set == set.get() ||
+           entry_set.SameContent(set->circles(), set->metric());
+  });
+}
+
+std::optional<HeatmapResponse> SweepCache::Lookup(
+    const SweepCacheKey& key, std::span<const NnCircle> circles,
+    Metric metric) {
+  return LookupImpl(key, [&](const CircleSetSnapshot& entry_set) {
+    return entry_set.SameContent(circles, metric);
+  });
+}
+
+std::optional<HeatmapResponse> SweepCache::Lookup(
+    const HeatmapRequest& request) {
+  return Lookup(KeyOf(request), request.circles, request.metric);
+}
+
+void SweepCache::Insert(const SweepCacheKey& key,
+                        std::shared_ptr<const CircleSetSnapshot> set,
                         const HeatmapResponse& response) {
-  const uint64_t key = Fingerprint(request);
-  const size_t bytes = EntryBytes(request, response);
+  const uint64_t fingerprint = Fingerprint(key);
+  const size_t bytes = EntryBytes(set->circles().size(), response);
   if (bytes > options_.max_bytes) return;  // would evict everything for one
   // Copy the response before taking the lock (it is the expensive part);
   // stored copies are pristine: no hit flag, no stale stats snapshot.
@@ -108,19 +124,29 @@ void SweepCache::Insert(HeatmapRequest request,
   stored->from_cache = false;
   stored->cache = SweepCacheStats{};
   std::lock_guard<std::mutex> lock(mu_);
-  const auto it = index_.find(key);
+  const auto it = index_.find(fingerprint);
   if (it != index_.end()) {  // replace (also heals a fingerprint collision)
     stats_.bytes -= it->second->bytes;
     lru_.erase(it->second);
     index_.erase(it);
     --stats_.entries;
   }
-  lru_.push_front(Entry{key, std::move(request), std::move(stored), bytes});
-  index_[key] = lru_.begin();
+  lru_.push_front(
+      Entry{fingerprint, key, std::move(set), std::move(stored), bytes});
+  index_[fingerprint] = lru_.begin();
   stats_.bytes += bytes;
   ++stats_.entries;
   ++stats_.insertions;
   EvictToFitLocked();
+}
+
+void SweepCache::Insert(HeatmapRequest request,
+                        const HeatmapResponse& response) {
+  const Metric metric = request.metric;
+  const SweepCacheKey key{HashCircleSet(request.circles, metric),
+                          request.domain, request.width, request.height};
+  Insert(key, CircleSetSnapshot::Make(std::move(request.circles), metric),
+         response);
 }
 
 void SweepCache::EvictToFitLocked() {
@@ -130,7 +156,7 @@ void SweepCache::EvictToFitLocked() {
     stats_.bytes -= victim.bytes;
     --stats_.entries;
     ++stats_.evictions;
-    index_.erase(victim.key);
+    index_.erase(victim.fingerprint);
     lru_.pop_back();
   }
 }

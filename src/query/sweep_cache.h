@@ -9,9 +9,15 @@
 // re-request is served without sweeping, and any perturbation (one circle
 // nudged) safely misses.
 //
-// Keys are 64-bit FNV-1a fingerprints of the canonical request bytes;
-// every hit additionally verifies full request equality, so a fingerprint
-// collision degrades to a miss instead of returning the wrong map.
+// Keys are SweepCacheKeys: the circle set's precomputed content hash
+// (HashCircleSet, which folds in the metric) plus domain and resolution.
+// Handle-based (v2) lookups therefore cost O(1) in the circle count — the
+// hash travels with the CircleSetHandle and is never recomputed — while
+// legacy inline requests hash their vector once per lookup, as before.
+// Every hit additionally verifies full content equality against the
+// entry's snapshot (pointer equality short-circuits for snapshots shared
+// through a CircleSetRegistry), so a fingerprint collision degrades to a
+// miss instead of returning the wrong map.
 // Eviction is LRU under two ceilings: resident bytes (grids are sized via
 // SerializedSizeBytes, keys by their circle payload) and entry count.
 // All methods are thread-safe; workers of one engine share one instance.
@@ -23,8 +29,10 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <span>
 #include <unordered_map>
 
+#include "query/circle_set_registry.h"
 #include "query/heatmap_engine.h"
 
 namespace rnnhm {
@@ -39,21 +47,55 @@ struct SweepCacheOptions {
   size_t max_entries = 256;
 };
 
+/// The full cache key of one memoized response: the circle set by content
+/// hash (metric folded in by HashCircleSet) plus the raster geometry.
+struct SweepCacheKey {
+  uint64_t set_hash = 0;
+  Rect domain;
+  int width = 0;
+  int height = 0;
+
+  friend bool operator==(const SweepCacheKey&,
+                         const SweepCacheKey&) = default;
+};
+
 /// Thread-safe LRU response cache keyed by request content.
 class SweepCache {
  public:
   explicit SweepCache(SweepCacheOptions options);
 
-  /// Returns the memoized response for a byte-identical earlier request
-  /// (marking it most-recently used), or nullopt. The returned copy has
-  /// `from_cache` set and carries a fresh stats snapshot.
+  /// Returns the memoized response for `key` (marking it most-recently
+  /// used), or nullopt. `set` is the lookup's circle set, used only to
+  /// verify a candidate entry's content on a hash collision — snapshots
+  /// shared through a registry short-circuit on pointer equality. The
+  /// returned copy has `from_cache` set and carries a fresh stats
+  /// snapshot.
+  std::optional<HeatmapResponse> Lookup(
+      const SweepCacheKey& key,
+      const std::shared_ptr<const CircleSetSnapshot>& set);
+
+  /// As above for callers without a snapshot (the legacy inline path):
+  /// collision verification compares against `circles`/`metric` directly,
+  /// with no copy and no re-hash.
+  std::optional<HeatmapResponse> Lookup(const SweepCacheKey& key,
+                                        std::span<const NnCircle> circles,
+                                        Metric metric);
+
+  /// Legacy convenience: hashes the request's circles and looks up. Cost
+  /// scales with the circle count; prefer the key overloads.
   std::optional<HeatmapResponse> Lookup(const HeatmapRequest& request);
 
-  /// Admits `response` for `request`, evicting LRU entries to fit. A
-  /// response too large for the byte budget is silently not admitted; a
-  /// re-insert under an existing key replaces the entry. The request is
-  /// taken by value so owning callers can move it in (the engine's miss
-  /// path moves the swept request's circles straight into the entry).
+  /// Admits `response` for `key`, evicting LRU entries to fit. `set` must
+  /// be the snapshot the response was computed from (its hash must equal
+  /// `key.set_hash`); the entry shares it, copy-free. A response too
+  /// large for the byte budget is silently not admitted; a re-insert
+  /// under an existing key replaces the entry.
+  void Insert(const SweepCacheKey& key,
+              std::shared_ptr<const CircleSetSnapshot> set,
+              const HeatmapResponse& response);
+
+  /// Legacy convenience: snapshots the request's circles (moving them out
+  /// of the by-value request) and admits under its content key.
   void Insert(HeatmapRequest request, const HeatmapResponse& response);
 
   /// Current counters (cumulative hit/miss/insert/evict, resident sizes).
@@ -62,21 +104,37 @@ class SweepCache {
   /// Drops every entry (counters other than entries/bytes are kept).
   void Clear();
 
-  /// The 64-bit content fingerprint used as the index key: FNV-1a over
-  /// (metric, domain, width, height, every circle's center/radius/client).
+  /// The canonical cache key of a legacy inline request: hashes the
+  /// circle vector (O(n)). Handle paths build the key directly from the
+  /// handle's content hash instead.
+  static SweepCacheKey KeyOf(const HeatmapRequest& request);
+
+  /// The 64-bit index fingerprint of a key (FNV-1a over its fields).
   /// Exposed for tests and for callers that shard by key.
+  static uint64_t Fingerprint(const SweepCacheKey& key);
+
+  /// Legacy convenience: Fingerprint(KeyOf(request)).
   static uint64_t Fingerprint(const HeatmapRequest& request);
 
  private:
   struct Entry {
-    uint64_t key;
-    HeatmapRequest request;  // kept to verify equality on hit
+    uint64_t fingerprint;
+    SweepCacheKey key;
+    // The circle set the response was computed from; kept to verify
+    // content equality on hit.
+    std::shared_ptr<const CircleSetSnapshot> set;
     // Immutable once admitted; hits grab the pointer under the lock and
     // materialize the caller's copy outside it, so concurrent hits never
     // serialize on the multi-megabyte grid copy.
     std::shared_ptr<const HeatmapResponse> response;
     size_t bytes;
   };
+
+  // Shared hit path: `same_set` decides whether a candidate entry's
+  // snapshot matches the lookup's circle content.
+  template <typename SameSet>
+  std::optional<HeatmapResponse> LookupImpl(const SweepCacheKey& key,
+                                            const SameSet& same_set);
 
   // Evicts LRU entries until both budgets hold. Caller holds mu_.
   void EvictToFitLocked();

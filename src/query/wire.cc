@@ -1,0 +1,474 @@
+#include "query/wire.h"
+
+#include <cstring>
+#include <exception>
+#include <utility>
+
+#include "heatmap/serialization.h"
+
+namespace rnnhm {
+
+namespace {
+
+constexpr char kRequestMagic[4] = {'R', 'N', 'W', 'Q'};
+constexpr char kResponseMagic[4] = {'R', 'N', 'W', 'S'};
+constexpr uint8_t kFlagInlineCircles = 0x1;
+// One encoded circle: center.x, center.y, radius (f64 each) + client i32.
+constexpr size_t kCircleBytes = 3 * sizeof(uint64_t) + sizeof(uint32_t);
+constexpr size_t kRequestHeaderBytes = 68;
+constexpr size_t kResponseHeaderBytes = 16;
+
+// --- Little-endian primitives (explicit, host-endianness independent) -----
+
+void PutMagic(std::vector<uint8_t>* out, const char magic[4]) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<uint8_t>(magic[i]));
+  }
+}
+
+void PutU16(std::vector<uint8_t>* out, uint16_t v) {
+  out->push_back(static_cast<uint8_t>(v));
+  out->push_back(static_cast<uint8_t>(v >> 8));
+}
+
+void PutU32(std::vector<uint8_t>* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+void PutU64(std::vector<uint8_t>* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+void PutI32(std::vector<uint8_t>* out, int32_t v) {
+  PutU32(out, static_cast<uint32_t>(v));
+}
+
+void PutF64(std::vector<uint8_t>* out, double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(out, bits);
+}
+
+// Bounds-checked sequential reader; the first short read latches !ok and
+// every later Get returns zero, so decoders can read a whole header and
+// test ok() once.
+class Reader {
+ public:
+  Reader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  bool ok() const { return ok_; }
+  size_t remaining() const { return ok_ ? size_ - pos_ : 0; }
+
+  uint8_t U8() {
+    uint8_t v = 0;
+    Raw(&v, 1);
+    return v;
+  }
+  uint16_t U16() {
+    uint8_t b[2] = {};
+    Raw(b, 2);
+    return static_cast<uint16_t>(b[0] | (b[1] << 8));
+  }
+  uint32_t U32() {
+    uint8_t b[4] = {};
+    Raw(b, 4);
+    uint32_t v = 0;
+    for (int i = 3; i >= 0; --i) v = (v << 8) | b[i];
+    return v;
+  }
+  uint64_t U64() {
+    uint8_t b[8] = {};
+    Raw(b, 8);
+    uint64_t v = 0;
+    for (int i = 7; i >= 0; --i) v = (v << 8) | b[i];
+    return v;
+  }
+  int32_t I32() { return static_cast<int32_t>(U32()); }
+  double F64() {
+    const uint64_t bits = U64();
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+  bool Magic(const char expected[4]) {
+    uint8_t b[4] = {};
+    Raw(b, 4);
+    return ok_ && std::memcmp(b, expected, 4) == 0;
+  }
+  void Raw(void* dst, size_t len) {
+    if (!ok_ || size_ - pos_ < len) {
+      ok_ = false;
+      std::memset(dst, 0, len);
+      return;
+    }
+    std::memcpy(dst, data_ + pos_, len);
+    pos_ += len;
+  }
+  const uint8_t* cursor() const { return data_ + pos_; }
+  void Skip(size_t len) {
+    if (!ok_ || size_ - pos_ < len) {
+      ok_ = false;
+      return;
+    }
+    pos_ += len;
+  }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+std::nullopt_t Fail(std::string* error, const char* message) {
+  if (error != nullptr) *error = message;
+  return std::nullopt;
+}
+
+}  // namespace
+
+WireRequest MakeWireRequest(const CircleSetSnapshot& set, const Rect& domain,
+                            int width, int height, bool include_circles) {
+  WireRequest request;
+  request.metric = set.metric();
+  request.set_hash = set.content_hash();
+  request.inline_circles = include_circles;
+  if (include_circles) request.circles = set.circles();
+  request.domain = domain;
+  request.width = width;
+  request.height = height;
+  return request;
+}
+
+std::vector<uint8_t> EncodeRequest(const WireRequest& request) {
+  std::vector<uint8_t> out;
+  out.reserve(kRequestHeaderBytes + request.circles.size() * kCircleBytes);
+  PutMagic(&out, kRequestMagic);
+  PutU32(&out, kWireVersion);
+  out.push_back(static_cast<uint8_t>(request.metric));
+  out.push_back(request.inline_circles ? kFlagInlineCircles : 0);
+  PutU16(&out, 0);  // reserved
+  PutI32(&out, request.width);
+  PutI32(&out, request.height);
+  PutF64(&out, request.domain.lo.x);
+  PutF64(&out, request.domain.lo.y);
+  PutF64(&out, request.domain.hi.x);
+  PutF64(&out, request.domain.hi.y);
+  PutU64(&out, request.set_hash);
+  PutU64(&out, request.inline_circles
+                   ? static_cast<uint64_t>(request.circles.size())
+                   : 0);
+  if (request.inline_circles) {
+    for (const NnCircle& c : request.circles) {
+      PutF64(&out, c.center.x);
+      PutF64(&out, c.center.y);
+      PutF64(&out, c.radius);
+      PutI32(&out, c.client);
+    }
+  }
+  return out;
+}
+
+std::optional<WireRequest> DecodeRequest(std::span<const uint8_t> bytes,
+                                         std::string* error) {
+  Reader r(bytes.data(), bytes.size());
+  if (!r.Magic(kRequestMagic)) return Fail(error, "bad request magic");
+  if (r.U32() != kWireVersion) {
+    return Fail(error, "unsupported wire version");
+  }
+  WireRequest request;
+  const uint8_t metric = r.U8();
+  const uint8_t flags = r.U8();
+  const uint16_t reserved = r.U16();
+  request.width = r.I32();
+  request.height = r.I32();
+  request.domain.lo.x = r.F64();
+  request.domain.lo.y = r.F64();
+  request.domain.hi.x = r.F64();
+  request.domain.hi.y = r.F64();
+  request.set_hash = r.U64();
+  const uint64_t count = r.U64();
+  if (!r.ok()) return Fail(error, "request header truncated");
+  if (metric > static_cast<uint8_t>(Metric::kL2)) {
+    return Fail(error, "unknown metric");
+  }
+  request.metric = static_cast<Metric>(metric);
+  if ((flags & ~kFlagInlineCircles) != 0 || reserved != 0) {
+    return Fail(error, "reserved request bits set");
+  }
+  request.inline_circles = (flags & kFlagInlineCircles) != 0;
+  if (request.width <= 0 || request.height <= 0) {
+    return Fail(error, "non-positive raster size");
+  }
+  if (!(request.domain.lo.x < request.domain.hi.x) ||
+      !(request.domain.lo.y < request.domain.hi.y)) {
+    return Fail(error, "degenerate request domain");
+  }
+  if (!request.inline_circles) {
+    if (count != 0) return Fail(error, "by-reference request carries circles");
+    if (r.remaining() != 0) return Fail(error, "trailing request bytes");
+    return request;
+  }
+  if (r.remaining() / kCircleBytes < count ||
+      r.remaining() != count * kCircleBytes) {
+    return Fail(error, "circle payload size mismatch");
+  }
+  request.circles.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    NnCircle c;
+    c.center.x = r.F64();
+    c.center.y = r.F64();
+    c.radius = r.F64();
+    c.client = r.I32();
+    request.circles.push_back(c);
+  }
+  if (!r.ok()) return Fail(error, "circle payload truncated");
+  if (HashCircleSet(request.circles, request.metric) != request.set_hash) {
+    return Fail(error, "circle payload does not match its content hash");
+  }
+  return request;
+}
+
+namespace {
+
+void EncodeResponseHeader(std::vector<uint8_t>* out, WireStatus status,
+                          bool from_cache, const std::string& message) {
+  PutMagic(out, kResponseMagic);
+  PutU32(out, kWireVersion);
+  out->push_back(static_cast<uint8_t>(status));
+  out->push_back(from_cache ? 1 : 0);
+  PutU16(out, 0);  // reserved
+  PutU32(out, static_cast<uint32_t>(message.size()));
+  out->insert(out->end(), message.begin(), message.end());
+}
+
+}  // namespace
+
+std::vector<uint8_t> EncodeResponse(const HeatmapResponse& response) {
+  std::vector<uint8_t> out;
+  out.reserve(kResponseHeaderBytes + 17 * sizeof(uint64_t) +
+              SerializedSizeBytes(response.grid));
+  EncodeResponseHeader(&out, WireStatus::kOk, response.from_cache, "");
+  PutU64(&out, response.stats.num_circles);
+  PutU64(&out, response.stats.num_skipped_circles);
+  PutU64(&out, response.stats.num_events);
+  PutU64(&out, response.stats.num_labelings);
+  PutU64(&out, response.stats.num_merged_intervals);
+  PutU64(&out, response.stats.num_elements_walked);
+  PutU64(&out, response.l2_stats.num_circles);
+  PutU64(&out, response.l2_stats.num_skipped_circles);
+  PutU64(&out, response.l2_stats.num_events);
+  PutU64(&out, response.l2_stats.num_cross_events);
+  PutU64(&out, response.l2_stats.num_labelings);
+  PutU64(&out, response.cache.hits);
+  PutU64(&out, response.cache.misses);
+  PutU64(&out, response.cache.insertions);
+  PutU64(&out, response.cache.evictions);
+  PutU64(&out, response.cache.entries);
+  PutU64(&out, response.cache.bytes);
+  EncodeHeatmap(response.grid, &out);
+  return out;
+}
+
+std::vector<uint8_t> EncodeErrorResponse(WireStatus status,
+                                         const std::string& message) {
+  std::vector<uint8_t> out;
+  EncodeResponseHeader(&out, status, /*from_cache=*/false, message);
+  return out;
+}
+
+std::optional<WireResponse> DecodeResponse(std::span<const uint8_t> bytes,
+                                           std::string* error) {
+  Reader r(bytes.data(), bytes.size());
+  if (!r.Magic(kResponseMagic)) return Fail(error, "bad response magic");
+  if (r.U32() != kWireVersion) {
+    return Fail(error, "unsupported wire version");
+  }
+  const uint8_t status = r.U8();
+  const uint8_t from_cache = r.U8();
+  const uint16_t reserved = r.U16();
+  const uint32_t error_len = r.U32();
+  if (!r.ok()) return Fail(error, "response header truncated");
+  if (status > static_cast<uint8_t>(WireStatus::kServerError)) {
+    return Fail(error, "unknown response status");
+  }
+  if (reserved != 0 || from_cache > 1) {
+    return Fail(error, "reserved response bits set");
+  }
+  WireResponse response;
+  response.status = static_cast<WireStatus>(status);
+  if (error_len > 0) {
+    if (r.remaining() < error_len) {
+      return Fail(error, "response error message truncated");
+    }
+    response.error.assign(reinterpret_cast<const char*>(r.cursor()),
+                          error_len);
+    r.Skip(error_len);
+  }
+  if (response.status != WireStatus::kOk) {
+    if (r.remaining() != 0) return Fail(error, "trailing response bytes");
+    return response;
+  }
+  if (error_len != 0) {
+    return Fail(error, "ok response carries an error message");
+  }
+  CrestStats stats;
+  stats.num_circles = r.U64();
+  stats.num_skipped_circles = r.U64();
+  stats.num_events = r.U64();
+  stats.num_labelings = r.U64();
+  stats.num_merged_intervals = r.U64();
+  stats.num_elements_walked = r.U64();
+  CrestL2Stats l2_stats;
+  l2_stats.num_circles = r.U64();
+  l2_stats.num_skipped_circles = r.U64();
+  l2_stats.num_events = r.U64();
+  l2_stats.num_cross_events = r.U64();
+  l2_stats.num_labelings = r.U64();
+  SweepCacheStats cache;
+  cache.hits = r.U64();
+  cache.misses = r.U64();
+  cache.insertions = r.U64();
+  cache.evictions = r.U64();
+  cache.entries = r.U64();
+  cache.bytes = r.U64();
+  if (!r.ok()) return Fail(error, "response counters truncated");
+  size_t consumed = 0;
+  std::string grid_error;
+  std::optional<HeatmapGrid> grid =
+      DecodeHeatmap(r.cursor(), r.remaining(), &consumed, &grid_error);
+  if (!grid.has_value()) {
+    if (error != nullptr) *error = "response grid: " + grid_error;
+    return std::nullopt;
+  }
+  if (consumed != r.remaining()) {
+    return Fail(error, "trailing response bytes");
+  }
+  response.response.emplace(HeatmapResponse{
+      std::move(*grid), stats, l2_stats, from_cache != 0, cache});
+  return response;
+}
+
+bool WriteFrame(std::FILE* out, std::span<const uint8_t> payload) {
+  if (payload.size() > kMaxFramePayloadBytes) return false;
+  std::vector<uint8_t> prefix;
+  PutU32(&prefix, static_cast<uint32_t>(payload.size()));
+  if (std::fwrite(prefix.data(), 1, prefix.size(), out) != prefix.size()) {
+    return false;
+  }
+  return payload.empty() ||
+         std::fwrite(payload.data(), 1, payload.size(), out) ==
+             payload.size();
+}
+
+std::optional<std::vector<uint8_t>> ReadFrame(std::FILE* in,
+                                              std::string* error) {
+  if (error != nullptr) error->clear();
+  uint8_t prefix[4];
+  const size_t got = std::fread(prefix, 1, sizeof(prefix), in);
+  if (got == 0) {
+    if (std::ferror(in) != 0) {
+      Fail(error, "read error on frame stream");
+    }
+    return std::nullopt;  // clean EOF when no stream error
+  }
+  if (got != sizeof(prefix)) {
+    Fail(error, "truncated frame length prefix");
+    return std::nullopt;
+  }
+  uint32_t length = 0;
+  for (int i = 3; i >= 0; --i) length = (length << 8) | prefix[i];
+  if (length > kMaxFramePayloadBytes) {
+    Fail(error, "frame payload over the size ceiling");
+    return std::nullopt;
+  }
+  std::vector<uint8_t> payload(length);
+  if (length > 0 &&
+      std::fread(payload.data(), 1, length, in) != length) {
+    Fail(error, "truncated frame payload");
+    return std::nullopt;
+  }
+  return payload;
+}
+
+bool ServeWireStream(std::FILE* in, std::FILE* out, HeatmapEngine& engine,
+                     WireServeStats* stats, std::string* error) {
+  WireServeStats local;
+  bool ok = true;
+  for (;;) {
+    std::string frame_error;
+    std::optional<std::vector<uint8_t>> frame = ReadFrame(in, &frame_error);
+    if (!frame.has_value()) {
+      if (!frame_error.empty()) {
+        if (error != nullptr) *error = frame_error;
+        ok = false;
+      }
+      break;
+    }
+    ++local.requests;
+    std::vector<uint8_t> reply;
+    std::string decode_error;
+    std::optional<WireRequest> request = DecodeRequest(*frame, &decode_error);
+    if (!request.has_value()) {
+      reply = EncodeErrorResponse(WireStatus::kMalformedRequest, decode_error);
+    } else if (static_cast<uint64_t>(request->width) *
+                   static_cast<uint64_t>(request->height) >
+               kMaxWirePixels) {
+      reply = EncodeErrorResponse(WireStatus::kMalformedRequest,
+                                  "raster exceeds the pixel ceiling");
+    } else {
+      CircleSetRegistry& registry = engine.registry();
+      CircleSetHandle handle;
+      if (request->inline_circles) {
+        const size_t before = registry.size();
+        handle =
+            registry.Register(std::move(request->circles), request->metric);
+        if (registry.size() > before) ++local.sets_registered;
+      } else {
+        handle = registry.FindByHash(request->set_hash);
+      }
+      std::shared_ptr<const CircleSetSnapshot> set =
+          handle.valid() ? registry.Resolve(handle) : nullptr;
+      if (set == nullptr) {
+        reply = EncodeErrorResponse(
+            WireStatus::kUnknownCircleSet,
+            "circle set was never carried inline on this stream");
+      } else if (set->metric() != request->metric) {
+        reply = EncodeErrorResponse(
+            WireStatus::kMalformedRequest,
+            "request metric disagrees with the registered set");
+      } else {
+        try {
+          const HeatmapResponse response = engine.Execute(HeatmapRequestV2{
+              handle, request->domain, request->width, request->height});
+          reply = EncodeResponse(response);
+        } catch (const std::exception& e) {
+          reply = EncodeErrorResponse(WireStatus::kServerError, e.what());
+        } catch (...) {
+          reply = EncodeErrorResponse(WireStatus::kServerError,
+                                      "sweep failed");
+        }
+      }
+    }
+    // The status byte sits at offset 8 of every response layout.
+    if (reply[8] == static_cast<uint8_t>(WireStatus::kOk)) {
+      ++local.ok;
+    } else {
+      ++local.errors;
+    }
+    if (!WriteFrame(out, reply)) {
+      if (error != nullptr) *error = "failed to write response frame";
+      ok = false;
+      break;
+    }
+    std::fflush(out);
+  }
+  if (stats != nullptr) *stats = local;
+  return ok;
+}
+
+}  // namespace rnnhm

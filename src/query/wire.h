@@ -1,0 +1,153 @@
+// Versioned binary wire protocol for engine requests and responses — the
+// process-sharding seam of the serving layer.
+//
+// The ROADMAP's next scaling step is sharding the engine across
+// processes; this module defines the bytes that cross the boundary. The
+// protocol is little-endian throughout and versioned (kWireVersion);
+// decoders validate strictly and return errors instead of CHECK-failing,
+// so a server can face untrusted bytes.
+//
+// Requests carry the circle set either *inline* (full payload; the server
+// registers it in its CircleSetRegistry) or *by reference* (just the
+// 64-bit content hash of a set some earlier request in the stream carried
+// inline) — the wire analogue of CircleSetHandle sharing. A client
+// fanning many requests over one population ships the circles once.
+// Inline payloads embed their content hash and decoders recompute and
+// compare it, so a corrupted circle payload is rejected rather than
+// swept.
+//
+// Responses carry the full HeatmapResponse: status, sweep counters, cache
+// counters and the grid (the grid payload reuses heatmap/serialization's
+// "RNHM" byte format).
+//
+// Framing: a stream is a sequence of [u32 LE payload length][payload]
+// frames (WriteFrame/ReadFrame); ServeWireStream drains request frames
+// from a FILE* and answers each with one response frame, in order — the
+// loop behind `rnnhm_cli serve`.
+//
+// Versioning rules: kWireVersion bumps on any layout change; decoders
+// reject other versions (no negotiation — a shard fleet is deployed in
+// lockstep). Reserved header bytes must be zero on encode and are
+// rejected when nonzero, so they can be given meaning later without
+// silently misreading old traffic.
+#ifndef RNNHM_QUERY_WIRE_H_
+#define RNNHM_QUERY_WIRE_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "query/circle_set_registry.h"
+#include "query/heatmap_engine.h"
+
+namespace rnnhm {
+
+/// Protocol version stamped into every message (serving API v2).
+inline constexpr uint32_t kWireVersion = 2;
+
+/// Ceiling on a frame's payload length (guards a garbage length prefix
+/// from triggering a giant allocation).
+inline constexpr uint32_t kMaxFramePayloadBytes = 1u << 30;
+
+/// Ceiling on width*height a server accepts from the wire (an otherwise
+/// well-formed request must not be able to demand an absurd raster).
+inline constexpr uint64_t kMaxWirePixels = 1ull << 26;
+
+/// Response status codes.
+enum class WireStatus : uint8_t {
+  kOk = 0,
+  kMalformedRequest = 1,   ///< frame decoded but failed validation
+  kUnknownCircleSet = 2,   ///< by-reference hash not registered
+  kServerError = 3,        ///< the sweep threw
+};
+
+/// A decoded (or to-be-encoded) v2 request. `set_hash` is always the
+/// circle set's content hash (HashCircleSet under `metric`); `circles` is
+/// the inline payload and is empty for by-reference requests.
+struct WireRequest {
+  Metric metric = Metric::kLInf;
+  uint64_t set_hash = 0;
+  bool inline_circles = false;
+  std::vector<NnCircle> circles;
+  Rect domain;
+  int width = 0;
+  int height = 0;
+};
+
+/// Builds a request for `set`: with `include_circles` the full payload
+/// travels (first use of a set on a stream), without it only the hash
+/// (subsequent uses).
+WireRequest MakeWireRequest(const CircleSetSnapshot& set, const Rect& domain,
+                            int width, int height, bool include_circles);
+
+/// Serializes a request message.
+std::vector<uint8_t> EncodeRequest(const WireRequest& request);
+
+/// Parses and validates a request message. Returns nullopt on any
+/// malformed input (short buffer, bad magic/version/metric, nonzero
+/// reserved bytes, non-positive raster, degenerate domain, payload size
+/// mismatch, inline content-hash mismatch) with `*error` describing it.
+std::optional<WireRequest> DecodeRequest(std::span<const uint8_t> bytes,
+                                         std::string* error);
+
+/// A decoded response: `response` is engaged iff `status == kOk`,
+/// `error` is the server's message otherwise.
+struct WireResponse {
+  WireStatus status = WireStatus::kOk;
+  std::string error;
+  std::optional<HeatmapResponse> response;
+};
+
+/// Serializes a success response (status kOk + counters + grid).
+std::vector<uint8_t> EncodeResponse(const HeatmapResponse& response);
+
+/// Serializes an error response (no grid).
+std::vector<uint8_t> EncodeErrorResponse(WireStatus status,
+                                         const std::string& message);
+
+/// Parses and validates a response message; nullopt + `*error` on any
+/// malformed input (same strictness as DecodeRequest; the grid payload is
+/// validated by heatmap/serialization's DecodeHeatmap).
+std::optional<WireResponse> DecodeResponse(std::span<const uint8_t> bytes,
+                                           std::string* error);
+
+/// Writes one [u32 LE length][payload] frame. False on I/O failure or a
+/// payload over kMaxFramePayloadBytes.
+bool WriteFrame(std::FILE* out, std::span<const uint8_t> payload);
+
+/// Reads one frame. Returns the payload, or nullopt with `*error` empty
+/// on clean EOF (no more frames) and non-empty on a truncated or
+/// oversized frame.
+std::optional<std::vector<uint8_t>> ReadFrame(std::FILE* in,
+                                              std::string* error);
+
+/// Counters of one ServeWireStream run.
+struct WireServeStats {
+  uint64_t requests = 0;        ///< frames answered (ok or error status)
+  uint64_t ok = 0;              ///< responses with status kOk
+  uint64_t errors = 0;          ///< responses with a non-kOk status
+  uint64_t sets_registered = 0; ///< distinct inline sets registered
+};
+
+/// The serve loop: reads request frames from `in` until EOF, executes
+/// each against `engine` (inline sets register into engine.registry();
+/// by-reference hashes resolve there), and writes one response frame per
+/// request to `out`, in order. Malformed payloads and unknown hashes
+/// produce error-status responses and the stream continues; only a
+/// truncated frame or an I/O failure stops the loop and returns false
+/// (with `*error` set). Grids served for identical circle sets and
+/// geometry are bit-identical to a direct Execute on the same engine.
+/// Inline sets stay registered for the stream's lifetime (later
+/// by-reference requests depend on them); a long-lived server accepting
+/// unboundedly many *distinct* sets needs an eviction policy above this
+/// loop — see the ROADMAP.
+bool ServeWireStream(std::FILE* in, std::FILE* out, HeatmapEngine& engine,
+                     WireServeStats* stats = nullptr,
+                     std::string* error = nullptr);
+
+}  // namespace rnnhm
+
+#endif  // RNNHM_QUERY_WIRE_H_

@@ -1,0 +1,161 @@
+#include "query/circle_set_registry.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace rnnhm {
+namespace {
+
+std::vector<NnCircle> MakeCircles(uint64_t seed, int n) {
+  Rng rng(seed);
+  std::vector<NnCircle> out;
+  out.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    out.push_back(NnCircle{{rng.Uniform(0, 1), rng.Uniform(0, 1)},
+                           rng.Uniform(0.02, 0.2), i});
+  }
+  return out;
+}
+
+TEST(CircleSetSnapshotTest, HashMatchesFreeFunctionAndIsContentSensitive) {
+  const auto circles = MakeCircles(1, 30);
+  const auto set = CircleSetSnapshot::Make(circles, Metric::kL2);
+  EXPECT_EQ(set->content_hash(), HashCircleSet(circles, Metric::kL2));
+  EXPECT_NE(set->content_hash(), HashCircleSet(circles, Metric::kLInf));
+  auto nudged = circles;
+  nudged[7].radius += 1e-12;
+  EXPECT_NE(set->content_hash(), HashCircleSet(nudged, Metric::kL2));
+  EXPECT_TRUE(set->SameContent(circles, Metric::kL2));
+  EXPECT_FALSE(set->SameContent(circles, Metric::kLInf));
+  EXPECT_FALSE(set->SameContent(nudged, Metric::kL2));
+}
+
+TEST(CircleSetRegistryTest, RegisterDeduplicatesIdenticalContent) {
+  CircleSetRegistry registry;
+  const auto circles = MakeCircles(2, 40);
+  const CircleSetHandle a = registry.Register(circles, Metric::kLInf);
+  const CircleSetHandle b = registry.Register(circles, Metric::kLInf);
+  EXPECT_TRUE(a.valid());
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(registry.size(), 1u);
+  // Deduplicated registrations resolve to the very same snapshot object.
+  EXPECT_EQ(registry.Resolve(a).get(), registry.Resolve(b).get());
+}
+
+TEST(CircleSetRegistryTest, DistinctContentGetsDistinctHandles) {
+  CircleSetRegistry registry;
+  const CircleSetHandle a =
+      registry.Register(MakeCircles(3, 40), Metric::kLInf);
+  const CircleSetHandle b =
+      registry.Register(MakeCircles(4, 40), Metric::kLInf);
+  // Same circles, different metric: different content.
+  const CircleSetHandle c =
+      registry.Register(MakeCircles(3, 40), Metric::kL2);
+  EXPECT_NE(a.id, b.id);
+  EXPECT_NE(a.id, c.id);
+  EXPECT_NE(a.content_hash, c.content_hash);
+  EXPECT_EQ(registry.size(), 3u);
+}
+
+TEST(CircleSetRegistryTest, ResolveRejectsForgedAndUnknownHandles) {
+  CircleSetRegistry registry;
+  const CircleSetHandle a =
+      registry.Register(MakeCircles(5, 20), Metric::kL1);
+  EXPECT_NE(registry.Resolve(a), nullptr);
+  EXPECT_EQ(registry.Resolve(CircleSetHandle{}), nullptr);
+  EXPECT_EQ(registry.Resolve(CircleSetHandle{a.id + 999, a.content_hash}),
+            nullptr);
+  // Right id, wrong hash: a stale or forged handle must not resolve.
+  EXPECT_EQ(registry.Resolve(CircleSetHandle{a.id, a.content_hash ^ 1}),
+            nullptr);
+}
+
+TEST(CircleSetRegistryTest, FindByHashLocatesRegisteredContent) {
+  CircleSetRegistry registry;
+  const auto circles = MakeCircles(6, 25);
+  const CircleSetHandle a = registry.Register(circles, Metric::kL2);
+  EXPECT_EQ(registry.FindByHash(a.content_hash), a);
+  EXPECT_FALSE(registry.FindByHash(a.content_hash ^ 1).valid());
+}
+
+TEST(CircleSetRegistryTest, ReleaseIsRefCounted) {
+  CircleSetRegistry registry;
+  const auto circles = MakeCircles(7, 30);
+  const CircleSetHandle a = registry.Register(circles, Metric::kLInf);
+  const CircleSetHandle b = registry.Register(circles, Metric::kLInf);
+  ASSERT_EQ(a, b);  // two registrations of one entry
+  EXPECT_TRUE(registry.Release(a));
+  EXPECT_EQ(registry.size(), 1u);  // one registration still holds it
+  EXPECT_NE(registry.Resolve(a), nullptr);
+  EXPECT_TRUE(registry.Release(a));
+  EXPECT_EQ(registry.size(), 0u);
+  EXPECT_EQ(registry.Resolve(a), nullptr);
+  EXPECT_FALSE(registry.Release(a));  // already gone
+}
+
+TEST(CircleSetRegistryTest, SnapshotsOutliveRelease) {
+  CircleSetRegistry registry;
+  const CircleSetHandle a =
+      registry.Register(MakeCircles(8, 30), Metric::kLInf);
+  const std::shared_ptr<const CircleSetSnapshot> pinned =
+      registry.Resolve(a);
+  ASSERT_NE(pinned, nullptr);
+  EXPECT_TRUE(registry.Release(a));
+  // The registry dropped its reference; ours keeps the data alive.
+  EXPECT_EQ(pinned->circles().size(), 30u);
+  EXPECT_EQ(pinned->content_hash(), a.content_hash);
+}
+
+TEST(CircleSetRegistryTest, ReRegisteringReleasedContentIssuesFreshId) {
+  CircleSetRegistry registry;
+  const auto circles = MakeCircles(9, 15);
+  const CircleSetHandle a = registry.Register(circles, Metric::kL2);
+  ASSERT_TRUE(registry.Release(a));
+  const CircleSetHandle b = registry.Register(circles, Metric::kL2);
+  EXPECT_NE(a.id, b.id);  // ids are never reused
+  EXPECT_EQ(a.content_hash, b.content_hash);
+  EXPECT_EQ(registry.Resolve(a), nullptr);
+  EXPECT_NE(registry.Resolve(b), nullptr);
+}
+
+// Parallel Register/Resolve/Release over a small pool of contents; run
+// under ASan/TSan. Every thread re-registers each content it resolves, so
+// entries stay live while in use, and the final counts must balance.
+TEST(CircleSetRegistryTest, ConcurrentRegisterResolveReleaseIsSafe) {
+  CircleSetRegistry registry;
+  constexpr int kContents = 5;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 50;
+  std::vector<std::vector<NnCircle>> contents;
+  for (int c = 0; c < kContents; ++c) {
+    contents.push_back(MakeCircles(100 + c, 20));
+  }
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kIters; ++i) {
+        const auto& circles = contents[(t + i) % kContents];
+        const CircleSetHandle handle =
+            registry.Register(circles, Metric::kLInf);
+        const auto set = registry.Resolve(handle);
+        if (set == nullptr ||
+            !set->SameContent(circles, Metric::kLInf)) {
+          ++mismatches;
+        }
+        registry.Release(handle);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(registry.size(), 0u);  // every registration was released
+}
+
+}  // namespace
+}  // namespace rnnhm

@@ -33,8 +33,10 @@
 #include "core/crest_parallel.h"
 #include "heatmap/heatmap.h"
 #include "heatmap/influence.h"
+#include "query/circle_set_registry.h"
 #include "query/heatmap_engine.h"
 #include "query/heatmap_session.h"
+#include "query/wire.h"
 
 namespace rnnhm {
 namespace {
@@ -406,6 +408,75 @@ TEST(CacheDifferentialTest, HitsAreBitIdenticalToFreshSweeps) {
       EXPECT_EQ(warm.grid.values(), fresh.grid.values())
           << MetricName(metric) << " slabs " << slabs;
       EXPECT_EQ(cold.grid.values(), fresh.grid.values());
+    }
+  }
+}
+
+// Serving API v2: for any request, the legacy inline path, the handle
+// path and a wire round-trip through the serve loop must all produce the
+// same grid, bit for bit, at every slab count.
+TEST(ServingV2DifferentialTest, InlineHandleAndWirePathsAgree) {
+  SizeInfluence measure;
+  for (const Metric metric : {Metric::kLInf, Metric::kL1, Metric::kL2}) {
+    const auto circles = MakeCircles(Scenario::kSnapped, 5317, 60);
+    for (const int slabs : kSlabCounts) {
+      HeatmapEngineOptions options;
+      options.num_threads = 1;
+      options.slabs_per_request = slabs;
+      options.cache_bytes = 32 << 20;
+      HeatmapEngine engine(measure, options);
+
+      // Legacy inline path.
+      const HeatmapRequest request{circles, kDomain, kRaster, kRaster,
+                                   metric};
+      const HeatmapResponse inline_response = engine.Execute(request);
+
+      // Handle path on the same engine (served from the shared cache) and
+      // on a cache-less engine (fresh sweep).
+      const CircleSetHandle handle =
+          engine.registry().Register(circles, metric);
+      const HeatmapRequestV2 v2{handle, kDomain, kRaster, kRaster};
+      const HeatmapResponse handle_response = engine.Execute(v2);
+      HeatmapEngineOptions plain_options;
+      plain_options.num_threads = 1;
+      plain_options.slabs_per_request = slabs;
+      HeatmapEngine plain(measure, plain_options);
+      const CircleSetHandle plain_handle =
+          plain.registry().Register(circles, metric);
+      const HeatmapResponse fresh_response = plain.Execute(
+          HeatmapRequestV2{plain_handle, kDomain, kRaster, kRaster});
+
+      // Wire round-trip: encode -> serve loop (its own engine) -> decode.
+      const auto set = CircleSetSnapshot::Make(circles, metric);
+      std::FILE* in = std::tmpfile();
+      std::FILE* out = std::tmpfile();
+      ASSERT_NE(in, nullptr);
+      ASSERT_NE(out, nullptr);
+      ASSERT_TRUE(WriteFrame(
+          in, EncodeRequest(MakeWireRequest(*set, kDomain, kRaster, kRaster,
+                                            /*include_circles=*/true))));
+      std::rewind(in);
+      HeatmapEngine server(measure, plain_options);
+      std::string error;
+      ASSERT_TRUE(ServeWireStream(in, out, server, nullptr, &error))
+          << error;
+      std::rewind(out);
+      const auto frame = ReadFrame(out, &error);
+      ASSERT_TRUE(frame.has_value()) << error;
+      const auto wire_response = DecodeResponse(*frame, &error);
+      ASSERT_TRUE(wire_response.has_value()) << error;
+      ASSERT_EQ(wire_response->status, WireStatus::kOk)
+          << wire_response->error;
+      std::fclose(in);
+      std::fclose(out);
+
+      const std::vector<double>& reference = inline_response.grid.values();
+      EXPECT_EQ(handle_response.grid.values(), reference)
+          << MetricName(metric) << " slabs " << slabs << " (handle)";
+      EXPECT_EQ(fresh_response.grid.values(), reference)
+          << MetricName(metric) << " slabs " << slabs << " (fresh handle)";
+      EXPECT_EQ(wire_response->response->grid.values(), reference)
+          << MetricName(metric) << " slabs " << slabs << " (wire)";
     }
   }
 }

@@ -121,7 +121,7 @@ TEST(HeatmapEngineTest, ExecuteBypassesQueueWithSameResult) {
 TEST(HeatmapEngineTest, EmptyBatchAndEmptyRequestAreServed) {
   SizeInfluence measure;
   HeatmapEngine engine(measure, Options(2));
-  EXPECT_TRUE(engine.RunBatch({}).empty());
+  EXPECT_TRUE(engine.RunBatch(std::vector<HeatmapRequest>{}).empty());
   HeatmapRequest req;  // no circles
   req.domain = Rect{{0, 0}, {1, 1}};
   req.width = 8;
@@ -337,6 +337,123 @@ TEST(HeatmapEngineTest, MixedMetricBatchDispatchesPerRequest) {
   EXPECT_GT(responses[1].l2_stats.num_labelings, 0u);
   EXPECT_EQ(responses[1].stats.num_labelings, 0u);
   EXPECT_GT(responses[2].stats.num_labelings, 0u);
+}
+
+// --- Serving API v2: handles + registry -----------------------------------
+
+TEST(HeatmapEngineV2Test, HandleRequestsMatchLegacyInlineBitForBit) {
+  SizeInfluence measure;
+  for (const int slabs : {1, 4}) {
+    HeatmapEngine engine(measure, Options(2, slabs));
+    for (const Metric metric : {Metric::kLInf, Metric::kL1, Metric::kL2}) {
+      HeatmapRequest legacy = RandomRequest(45, 4000 + slabs);
+      legacy.metric = metric;
+      const CircleSetHandle handle =
+          engine.registry().Register(legacy.circles, metric);
+      const HeatmapResponse v2 = engine.Execute(HeatmapRequestV2{
+          handle, legacy.domain, legacy.width, legacy.height});
+      const HeatmapResponse inline_response = engine.Execute(legacy);
+      ExpectBitIdentical(v2.grid, inline_response.grid);
+    }
+  }
+}
+
+TEST(HeatmapEngineV2Test, SubmitAndRunBatchServeHandles) {
+  SizeInfluence measure;
+  HeatmapEngine engine(measure, Options(3));
+  const HeatmapRequest base = RandomRequest(50, 4100);
+  const CircleSetHandle handle =
+      engine.registry().Register(base.circles, base.metric);
+  // One shared set fanned across resolutions — the registry stores the
+  // circles once, each response is still the exact sequential raster.
+  std::vector<HeatmapRequestV2> batch;
+  for (int i = 0; i < 6; ++i) {
+    batch.push_back(
+        HeatmapRequestV2{handle, base.domain, 16 + i, 16 + i});
+  }
+  const auto responses = engine.RunBatch(batch);
+  ASSERT_EQ(responses.size(), batch.size());
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(responses[i].grid.width(), 16 + i);
+    HeatmapRequest reference = base;
+    reference.width = reference.height = 16 + i;
+    ExpectBitIdentical(responses[i].grid, Reference(reference, measure));
+  }
+}
+
+TEST(HeatmapEngineV2Test, ReleasedHandleStaysServableWhileInFlight) {
+  SizeInfluence measure;
+  HeatmapEngine engine(measure, Options(2));
+  const HeatmapRequest base = RandomRequest(60, 4200);
+  const CircleSetHandle handle =
+      engine.registry().Register(base.circles, base.metric);
+  // Submit pins the snapshot; releasing the registration afterwards must
+  // not unmap the data under the worker.
+  auto future = engine.Submit(
+      HeatmapRequestV2{handle, base.domain, base.width, base.height});
+  EXPECT_TRUE(engine.registry().Release(handle));
+  ExpectBitIdentical(future.get().grid, Reference(base, measure));
+}
+
+TEST(HeatmapEngineV2Test, EnginesShareARegistryPassedViaOptions) {
+  SizeInfluence measure;
+  auto registry = std::make_shared<CircleSetRegistry>();
+  HeatmapEngineOptions options = Options(1);
+  options.registry = registry;
+  HeatmapEngine a(measure, options);
+  HeatmapEngine b(measure, options);
+  const HeatmapRequest base = RandomRequest(40, 4300);
+  const CircleSetHandle handle =
+      registry->Register(base.circles, base.metric);
+  const HeatmapRequestV2 request{handle, base.domain, base.width,
+                                 base.height};
+  ExpectBitIdentical(a.Execute(request).grid, b.Execute(request).grid);
+  EXPECT_EQ(&a.registry(), registry.get());
+  EXPECT_EQ(&b.registry(), registry.get());
+}
+
+TEST(HeatmapEngineV2Test, HandleAndInlinePathsShareTheCache) {
+  SizeInfluence measure;
+  HeatmapEngineOptions options = Options(1);
+  options.cache_bytes = 16 << 20;
+  HeatmapEngine engine(measure, options);
+  const HeatmapRequest base = RandomRequest(55, 4400);
+  // Miss via the legacy inline path...
+  const HeatmapResponse cold = engine.Execute(base);
+  EXPECT_FALSE(cold.from_cache);
+  // ...hit via the handle path (same content, same geometry)...
+  const CircleSetHandle handle =
+      engine.registry().Register(base.circles, base.metric);
+  const HeatmapResponse warm = engine.Execute(
+      HeatmapRequestV2{handle, base.domain, base.width, base.height});
+  EXPECT_TRUE(warm.from_cache);
+  ExpectBitIdentical(warm.grid, cold.grid);
+  // ...and hit again through the inline const-ref path (copy-free).
+  const HeatmapResponse warm_inline = engine.Execute(base);
+  EXPECT_TRUE(warm_inline.from_cache);
+  ExpectBitIdentical(warm_inline.grid, cold.grid);
+  EXPECT_EQ(engine.cache_stats().hits, 2u);
+  EXPECT_EQ(engine.cache_stats().misses, 1u);
+}
+
+TEST(HeatmapEngineV2Test, RepeatedHandleExecutesHitWithoutRehashing) {
+  SizeInfluence measure;
+  HeatmapEngineOptions options = Options(1);
+  options.cache_bytes = 16 << 20;
+  HeatmapEngine engine(measure, options);
+  const HeatmapRequest base = RandomRequest(70, 4500);
+  const CircleSetHandle handle =
+      engine.registry().Register(base.circles, base.metric);
+  const HeatmapRequestV2 request{handle, base.domain, base.width,
+                                 base.height};
+  const HeatmapResponse first = engine.Execute(request);
+  EXPECT_FALSE(first.from_cache);
+  for (int i = 0; i < 5; ++i) {
+    const HeatmapResponse again = engine.Execute(request);
+    EXPECT_TRUE(again.from_cache);
+    ExpectBitIdentical(again.grid, first.grid);
+  }
+  EXPECT_EQ(engine.cache_stats().hits, 5u);
 }
 
 }  // namespace

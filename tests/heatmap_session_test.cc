@@ -167,5 +167,96 @@ TEST(HeatmapSessionTest, RemoveFacilityRequeriesItsClients) {
   EXPECT_DOUBLE_EQ(session.circles()[1].radius, 1.0);
 }
 
+// --- Publishing into the serving API v2 -----------------------------------
+
+std::vector<Point> RandomPoints(int n, Rng& rng) {
+  std::vector<Point> out;
+  for (int i = 0; i < n; ++i) {
+    out.push_back({rng.Uniform(0, 1), rng.Uniform(0, 1)});
+  }
+  return out;
+}
+
+TEST(HeatmapSessionPublishTest, IdenticalSessionsShareOneHandle) {
+  Rng rng(5000);
+  const auto clients = RandomPoints(80, rng);
+  const auto facilities = RandomPoints(8, rng);
+  HeatmapSession a(clients, facilities, Metric::kL2);
+  HeatmapSession b(clients, facilities, Metric::kL2);
+  CircleSetRegistry registry;
+  const CircleSetHandle ha = a.PublishCircles(registry);
+  const CircleSetHandle hb = b.PublishCircles(registry);
+  EXPECT_EQ(ha, hb);  // same workload, same content, one entry
+  EXPECT_EQ(registry.size(), 1u);
+}
+
+TEST(HeatmapSessionPublishTest, TickingSessionHoldsOneRegistration) {
+  Rng rng(5001);
+  HeatmapSession session(RandomPoints(60, rng), RandomPoints(6, rng),
+                         Metric::kLInf);
+  CircleSetRegistry registry;
+  CircleSetHandle last = session.PublishCircles(registry);
+  for (int tick = 0; tick < 10; ++tick) {
+    session.MoveClient(
+        static_cast<int32_t>(rng.NextBounded(session.num_clients())),
+        {rng.Uniform(0, 1), rng.Uniform(0, 1)});
+    const CircleSetHandle next = session.PublishCircles(registry);
+    EXPECT_NE(next, last);  // the edit changed the content
+    // The previous tick's registration was released: only the newest
+    // publication stays resident.
+    EXPECT_EQ(registry.size(), 1u);
+    EXPECT_EQ(registry.Resolve(last), nullptr);
+    last = next;
+  }
+  // Publishing an unchanged state keeps exactly one registration too.
+  EXPECT_EQ(session.PublishCircles(registry), last);
+  EXPECT_EQ(registry.size(), 1u);
+}
+
+TEST(HeatmapSessionPublishTest, RenderThroughEngineMatchesFromScratch) {
+  Rng rng(5002);
+  const auto clients = RandomPoints(70, rng);
+  const auto facilities = RandomPoints(7, rng);
+  SizeInfluence measure;
+  const Rect domain{{0, 0}, {1, 1}};
+  for (const Metric metric : {Metric::kLInf, Metric::kL2}) {
+    HeatmapSession session(clients, facilities, metric);
+    HeatmapEngineOptions options;
+    options.num_threads = 1;
+    HeatmapEngine engine(measure, options);
+    const HeatmapResponse response =
+        session.RenderThroughEngine(engine, domain, 40, 40);
+    const HeatmapGrid reference = BuildHeatmapForMetric(
+        metric, session.circles(), measure, domain, 40, 40);
+    EXPECT_EQ(response.grid.values(), reference.values());
+  }
+}
+
+TEST(HeatmapSessionPublishTest, IdenticalTicksAcrossSessionsHitTheCache) {
+  Rng rng(5003);
+  const auto clients = RandomPoints(50, rng);
+  const auto facilities = RandomPoints(5, rng);
+  SizeInfluence measure;
+  HeatmapEngineOptions options;
+  options.num_threads = 1;
+  options.cache_bytes = 16 << 20;
+  HeatmapEngine engine(measure, options);
+  const Rect domain{{0, 0}, {1, 1}};
+
+  HeatmapSession a(clients, facilities, Metric::kL2);
+  HeatmapSession b(clients, facilities, Metric::kL2);
+  const HeatmapResponse first = a.RenderThroughEngine(engine, domain, 32, 32);
+  EXPECT_FALSE(first.from_cache);
+  // Session b is at the identical state: its tick dedupes to the same
+  // handle and is served from the shared engine cache, bit-identically.
+  const HeatmapResponse second =
+      b.RenderThroughEngine(engine, domain, 32, 32);
+  EXPECT_TRUE(second.from_cache);
+  EXPECT_EQ(second.grid.values(), first.grid.values());
+  // An edit breaks content equality: fresh sweep, then its revert hits.
+  b.MoveClient(0, {0.5, 0.5});
+  EXPECT_FALSE(b.RenderThroughEngine(engine, domain, 32, 32).from_cache);
+}
+
 }  // namespace
 }  // namespace rnnhm

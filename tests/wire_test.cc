@@ -1,0 +1,397 @@
+#include "query/wire.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "heatmap/influence.h"
+#include "query/circle_set_registry.h"
+#include "query/heatmap_engine.h"
+
+namespace rnnhm {
+namespace {
+
+std::vector<NnCircle> MakeCircles(uint64_t seed, int n) {
+  Rng rng(seed);
+  std::vector<NnCircle> out;
+  out.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    out.push_back(NnCircle{{rng.Uniform(0, 1), rng.Uniform(0, 1)},
+                           rng.Uniform(0.02, 0.2), i});
+  }
+  return out;
+}
+
+const Rect kDomain{{-0.1, -0.1}, {1.1, 1.1}};
+
+WireRequest InlineRequest(uint64_t seed, int n, Metric metric,
+                          int size = 32) {
+  const auto set = CircleSetSnapshot::Make(MakeCircles(seed, n), metric);
+  return MakeWireRequest(*set, kDomain, size, size,
+                         /*include_circles=*/true);
+}
+
+void ExpectSameRequest(const WireRequest& got, const WireRequest& want) {
+  EXPECT_EQ(got.metric, want.metric);
+  EXPECT_EQ(got.set_hash, want.set_hash);
+  EXPECT_EQ(got.inline_circles, want.inline_circles);
+  EXPECT_EQ(got.domain, want.domain);
+  EXPECT_EQ(got.width, want.width);
+  EXPECT_EQ(got.height, want.height);
+  ASSERT_EQ(got.circles.size(), want.circles.size());
+  for (size_t i = 0; i < got.circles.size(); ++i) {
+    EXPECT_EQ(got.circles[i].center, want.circles[i].center);
+    EXPECT_EQ(got.circles[i].radius, want.circles[i].radius);
+    EXPECT_EQ(got.circles[i].client, want.circles[i].client);
+  }
+}
+
+TEST(WireRequestTest, InlineRoundTripPreservesEveryField) {
+  const WireRequest request = InlineRequest(1, 40, Metric::kL2);
+  std::string error;
+  const auto decoded = DecodeRequest(EncodeRequest(request), &error);
+  ASSERT_TRUE(decoded.has_value()) << error;
+  ExpectSameRequest(*decoded, request);
+}
+
+TEST(WireRequestTest, ByReferenceRoundTripCarriesOnlyTheHash) {
+  const auto set =
+      CircleSetSnapshot::Make(MakeCircles(2, 30), Metric::kLInf);
+  const WireRequest request =
+      MakeWireRequest(*set, kDomain, 48, 24, /*include_circles=*/false);
+  const std::vector<uint8_t> bytes = EncodeRequest(request);
+  EXPECT_EQ(bytes.size(), 68u);  // header only, no circle payload
+  std::string error;
+  const auto decoded = DecodeRequest(bytes, &error);
+  ASSERT_TRUE(decoded.has_value()) << error;
+  EXPECT_FALSE(decoded->inline_circles);
+  EXPECT_TRUE(decoded->circles.empty());
+  EXPECT_EQ(decoded->set_hash, set->content_hash());
+}
+
+TEST(WireRequestTest, ZeroCircleInlineSetRoundTrips) {
+  const auto set = CircleSetSnapshot::Make({}, Metric::kL1);
+  const WireRequest request =
+      MakeWireRequest(*set, kDomain, 8, 8, /*include_circles=*/true);
+  std::string error;
+  const auto decoded = DecodeRequest(EncodeRequest(request), &error);
+  ASSERT_TRUE(decoded.has_value()) << error;
+  EXPECT_TRUE(decoded->inline_circles);
+  EXPECT_TRUE(decoded->circles.empty());
+}
+
+TEST(WireRequestTest, EveryTruncationDecodesToAnErrorNotACrash) {
+  const std::vector<uint8_t> bytes =
+      EncodeRequest(InlineRequest(3, 10, Metric::kL2));
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    std::string error;
+    EXPECT_FALSE(
+        DecodeRequest(std::span(bytes.data(), len), &error).has_value())
+        << "prefix of " << len << " bytes decoded";
+    EXPECT_FALSE(error.empty());
+  }
+}
+
+TEST(WireRequestTest, CorruptedHeaderFieldsAreRejected) {
+  const std::vector<uint8_t> good =
+      EncodeRequest(InlineRequest(4, 12, Metric::kLInf));
+  std::string error;
+  ASSERT_TRUE(DecodeRequest(good, &error).has_value());
+
+  auto bad_magic = good;
+  bad_magic[0] ^= 0xFF;
+  EXPECT_FALSE(DecodeRequest(bad_magic, &error).has_value());
+
+  auto bad_version = good;
+  bad_version[4] ^= 0xFF;
+  EXPECT_FALSE(DecodeRequest(bad_version, &error).has_value());
+
+  auto bad_metric = good;
+  bad_metric[8] = 7;
+  EXPECT_FALSE(DecodeRequest(bad_metric, &error).has_value());
+
+  auto bad_flags = good;
+  bad_flags[9] |= 0x80;  // undefined flag bit
+  EXPECT_FALSE(DecodeRequest(bad_flags, &error).has_value());
+
+  auto bad_reserved = good;
+  bad_reserved[10] = 1;
+  EXPECT_FALSE(DecodeRequest(bad_reserved, &error).has_value());
+
+  auto bad_width = good;
+  bad_width[12] = 0;
+  bad_width[13] = 0;
+  bad_width[14] = 0;
+  bad_width[15] = 0;
+  EXPECT_FALSE(DecodeRequest(bad_width, &error).has_value());
+}
+
+TEST(WireRequestTest, CorruptedCirclePayloadFailsTheContentHash) {
+  const std::vector<uint8_t> good =
+      EncodeRequest(InlineRequest(5, 12, Metric::kL2));
+  // Flip one byte in the middle of the circle payload: the embedded
+  // content hash no longer matches, so the decoder must reject it.
+  auto corrupted = good;
+  corrupted[68 + 40] ^= 0x01;
+  std::string error;
+  EXPECT_FALSE(DecodeRequest(corrupted, &error).has_value());
+  EXPECT_NE(error.find("content hash"), std::string::npos);
+}
+
+TEST(WireRequestTest, TrailingBytesAreRejected) {
+  auto bytes = EncodeRequest(InlineRequest(6, 8, Metric::kLInf));
+  bytes.push_back(0);
+  std::string error;
+  EXPECT_FALSE(DecodeRequest(bytes, &error).has_value());
+}
+
+// --- Responses ------------------------------------------------------------
+
+HeatmapResponse ComputeResponse(uint64_t seed, int n, Metric metric,
+                                int size = 24) {
+  SizeInfluence measure;
+  HeatmapEngineOptions options;
+  options.num_threads = 1;
+  options.cache_bytes = 8 << 20;  // exercise nonzero cache counters
+  HeatmapEngine engine(measure, options);
+  return engine.Execute(
+      HeatmapRequest{MakeCircles(seed, n), kDomain, size, size, metric});
+}
+
+TEST(WireResponseTest, OkRoundTripPreservesGridStatsAndCacheCounters) {
+  const HeatmapResponse response = ComputeResponse(7, 30, Metric::kL2);
+  std::string error;
+  const auto decoded = DecodeResponse(EncodeResponse(response), &error);
+  ASSERT_TRUE(decoded.has_value()) << error;
+  EXPECT_EQ(decoded->status, WireStatus::kOk);
+  ASSERT_TRUE(decoded->response.has_value());
+  const HeatmapResponse& got = *decoded->response;
+  EXPECT_EQ(got.grid.values(), response.grid.values());
+  EXPECT_EQ(got.grid.domain(), response.grid.domain());
+  EXPECT_EQ(got.l2_stats.num_labelings, response.l2_stats.num_labelings);
+  EXPECT_EQ(got.l2_stats.num_cross_events,
+            response.l2_stats.num_cross_events);
+  EXPECT_EQ(got.from_cache, response.from_cache);
+  EXPECT_EQ(got.cache.misses, response.cache.misses);
+  EXPECT_EQ(got.cache.bytes, response.cache.bytes);
+}
+
+TEST(WireResponseTest, DegenerateOnePixelGridRoundTrips) {
+  SizeInfluence measure;
+  HeatmapEngineOptions options;
+  options.num_threads = 1;
+  HeatmapEngine engine(measure, options);
+  const HeatmapResponse response = engine.Execute(
+      HeatmapRequest{{}, Rect{{0, 0}, {1, 1}}, 1, 1, Metric::kLInf});
+  std::string error;
+  const auto decoded = DecodeResponse(EncodeResponse(response), &error);
+  ASSERT_TRUE(decoded.has_value()) << error;
+  EXPECT_EQ(decoded->response->grid.width(), 1);
+  EXPECT_EQ(decoded->response->grid.height(), 1);
+  EXPECT_EQ(decoded->response->grid.values(), response.grid.values());
+}
+
+TEST(WireResponseTest, ErrorResponseRoundTripsItsMessage) {
+  const std::vector<uint8_t> bytes =
+      EncodeErrorResponse(WireStatus::kUnknownCircleSet, "no such set");
+  std::string error;
+  const auto decoded = DecodeResponse(bytes, &error);
+  ASSERT_TRUE(decoded.has_value()) << error;
+  EXPECT_EQ(decoded->status, WireStatus::kUnknownCircleSet);
+  EXPECT_EQ(decoded->error, "no such set");
+  EXPECT_FALSE(decoded->response.has_value());
+}
+
+TEST(WireResponseTest, EveryTruncationDecodesToAnErrorNotACrash) {
+  const std::vector<uint8_t> bytes =
+      EncodeResponse(ComputeResponse(8, 10, Metric::kLInf, 6));
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    std::string error;
+    EXPECT_FALSE(
+        DecodeResponse(std::span(bytes.data(), len), &error).has_value())
+        << "prefix of " << len << " bytes decoded";
+    EXPECT_FALSE(error.empty());
+  }
+}
+
+// --- Framing --------------------------------------------------------------
+
+TEST(WireFrameTest, FramesRoundTripThroughAFile) {
+  std::FILE* f = std::tmpfile();
+  ASSERT_NE(f, nullptr);
+  const std::vector<uint8_t> a = {1, 2, 3};
+  const std::vector<uint8_t> empty;
+  ASSERT_TRUE(WriteFrame(f, a));
+  ASSERT_TRUE(WriteFrame(f, empty));
+  std::rewind(f);
+  std::string error;
+  EXPECT_EQ(ReadFrame(f, &error), a);
+  EXPECT_EQ(ReadFrame(f, &error), empty);
+  EXPECT_FALSE(ReadFrame(f, &error).has_value());  // clean EOF
+  EXPECT_TRUE(error.empty());
+  std::fclose(f);
+}
+
+TEST(WireFrameTest, TruncatedFrameReportsAnError) {
+  std::FILE* f = std::tmpfile();
+  ASSERT_NE(f, nullptr);
+  ASSERT_TRUE(WriteFrame(f, std::vector<uint8_t>{1, 2, 3, 4, 5}));
+  // Drop the last byte of the payload.
+  ASSERT_EQ(std::fflush(f), 0);
+  std::rewind(f);
+  uint8_t buffer[8];
+  ASSERT_EQ(std::fread(buffer, 1, 8, f), 8u);
+  std::FILE* cut = std::tmpfile();
+  ASSERT_NE(cut, nullptr);
+  ASSERT_EQ(std::fwrite(buffer, 1, 8, cut), 8u);
+  std::rewind(cut);
+  std::string error;
+  EXPECT_FALSE(ReadFrame(cut, &error).has_value());
+  EXPECT_FALSE(error.empty());
+  std::fclose(f);
+  std::fclose(cut);
+}
+
+TEST(WireFrameTest, OversizedLengthPrefixIsRejected) {
+  std::FILE* f = std::tmpfile();
+  ASSERT_NE(f, nullptr);
+  const uint8_t huge[4] = {0xFF, 0xFF, 0xFF, 0xFF};  // ~4 GiB
+  ASSERT_EQ(std::fwrite(huge, 1, 4, f), 4u);
+  std::rewind(f);
+  std::string error;
+  EXPECT_FALSE(ReadFrame(f, &error).has_value());
+  EXPECT_FALSE(error.empty());
+  std::fclose(f);
+}
+
+// --- The serve loop -------------------------------------------------------
+
+TEST(ServeWireStreamTest, ServesInlineAndByReferenceBitIdentically) {
+  const auto set = CircleSetSnapshot::Make(MakeCircles(9, 35), Metric::kL2);
+  std::FILE* in = std::tmpfile();
+  std::FILE* out = std::tmpfile();
+  ASSERT_NE(in, nullptr);
+  ASSERT_NE(out, nullptr);
+  // Frame 1 ships the set inline; frames 2-3 reference it by hash at
+  // other resolutions.
+  ASSERT_TRUE(WriteFrame(
+      in, EncodeRequest(MakeWireRequest(*set, kDomain, 20, 20, true))));
+  ASSERT_TRUE(WriteFrame(
+      in, EncodeRequest(MakeWireRequest(*set, kDomain, 28, 28, false))));
+  ASSERT_TRUE(WriteFrame(
+      in, EncodeRequest(MakeWireRequest(*set, kDomain, 20, 20, false))));
+  std::rewind(in);
+
+  SizeInfluence measure;
+  HeatmapEngineOptions options;
+  options.num_threads = 1;
+  options.cache_bytes = 8 << 20;
+  HeatmapEngine engine(measure, options);
+  WireServeStats stats;
+  std::string error;
+  ASSERT_TRUE(ServeWireStream(in, out, engine, &stats, &error)) << error;
+  EXPECT_EQ(stats.requests, 3u);
+  EXPECT_EQ(stats.ok, 3u);
+  EXPECT_EQ(stats.errors, 0u);
+  EXPECT_EQ(stats.sets_registered, 1u);
+
+  std::rewind(out);
+  // Reference responses from an identical, separately configured engine.
+  SizeInfluence reference_measure;
+  HeatmapEngine reference(reference_measure, options);
+  const CircleSetHandle handle =
+      reference.registry().Register(set->circles(), set->metric());
+  const int sizes[3] = {20, 28, 20};
+  for (int i = 0; i < 3; ++i) {
+    const auto frame = ReadFrame(out, &error);
+    ASSERT_TRUE(frame.has_value()) << error;
+    const auto decoded = DecodeResponse(*frame, &error);
+    ASSERT_TRUE(decoded.has_value()) << error;
+    ASSERT_EQ(decoded->status, WireStatus::kOk) << decoded->error;
+    const HeatmapResponse direct = reference.Execute(
+        HeatmapRequestV2{handle, kDomain, sizes[i], sizes[i]});
+    EXPECT_EQ(decoded->response->grid.values(), direct.grid.values())
+        << "request " << i;
+  }
+  // The third request repeats the first: it must have come from the
+  // serve engine's cache, still bit-identical.
+  EXPECT_FALSE(ReadFrame(out, &error).has_value());
+  std::fclose(in);
+  std::fclose(out);
+}
+
+TEST(ServeWireStreamTest, MalformedAndUnknownRequestsGetErrorResponses) {
+  std::FILE* in = std::tmpfile();
+  std::FILE* out = std::tmpfile();
+  ASSERT_NE(in, nullptr);
+  ASSERT_NE(out, nullptr);
+  // Frame 1: garbage payload. Frame 2: well-formed by-reference request
+  // whose hash was never shipped. Frame 3: a valid request — the stream
+  // must keep serving after errors.
+  ASSERT_TRUE(WriteFrame(in, std::vector<uint8_t>{0xDE, 0xAD, 0xBE, 0xEF}));
+  const auto set =
+      CircleSetSnapshot::Make(MakeCircles(10, 12), Metric::kLInf);
+  ASSERT_TRUE(WriteFrame(
+      in, EncodeRequest(MakeWireRequest(*set, kDomain, 16, 16, false))));
+  ASSERT_TRUE(WriteFrame(
+      in, EncodeRequest(MakeWireRequest(*set, kDomain, 16, 16, true))));
+  std::rewind(in);
+
+  SizeInfluence measure;
+  HeatmapEngineOptions options;
+  options.num_threads = 1;
+  HeatmapEngine engine(measure, options);
+  WireServeStats stats;
+  std::string error;
+  ASSERT_TRUE(ServeWireStream(in, out, engine, &stats, &error)) << error;
+  EXPECT_EQ(stats.requests, 3u);
+  EXPECT_EQ(stats.ok, 1u);
+  EXPECT_EQ(stats.errors, 2u);
+
+  std::rewind(out);
+  const WireStatus expected[3] = {WireStatus::kMalformedRequest,
+                                  WireStatus::kUnknownCircleSet,
+                                  WireStatus::kOk};
+  for (int i = 0; i < 3; ++i) {
+    const auto frame = ReadFrame(out, &error);
+    ASSERT_TRUE(frame.has_value()) << error;
+    const auto decoded = DecodeResponse(*frame, &error);
+    ASSERT_TRUE(decoded.has_value()) << error;
+    EXPECT_EQ(decoded->status, expected[i]) << "frame " << i;
+  }
+  std::fclose(in);
+  std::fclose(out);
+}
+
+TEST(ServeWireStreamTest, OversizedRasterIsRefusedPolitely) {
+  const auto set = CircleSetSnapshot::Make(MakeCircles(11, 5), Metric::kL2);
+  WireRequest request = MakeWireRequest(*set, kDomain, 1, 1, true);
+  request.width = 1 << 15;
+  request.height = 1 << 15;  // 2^30 pixels > kMaxWirePixels
+  std::FILE* in = std::tmpfile();
+  std::FILE* out = std::tmpfile();
+  ASSERT_NE(in, nullptr);
+  ASSERT_NE(out, nullptr);
+  ASSERT_TRUE(WriteFrame(in, EncodeRequest(request)));
+  std::rewind(in);
+  SizeInfluence measure;
+  HeatmapEngineOptions options;
+  options.num_threads = 1;
+  HeatmapEngine engine(measure, options);
+  std::string error;
+  ASSERT_TRUE(ServeWireStream(in, out, engine, nullptr, &error)) << error;
+  std::rewind(out);
+  const auto frame = ReadFrame(out, &error);
+  ASSERT_TRUE(frame.has_value()) << error;
+  const auto decoded = DecodeResponse(*frame, &error);
+  ASSERT_TRUE(decoded.has_value()) << error;
+  EXPECT_EQ(decoded->status, WireStatus::kMalformedRequest);
+  std::fclose(in);
+  std::fclose(out);
+}
+
+}  // namespace
+}  // namespace rnnhm

@@ -27,8 +27,24 @@
 //       Re-render a heat map saved with `heatmap --save`.
 //   stats --clients A.csv --facilities B.csv [--metric linf|l1]
 //       Exact area-weighted influence distribution (histogram, quantiles).
+//   serve [--in req.bin] [--out resp.bin] [--threads T] [--slabs S]
+//         [--cache BYTES]
+//       Wire-protocol server loop (the process-sharding seam): read
+//       length-prefixed serving-API-v2 request frames from --in (default
+//       stdin), execute each against a HeatmapEngine, write one response
+//       frame per request to --out (default stdout). Inline circle sets
+//       register into the engine's registry; later requests may reference
+//       them by content hash alone.
+//   wire-pack --clients A.csv --facilities B.csv [--metric linf|l1|l2]
+//             [--size N] [--count K] --out req.bin
+//       Encode K framed wire requests over one circle set (the first
+//       carries the set inline, the rest reference it by hash; each at a
+//       distinct resolution) — the client half of a serve round-trip.
+//   wire-verify --requests req.bin --responses resp.bin
+//       Decode request/response frame pairs and recompute every request
+//       directly; fails unless each served grid is bit-identical.
 //
-// Exit codes: 0 success, 1 usage error, 2 I/O failure.
+// Exit codes: 0 success, 1 usage error, 2 I/O or verification failure.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -53,6 +69,7 @@
 #include "query/heatmap_engine.h"
 #include "query/heatmap_session.h"
 #include "query/rnn_query.h"
+#include "query/wire.h"
 
 namespace {
 
@@ -74,7 +91,13 @@ int Usage() {
       "  rnnhm_cli topk --clients A.csv --facilities B.csv [--k K] "
       "[--metric ...]\n"
       "  rnnhm_cli query --clients A.csv --facilities B.csv --x X --y Y "
-      "[--metric ...]\n");
+      "[--metric ...]\n"
+      "  rnnhm_cli serve [--in req.bin] [--out resp.bin] [--threads T] "
+      "[--slabs S] [--cache BYTES]\n"
+      "  rnnhm_cli wire-pack --clients A.csv --facilities B.csv "
+      "[--metric ...] [--size N]\n"
+      "            [--count K] --out req.bin\n"
+      "  rnnhm_cli wire-verify --requests req.bin --responses resp.bin\n");
   return 1;
 }
 
@@ -460,6 +483,189 @@ int CmdTopK(const Args& args) {
   return 0;
 }
 
+int CmdServe(const Args& args) {
+  const int threads = std::atoi(args.Flag("threads", "1"));
+  const int slabs = std::atoi(args.Flag("slabs", "1"));
+  char* cache_end = nullptr;
+  const char* cache_arg = args.Flag("cache", "0");
+  const long long cache_value = std::strtoll(cache_arg, &cache_end, 10);
+  if (threads <= 0 || slabs <= 0 || cache_end == cache_arg ||
+      *cache_end != '\0' || cache_value < 0) {
+    return Usage();
+  }
+  std::FILE* in = stdin;
+  std::FILE* out = stdout;
+  const char* in_path = args.Flag("in");
+  const char* out_path = args.Flag("out");
+  if (in_path != nullptr && (in = std::fopen(in_path, "rb")) == nullptr) {
+    std::fprintf(stderr, "cannot read %s\n", in_path);
+    return 2;
+  }
+  if (out_path != nullptr && (out = std::fopen(out_path, "wb")) == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path);
+    if (in != stdin) std::fclose(in);
+    return 2;
+  }
+  SizeInfluence measure;
+  HeatmapEngineOptions options;
+  options.num_threads = threads;
+  options.slabs_per_request = slabs;
+  options.cache_bytes = static_cast<size_t>(cache_value);
+  HeatmapEngine engine(measure, options);
+  WireServeStats stats;
+  std::string error;
+  const bool ok = ServeWireStream(in, out, engine, &stats, &error);
+  if (in != stdin) std::fclose(in);
+  if (out != stdout) std::fclose(out);
+  std::fprintf(stderr,
+               "served %llu requests (%llu ok, %llu errors, %llu circle "
+               "sets registered)\n",
+               static_cast<unsigned long long>(stats.requests),
+               static_cast<unsigned long long>(stats.ok),
+               static_cast<unsigned long long>(stats.errors),
+               static_cast<unsigned long long>(stats.sets_registered));
+  if (!ok) {
+    std::fprintf(stderr, "serve aborted: %s\n", error.c_str());
+    return 2;
+  }
+  return 0;
+}
+
+int CmdWirePack(const Args& args) {
+  std::vector<Point> clients, facilities;
+  Metric metric;
+  if (!LoadWorkload(args, &clients, &facilities) ||
+      !ParseMetric(args, &metric)) {
+    return 1;
+  }
+  const int size = std::atoi(args.Flag("size", "64"));
+  const int count = std::atoi(args.Flag("count", "4"));
+  const char* out_path = args.Flag("out");
+  if (size <= 0 || count <= 0 || out_path == nullptr) return Usage();
+  const Rect domain = BoundingBox(clients, 0.02);
+  const auto set = CircleSetSnapshot::Make(
+      BuildNnCircles(clients, facilities, metric), metric);
+  std::FILE* out = std::fopen(out_path, "wb");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path);
+    return 2;
+  }
+  bool ok = true;
+  for (int i = 0; i < count && ok; ++i) {
+    // The first frame carries the set inline; the rest reference it by
+    // content hash. Distinct resolutions keep every response distinct.
+    const WireRequest request = MakeWireRequest(
+        *set, domain, size + i, size + i, /*include_circles=*/i == 0);
+    ok = WriteFrame(out, EncodeRequest(request));
+  }
+  ok = (std::fclose(out) == 0) && ok;
+  if (!ok) {
+    std::fprintf(stderr, "failed writing %s\n", out_path);
+    return 2;
+  }
+  std::printf("packed %d requests over %zu circles (%s) to %s\n", count,
+              set->circles().size(), MetricName(metric).c_str(), out_path);
+  return 0;
+}
+
+int CmdWireVerify(const Args& args) {
+  const char* req_path = args.Flag("requests");
+  const char* resp_path = args.Flag("responses");
+  if (req_path == nullptr || resp_path == nullptr) {
+    std::fprintf(stderr, "--requests and --responses are required\n");
+    return 1;
+  }
+  std::FILE* req_file = std::fopen(req_path, "rb");
+  if (req_file == nullptr) {
+    std::fprintf(stderr, "cannot read %s\n", req_path);
+    return 2;
+  }
+  std::FILE* resp_file = std::fopen(resp_path, "rb");
+  if (resp_file == nullptr) {
+    std::fprintf(stderr, "cannot read %s\n", resp_path);
+    std::fclose(req_file);
+    return 2;
+  }
+  SizeInfluence measure;
+  HeatmapEngineOptions options;
+  options.num_threads = 1;
+  HeatmapEngine engine(measure, options);
+  // Inline sets seen so far, by content hash, for by-reference requests.
+  std::vector<std::pair<uint64_t, CircleSetHandle>> known;
+  int verified = 0;
+  int failures = 0;
+  for (;;) {
+    std::string error;
+    std::string req_error;
+    std::string resp_error;
+    const auto req_frame = ReadFrame(req_file, &req_error);
+    const auto resp_frame = ReadFrame(resp_file, &resp_error);
+    if (!req_frame.has_value() || !resp_frame.has_value()) {
+      // A truncated frame on either side is a failure even when both
+      // files end simultaneously; only a clean EOF on both is success.
+      if (!req_error.empty() || !resp_error.empty()) {
+        std::fprintf(stderr, "frame %d: %s\n", verified,
+                     (!req_error.empty() ? req_error : resp_error).c_str());
+        ++failures;
+      } else if (req_frame.has_value() != resp_frame.has_value()) {
+        std::fprintf(stderr, "request/response frame counts differ\n");
+        ++failures;
+      }
+      break;
+    }
+    const auto request = DecodeRequest(*req_frame, &error);
+    if (!request.has_value()) {
+      std::fprintf(stderr, "request %d: %s\n", verified, error.c_str());
+      ++failures;
+      break;
+    }
+    const auto response = DecodeResponse(*resp_frame, &error);
+    if (!response.has_value()) {
+      std::fprintf(stderr, "response %d: %s\n", verified, error.c_str());
+      ++failures;
+      break;
+    }
+    if (response->status != WireStatus::kOk) {
+      std::fprintf(stderr, "response %d: server error %d (%s)\n", verified,
+                   static_cast<int>(response->status),
+                   response->error.c_str());
+      ++failures;
+      break;
+    }
+    CircleSetHandle handle;
+    if (request->inline_circles) {
+      handle = engine.registry().Register(request->circles, request->metric);
+      known.emplace_back(request->set_hash, handle);
+    } else {
+      for (const auto& [hash, h] : known) {
+        if (hash == request->set_hash) handle = h;
+      }
+      if (!handle.valid()) {
+        std::fprintf(stderr, "request %d references an unseen set\n",
+                     verified);
+        ++failures;
+        break;
+      }
+    }
+    const HeatmapResponse reference = engine.Execute(HeatmapRequestV2{
+        handle, request->domain, request->width, request->height});
+    if (reference.grid.values() != response->response->grid.values()) {
+      std::fprintf(stderr,
+                   "request %d: served grid differs from direct Execute\n",
+                   verified);
+      ++failures;
+      break;
+    }
+    ++verified;
+  }
+  std::fclose(req_file);
+  std::fclose(resp_file);
+  if (failures > 0) return 2;
+  std::printf("verified %d responses bit-identical to direct Execute\n",
+              verified);
+  return 0;
+}
+
 int CmdQuery(const Args& args) {
   std::vector<Point> clients, facilities;
   Metric metric;
@@ -497,5 +703,8 @@ int main(int argc, char** argv) {
   if (cmd == "stats") return CmdStats(args);
   if (cmd == "topk") return CmdTopK(args);
   if (cmd == "query") return CmdQuery(args);
+  if (cmd == "serve") return CmdServe(args);
+  if (cmd == "wire-pack") return CmdWirePack(args);
+  if (cmd == "wire-verify") return CmdWireVerify(args);
   return Usage();
 }
