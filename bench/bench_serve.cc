@@ -1,0 +1,300 @@
+// Network serving benchmark: requests/sec and latency percentiles of the
+// socket serving stack under concurrent clients, single server vs the
+// multi-process shard router.
+//
+// Topologies (both over Unix-domain sockets — no port allocation, and the
+// transport cost is the same framing/event-loop path TCP takes):
+//   * single  — one forked server process, one engine;
+//   * sharded — a forked ShardFleet (one engine per shard) behind a
+//               forked ShardRouter front.
+// Every server process is forked BEFORE the client threads exist, and
+// every listener is bound before the fork (a connection raced in early
+// just queues in the backlog), so the load phase starts clean.
+//
+// The load: N concurrent client threads, each on its own connection with
+// its own circle set — one inline registration (warmup, untimed), then a
+// timed loop of by-hash requests measuring each round-trip. Reported per
+// topology: requests/sec across all clients, p50/p99 round-trip latency.
+// The engines run with the result cache enabled, so after each client's
+// warmup sweep the timed loop measures the serving stack itself —
+// framing, event loop, routing, response encode — not CREST (bench_engine
+// covers sweep throughput).
+//
+// Besides the text table, the run writes BENCH_serve.json (override with
+// RNNHM_BENCH_JSON_SERVE). Set RNNHM_BENCH_FULL=1 for more clients and
+// requests.
+#include <signal.h>
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "heatmap/influence.h"
+#include "query/circle_set_registry.h"
+#include "query/heatmap_engine.h"
+#include "query/wire.h"
+#include "serve/event_loop.h"
+#include "serve/options.h"
+#include "serve/shard_router.h"
+#include "serve/transport.h"
+
+namespace rnnhm::bench {
+namespace {
+
+std::vector<NnCircle> MakeCircles(uint64_t seed, size_t n) {
+  Rng rng(seed);
+  std::vector<NnCircle> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(NnCircle{{rng.Uniform(0, 1), rng.Uniform(0, 1)},
+                           rng.Uniform(0.02, 0.2),
+                           static_cast<int32_t>(i)});
+  }
+  return out;
+}
+
+const Rect kServeDomain{{-0.1, -0.1}, {1.1, 1.1}};
+
+struct TopologyResult {
+  std::string topology;
+  int shards = 0;
+  int clients = 0;
+  long requests = 0;
+  double wall_ms = 0;
+  double rps = 0;
+  double p50_ms = 0;
+  double p99_ms = 0;
+};
+
+// Forks a child that serves `listener` with a fresh single-thread engine.
+// The parent closes only its fd copy and must keep the Listener object
+// alive until the load is done — destroying it would unlink the socket
+// path the child is serving on.
+pid_t ForkSingleServer(Listener& listener, const ServeOptions& options) {
+  const pid_t pid = ::fork();
+  if (pid != 0) {
+    listener.CloseFdOnly();  // the child owns the accepting
+    return pid;
+  }
+  SizeInfluence measure;
+  HeatmapEngineOptions engine_options;
+  engine_options.num_threads = 1;
+  engine_options.cache_bytes = options.cache_bytes;
+  HeatmapEngine engine(measure, engine_options);
+  EventLoopServer server(std::move(listener), engine, options);
+  InstallShutdownSignalHandlers(&server);
+  const Status status = server.Run();
+  std::_Exit(status.ok() ? 0 : 1);
+}
+
+// Forks the router front over an already-spawned fleet (same listener
+// lifetime contract as ForkSingleServer).
+pid_t ForkRouter(Listener& front, const std::vector<std::string>& shard_paths,
+                 const ServeOptions& options) {
+  const pid_t pid = ::fork();
+  if (pid != 0) {
+    front.CloseFdOnly();
+    return pid;
+  }
+  ShardRouter router(std::move(front), shard_paths, options);
+  InstallRouterSignalHandlers(&router);
+  const Status status = router.Run();
+  std::_Exit(status.ok() ? 0 : 1);
+}
+
+void StopProcess(pid_t pid) {
+  if (pid <= 0) return;
+  ::kill(pid, SIGTERM);
+  int wstatus = 0;
+  ::waitpid(pid, &wstatus, 0);
+}
+
+// One client: connect, register its set inline (untimed warmup), then a
+// timed by-hash loop appending each round-trip's latency to `latencies`.
+void ClientLoad(const std::string& path, uint64_t seed, size_t circles,
+                int raster, int requests, std::vector<double>* latencies) {
+  int fd = -1;
+  if (!ConnectUnix(path, &fd).ok()) {
+    std::fprintf(stderr, "client %llu: connect failed\n",
+                 static_cast<unsigned long long>(seed));
+    return;
+  }
+  const auto set =
+      CircleSetSnapshot::Make(MakeCircles(seed, circles), Metric::kLInf);
+  std::vector<uint8_t> reply;
+  const std::vector<uint8_t> warmup = EncodeRequest(
+      MakeWireRequest(*set, kServeDomain, raster, raster, true));
+  if (!SendFrame(fd, warmup).ok() || !RecvFrame(fd, &reply).ok()) {
+    std::fprintf(stderr, "client %llu: warmup failed\n",
+                 static_cast<unsigned long long>(seed));
+    ::close(fd);
+    return;
+  }
+  std::string error;
+  const auto decoded = DecodeResponse(reply, &error);
+  if (!decoded.has_value() || decoded->status != WireStatus::kOk) {
+    std::fprintf(stderr, "client %llu: warmup rejected\n",
+                 static_cast<unsigned long long>(seed));
+    ::close(fd);
+    return;
+  }
+  const std::vector<uint8_t> by_hash = EncodeRequest(
+      MakeWireRequest(*set, kServeDomain, raster, raster, false));
+  latencies->reserve(requests);
+  for (int i = 0; i < requests; ++i) {
+    Stopwatch sw;
+    if (!SendFrame(fd, by_hash).ok() || !RecvFrame(fd, &reply).ok()) {
+      std::fprintf(stderr, "client %llu: request %d failed\n",
+                   static_cast<unsigned long long>(seed), i);
+      break;
+    }
+    latencies->push_back(sw.ElapsedMs());
+  }
+  ::close(fd);
+}
+
+double Percentile(std::vector<double> sorted, double q) {
+  if (sorted.empty()) return 0;
+  const size_t index = std::min(
+      sorted.size() - 1, static_cast<size_t>(q * (sorted.size() - 1)));
+  return sorted[index];
+}
+
+TopologyResult RunLoad(const std::string& topology, const std::string& path,
+                       int shards, int clients, size_t circles, int raster,
+                       int per_client) {
+  std::vector<std::vector<double>> lanes(clients);
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  Stopwatch wall;
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back(ClientLoad, path, 500 + c, circles, raster,
+                         per_client, &lanes[c]);
+  }
+  for (std::thread& t : threads) t.join();
+  const double wall_ms = wall.ElapsedMs();
+
+  std::vector<double> all;
+  for (const auto& lane : lanes) all.insert(all.end(), lane.begin(),
+                                            lane.end());
+  std::sort(all.begin(), all.end());
+  TopologyResult result;
+  result.topology = topology;
+  result.shards = shards;
+  result.clients = clients;
+  result.requests = static_cast<long>(all.size());
+  result.wall_ms = wall_ms;
+  result.rps = wall_ms > 0 ? all.size() / (wall_ms / 1e3) : 0;
+  result.p50_ms = Percentile(all, 0.50);
+  result.p99_ms = Percentile(all, 0.99);
+  std::printf("[%s] %d shard(s), %d clients, %ld requests: %.0f req/s, "
+              "p50 %.2f ms, p99 %.2f ms\n",
+              topology.c_str(), shards, clients, result.requests, result.rps,
+              result.p50_ms, result.p99_ms);
+  if (result.requests != static_cast<long>(clients) * per_client) {
+    std::fprintf(stderr, "[%s] WARNING: expected %ld requests, measured %ld\n",
+                 topology.c_str(), static_cast<long>(clients) * per_client,
+                 result.requests);
+  }
+  return result;
+}
+
+void WriteJson(const std::vector<TopologyResult>& results) {
+  const char* path = std::getenv("RNNHM_BENCH_JSON_SERVE");
+  if (path == nullptr) path = "BENCH_serve.json";
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(f, "{\n  \"benchmark\": \"serve\",\n  \"cells\": [\n");
+  for (size_t i = 0; i < results.size(); ++i) {
+    const TopologyResult& r = results[i];
+    std::fprintf(
+        f,
+        "    {\"topology\": \"%s\", \"shards\": %d, \"clients\": %d, "
+        "\"requests\": %ld, \"wall_ms\": %.1f, \"rps\": %.1f, "
+        "\"p50_ms\": %.3f, \"p99_ms\": %.3f}%s\n",
+        r.topology.c_str(), r.shards, r.clients, r.requests, r.wall_ms, r.rps,
+        r.p50_ms, r.p99_ms, i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s (%zu cells)\n", path, results.size());
+}
+
+void Run() {
+  const bool full = FullMode();
+  const int clients = full ? 16 : 8;
+  const int per_client = full ? 300 : 80;
+  const size_t circles = full ? 10000 : 2000;
+  const int raster = 64;
+  const int shards = full ? 4 : 2;
+
+  const std::string dir =
+      "/tmp/rnnhm-bench-serve-" + std::to_string(::getpid());
+  ::mkdir(dir.c_str(), 0700);
+  const std::string single_path = dir + "/single.sock";
+  const std::string front_path = dir + "/front.sock";
+
+  ServeOptions options;
+  options.transport = TransportKind::kUnix;
+  options.threads = 1;
+  options.cache_bytes = 64ull << 20;  // timed loop = serving stack, no sweep
+  options.idle_timeout_ms = 0;
+  options.num_shards = shards;
+  options.socket_dir = dir;
+
+  // All forks happen here, while this process is still single-threaded.
+  Listener single_listener;
+  if (!Listener::ListenUnix(single_path, &single_listener).ok()) {
+    std::fprintf(stderr, "cannot bind %s\n", single_path.c_str());
+    return;
+  }
+  const pid_t single_pid = ForkSingleServer(single_listener, options);
+
+  ShardFleet fleet;
+  if (!ShardFleet::Spawn(options, &fleet).ok()) {
+    std::fprintf(stderr, "cannot spawn the shard fleet\n");
+    StopProcess(single_pid);
+    return;
+  }
+  Listener front;
+  if (!Listener::ListenUnix(front_path, &front).ok()) {
+    std::fprintf(stderr, "cannot bind %s\n", front_path.c_str());
+    StopProcess(single_pid);
+    return;
+  }
+  const pid_t router_pid = ForkRouter(front, fleet.socket_paths(), options);
+
+  std::vector<TopologyResult> results;
+  results.push_back(RunLoad("single", single_path, 1, clients, circles,
+                            raster, per_client));
+  results.push_back(RunLoad("sharded", front_path, shards, clients, circles,
+                            raster, per_client));
+
+  StopProcess(router_pid);
+  fleet.Shutdown();
+  StopProcess(single_pid);
+  ::unlink(single_path.c_str());
+  ::unlink(front_path.c_str());
+  ::rmdir(dir.c_str());
+  WriteJson(results);
+}
+
+}  // namespace
+}  // namespace rnnhm::bench
+
+int main() {
+  rnnhm::bench::Run();
+  return 0;
+}

@@ -1,0 +1,44 @@
+#include "common/status.h"
+
+namespace rnnhm {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kInvalidArgument:
+      return "invalid argument";
+    case StatusCode::kNotFound:
+      return "not found";
+    case StatusCode::kInternal:
+      return "internal";
+    case StatusCode::kUnavailable:
+      return "unavailable";
+    case StatusCode::kDataLoss:
+      return "data loss";
+    case StatusCode::kResourceExhausted:
+      return "resource exhausted";
+    case StatusCode::kDeadlineExceeded:
+      return "deadline exceeded";
+  }
+  return "unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "ok";
+  std::string out = StatusCodeName(code);
+  if (!message.empty()) {
+    out += ": ";
+    out += message;
+  }
+  return out;
+}
+
+int ExitCodeFor(const Status& status) {
+  if (status.ok()) return 0;
+  // 1 and 2 belong to the CLI (usage / generic failure); error codes start
+  // at 3 so every StatusCode is distinguishable from both.
+  return 2 + static_cast<int>(status.code);
+}
+
+}  // namespace rnnhm

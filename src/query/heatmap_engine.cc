@@ -162,6 +162,32 @@ HeatmapResponse HeatmapEngine::Execute(const HeatmapRequestV2& request) const {
   return Serve(Resolve(request));
 }
 
+Status HeatmapEngine::ExecuteChecked(
+    const HeatmapRequestV2& request,
+    std::optional<HeatmapResponse>* response) const {
+  if (request.width <= 0 || request.height <= 0) {
+    return Status::InvalidArgument("non-positive raster size");
+  }
+  if (!(request.domain.lo.x < request.domain.hi.x) ||
+      !(request.domain.lo.y < request.domain.hi.y)) {
+    return Status::InvalidArgument("degenerate request domain");
+  }
+  std::shared_ptr<const CircleSetSnapshot> set =
+      registry_->Resolve(request.circles);
+  if (set == nullptr) {
+    return Status::NotFound("handle is not registered with this engine");
+  }
+  try {
+    *response = Serve(ResolvedRequest{std::move(set), request.domain,
+                                      request.width, request.height});
+  } catch (const std::exception& e) {
+    return Status::Internal(e.what());
+  } catch (...) {
+    return Status::Internal("sweep failed");
+  }
+  return Status::Ok();
+}
+
 HeatmapResponse HeatmapEngine::Serve(const ResolvedRequest& request) const {
   const CircleSetSnapshot& set = *request.set;
   if (cache_ != nullptr) {

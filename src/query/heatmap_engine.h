@@ -48,9 +48,11 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <vector>
 
+#include "common/status.h"
 #include "core/crest.h"
 #include "core/crest_l2.h"
 #include "core/influence_measure.h"
@@ -194,6 +196,17 @@ class HeatmapEngine {
   /// cache is probed with the handle's precomputed hash, and hit or miss,
   /// the circle data is only ever shared, never duplicated.
   HeatmapResponse Execute(const HeatmapRequestV2& request) const;
+
+  /// The serving-stack submit path: like Execute(HeatmapRequestV2) but
+  /// every failure comes back as a Status instead of a CHECK or an
+  /// exception — kInvalidArgument for bad geometry, kNotFound for a
+  /// handle this registry does not resolve, kInternal for a sweep that
+  /// threw. `*response` is engaged only on ok (an optional because a
+  /// HeatmapResponse has no empty state — its grid carries dimensions).
+  /// This is what a server facing untrusted requests calls (see
+  /// serve/wire_server.h).
+  Status ExecuteChecked(const HeatmapRequestV2& request,
+                        std::optional<HeatmapResponse>* response) const;
 
   /// The registry v2 handles resolve against (engine-private unless one
   /// was passed in via options).

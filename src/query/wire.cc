@@ -12,11 +12,18 @@ namespace {
 
 constexpr char kRequestMagic[4] = {'R', 'N', 'W', 'Q'};
 constexpr char kResponseMagic[4] = {'R', 'N', 'W', 'S'};
+constexpr char kStatsRequestMagic[4] = {'R', 'N', 'W', 'T'};
+constexpr char kStatsResponseMagic[4] = {'R', 'N', 'W', 'U'};
 constexpr uint8_t kFlagInlineCircles = 0x1;
 // One encoded circle: center.x, center.y, radius (f64 each) + client i32.
 constexpr size_t kCircleBytes = 3 * sizeof(uint64_t) + sizeof(uint32_t);
 constexpr size_t kRequestHeaderBytes = 68;
 constexpr size_t kResponseHeaderBytes = 16;
+// magic + version + u16 metric/flags pair + u16 reserved + raster + domain:
+// the set_hash field's fixed offset in a request header.
+constexpr size_t kRequestSetHashOffset = 4 + 4 + 1 + 1 + 2 + 4 + 4 + 32;
+constexpr size_t kStatsRequestBytes = 12;   // magic + version + reserved
+constexpr size_t kStatsResponseBytes = 44;  // magic + version + shards + 4*u64
 
 // --- Little-endian primitives (explicit, host-endianness independent) -----
 
@@ -131,6 +138,38 @@ std::nullopt_t Fail(std::string* error, const char* message) {
 
 }  // namespace
 
+StatusCode FromWireStatus(WireStatus status) {
+  switch (status) {
+    case WireStatus::kOk:
+      return StatusCode::kOk;
+    case WireStatus::kMalformedRequest:
+      return StatusCode::kInvalidArgument;
+    case WireStatus::kUnknownCircleSet:
+      return StatusCode::kNotFound;
+    case WireStatus::kServerError:
+      break;
+  }
+  return StatusCode::kInternal;
+}
+
+WireStatus ToWireStatus(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return WireStatus::kOk;
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kResourceExhausted:
+      return WireStatus::kMalformedRequest;
+    case StatusCode::kNotFound:
+      return WireStatus::kUnknownCircleSet;
+    case StatusCode::kInternal:
+    case StatusCode::kUnavailable:
+    case StatusCode::kDataLoss:
+    case StatusCode::kDeadlineExceeded:
+      break;
+  }
+  return WireStatus::kServerError;
+}
+
 WireRequest MakeWireRequest(const CircleSetSnapshot& set, const Rect& domain,
                             int width, int height, bool include_circles) {
   WireRequest request;
@@ -231,6 +270,28 @@ std::optional<WireRequest> DecodeRequest(std::span<const uint8_t> bytes,
     return Fail(error, "circle payload does not match its content hash");
   }
   return request;
+}
+
+std::optional<WireRequest> DecodeRequest(std::span<const uint8_t> bytes,
+                                         Status* status) {
+  std::string error;
+  std::optional<WireRequest> request = DecodeRequest(bytes, &error);
+  if (status != nullptr) {
+    *status = request.has_value() ? Status::Ok()
+                                  : Status::InvalidArgument(std::move(error));
+  }
+  return request;
+}
+
+std::optional<uint64_t> PeekRequestSetHash(std::span<const uint8_t> bytes) {
+  if (bytes.size() < kRequestSetHashOffset + sizeof(uint64_t)) {
+    return std::nullopt;
+  }
+  if (std::memcmp(bytes.data(), kRequestMagic, 4) != 0) return std::nullopt;
+  Reader version(bytes.data() + 4, 4);
+  if (version.U32() != kWireVersion) return std::nullopt;
+  Reader hash(bytes.data() + kRequestSetHashOffset, sizeof(uint64_t));
+  return hash.U64();
 }
 
 namespace {
@@ -353,6 +414,87 @@ std::optional<WireResponse> DecodeResponse(std::span<const uint8_t> bytes,
   return response;
 }
 
+std::optional<WireResponse> DecodeResponse(std::span<const uint8_t> bytes,
+                                           Status* status) {
+  std::string error;
+  std::optional<WireResponse> response = DecodeResponse(bytes, &error);
+  if (status != nullptr) {
+    *status = response.has_value()
+                  ? Status::Ok()
+                  : Status::InvalidArgument(std::move(error));
+  }
+  return response;
+}
+
+std::vector<uint8_t> EncodeStatsRequest() {
+  std::vector<uint8_t> out;
+  out.reserve(kStatsRequestBytes);
+  PutMagic(&out, kStatsRequestMagic);
+  PutU32(&out, kWireVersion);
+  PutU32(&out, 0);  // reserved
+  return out;
+}
+
+bool IsStatsRequest(std::span<const uint8_t> bytes) {
+  return bytes.size() >= 4 &&
+         std::memcmp(bytes.data(), kStatsRequestMagic, 4) == 0;
+}
+
+Status DecodeStatsRequest(std::span<const uint8_t> bytes) {
+  Reader r(bytes.data(), bytes.size());
+  if (!r.Magic(kStatsRequestMagic)) {
+    return Status::InvalidArgument("bad stats request magic");
+  }
+  if (r.U32() != kWireVersion) {
+    return Status::InvalidArgument("unsupported wire version");
+  }
+  const uint32_t reserved = r.U32();
+  if (!r.ok()) return Status::InvalidArgument("stats request truncated");
+  if (reserved != 0) {
+    return Status::InvalidArgument("reserved stats request bits set");
+  }
+  if (r.remaining() != 0) {
+    return Status::InvalidArgument("trailing stats request bytes");
+  }
+  return Status::Ok();
+}
+
+std::vector<uint8_t> EncodeStatsResponse(const WireStatsReply& reply) {
+  std::vector<uint8_t> out;
+  out.reserve(kStatsResponseBytes);
+  PutMagic(&out, kStatsResponseMagic);
+  PutU32(&out, kWireVersion);
+  PutU32(&out, reply.shards);
+  PutU64(&out, reply.requests);
+  PutU64(&out, reply.ok);
+  PutU64(&out, reply.errors);
+  PutU64(&out, reply.sets_registered);
+  return out;
+}
+
+std::optional<WireStatsReply> DecodeStatsResponse(
+    std::span<const uint8_t> bytes, std::string* error) {
+  Reader r(bytes.data(), bytes.size());
+  if (!r.Magic(kStatsResponseMagic)) {
+    return Fail(error, "bad stats response magic");
+  }
+  if (r.U32() != kWireVersion) {
+    return Fail(error, "unsupported wire version");
+  }
+  WireStatsReply reply;
+  reply.shards = r.U32();
+  reply.requests = r.U64();
+  reply.ok = r.U64();
+  reply.errors = r.U64();
+  reply.sets_registered = r.U64();
+  if (!r.ok()) return Fail(error, "stats response truncated");
+  if (reply.shards == 0) return Fail(error, "stats response with no shards");
+  if (r.remaining() != 0) {
+    return Fail(error, "trailing stats response bytes");
+  }
+  return reply;
+}
+
 bool WriteFrame(std::FILE* out, std::span<const uint8_t> payload) {
   if (payload.size() > kMaxFramePayloadBytes) return false;
   std::vector<uint8_t> prefix;
@@ -395,80 +537,8 @@ std::optional<std::vector<uint8_t>> ReadFrame(std::FILE* in,
   return payload;
 }
 
-bool ServeWireStream(std::FILE* in, std::FILE* out, HeatmapEngine& engine,
-                     WireServeStats* stats, std::string* error) {
-  WireServeStats local;
-  bool ok = true;
-  for (;;) {
-    std::string frame_error;
-    std::optional<std::vector<uint8_t>> frame = ReadFrame(in, &frame_error);
-    if (!frame.has_value()) {
-      if (!frame_error.empty()) {
-        if (error != nullptr) *error = frame_error;
-        ok = false;
-      }
-      break;
-    }
-    ++local.requests;
-    std::vector<uint8_t> reply;
-    std::string decode_error;
-    std::optional<WireRequest> request = DecodeRequest(*frame, &decode_error);
-    if (!request.has_value()) {
-      reply = EncodeErrorResponse(WireStatus::kMalformedRequest, decode_error);
-    } else if (static_cast<uint64_t>(request->width) *
-                   static_cast<uint64_t>(request->height) >
-               kMaxWirePixels) {
-      reply = EncodeErrorResponse(WireStatus::kMalformedRequest,
-                                  "raster exceeds the pixel ceiling");
-    } else {
-      CircleSetRegistry& registry = engine.registry();
-      CircleSetHandle handle;
-      if (request->inline_circles) {
-        const size_t before = registry.size();
-        handle =
-            registry.Register(std::move(request->circles), request->metric);
-        if (registry.size() > before) ++local.sets_registered;
-      } else {
-        handle = registry.FindByHash(request->set_hash);
-      }
-      std::shared_ptr<const CircleSetSnapshot> set =
-          handle.valid() ? registry.Resolve(handle) : nullptr;
-      if (set == nullptr) {
-        reply = EncodeErrorResponse(
-            WireStatus::kUnknownCircleSet,
-            "circle set was never carried inline on this stream");
-      } else if (set->metric() != request->metric) {
-        reply = EncodeErrorResponse(
-            WireStatus::kMalformedRequest,
-            "request metric disagrees with the registered set");
-      } else {
-        try {
-          const HeatmapResponse response = engine.Execute(HeatmapRequestV2{
-              handle, request->domain, request->width, request->height});
-          reply = EncodeResponse(response);
-        } catch (const std::exception& e) {
-          reply = EncodeErrorResponse(WireStatus::kServerError, e.what());
-        } catch (...) {
-          reply = EncodeErrorResponse(WireStatus::kServerError,
-                                      "sweep failed");
-        }
-      }
-    }
-    // The status byte sits at offset 8 of every response layout.
-    if (reply[8] == static_cast<uint8_t>(WireStatus::kOk)) {
-      ++local.ok;
-    } else {
-      ++local.errors;
-    }
-    if (!WriteFrame(out, reply)) {
-      if (error != nullptr) *error = "failed to write response frame";
-      ok = false;
-      break;
-    }
-    std::fflush(out);
-  }
-  if (stats != nullptr) *stats = local;
-  return ok;
-}
+// ServeWireStream is defined in serve/wire_server.cc: the serve layer owns
+// the loop now, and the FILE* signature here stays as its compatibility
+// shim.
 
 }  // namespace rnnhm

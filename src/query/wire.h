@@ -40,13 +40,17 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "query/circle_set_registry.h"
 #include "query/heatmap_engine.h"
 
 namespace rnnhm {
 
-/// Protocol version stamped into every message (serving API v2).
-inline constexpr uint32_t kWireVersion = 2;
+/// Protocol version stamped into every message. v3 extends v2 with the
+/// stats message pair (fleet introspection; the router answers it with
+/// counters merged across shards) — request/response layouts are
+/// unchanged from v2.
+inline constexpr uint32_t kWireVersion = 3;
 
 /// Ceiling on a frame's payload length (guards a garbage length prefix
 /// from triggering a giant allocation).
@@ -63,6 +67,16 @@ enum class WireStatus : uint8_t {
   kUnknownCircleSet = 2,   ///< by-reference hash not registered
   kServerError = 3,        ///< the sweep threw
 };
+
+/// Maps an on-the-wire response status into the serving stack's unified
+/// Status code (common/status.h): kMalformedRequest -> kInvalidArgument,
+/// kUnknownCircleSet -> kNotFound, kServerError -> kInternal.
+StatusCode FromWireStatus(WireStatus status);
+
+/// The inverse: picks the wire status a server answers with for a local
+/// Status code. Codes with no wire meaning (transport-level ones like
+/// kUnavailable) collapse to kServerError.
+WireStatus ToWireStatus(StatusCode code);
 
 /// A decoded (or to-be-encoded) v2 request. `set_hash` is always the
 /// circle set's content hash (HashCircleSet under `metric`); `circles` is
@@ -93,6 +107,11 @@ std::vector<uint8_t> EncodeRequest(const WireRequest& request);
 std::optional<WireRequest> DecodeRequest(std::span<const uint8_t> bytes,
                                          std::string* error);
 
+/// Status-returning form: `*status` is kInvalidArgument (with the same
+/// message) whenever the string form would fail, kOk otherwise.
+std::optional<WireRequest> DecodeRequest(std::span<const uint8_t> bytes,
+                                         Status* status);
+
 /// A decoded response: `response` is engaged iff `status == kOk`,
 /// `error` is the server's message otherwise.
 struct WireResponse {
@@ -114,6 +133,45 @@ std::vector<uint8_t> EncodeErrorResponse(WireStatus status,
 std::optional<WireResponse> DecodeResponse(std::span<const uint8_t> bytes,
                                            std::string* error);
 
+/// Status-returning form, mirroring the DecodeRequest overload.
+std::optional<WireResponse> DecodeResponse(std::span<const uint8_t> bytes,
+                                           Status* status);
+
+// --- Stats op (v3) --------------------------------------------------------
+//
+// A stats request asks a server for its serve counters; a router answers
+// with the counters of every shard merged (summed) and `shards` set to
+// the fleet size. The op lets a deployer watch a fleet through the same
+// socket the traffic uses — no side channel.
+
+/// Serve counters as they travel on the wire. `shards` is 1 from a single
+/// server and the fleet size from a router.
+struct WireStatsReply {
+  uint32_t shards = 0;
+  uint64_t requests = 0;
+  uint64_t ok = 0;
+  uint64_t errors = 0;
+  uint64_t sets_registered = 0;
+};
+
+/// Serializes a stats request (magic + version only).
+std::vector<uint8_t> EncodeStatsRequest();
+
+/// True iff the payload *starts like* a stats request (magic check only —
+/// cheap routing peek; full validation is DecodeStatsRequest).
+bool IsStatsRequest(std::span<const uint8_t> bytes);
+
+/// Validates a stats request strictly (magic, version, reserved bytes,
+/// exact length).
+Status DecodeStatsRequest(std::span<const uint8_t> bytes);
+
+/// Serializes a stats response.
+std::vector<uint8_t> EncodeStatsResponse(const WireStatsReply& reply);
+
+/// Parses and validates a stats response.
+std::optional<WireStatsReply> DecodeStatsResponse(
+    std::span<const uint8_t> bytes, std::string* error);
+
 /// Writes one [u32 LE length][payload] frame. False on I/O failure or a
 /// payload over kMaxFramePayloadBytes.
 bool WriteFrame(std::FILE* out, std::span<const uint8_t> payload);
@@ -132,6 +190,13 @@ struct WireServeStats {
   uint64_t sets_registered = 0; ///< distinct inline sets registered
 };
 
+/// The hash a router partitions a request frame by, without a full
+/// decode: checks the magic/version and reads the set_hash field at its
+/// fixed header offset. nullopt when the payload is too short or is not a
+/// request frame (stats requests and garbage alike) — the caller decides
+/// whether to fan out or answer an error itself.
+std::optional<uint64_t> PeekRequestSetHash(std::span<const uint8_t> bytes);
+
 /// The serve loop: reads request frames from `in` until EOF, executes
 /// each against `engine` (inline sets register into engine.registry();
 /// by-reference hashes resolve there), and writes one response frame per
@@ -144,6 +209,11 @@ struct WireServeStats {
 /// by-reference requests depend on them); a long-lived server accepting
 /// unboundedly many *distinct* sets needs an eviction policy above this
 /// loop — see the ROADMAP.
+///
+/// This FILE* entry point is a thin shim over serve/wire_server.h's
+/// WireServer (where it is also defined): the transport-agnostic server
+/// serves any ByteSource/ByteSink pair, and the socket event loop feeds
+/// the same per-frame handler.
 bool ServeWireStream(std::FILE* in, std::FILE* out, HeatmapEngine& engine,
                      WireServeStats* stats = nullptr,
                      std::string* error = nullptr);

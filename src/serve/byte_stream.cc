@@ -1,0 +1,35 @@
+#include "serve/byte_stream.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace rnnhm {
+
+std::ptrdiff_t FileByteSource::Read(uint8_t* dst, size_t max) {
+  if (max == 0) return 0;
+  const size_t got = std::fread(dst, 1, max, file_);
+  if (got == 0 && std::ferror(file_) != 0) return -1;
+  return static_cast<std::ptrdiff_t>(got);
+}
+
+bool FileByteSink::Write(std::span<const uint8_t> bytes) {
+  return bytes.empty() ||
+         std::fwrite(bytes.data(), 1, bytes.size(), file_) == bytes.size();
+}
+
+bool FileByteSink::Flush() { return std::fflush(file_) == 0; }
+
+std::ptrdiff_t MemoryByteSource::Read(uint8_t* dst, size_t max) {
+  size_t n = std::min(max, bytes_.size() - pos_);
+  if (chunk_ > 0) n = std::min(n, chunk_);
+  std::memcpy(dst, bytes_.data() + pos_, n);
+  pos_ += n;
+  return static_cast<std::ptrdiff_t>(n);
+}
+
+bool MemoryByteSink::Write(std::span<const uint8_t> bytes) {
+  bytes_.insert(bytes_.end(), bytes.begin(), bytes.end());
+  return true;
+}
+
+}  // namespace rnnhm

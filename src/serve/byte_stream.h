@@ -1,0 +1,94 @@
+// Byte-stream interfaces the transport-agnostic serving surface is
+// written against.
+//
+// WireServer (serve/wire_server.h) serves frames over any
+// ByteSource/ByteSink pair: a FILE* (the original stdio serve loop), an
+// in-memory buffer (tests feed partial reads deterministically), or —
+// through the event loop, which bypasses these blocking interfaces and
+// drives the same per-frame handler — a nonblocking socket. The
+// interfaces are deliberately minimal: a blocking chunk read and a
+// full-or-fail write; framing lives one layer up in
+// serve/frame_buffer.h.
+#ifndef RNNHM_SERVE_BYTE_STREAM_H_
+#define RNNHM_SERVE_BYTE_STREAM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <span>
+#include <vector>
+
+namespace rnnhm {
+
+/// A blocking source of bytes.
+class ByteSource {
+ public:
+  virtual ~ByteSource() = default;
+
+  /// Reads up to `max` bytes into `dst`, blocking until at least one byte
+  /// is available. Returns the count read, 0 on end of stream, -1 on a
+  /// transport error.
+  virtual std::ptrdiff_t Read(uint8_t* dst, size_t max) = 0;
+};
+
+/// A blocking sink of bytes.
+class ByteSink {
+ public:
+  virtual ~ByteSink() = default;
+
+  /// Writes all of `bytes` or fails. Returns false on a transport error.
+  virtual bool Write(std::span<const uint8_t> bytes) = 0;
+
+  /// Pushes buffered bytes to the peer (a no-op for unbuffered sinks).
+  virtual bool Flush() { return true; }
+};
+
+/// ByteSource over a FILE* (does not own the handle).
+class FileByteSource final : public ByteSource {
+ public:
+  explicit FileByteSource(std::FILE* file) : file_(file) {}
+  std::ptrdiff_t Read(uint8_t* dst, size_t max) override;
+
+ private:
+  std::FILE* file_;
+};
+
+/// ByteSink over a FILE* (does not own the handle).
+class FileByteSink final : public ByteSink {
+ public:
+  explicit FileByteSink(std::FILE* file) : file_(file) {}
+  bool Write(std::span<const uint8_t> bytes) override;
+  bool Flush() override;
+
+ private:
+  std::FILE* file_;
+};
+
+/// ByteSource over an in-memory buffer, delivering at most `chunk` bytes
+/// per Read so tests can force partial delivery through the reassembly
+/// path (chunk = 1 is the byte-at-a-time feed).
+class MemoryByteSource final : public ByteSource {
+ public:
+  explicit MemoryByteSource(std::vector<uint8_t> bytes, size_t chunk = 0)
+      : bytes_(std::move(bytes)), chunk_(chunk) {}
+  std::ptrdiff_t Read(uint8_t* dst, size_t max) override;
+
+ private:
+  std::vector<uint8_t> bytes_;
+  size_t chunk_;  // 0 = no artificial cap
+  size_t pos_ = 0;
+};
+
+/// ByteSink accumulating into an in-memory buffer.
+class MemoryByteSink final : public ByteSink {
+ public:
+  bool Write(std::span<const uint8_t> bytes) override;
+  const std::vector<uint8_t>& bytes() const { return bytes_; }
+
+ private:
+  std::vector<uint8_t> bytes_;
+};
+
+}  // namespace rnnhm
+
+#endif  // RNNHM_SERVE_BYTE_STREAM_H_

@@ -1,0 +1,441 @@
+#include "serve/event_loop.h"
+
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#if defined(__linux__)
+#include <sys/epoll.h>
+#define RNNHM_HAVE_EPOLL 1
+#endif
+
+namespace rnnhm {
+
+// --- Poller ---------------------------------------------------------------
+
+Poller::Poller(Poller&& other) noexcept
+    : backend_(other.backend_),
+      epoll_fd_(std::exchange(other.epoll_fd_, -1)),
+      poll_interest_(std::move(other.poll_interest_)) {
+  other.poll_interest_.clear();
+}
+
+Poller& Poller::operator=(Poller&& other) noexcept {
+  if (this != &other) {
+    if (epoll_fd_ >= 0) ::close(epoll_fd_);
+    backend_ = other.backend_;
+    epoll_fd_ = std::exchange(other.epoll_fd_, -1);
+    poll_interest_ = std::move(other.poll_interest_);
+    other.poll_interest_.clear();
+  }
+  return *this;
+}
+
+Poller::~Poller() {
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+}
+
+Status Poller::Create(bool prefer_epoll, Poller* out) {
+  Poller poller;
+#if RNNHM_HAVE_EPOLL
+  if (prefer_epoll) {
+    const int fd = ::epoll_create1(EPOLL_CLOEXEC);
+    if (fd < 0) {
+      return Status::Unavailable(std::string("epoll_create1: ") +
+                                 std::strerror(errno));
+    }
+    poller.backend_ = Backend::kEpoll;
+    poller.epoll_fd_ = fd;
+    *out = std::move(poller);
+    return Status::Ok();
+  }
+#else
+  (void)prefer_epoll;
+#endif
+  poller.backend_ = Backend::kPoll;
+  *out = std::move(poller);
+  return Status::Ok();
+}
+
+namespace {
+
+short PollMask(bool want_read, bool want_write) {
+  short mask = 0;
+  if (want_read) mask |= POLLIN;
+  if (want_write) mask |= POLLOUT;
+  return mask;
+}
+
+#if RNNHM_HAVE_EPOLL
+uint32_t EpollMask(bool want_read, bool want_write) {
+  uint32_t mask = 0;
+  if (want_read) mask |= EPOLLIN;
+  if (want_write) mask |= EPOLLOUT;
+  return mask;
+}
+#endif
+
+}  // namespace
+
+Status Poller::Add(int fd, bool want_read, bool want_write) {
+#if RNNHM_HAVE_EPOLL
+  if (backend_ == Backend::kEpoll) {
+    epoll_event ev{};
+    ev.events = EpollMask(want_read, want_write);
+    ev.data.fd = fd;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) < 0) {
+      return Status::Unavailable(std::string("epoll_ctl add: ") +
+                                 std::strerror(errno));
+    }
+    return Status::Ok();
+  }
+#endif
+  poll_interest_[fd] = PollMask(want_read, want_write);
+  return Status::Ok();
+}
+
+Status Poller::Modify(int fd, bool want_read, bool want_write) {
+#if RNNHM_HAVE_EPOLL
+  if (backend_ == Backend::kEpoll) {
+    epoll_event ev{};
+    ev.events = EpollMask(want_read, want_write);
+    ev.data.fd = fd;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) < 0) {
+      return Status::Unavailable(std::string("epoll_ctl mod: ") +
+                                 std::strerror(errno));
+    }
+    return Status::Ok();
+  }
+#endif
+  poll_interest_[fd] = PollMask(want_read, want_write);
+  return Status::Ok();
+}
+
+void Poller::Remove(int fd) {
+#if RNNHM_HAVE_EPOLL
+  if (backend_ == Backend::kEpoll) {
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+    return;
+  }
+#endif
+  poll_interest_.erase(fd);
+}
+
+Status Poller::Wait(int timeout_ms, std::vector<Event>* events) {
+  events->clear();
+#if RNNHM_HAVE_EPOLL
+  if (backend_ == Backend::kEpoll) {
+    epoll_event ready[64];
+    const int n = ::epoll_wait(epoll_fd_, ready, 64, timeout_ms);
+    if (n < 0) {
+      if (errno == EINTR) return Status::Ok();
+      return Status::Unavailable(std::string("epoll_wait: ") +
+                                 std::strerror(errno));
+    }
+    for (int i = 0; i < n; ++i) {
+      Event event;
+      event.fd = ready[i].data.fd;
+      event.readable = (ready[i].events & EPOLLIN) != 0;
+      event.writable = (ready[i].events & EPOLLOUT) != 0;
+      event.broken = (ready[i].events & (EPOLLERR | EPOLLHUP)) != 0;
+      events->push_back(event);
+    }
+    return Status::Ok();
+  }
+#endif
+  std::vector<pollfd> fds;
+  fds.reserve(poll_interest_.size());
+  for (const auto& [fd, mask] : poll_interest_) {
+    fds.push_back(pollfd{fd, mask, 0});
+  }
+  const int n = ::poll(fds.data(), fds.size(), timeout_ms);
+  if (n < 0) {
+    if (errno == EINTR) return Status::Ok();
+    return Status::Unavailable(std::string("poll: ") + std::strerror(errno));
+  }
+  for (const pollfd& pfd : fds) {
+    if (pfd.revents == 0) continue;
+    Event event;
+    event.fd = pfd.fd;
+    event.readable = (pfd.revents & POLLIN) != 0;
+    event.writable = (pfd.revents & POLLOUT) != 0;
+    event.broken = (pfd.revents & (POLLERR | POLLHUP | POLLNVAL)) != 0;
+    events->push_back(event);
+  }
+  return Status::Ok();
+}
+
+// --- EventLoopServer ------------------------------------------------------
+
+struct EventLoopServer::Connection {
+  explicit Connection(size_t max_payload) : assembler(max_payload) {}
+
+  FrameAssembler assembler;
+  OutputBuffer output;
+  std::chrono::steady_clock::time_point last_activity;
+  bool peer_done = false;         // read side saw EOF or poison
+  bool close_after_flush = false; // close once output drains
+};
+
+EventLoopServer::EventLoopServer(Listener listener, HeatmapEngine& engine,
+                                 const ServeOptions& options)
+    : listener_(std::move(listener)), wire_server_(engine), options_(options) {
+  if (::pipe(wake_fds_) == 0) {
+    MakeNonblocking(wake_fds_[0]);
+    MakeNonblocking(wake_fds_[1]);
+  } else {
+    wake_fds_[0] = wake_fds_[1] = -1;
+  }
+}
+
+EventLoopServer::~EventLoopServer() {
+  for (auto& [fd, conn] : connections_) {
+    (void)conn;
+    ::close(fd);
+  }
+  connections_.clear();
+  if (wake_fds_[0] >= 0) ::close(wake_fds_[0]);
+  if (wake_fds_[1] >= 0) ::close(wake_fds_[1]);
+}
+
+void EventLoopServer::RequestShutdown() {
+  shutdown_requests_.fetch_add(1, std::memory_order_relaxed);
+  if (wake_fds_[1] >= 0) {
+    const uint8_t byte = 1;
+    // Best effort: a full pipe already guarantees a pending wakeup.
+    [[maybe_unused]] const ssize_t n = ::write(wake_fds_[1], &byte, 1);
+  }
+}
+
+void EventLoopServer::CloseConnection(int fd) {
+  poller_.Remove(fd);
+  ::close(fd);
+  connections_.erase(fd);
+}
+
+void EventLoopServer::HandleReadable(int fd, Connection& conn) {
+  uint8_t chunk[64 * 1024];
+  for (;;) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      conn.last_activity = std::chrono::steady_clock::now();
+      conn.assembler.Feed(
+          std::span<const uint8_t>(chunk, static_cast<size_t>(n)));
+      continue;
+    }
+    if (n == 0) {
+      // Peer finished sending; serve what we have, then close once the
+      // responses are flushed.
+      conn.peer_done = true;
+      conn.close_after_flush = true;
+      break;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    // Hard connection error: drop it.
+    conn.peer_done = true;
+    conn.close_after_flush = true;
+    break;
+  }
+  while (std::optional<std::vector<uint8_t>> frame = conn.assembler.Next()) {
+    conn.output.AppendFrame(wire_server_.HandleFrame(*frame));
+  }
+  if (conn.assembler.poisoned() && !conn.peer_done) {
+    // The framing is unrecoverable: answer with the protocol error and
+    // hang up after the reply drains.
+    const Status& status = conn.assembler.status();
+    conn.output.AppendFrame(
+        EncodeErrorResponse(ToWireStatus(status.code), status.message));
+    conn.peer_done = true;
+    conn.close_after_flush = true;
+  }
+}
+
+void EventLoopServer::UpdateInterest(int fd, Connection& conn) {
+  const bool want_read = !conn.peer_done;
+  const bool want_write = !conn.output.empty();
+  poller_.Modify(fd, want_read, want_write);
+}
+
+Status EventLoopServer::Run() {
+  if (!listener_.valid()) {
+    return Status::InvalidArgument("event loop needs a bound listener");
+  }
+  if (wake_fds_[0] < 0) {
+    return Status::Unavailable("failed to create the shutdown wake pipe");
+  }
+  if (const Status status = Poller::Create(options_.prefer_epoll, &poller_);
+      !status.ok()) {
+    return status;
+  }
+  if (const Status status = poller_.Add(wake_fds_[0], true, false);
+      !status.ok()) {
+    return status;
+  }
+  if (const Status status = poller_.Add(listener_.fd(), true, false);
+      !status.ok()) {
+    return status;
+  }
+
+  const auto idle_limit = std::chrono::milliseconds(options_.idle_timeout_ms);
+  std::vector<Poller::Event> events;
+  for (;;) {
+    // Shutdown bookkeeping first, so a request observed between waits is
+    // honored before blocking again.
+    const int requests = shutdown_requests_.load(std::memory_order_relaxed);
+    if (requests >= 2) break;  // hard stop
+    if (requests >= 1 && !draining_) {
+      draining_ = true;
+      poller_.Remove(listener_.fd());
+      listener_.Close();
+      drain_deadline_ = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(options_.drain_timeout_ms);
+    }
+    if (draining_ && connections_.empty()) break;  // clean drain
+
+    // The wait bound: the nearest of the drain deadline and any idle
+    // deadline; -1 (forever) when neither applies.
+    const auto now = std::chrono::steady_clock::now();
+    int timeout_ms = -1;
+    auto bound_timeout = [&timeout_ms,
+                          now](std::chrono::steady_clock::time_point dl) {
+      const auto remaining =
+          std::chrono::duration_cast<std::chrono::milliseconds>(dl - now)
+              .count();
+      const int ms = remaining < 0 ? 0 : static_cast<int>(
+                                             std::min<long long>(
+                                                 remaining, 60 * 1000));
+      if (timeout_ms < 0 || ms < timeout_ms) timeout_ms = ms;
+    };
+    if (draining_) {
+      if (now >= drain_deadline_) break;  // drain bound elapsed
+      bound_timeout(drain_deadline_);
+    }
+    if (options_.idle_timeout_ms > 0) {
+      for (const auto& [fd, conn] : connections_) {
+        (void)fd;
+        bound_timeout(conn->last_activity + idle_limit);
+      }
+    }
+
+    if (const Status status = poller_.Wait(timeout_ms, &events);
+        !status.ok()) {
+      return status;
+    }
+
+    for (const Poller::Event& event : events) {
+      if (event.fd == wake_fds_[0]) {
+        uint8_t drain[64];
+        while (::read(wake_fds_[0], drain, sizeof(drain)) > 0) {
+        }
+        continue;  // counters are re-read at the top of the loop
+      }
+      if (event.fd == listener_.fd() && listener_.valid()) {
+        for (;;) {
+          int client_fd = -1;
+          const Status status = listener_.Accept(&client_fd);
+          if (!status.ok()) break;  // would-block or transient error
+          if (draining_ ||
+              connections_.size() >=
+                  static_cast<size_t>(options_.max_connections)) {
+            ::close(client_fd);
+            continue;
+          }
+          auto conn = std::make_unique<Connection>(kMaxFramePayloadBytes);
+          conn->last_activity = std::chrono::steady_clock::now();
+          if (!poller_.Add(client_fd, true, false).ok()) {
+            ::close(client_fd);
+            continue;
+          }
+          connections_.emplace(client_fd, std::move(conn));
+        }
+        continue;
+      }
+      auto it = connections_.find(event.fd);
+      if (it == connections_.end()) continue;
+      Connection& conn = *it->second;
+      if (event.readable || event.broken) {
+        HandleReadable(event.fd, conn);
+      }
+      if (event.writable && !conn.output.empty()) {
+        if (conn.output.WriteSome(event.fd) < 0) {
+          CloseConnection(event.fd);
+          continue;
+        }
+        conn.last_activity = std::chrono::steady_clock::now();
+      } else if (!conn.output.empty()) {
+        // Fresh responses queued by this read: try an optimistic write
+        // now instead of waiting one poll cycle.
+        if (conn.output.WriteSome(event.fd) < 0) {
+          CloseConnection(event.fd);
+          continue;
+        }
+      }
+      if (conn.output.empty() && conn.close_after_flush) {
+        CloseConnection(event.fd);
+        continue;
+      }
+      if (conn.peer_done && conn.output.empty()) {
+        CloseConnection(event.fd);
+        continue;
+      }
+      UpdateInterest(event.fd, conn);
+    }
+
+    // Idle sweep.
+    if (options_.idle_timeout_ms > 0) {
+      const auto cutoff = std::chrono::steady_clock::now() - idle_limit;
+      std::vector<int> stale;
+      for (const auto& [fd, conn] : connections_) {
+        if (conn->last_activity <= cutoff) stale.push_back(fd);
+      }
+      for (const int fd : stale) CloseConnection(fd);
+    }
+  }
+
+  // Loop exit: close whatever is left (hard stop or drain bound).
+  std::vector<int> open;
+  open.reserve(connections_.size());
+  for (const auto& [fd, conn] : connections_) {
+    (void)conn;
+    open.push_back(fd);
+  }
+  for (const int fd : open) CloseConnection(fd);
+  listener_.Close();
+  return Status::Ok();
+}
+
+// --- Signal wiring --------------------------------------------------------
+
+namespace {
+
+std::atomic<EventLoopServer*> g_signal_server{nullptr};
+
+void ShutdownSignalHandler(int /*signum*/) {
+  EventLoopServer* server = g_signal_server.load(std::memory_order_relaxed);
+  if (server != nullptr) server->RequestShutdown();
+}
+
+}  // namespace
+
+void InstallShutdownSignalHandlers(EventLoopServer* server) {
+  g_signal_server.store(server, std::memory_order_relaxed);
+  struct sigaction action{};
+  if (server != nullptr) {
+    action.sa_handler = ShutdownSignalHandler;
+    sigemptyset(&action.sa_mask);
+    action.sa_flags = 0;  // no SA_RESTART: the loop re-checks on EINTR
+  } else {
+    action.sa_handler = SIG_DFL;
+  }
+  ::sigaction(SIGINT, &action, nullptr);
+  ::sigaction(SIGTERM, &action, nullptr);
+}
+
+}  // namespace rnnhm

@@ -1,0 +1,98 @@
+#include "serve/frame_buffer.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace rnnhm {
+
+namespace {
+
+// Compact once the consumed prefix dominates, so long-lived connections
+// do not grow their buffers without bound.
+void MaybeCompact(std::vector<uint8_t>* buffer, size_t* pos) {
+  if (*pos >= 4096 && *pos * 2 >= buffer->size()) {
+    buffer->erase(buffer->begin(),
+                  buffer->begin() + static_cast<std::ptrdiff_t>(*pos));
+    *pos = 0;
+  }
+}
+
+}  // namespace
+
+FrameAssembler::FrameAssembler(size_t max_payload)
+    : max_payload_(max_payload) {}
+
+void FrameAssembler::Feed(std::span<const uint8_t> bytes) {
+  if (poisoned()) return;
+  buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
+}
+
+std::optional<std::vector<uint8_t>> FrameAssembler::Next() {
+  if (poisoned()) return std::nullopt;
+  if (buffer_.size() - pos_ < 4) return std::nullopt;
+  uint32_t length = 0;
+  for (int i = 3; i >= 0; --i) {
+    length = (length << 8) | buffer_[pos_ + static_cast<size_t>(i)];
+  }
+  if (length > max_payload_) {
+    status_ = Status::ResourceExhausted("frame payload over the size ceiling");
+    buffer_.clear();
+    pos_ = 0;
+    return std::nullopt;
+  }
+  if (buffer_.size() - pos_ < 4 + static_cast<size_t>(length)) {
+    return std::nullopt;
+  }
+  std::vector<uint8_t> payload(buffer_.begin() + static_cast<std::ptrdiff_t>(pos_ + 4),
+                               buffer_.begin() +
+                                   static_cast<std::ptrdiff_t>(pos_ + 4 + length));
+  pos_ += 4 + static_cast<size_t>(length);
+  MaybeCompact(&buffer_, &pos_);
+  return payload;
+}
+
+void OutputBuffer::Append(std::span<const uint8_t> bytes) {
+  buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
+}
+
+void OutputBuffer::AppendFrame(std::span<const uint8_t> payload) {
+  const uint32_t length = static_cast<uint32_t>(payload.size());
+  uint8_t prefix[4];
+  for (int i = 0; i < 4; ++i) {
+    prefix[i] = static_cast<uint8_t>(length >> (8 * i));
+  }
+  buffer_.insert(buffer_.end(), prefix, prefix + 4);
+  buffer_.insert(buffer_.end(), payload.begin(), payload.end());
+}
+
+std::ptrdiff_t OutputBuffer::WriteSome(int fd) {
+  size_t total = 0;
+  while (pos_ < buffer_.size()) {
+    const size_t pending = buffer_.size() - pos_;
+    // MSG_NOSIGNAL: a vanished peer must surface as EPIPE, not SIGPIPE.
+    std::ptrdiff_t n =
+        ::send(fd, buffer_.data() + pos_, pending, MSG_NOSIGNAL);
+    if (n < 0 && errno == ENOTSOCK) {
+      n = ::write(fd, buffer_.data() + pos_, pending);
+    }
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) break;
+      return -1;
+    }
+    if (n == 0) break;
+    pos_ += static_cast<size_t>(n);
+    total += static_cast<size_t>(n);
+  }
+  if (empty()) {
+    buffer_.clear();
+    pos_ = 0;
+  } else {
+    MaybeCompact(&buffer_, &pos_);
+  }
+  return static_cast<std::ptrdiff_t>(total);
+}
+
+}  // namespace rnnhm

@@ -1,0 +1,91 @@
+// Incremental frame reassembly and buffered writes — the per-connection
+// state of the nonblocking serving layer.
+//
+// A socket delivers bytes in arbitrary chunks: a frame may arrive one
+// byte at a time or many frames in one read. FrameAssembler is the
+// reassembly state machine: feed it whatever the transport produced and
+// pop complete [u32 LE length][payload] frames as they close. It never
+// blocks and never over-reads — partial frames simply stay buffered until
+// the rest arrives, so one slow connection cannot stall the event loop.
+//
+// Symmetrically, a socket accepts writes in arbitrary chunks: OutputBuffer
+// queues encoded response frames and drains as much as the peer accepts
+// per writability event, so a slow reader backpressures into server
+// memory instead of blocking the loop.
+//
+// Both are plain single-threaded state; the event loop owns one pair per
+// connection.
+#ifndef RNNHM_SERVE_FRAME_BUFFER_H_
+#define RNNHM_SERVE_FRAME_BUFFER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+
+namespace rnnhm {
+
+/// Reassembles length-prefixed frames from an incremental byte feed.
+class FrameAssembler {
+ public:
+  /// `max_payload` guards a hostile or garbage length prefix: a prefix
+  /// over the ceiling poisons the assembler (the stream cannot be
+  /// resynchronized once the framing is wrong).
+  explicit FrameAssembler(size_t max_payload);
+
+  /// Appends transport bytes. Ignored once poisoned.
+  void Feed(std::span<const uint8_t> bytes);
+
+  /// Pops the next complete frame payload, or nullopt when no full frame
+  /// is buffered (including after poisoning).
+  std::optional<std::vector<uint8_t>> Next();
+
+  /// kOk while the framing is intact; kResourceExhausted once a length
+  /// prefix exceeded the ceiling. A poisoned assembler stays poisoned.
+  const Status& status() const { return status_; }
+
+  /// True iff bytes of an unfinished frame (or prefix) are buffered —
+  /// i.e. an EOF now would truncate a frame.
+  bool mid_frame() const { return !poisoned() && pos_ < buffer_.size(); }
+
+  bool poisoned() const { return !status_.ok(); }
+
+  /// Bytes currently buffered (unconsumed).
+  size_t buffered_bytes() const { return buffer_.size() - pos_; }
+
+ private:
+  const size_t max_payload_;
+  std::vector<uint8_t> buffer_;
+  size_t pos_ = 0;  // consumed prefix of buffer_
+  Status status_;
+};
+
+/// Queues outgoing bytes and drains them through nonblocking writes.
+class OutputBuffer {
+ public:
+  /// Queues raw bytes.
+  void Append(std::span<const uint8_t> bytes);
+
+  /// Queues one frame: the u32 LE length prefix, then the payload.
+  void AppendFrame(std::span<const uint8_t> payload);
+
+  /// Writes as much pending data to `fd` as it accepts right now (send
+  /// with MSG_NOSIGNAL for sockets, falling back to write for pipes).
+  /// Returns the bytes written (possibly 0 when the peer's buffer is
+  /// full), or -1 on a connection error.
+  std::ptrdiff_t WriteSome(int fd);
+
+  bool empty() const { return pos_ == buffer_.size(); }
+  size_t pending_bytes() const { return buffer_.size() - pos_; }
+
+ private:
+  std::vector<uint8_t> buffer_;
+  size_t pos_ = 0;  // flushed prefix of buffer_
+};
+
+}  // namespace rnnhm
+
+#endif  // RNNHM_SERVE_FRAME_BUFFER_H_

@@ -1,0 +1,74 @@
+// The one place serving configuration lives.
+//
+// Every knob of `rnnhm_cli serve` and `rnnhm_cli route` lands in this
+// struct — transport selection, socket addressing, connection policy,
+// shard count, and the engine knobs each worker gets. The CLI parses its
+// flags into a ServeOptions in a single function (tools/rnnhm_cli.cc,
+// ParseServeFlags) and every serving path reads from here; tests and
+// benches construct it directly.
+#ifndef RNNHM_SERVE_OPTIONS_H_
+#define RNNHM_SERVE_OPTIONS_H_
+
+#include <cstddef>
+#include <string>
+
+namespace rnnhm {
+
+/// Which byte transport a server (or router front) speaks.
+enum class TransportKind {
+  kStdio,  ///< length-prefixed frames on stdin/stdout (or --in/--out files)
+  kTcp,    ///< nonblocking TCP event loop
+  kUnix,   ///< nonblocking Unix-domain-socket event loop
+};
+
+/// Parses "stdio" | "tcp" | "unix"; false on anything else.
+bool ParseTransportKind(const std::string& name, TransportKind* out);
+
+const char* TransportKindName(TransportKind kind);
+
+/// Everything `serve` and `route` need, with serving defaults.
+struct ServeOptions {
+  // --- Transport ---------------------------------------------------------
+  TransportKind transport = TransportKind::kStdio;
+  /// TCP bind/connect host.
+  std::string host = "127.0.0.1";
+  /// TCP port; 0 binds an ephemeral port (the server prints the resolved
+  /// one on stderr).
+  int port = 0;
+  /// Unix-domain socket path (required for kUnix).
+  std::string socket_path;
+
+  // --- Connection policy (socket transports) -----------------------------
+  /// Accepted connections beyond this are closed immediately.
+  int max_connections = 64;
+  /// Connections with no read/write progress for this long are closed;
+  /// 0 disables the timeout.
+  int idle_timeout_ms = 30000;
+  /// Graceful-shutdown bound: after SIGINT/SIGTERM the server stops
+  /// accepting and keeps serving open connections until they close, at
+  /// most this long.
+  int drain_timeout_ms = 5000;
+  /// Use epoll where available (Linux); false forces the portable poll
+  /// backend.
+  bool prefer_epoll = true;
+
+  // --- Sharding (route) --------------------------------------------------
+  /// Worker processes behind the router, one engine each.
+  int num_shards = 2;
+  /// Directory for the fleet's worker sockets; empty derives a
+  /// per-process default under /tmp.
+  std::string socket_dir;
+
+  // --- Engine knobs (per worker) -----------------------------------------
+  int threads = 1;
+  int slabs = 1;
+  size_t cache_bytes = 0;
+
+  // --- Stdio/file mode ---------------------------------------------------
+  std::string in_path;   ///< empty = stdin
+  std::string out_path;  ///< empty = stdout
+};
+
+}  // namespace rnnhm
+
+#endif  // RNNHM_SERVE_OPTIONS_H_

@@ -1,0 +1,150 @@
+// Multi-process sharding: a fleet of shared-nothing engine workers behind
+// one routing front.
+//
+// ShardFleet forks ServeOptions::num_shards worker processes. Each worker
+// owns a whole serving stack — HeatmapEngine (its own registry, cache and
+// threads), EventLoopServer — and listens on its own Unix-domain socket
+// under ServeOptions::socket_dir. Nothing is shared between workers, so
+// there is no cross-process synchronization anywhere in the hot path.
+// The parent binds every listener BEFORE forking: a connection raced in
+// before a worker reaches its accept loop just queues in that listener's
+// backlog, so the fleet is connectable the moment Spawn returns.
+//
+// ShardRouter is the front process's loop. It accepts client connections
+// (TCP or Unix), peeks each request frame's set-content hash
+// (PeekRequestSetHash — no full decode) and forwards the frame verbatim
+// to shard `hash % num_shards`. Hash-affinity is what makes inline-once
+// registration work across processes: the first request for a set
+// carries the circles inline, lands on the owning shard and registers
+// there; every later by-hash request for the same set hashes to the same
+// shard, where the set is known. Responses are forwarded back verbatim
+// (so a routed response is bit-identical to a direct engine Execute) and
+// re-ordered per client: shard replies arrive in each shard's FIFO
+// order, and a per-client slot queue restores the client's submission
+// order. A stats request fans out to every shard and comes back as one
+// merged WireStatsReply with `shards` = fleet size.
+#ifndef RNNHM_SERVE_SHARD_ROUTER_H_
+#define RNNHM_SERVE_SHARD_ROUTER_H_
+
+#include <sys/types.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "serve/event_loop.h"
+#include "serve/frame_buffer.h"
+#include "serve/options.h"
+#include "serve/transport.h"
+
+namespace rnnhm {
+
+/// A set of forked worker processes, one engine each, listening on
+/// per-shard Unix-domain sockets. Move-free (construct in place via
+/// Spawn); Shutdown (or destruction) SIGTERMs and reaps the workers.
+class ShardFleet {
+ public:
+  ShardFleet() = default;
+  ~ShardFleet();
+
+  ShardFleet(const ShardFleet&) = delete;
+  ShardFleet& operator=(const ShardFleet&) = delete;
+
+  /// Binds `options.num_shards` listeners under `options.socket_dir`
+  /// (empty derives /tmp/rnnhm-fleet-<pid>), then forks one worker per
+  /// listener. Worker engines take `options.threads/slabs/cache_bytes`.
+  /// Call from a single-threaded process state (before spawning local
+  /// engine threads): fork does not carry sibling threads into children.
+  static Status Spawn(const ServeOptions& options, ShardFleet* out);
+
+  /// The per-shard socket paths, index == shard id.
+  const std::vector<std::string>& socket_paths() const {
+    return socket_paths_;
+  }
+
+  int num_shards() const { return static_cast<int>(pids_.size()); }
+
+  /// SIGTERMs every worker (triggering its graceful drain) and reaps it;
+  /// escalates to SIGKILL for a worker that outlives the drain bound.
+  void Shutdown();
+
+ private:
+  std::vector<pid_t> pids_;
+  std::vector<std::string> socket_paths_;
+  /// The parent's copies of the worker listeners: fds closed right after
+  /// fork (CloseFdOnly — the children own the accepting), paths retained
+  /// so Shutdown can unlink any socket file a killed worker left behind.
+  std::vector<Listener> parent_listeners_;
+  std::string socket_dir_;
+  bool owns_socket_dir_ = false;
+};
+
+/// The routing front: one nonblocking loop multiplexing client
+/// connections and the per-shard upstream connections.
+class ShardRouter {
+ public:
+  /// Takes the already-bound front listener and the shard socket paths
+  /// (index == shard id; connections are opened inside Run).
+  ShardRouter(Listener front, std::vector<std::string> shard_paths,
+              const ServeOptions& options);
+  ~ShardRouter();
+
+  ShardRouter(const ShardRouter&) = delete;
+  ShardRouter& operator=(const ShardRouter&) = delete;
+
+  /// Connects to every shard, then serves until shutdown completes (same
+  /// lame-duck drain protocol as EventLoopServer).
+  Status Run();
+
+  /// Async-signal-safe and thread-safe; first call drains, second stops.
+  void RequestShutdown();
+
+  const Listener& listener() const { return front_; }
+
+ private:
+  struct Client;
+  struct Shard;
+  struct Tag;
+
+  void CloseClient(int fd);
+  void HandleClientReadable(int fd, Client& client);
+  void RouteFrame(Client& client, const std::vector<uint8_t>& frame);
+  void HandleShardReadable(size_t shard_index);
+  /// Resolves every outstanding tag of a dying shard with an error reply.
+  void FailShard(size_t shard_index, const std::string& reason);
+  /// Moves a client's ready front slots into its output buffer and pushes
+  /// bytes; closes the client when it is finished.
+  void FlushClient(int fd, Client& client);
+  void UpdateClientInterest(int fd, Client& client);
+  void UpdateShardInterest(Shard& shard);
+
+  Listener front_;
+  const std::vector<std::string> shard_paths_;
+  const ServeOptions options_;
+
+  Poller poller_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::map<int, std::unique_ptr<Client>> clients_;      // by fd
+  std::map<uint64_t, int> client_fd_by_id_;
+  std::map<int, size_t> shard_index_by_fd_;
+  uint64_t next_client_id_ = 1;
+  int wake_fds_[2] = {-1, -1};
+  std::atomic<int> shutdown_requests_{0};
+  bool draining_ = false;
+  std::chrono::steady_clock::time_point drain_deadline_{};
+};
+
+/// Points SIGINT/SIGTERM at `router->RequestShutdown()` (nullptr
+/// restores the default dispositions). Independent of the
+/// EventLoopServer handler installer.
+void InstallRouterSignalHandlers(ShardRouter* router);
+
+}  // namespace rnnhm
+
+#endif  // RNNHM_SERVE_SHARD_ROUTER_H_

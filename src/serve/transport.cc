@@ -1,0 +1,299 @@
+#include "serve/transport.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "query/wire.h"
+
+namespace rnnhm {
+
+namespace {
+
+Status Errno(StatusCode code, const std::string& what) {
+  return Status::Error(code, what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+bool ParseTransportKind(const std::string& name, TransportKind* out) {
+  if (name == "stdio") {
+    *out = TransportKind::kStdio;
+  } else if (name == "tcp") {
+    *out = TransportKind::kTcp;
+  } else if (name == "unix") {
+    *out = TransportKind::kUnix;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+const char* TransportKindName(TransportKind kind) {
+  switch (kind) {
+    case TransportKind::kStdio:
+      return "stdio";
+    case TransportKind::kTcp:
+      return "tcp";
+    case TransportKind::kUnix:
+      return "unix";
+  }
+  return "unknown";
+}
+
+Listener::Listener(Listener&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      port_(std::exchange(other.port_, 0)),
+      path_(std::move(other.path_)) {
+  other.path_.clear();
+}
+
+Listener& Listener::operator=(Listener&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = std::exchange(other.fd_, -1);
+    port_ = std::exchange(other.port_, 0);
+    path_ = std::move(other.path_);
+    other.path_.clear();
+  }
+  return *this;
+}
+
+Listener::~Listener() { Close(); }
+
+void Listener::Close() {
+  CloseFdOnly();
+  if (!path_.empty()) {
+    ::unlink(path_.c_str());
+    path_.clear();
+  }
+}
+
+void Listener::CloseFdOnly() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status MakeNonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Errno(StatusCode::kUnavailable, "fcntl O_NONBLOCK");
+  }
+  const int fdflags = ::fcntl(fd, F_GETFD, 0);
+  if (fdflags < 0 || ::fcntl(fd, F_SETFD, fdflags | FD_CLOEXEC) < 0) {
+    return Errno(StatusCode::kUnavailable, "fcntl FD_CLOEXEC");
+  }
+  return Status::Ok();
+}
+
+Status Listener::ListenTcp(const std::string& host, int port, Listener* out) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("unparsable TCP host '" + host + "'");
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno(StatusCode::kUnavailable, "socket");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const Status status = Errno(StatusCode::kUnavailable, "bind");
+    ::close(fd);
+    return status;
+  }
+  if (::listen(fd, 128) < 0) {
+    const Status status = Errno(StatusCode::kUnavailable, "listen");
+    ::close(fd);
+    return status;
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) < 0) {
+    const Status status = Errno(StatusCode::kUnavailable, "getsockname");
+    ::close(fd);
+    return status;
+  }
+  if (const Status status = MakeNonblocking(fd); !status.ok()) {
+    ::close(fd);
+    return status;
+  }
+  out->Close();
+  out->fd_ = fd;
+  out->port_ = ntohs(bound.sin_port);
+  return Status::Ok();
+}
+
+Status Listener::ListenUnix(const std::string& path, Listener* out) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.empty() || path.size() >= sizeof(addr.sun_path)) {
+    return Status::InvalidArgument("unix socket path empty or too long");
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return Errno(StatusCode::kUnavailable, "socket");
+  ::unlink(path.c_str());  // replace a stale socket file
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const Status status = Errno(StatusCode::kUnavailable, "bind " + path);
+    ::close(fd);
+    return status;
+  }
+  if (::listen(fd, 128) < 0) {
+    const Status status = Errno(StatusCode::kUnavailable, "listen " + path);
+    ::close(fd);
+    return status;
+  }
+  if (const Status status = MakeNonblocking(fd); !status.ok()) {
+    ::close(fd);
+    return status;
+  }
+  out->Close();
+  out->fd_ = fd;
+  out->path_ = path;
+  return Status::Ok();
+}
+
+Status Listener::Accept(int* client_fd) const {
+  for (;;) {
+    const int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd >= 0) {
+      if (const Status status = MakeNonblocking(fd); !status.ok()) {
+        ::close(fd);
+        return status;
+      }
+      *client_fd = fd;
+      return Status::Ok();
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return Status::Unavailable("no pending connection");
+    }
+    return Errno(StatusCode::kUnavailable, "accept");
+  }
+}
+
+Status ConnectTcp(const std::string& host, int port, int* fd) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("unparsable TCP host '" + host + "'");
+  }
+  const int sock = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (sock < 0) return Errno(StatusCode::kUnavailable, "socket");
+  if (::connect(sock, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) < 0) {
+    const Status status = Errno(StatusCode::kUnavailable, "connect");
+    ::close(sock);
+    return status;
+  }
+  *fd = sock;
+  return Status::Ok();
+}
+
+Status ConnectUnix(const std::string& path, int* fd) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.empty() || path.size() >= sizeof(addr.sun_path)) {
+    return Status::InvalidArgument("unix socket path empty or too long");
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  const int sock = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (sock < 0) return Errno(StatusCode::kUnavailable, "socket");
+  if (::connect(sock, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) < 0) {
+    const Status status = Errno(StatusCode::kUnavailable, "connect " + path);
+    ::close(sock);
+    return status;
+  }
+  *fd = sock;
+  return Status::Ok();
+}
+
+Status SendAll(int fd, std::span<const uint8_t> bytes) {
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    const std::ptrdiff_t n =
+        ::send(fd, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno(StatusCode::kUnavailable, "send");
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+Status SendFrame(int fd, std::span<const uint8_t> payload) {
+  if (payload.size() > kMaxFramePayloadBytes) {
+    return Status::ResourceExhausted("frame payload over the size ceiling");
+  }
+  const uint32_t length = static_cast<uint32_t>(payload.size());
+  uint8_t prefix[4];
+  for (int i = 0; i < 4; ++i) {
+    prefix[i] = static_cast<uint8_t>(length >> (8 * i));
+  }
+  if (const Status status = SendAll(fd, std::span<const uint8_t>(prefix, 4));
+      !status.ok()) {
+    return status;
+  }
+  return SendAll(fd, payload);
+}
+
+namespace {
+
+// Reads exactly `len` bytes. `*clean_eof` is set when the very first read
+// returns end-of-stream (a frame boundary).
+Status RecvExact(int fd, uint8_t* dst, size_t len, bool* clean_eof) {
+  if (clean_eof != nullptr) *clean_eof = false;
+  size_t got = 0;
+  while (got < len) {
+    const std::ptrdiff_t n = ::recv(fd, dst + got, len - got, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno(StatusCode::kUnavailable, "recv");
+    }
+    if (n == 0) {
+      if (got == 0 && clean_eof != nullptr) {
+        *clean_eof = true;
+        return Status::Unavailable("end of stream");
+      }
+      return Status::DataLoss("stream truncated mid-frame");
+    }
+    got += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status RecvFrame(int fd, std::vector<uint8_t>* payload) {
+  uint8_t prefix[4];
+  bool clean_eof = false;
+  if (const Status status = RecvExact(fd, prefix, 4, &clean_eof);
+      !status.ok()) {
+    return status;
+  }
+  uint32_t length = 0;
+  for (int i = 3; i >= 0; --i) length = (length << 8) | prefix[i];
+  if (length > kMaxFramePayloadBytes) {
+    return Status::ResourceExhausted("frame payload over the size ceiling");
+  }
+  payload->assign(length, 0);
+  if (length == 0) return Status::Ok();
+  return RecvExact(fd, payload->data(), length, nullptr);
+}
+
+}  // namespace rnnhm

@@ -1,0 +1,96 @@
+// Socket transport: listeners for the event loop and a small blocking
+// client side for tools, tests and benches.
+//
+// The server side is nonblocking throughout — Listener::Accept never
+// blocks, accepted fds come back nonblocking — following the standard
+// epoll/nonblocking idioms: accept until EAGAIN, never trust one
+// readiness event for more than one unit of progress. The client side
+// (Connect/SendFrame/RecvFrame) is deliberately blocking: clients want
+// simple sequential round-trips.
+//
+// All functions return the serving stack's unified Status; no errno
+// escapes this layer.
+#ifndef RNNHM_SERVE_TRANSPORT_H_
+#define RNNHM_SERVE_TRANSPORT_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "serve/options.h"
+
+namespace rnnhm {
+
+/// A bound, listening, nonblocking server socket. Move-only; closes (and
+/// unlinks, for Unix sockets) on destruction.
+class Listener {
+ public:
+  Listener() = default;
+  Listener(Listener&& other) noexcept;
+  Listener& operator=(Listener&& other) noexcept;
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+  ~Listener();
+
+  /// Binds and listens on host:port (port 0 = ephemeral; `port()` returns
+  /// the resolved one).
+  static Status ListenTcp(const std::string& host, int port, Listener* out);
+
+  /// Binds and listens on a Unix-domain socket path (a stale socket file
+  /// at the path is replaced).
+  static Status ListenUnix(const std::string& path, Listener* out);
+
+  /// Accepts one pending connection as a nonblocking fd. kOk with the fd,
+  /// kUnavailable("no pending connection") when accept would block, or an
+  /// error.
+  Status Accept(int* client_fd) const;
+
+  /// Closes the socket now (stops accepting); Unix paths are unlinked.
+  void Close();
+
+  /// Closes this process's fd but leaves the socket path on disk — what a
+  /// fleet parent calls after forking a worker that inherited the fd (the
+  /// child is still serving on the path, so unlinking it would strand the
+  /// socket). The path is remembered and unlinked by Close/destruction,
+  /// as post-shutdown cleanup.
+  void CloseFdOnly();
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  /// The resolved TCP port (0 for Unix listeners).
+  int port() const { return port_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  int fd_ = -1;
+  int port_ = 0;
+  std::string path_;  // unix socket path to unlink on close
+};
+
+/// Marks an fd nonblocking (and close-on-exec).
+Status MakeNonblocking(int fd);
+
+// --- Blocking client side -------------------------------------------------
+
+/// Connects (blocking) to a TCP server.
+Status ConnectTcp(const std::string& host, int port, int* fd);
+
+/// Connects (blocking) to a Unix-domain server socket.
+Status ConnectUnix(const std::string& path, int* fd);
+
+/// Writes all of `bytes` (retrying short writes; EINTR-safe).
+Status SendAll(int fd, std::span<const uint8_t> bytes);
+
+/// Writes one [u32 LE length][payload] frame.
+Status SendFrame(int fd, std::span<const uint8_t> payload);
+
+/// Reads one frame (blocking). kOk with the payload; kUnavailable with
+/// message "end of stream" on a clean EOF at a frame boundary; kDataLoss
+/// on truncation; kResourceExhausted on an oversized prefix.
+Status RecvFrame(int fd, std::vector<uint8_t>* payload);
+
+}  // namespace rnnhm
+
+#endif  // RNNHM_SERVE_TRANSPORT_H_

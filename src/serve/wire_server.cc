@@ -1,0 +1,129 @@
+#include "serve/wire_server.h"
+
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "serve/frame_buffer.h"
+
+namespace rnnhm {
+
+std::vector<uint8_t> WireServer::HandleFrame(std::span<const uint8_t> frame) {
+  ++stats_.requests;
+  std::vector<uint8_t> reply;
+  WireStatus wire_status = WireStatus::kOk;
+  if (IsStatsRequest(frame)) {
+    const Status status = DecodeStatsRequest(frame);
+    if (status.ok()) {
+      WireStatsReply stats_reply;
+      stats_reply.shards = 1;
+      stats_reply.requests = stats_.requests;
+      stats_reply.ok = stats_.ok + 1;  // count this very request as served
+      stats_reply.errors = stats_.errors;
+      stats_reply.sets_registered = stats_.sets_registered;
+      reply = EncodeStatsResponse(stats_reply);
+    } else {
+      wire_status = ToWireStatus(status.code);
+      reply = EncodeErrorResponse(wire_status, status.message);
+    }
+  } else {
+    std::string decode_error;
+    std::optional<WireRequest> request = DecodeRequest(frame, &decode_error);
+    if (!request.has_value()) {
+      wire_status = WireStatus::kMalformedRequest;
+      reply = EncodeErrorResponse(wire_status, decode_error);
+    } else if (static_cast<uint64_t>(request->width) *
+                   static_cast<uint64_t>(request->height) >
+               kMaxWirePixels) {
+      wire_status = WireStatus::kMalformedRequest;
+      reply = EncodeErrorResponse(wire_status,
+                                  "raster exceeds the pixel ceiling");
+    } else {
+      CircleSetRegistry& registry = engine_.registry();
+      CircleSetHandle handle;
+      if (request->inline_circles) {
+        const size_t before = registry.size();
+        handle =
+            registry.Register(std::move(request->circles), request->metric);
+        if (registry.size() > before) ++stats_.sets_registered;
+      } else {
+        handle = registry.FindByHash(request->set_hash);
+      }
+      std::shared_ptr<const CircleSetSnapshot> set =
+          handle.valid() ? registry.Resolve(handle) : nullptr;
+      if (set == nullptr) {
+        wire_status = WireStatus::kUnknownCircleSet;
+        reply = EncodeErrorResponse(
+            wire_status, "circle set was never carried inline on this stream");
+      } else if (set->metric() != request->metric) {
+        wire_status = WireStatus::kMalformedRequest;
+        reply = EncodeErrorResponse(
+            wire_status, "request metric disagrees with the registered set");
+      } else {
+        std::optional<HeatmapResponse> response;
+        const Status status = engine_.ExecuteChecked(
+            HeatmapRequestV2{handle, request->domain, request->width,
+                             request->height},
+            &response);
+        if (status.ok()) {
+          reply = EncodeResponse(*response);
+        } else {
+          wire_status = ToWireStatus(status.code);
+          reply = EncodeErrorResponse(wire_status, status.message);
+        }
+      }
+    }
+  }
+  if (wire_status == WireStatus::kOk) {
+    ++stats_.ok;
+  } else {
+    ++stats_.errors;
+  }
+  return reply;
+}
+
+Status WireServer::ServeStream(ByteSource& in, ByteSink& out) {
+  FrameAssembler assembler(kMaxFramePayloadBytes);
+  uint8_t chunk[64 * 1024];
+  for (;;) {
+    while (std::optional<std::vector<uint8_t>> frame = assembler.Next()) {
+      const std::vector<uint8_t> reply = HandleFrame(*frame);
+      const uint32_t length = static_cast<uint32_t>(reply.size());
+      uint8_t prefix[4];
+      for (int i = 0; i < 4; ++i) {
+        prefix[i] = static_cast<uint8_t>(length >> (8 * i));
+      }
+      if (!out.Write(std::span<const uint8_t>(prefix, 4)) ||
+          !out.Write(reply) || !out.Flush()) {
+        return Status::Unavailable("failed to write response frame");
+      }
+    }
+    if (assembler.poisoned()) return assembler.status();
+    const std::ptrdiff_t n = in.Read(chunk, sizeof(chunk));
+    if (n < 0) return Status::DataLoss("read error on frame stream");
+    if (n == 0) {
+      if (assembler.mid_frame()) {
+        return Status::DataLoss("stream truncated mid-frame");
+      }
+      return Status::Ok();
+    }
+    assembler.Feed(std::span<const uint8_t>(chunk, static_cast<size_t>(n)));
+  }
+}
+
+// The legacy FILE* entry point (declared in query/wire.h): wraps the
+// streams and reports the WireServer counters/error the way the old loop
+// did.
+bool ServeWireStream(std::FILE* in, std::FILE* out, HeatmapEngine& engine,
+                     WireServeStats* stats, std::string* error) {
+  WireServer server(engine);
+  FileByteSource source(in);
+  FileByteSink sink(out);
+  const Status status = server.ServeStream(source, sink);
+  if (stats != nullptr) *stats = server.stats();
+  if (!status.ok() && error != nullptr) *error = status.message;
+  return status.ok();
+}
+
+}  // namespace rnnhm

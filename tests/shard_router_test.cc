@@ -1,0 +1,313 @@
+// Shard-router differential tests: a forked 2-shard fleet behind the
+// routing front must serve responses bit-identical to a direct
+// HeatmapEngine::Execute, keep hash affinity (same set -> same shard, so
+// inline-once registration works across processes), preserve per-client
+// submission order, and merge stats across the fleet.
+//
+// Every harness forks its fleet FIRST, while the test process is still
+// single-threaded — the router thread and any reference engines come
+// after (fork must not carry sibling threads' lock state into workers).
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "heatmap/influence.h"
+#include "query/circle_set_registry.h"
+#include "query/heatmap_engine.h"
+#include "query/wire.h"
+#include "serve/options.h"
+#include "serve/shard_router.h"
+#include "serve/transport.h"
+
+namespace rnnhm {
+namespace {
+
+std::vector<NnCircle> MakeCircles(uint64_t seed, int n) {
+  Rng rng(seed);
+  std::vector<NnCircle> out;
+  out.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    out.push_back(NnCircle{{rng.Uniform(0, 1), rng.Uniform(0, 1)},
+                           rng.Uniform(0.02, 0.2), i});
+  }
+  return out;
+}
+
+const Rect kDomain{{-0.1, -0.1}, {1.1, 1.1}};
+
+// Fleet + router front on a Unix socket, router loop on its own thread.
+class RouterHarness {
+ public:
+  ~RouterHarness() {
+    if (router_ != nullptr && thread_.joinable()) Stop();
+  }
+
+  Status Start(int num_shards, int worker_slabs) {
+    options_.transport = TransportKind::kUnix;
+    options_.num_shards = num_shards;
+    options_.threads = 1;
+    options_.slabs = worker_slabs;
+    options_.idle_timeout_ms = 0;
+    options_.drain_timeout_ms = 2000;
+    options_.socket_dir = "/tmp/rnnhm-router-test-" +
+                          std::to_string(::getpid()) + "-" +
+                          std::to_string(++harness_counter_);
+    // Fork the workers before this process grows any threads.
+    if (const Status status = ShardFleet::Spawn(options_, &fleet_);
+        !status.ok()) {
+      return status;
+    }
+    front_path_ = options_.socket_dir + "/front.sock";
+    Listener front;
+    if (const Status status = Listener::ListenUnix(front_path_, &front);
+        !status.ok()) {
+      return status;
+    }
+    router_ = std::make_unique<ShardRouter>(std::move(front),
+                                            fleet_.socket_paths(), options_);
+    thread_ = std::thread([this] { result_ = router_->Run(); });
+    return Status::Ok();
+  }
+
+  Status Connect(int* fd) const { return ConnectUnix(front_path_, fd); }
+
+  Status Stop() {
+    router_->RequestShutdown();
+    thread_.join();
+    fleet_.Shutdown();
+    return result_;
+  }
+
+  int num_shards() const { return fleet_.num_shards(); }
+
+ private:
+  static int harness_counter_;
+
+  ServeOptions options_;
+  ShardFleet fleet_;
+  std::string front_path_;
+  std::unique_ptr<ShardRouter> router_;
+  std::thread thread_;
+  Status result_;
+};
+
+int RouterHarness::harness_counter_ = 0;
+
+Status RoundTrip(int fd, const std::vector<uint8_t>& request,
+                 std::vector<uint8_t>* response) {
+  if (const Status status = SendFrame(fd, request); !status.ok()) {
+    return status;
+  }
+  return RecvFrame(fd, response);
+}
+
+// Sends one request through the router and expects a kOk heat map back.
+HeatmapGrid RoutedGrid(int fd, const WireRequest& request) {
+  std::vector<uint8_t> reply;
+  const Status status = RoundTrip(fd, EncodeRequest(request), &reply);
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  std::string error;
+  const auto decoded = DecodeResponse(reply, &error);
+  EXPECT_TRUE(decoded.has_value()) << error;
+  if (decoded.has_value()) {
+    EXPECT_EQ(decoded->status, WireStatus::kOk) << decoded->error;
+    if (decoded->response.has_value()) return decoded->response->grid;
+  }
+  return HeatmapGrid(1, 1, kDomain);
+}
+
+TEST(ShardRouterTest, RoutedResponsesAreBitIdenticalToDirectExecute) {
+  // The differential corpus: every metric, workers sweeping with every
+  // slab decomposition. The reference engine always runs the sequential
+  // single-slab path — the routed raster must match it bit for bit.
+  const Metric metrics[] = {Metric::kLInf, Metric::kL1, Metric::kL2};
+  for (const int slabs : {1, 2, 4, 8}) {
+    SCOPED_TRACE("worker slabs " + std::to_string(slabs));
+    RouterHarness harness;
+    ASSERT_TRUE(harness.Start(/*num_shards=*/2, slabs).ok());
+    int fd = -1;
+    ASSERT_TRUE(harness.Connect(&fd).ok());
+
+    SizeInfluence measure;
+    HeatmapEngineOptions reference_options;
+    reference_options.num_threads = 1;
+    HeatmapEngine reference(measure, reference_options);
+
+    for (size_t m = 0; m < std::size(metrics); ++m) {
+      SCOPED_TRACE("metric " + std::to_string(m));
+      const auto set = CircleSetSnapshot::Make(
+          MakeCircles(100 + 10 * slabs + m, 40), metrics[m]);
+      const CircleSetHandle handle =
+          reference.registry().Register(set->circles(), set->metric());
+      // Inline once, then by hash — different rasters each time.
+      bool inline_circles = true;
+      for (const int size : {24, 33, 48}) {
+        const HeatmapGrid routed = RoutedGrid(
+            fd, MakeWireRequest(*set, kDomain, size, size, inline_circles));
+        inline_circles = false;
+        const HeatmapResponse direct =
+            reference.Execute(HeatmapRequestV2{handle, kDomain, size, size});
+        ASSERT_EQ(routed.width(), size);
+        ASSERT_EQ(routed.height(), size);
+        EXPECT_EQ(routed.values(), direct.grid.values());
+      }
+    }
+    ::close(fd);
+    EXPECT_TRUE(harness.Stop().ok());
+  }
+}
+
+TEST(ShardRouterTest, HashAffinityKeepsByHashRequestsResolvable) {
+  // Register several distinct sets inline-once, covering both shards,
+  // then hammer each with by-hash requests: if routing were not a pure
+  // function of the content hash, some request would land on a shard
+  // that never saw the set and fail with kUnknownCircleSet.
+  RouterHarness harness;
+  ASSERT_TRUE(harness.Start(/*num_shards=*/2, /*worker_slabs=*/1).ok());
+  int fd = -1;
+  ASSERT_TRUE(harness.Connect(&fd).ok());
+
+  std::map<uint64_t, int> sets_per_shard;
+  constexpr int kSets = 6;
+  for (int i = 0; i < kSets; ++i) {
+    const auto set =
+        CircleSetSnapshot::Make(MakeCircles(200 + i, 12), Metric::kLInf);
+    ++sets_per_shard[set->content_hash() % 2];
+    std::vector<uint8_t> reply;
+    ASSERT_TRUE(
+        RoundTrip(fd, EncodeRequest(MakeWireRequest(*set, kDomain, 8, 8, true)),
+                  &reply)
+            .ok());
+    for (int j = 0; j < 3; ++j) {
+      std::string error;
+      const auto decoded = DecodeResponse(reply, &error);
+      ASSERT_TRUE(decoded.has_value()) << error;
+      EXPECT_EQ(decoded->status, WireStatus::kOk) << decoded->error;
+      ASSERT_TRUE(RoundTrip(fd,
+                            EncodeRequest(MakeWireRequest(*set, kDomain, 8, 8,
+                                                          /*include=*/false)),
+                            &reply)
+                      .ok());
+    }
+  }
+  // The seeds above really did exercise both shards.
+  EXPECT_EQ(sets_per_shard.size(), 2u);
+
+  // A hash nobody registered errors instead of hanging or misrouting.
+  const auto stranger =
+      CircleSetSnapshot::Make(MakeCircles(999, 12), Metric::kLInf);
+  std::vector<uint8_t> reply;
+  ASSERT_TRUE(RoundTrip(fd,
+                        EncodeRequest(MakeWireRequest(*stranger, kDomain, 8, 8,
+                                                      /*include=*/false)),
+                        &reply)
+                  .ok());
+  std::string error;
+  const auto decoded = DecodeResponse(reply, &error);
+  ASSERT_TRUE(decoded.has_value()) << error;
+  EXPECT_EQ(decoded->status, WireStatus::kUnknownCircleSet);
+
+  // A frame the router cannot even peek a hash from is answered by the
+  // router itself, as a malformed-request error.
+  std::vector<uint8_t> garbage(80, 0xAB);
+  ASSERT_TRUE(RoundTrip(fd, garbage, &reply).ok());
+  const auto garbage_reply = DecodeResponse(reply, &error);
+  ASSERT_TRUE(garbage_reply.has_value()) << error;
+  EXPECT_EQ(garbage_reply->status, WireStatus::kMalformedRequest);
+
+  ::close(fd);
+  EXPECT_TRUE(harness.Stop().ok());
+}
+
+TEST(ShardRouterTest, ResponsesComeBackInSubmissionOrder) {
+  // Interleave a burst of requests over two sets (usually living on
+  // different shards) without reading a single response: the router's
+  // per-client reorder buffer must hand the responses back in submission
+  // order even though the two shards drain independently. Each request
+  // uses a distinct raster size, so order is visible in the responses.
+  RouterHarness harness;
+  ASSERT_TRUE(harness.Start(/*num_shards=*/2, /*worker_slabs=*/1).ok());
+  int fd = -1;
+  ASSERT_TRUE(harness.Connect(&fd).ok());
+
+  const auto set_a =
+      CircleSetSnapshot::Make(MakeCircles(301, 30), Metric::kL2);
+  const auto set_b =
+      CircleSetSnapshot::Make(MakeCircles(302, 30), Metric::kL1);
+  constexpr int kBurst = 16;
+  std::vector<int> widths;
+  for (int i = 0; i < kBurst; ++i) {
+    const auto& set = (i % 2 == 0) ? set_a : set_b;
+    const int width = 8 + i;  // distinct per request
+    widths.push_back(width);
+    ASSERT_TRUE(SendFrame(fd, EncodeRequest(MakeWireRequest(
+                                  *set, kDomain, width, width,
+                                  /*include_circles=*/i < 2)))
+                    .ok());
+  }
+  for (int i = 0; i < kBurst; ++i) {
+    std::vector<uint8_t> reply;
+    ASSERT_TRUE(RecvFrame(fd, &reply).ok()) << "response " << i;
+    std::string error;
+    const auto decoded = DecodeResponse(reply, &error);
+    ASSERT_TRUE(decoded.has_value()) << error;
+    ASSERT_EQ(decoded->status, WireStatus::kOk) << decoded->error;
+    EXPECT_EQ(decoded->response->grid.width(), widths[i])
+        << "response " << i << " out of order";
+  }
+  ::close(fd);
+  EXPECT_TRUE(harness.Stop().ok());
+}
+
+TEST(ShardRouterTest, StatsFanOutMergesTheWholeFleet) {
+  RouterHarness harness;
+  ASSERT_TRUE(harness.Start(/*num_shards=*/2, /*worker_slabs=*/1).ok());
+  int fd = -1;
+  ASSERT_TRUE(harness.Connect(&fd).ok());
+
+  // Register two sets (one inline request each) and fan a few by-hash
+  // requests over them.
+  constexpr int kPerSet = 3;
+  int total = 0;
+  for (int s = 0; s < 2; ++s) {
+    const auto set =
+        CircleSetSnapshot::Make(MakeCircles(400 + s, 15), Metric::kLInf);
+    for (int i = 0; i < kPerSet; ++i) {
+      std::vector<uint8_t> reply;
+      ASSERT_TRUE(RoundTrip(fd,
+                            EncodeRequest(MakeWireRequest(*set, kDomain, 10, 10,
+                                                          /*include=*/i == 0)),
+                            &reply)
+                      .ok());
+      ++total;
+    }
+  }
+
+  std::vector<uint8_t> reply;
+  ASSERT_TRUE(RoundTrip(fd, EncodeStatsRequest(), &reply).ok());
+  std::string error;
+  const auto stats = DecodeStatsResponse(reply, &error);
+  ASSERT_TRUE(stats.has_value()) << error;
+  EXPECT_EQ(stats->shards, 2u);
+  // Every shard counts the fanned-out stats request it answered, so the
+  // merged totals are the heat-map requests plus one per shard.
+  EXPECT_EQ(stats->requests, static_cast<uint64_t>(total + 2));
+  EXPECT_EQ(stats->ok, static_cast<uint64_t>(total + 2));
+  EXPECT_EQ(stats->errors, 0u);
+  EXPECT_EQ(stats->sets_registered, 2u);
+
+  ::close(fd);
+  EXPECT_TRUE(harness.Stop().ok());
+}
+
+}  // namespace
+}  // namespace rnnhm

@@ -393,5 +393,125 @@ TEST(ServeWireStreamTest, OversizedRasterIsRefusedPolitely) {
   std::fclose(out);
 }
 
+// --- v3 additions: stats op, status mapping, routing peek -----------------
+
+TEST(WireStatsTest, RequestRoundTripsAndIsRecognized) {
+  const std::vector<uint8_t> bytes = EncodeStatsRequest();
+  EXPECT_TRUE(IsStatsRequest(bytes));
+  EXPECT_TRUE(DecodeStatsRequest(bytes).ok());
+  // A heat-map request is not a stats request.
+  const WireRequest request = InlineRequest(21, 8, Metric::kLInf);
+  EXPECT_FALSE(IsStatsRequest(EncodeRequest(request)));
+}
+
+TEST(WireStatsTest, RequestValidationIsStrict) {
+  std::vector<uint8_t> bytes = EncodeStatsRequest();
+  bytes[4] ^= 0xFF;  // version
+  EXPECT_FALSE(DecodeStatsRequest(bytes).ok());
+  bytes = EncodeStatsRequest();
+  bytes.push_back(0);  // trailing byte
+  EXPECT_FALSE(DecodeStatsRequest(bytes).ok());
+  bytes = EncodeStatsRequest();
+  bytes.pop_back();  // short
+  EXPECT_FALSE(DecodeStatsRequest(bytes).ok());
+}
+
+TEST(WireStatsTest, ResponseRoundTripsEveryCounter) {
+  WireStatsReply reply;
+  reply.shards = 4;
+  reply.requests = 1000;
+  reply.ok = 990;
+  reply.errors = 10;
+  reply.sets_registered = 7;
+  std::string error;
+  const auto decoded = DecodeStatsResponse(EncodeStatsResponse(reply), &error);
+  ASSERT_TRUE(decoded.has_value()) << error;
+  EXPECT_EQ(decoded->shards, 4u);
+  EXPECT_EQ(decoded->requests, 1000u);
+  EXPECT_EQ(decoded->ok, 990u);
+  EXPECT_EQ(decoded->errors, 10u);
+  EXPECT_EQ(decoded->sets_registered, 7u);
+}
+
+TEST(WireStatsTest, ResponseValidationIsStrict) {
+  WireStatsReply reply;
+  reply.shards = 1;
+  std::string error;
+  std::vector<uint8_t> bytes = EncodeStatsResponse(reply);
+  bytes.push_back(0);
+  EXPECT_FALSE(DecodeStatsResponse(bytes, &error).has_value());
+  bytes = EncodeStatsResponse(reply);
+  bytes[0] ^= 1;  // magic
+  EXPECT_FALSE(DecodeStatsResponse(bytes, &error).has_value());
+  // shards == 0 cannot describe any server.
+  reply.shards = 0;
+  EXPECT_FALSE(
+      DecodeStatsResponse(EncodeStatsResponse(reply), &error).has_value());
+}
+
+TEST(WireStatusMappingTest, ErrorCodesRoundTrip) {
+  for (const WireStatus status :
+       {WireStatus::kMalformedRequest, WireStatus::kUnknownCircleSet,
+        WireStatus::kServerError}) {
+    EXPECT_EQ(ToWireStatus(FromWireStatus(status)), status);
+  }
+  EXPECT_EQ(FromWireStatus(WireStatus::kOk), StatusCode::kOk);
+}
+
+TEST(WireStatusMappingTest, TransportCodesCollapseToServerError) {
+  for (const StatusCode code :
+       {StatusCode::kUnavailable, StatusCode::kDataLoss,
+        StatusCode::kInternal, StatusCode::kDeadlineExceeded}) {
+    EXPECT_EQ(ToWireStatus(code), WireStatus::kServerError);
+  }
+  // Oversized frames surface as a malformed request to the peer.
+  EXPECT_EQ(ToWireStatus(StatusCode::kResourceExhausted),
+            WireStatus::kMalformedRequest);
+}
+
+TEST(WireStatusMappingTest, ExitCodesAreDistinctPerStatusCode) {
+  EXPECT_EQ(ExitCodeFor(Status::Ok()), 0);
+  std::vector<int> codes;
+  for (const StatusCode code :
+       {StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kInternal, StatusCode::kUnavailable, StatusCode::kDataLoss,
+        StatusCode::kResourceExhausted, StatusCode::kDeadlineExceeded}) {
+    const int exit_code = ExitCodeFor(Status::Error(code, "x"));
+    EXPECT_GT(exit_code, 2);  // 1 and 2 stay reserved for usage/generic
+    for (const int seen : codes) EXPECT_NE(exit_code, seen);
+    codes.push_back(exit_code);
+  }
+}
+
+TEST(WireDecodeStatusTest, StatusOverloadsMirrorTheStringForms) {
+  const WireRequest request = InlineRequest(22, 6, Metric::kL1);
+  Status status;
+  EXPECT_TRUE(DecodeRequest(EncodeRequest(request), &status).has_value());
+  EXPECT_TRUE(status.ok());
+  std::vector<uint8_t> bytes = EncodeRequest(request);
+  bytes[0] ^= 1;
+  EXPECT_FALSE(DecodeRequest(bytes, &status).has_value());
+  EXPECT_EQ(status.code, StatusCode::kInvalidArgument);
+  EXPECT_FALSE(status.message.empty());
+}
+
+TEST(PeekRequestSetHashTest, ReadsTheHashWithoutDecoding) {
+  const auto set = CircleSetSnapshot::Make(MakeCircles(23, 12), Metric::kL2);
+  for (const bool inline_circles : {true, false}) {
+    const std::vector<uint8_t> bytes = EncodeRequest(
+        MakeWireRequest(*set, kDomain, 16, 16, inline_circles));
+    const auto hash = PeekRequestSetHash(bytes);
+    ASSERT_TRUE(hash.has_value());
+    EXPECT_EQ(*hash, set->content_hash());
+  }
+}
+
+TEST(PeekRequestSetHashTest, RejectsNonRequestPayloads) {
+  EXPECT_FALSE(PeekRequestSetHash(EncodeStatsRequest()).has_value());
+  EXPECT_FALSE(PeekRequestSetHash({}).has_value());
+  const std::vector<uint8_t> garbage(80, 0xAB);
+  EXPECT_FALSE(PeekRequestSetHash(garbage).has_value());
+}
+
 }  // namespace
 }  // namespace rnnhm

@@ -27,14 +27,31 @@
 //       Re-render a heat map saved with `heatmap --save`.
 //   stats --clients A.csv --facilities B.csv [--metric linf|l1]
 //       Exact area-weighted influence distribution (histogram, quantiles).
-//   serve [--in req.bin] [--out resp.bin] [--threads T] [--slabs S]
-//         [--cache BYTES]
-//       Wire-protocol server loop (the process-sharding seam): read
-//       length-prefixed serving-API-v2 request frames from --in (default
-//       stdin), execute each against a HeatmapEngine, write one response
-//       frame per request to --out (default stdout). Inline circle sets
-//       register into the engine's registry; later requests may reference
-//       them by content hash alone.
+//   serve [--transport stdio|tcp|unix] [--threads T] [--slabs S]
+//         [--cache BYTES] [--in req.bin] [--out resp.bin]
+//         [--host H] [--port P] [--path SOCK] [--max-conns N]
+//         [--idle-timeout MS] [--drain-timeout MS] [--poller epoll|poll]
+//       Wire-protocol server. stdio reads length-prefixed serving-API-v2
+//       request frames from --in (default stdin) and answers on --out
+//       (default stdout). tcp/unix run the nonblocking event loop
+//       (serve/event_loop.h) on the given address — --port 0 binds an
+//       ephemeral port, printed on stderr as "listening on tcp HOST:PORT".
+//       Inline circle sets register into the engine's registry; later
+//       requests may reference them by content hash alone. SIGINT/SIGTERM
+//       drain gracefully (a second signal stops immediately).
+//   route [--transport tcp|unix] [--shards N] [--socket-dir DIR]
+//         [--threads T] [--slabs S] [--cache BYTES] plus the serve
+//         address/connection flags
+//       Multi-process sharding front: fork N shared-nothing engine
+//       workers (one per shard, each on its own Unix socket under
+//       --socket-dir) and route request frames to shard
+//       (set_hash % N) — see serve/shard_router.h.
+//   wire-send [--requests req.bin] --connect tcp:HOST:PORT|unix:PATH
+//             [--out resp.bin] [--stats]
+//       Socket client: send each framed request from --requests to a
+//       running serve/route process, collecting one response frame per
+//       request into --out. --stats additionally sends a stats op and
+//       prints the (fleet-merged) serve counters.
 //   wire-pack --clients A.csv --facilities B.csv [--metric linf|l1|l2]
 //             [--size N] [--count K] --out req.bin
 //       Encode K framed wire requests over one circle set (the first
@@ -44,7 +61,12 @@
 //       Decode request/response frame pairs and recompute every request
 //       directly; fails unless each served grid is bit-identical.
 //
-// Exit codes: 0 success, 1 usage error, 2 I/O or verification failure.
+// Exit codes: 0 success, 1 usage error, 2 I/O or verification failure;
+// serving-stack failures exit with a per-StatusCode code (3 + code — see
+// ExitCodeFor in common/status.h), so a supervisor can tell a bad flag
+// from a lost socket from a truncated stream.
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -52,6 +74,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/status.h"
 #include "common/stopwatch.h"
 #include "core/crest.h"
 #include "core/crest_l2.h"
@@ -70,6 +93,12 @@
 #include "query/heatmap_session.h"
 #include "query/rnn_query.h"
 #include "query/wire.h"
+#include "serve/byte_stream.h"
+#include "serve/event_loop.h"
+#include "serve/options.h"
+#include "serve/shard_router.h"
+#include "serve/transport.h"
+#include "serve/wire_server.h"
 
 namespace {
 
@@ -92,8 +121,19 @@ int Usage() {
       "[--metric ...]\n"
       "  rnnhm_cli query --clients A.csv --facilities B.csv --x X --y Y "
       "[--metric ...]\n"
-      "  rnnhm_cli serve [--in req.bin] [--out resp.bin] [--threads T] "
+      "  rnnhm_cli serve [--transport stdio|tcp|unix] [--threads T] "
       "[--slabs S] [--cache BYTES]\n"
+      "            [--in req.bin] [--out resp.bin] [--host H] [--port P] "
+      "[--path SOCK]\n"
+      "            [--max-conns N] [--idle-timeout MS] [--drain-timeout MS] "
+      "[--poller epoll|poll]\n"
+      "  rnnhm_cli route [--transport tcp|unix] [--shards N] "
+      "[--socket-dir DIR]\n"
+      "            [--threads T] [--slabs S] [--cache BYTES] "
+      "+ serve address flags\n"
+      "  rnnhm_cli wire-send [--requests req.bin] --connect "
+      "tcp:HOST:PORT|unix:PATH\n"
+      "            [--out resp.bin] [--stats]\n"
       "  rnnhm_cli wire-pack --clients A.csv --facilities B.csv "
       "[--metric ...] [--size N]\n"
       "            [--count K] --out req.bin\n"
@@ -125,7 +165,8 @@ bool Parse(int argc, char** argv, Args* out) {
   for (int i = 2; i < argc; ++i) {
     if (std::strncmp(argv[i], "--", 2) == 0) {
       const std::string name = argv[i] + 2;
-      if (name == "ascii" || name == "verify") {  // boolean flags
+      if (name == "ascii" || name == "verify" ||
+          name == "stats") {  // boolean flags
         out->flags.emplace_back(name, "1");
       } else if (i + 1 < argc) {
         out->flags.emplace_back(name, argv[++i]);
@@ -483,40 +524,78 @@ int CmdTopK(const Args& args) {
   return 0;
 }
 
-int CmdServe(const Args& args) {
-  const int threads = std::atoi(args.Flag("threads", "1"));
-  const int slabs = std::atoi(args.Flag("slabs", "1"));
+// The one place serve/route flags are parsed (ISSUE: ServeOptions is the
+// single source of serving configuration). False (with *error set) on any
+// out-of-range or unparsable flag.
+bool ParseServeFlags(const Args& args, ServeOptions* options,
+                     std::string* error) {
+  options->threads = std::atoi(args.Flag("threads", "1"));
+  options->slabs = std::atoi(args.Flag("slabs", "1"));
   char* cache_end = nullptr;
   const char* cache_arg = args.Flag("cache", "0");
   const long long cache_value = std::strtoll(cache_arg, &cache_end, 10);
-  if (threads <= 0 || slabs <= 0 || cache_end == cache_arg ||
-      *cache_end != '\0' || cache_value < 0) {
-    return Usage();
+  if (cache_end == cache_arg || *cache_end != '\0' || cache_value < 0) {
+    *error = "--cache needs a non-negative byte count";
+    return false;
   }
-  std::FILE* in = stdin;
-  std::FILE* out = stdout;
-  const char* in_path = args.Flag("in");
-  const char* out_path = args.Flag("out");
-  if (in_path != nullptr && (in = std::fopen(in_path, "rb")) == nullptr) {
-    std::fprintf(stderr, "cannot read %s\n", in_path);
-    return 2;
+  options->cache_bytes = static_cast<size_t>(cache_value);
+  if (options->threads <= 0 || options->slabs <= 0) {
+    *error = "--threads and --slabs must be positive";
+    return false;
   }
-  if (out_path != nullptr && (out = std::fopen(out_path, "wb")) == nullptr) {
-    std::fprintf(stderr, "cannot write %s\n", out_path);
-    if (in != stdin) std::fclose(in);
-    return 2;
+  if (!ParseTransportKind(args.Flag("transport", "stdio"),
+                          &options->transport)) {
+    *error = std::string("unknown transport '") +
+             args.Flag("transport", "stdio") + "' (stdio|tcp|unix)";
+    return false;
   }
-  SizeInfluence measure;
-  HeatmapEngineOptions options;
-  options.num_threads = threads;
-  options.slabs_per_request = slabs;
-  options.cache_bytes = static_cast<size_t>(cache_value);
-  HeatmapEngine engine(measure, options);
-  WireServeStats stats;
-  std::string error;
-  const bool ok = ServeWireStream(in, out, engine, &stats, &error);
-  if (in != stdin) std::fclose(in);
-  if (out != stdout) std::fclose(out);
+  options->host = args.Flag("host", "127.0.0.1");
+  options->port = std::atoi(args.Flag("port", "0"));
+  if (options->port < 0 || options->port > 65535) {
+    *error = "--port must be 0..65535";
+    return false;
+  }
+  if (const char* path = args.Flag("path"); path != nullptr) {
+    options->socket_path = path;
+  }
+  if (options->transport == TransportKind::kUnix &&
+      options->socket_path.empty()) {
+    *error = "--transport unix needs --path";
+    return false;
+  }
+  options->max_connections = std::atoi(args.Flag("max-conns", "64"));
+  options->idle_timeout_ms = std::atoi(args.Flag("idle-timeout", "30000"));
+  options->drain_timeout_ms = std::atoi(args.Flag("drain-timeout", "5000"));
+  if (options->max_connections <= 0 || options->idle_timeout_ms < 0 ||
+      options->drain_timeout_ms < 0) {
+    *error = "--max-conns must be positive; timeouts non-negative";
+    return false;
+  }
+  const std::string poller = args.Flag("poller", "epoll");
+  if (poller == "epoll") {
+    options->prefer_epoll = true;
+  } else if (poller == "poll") {
+    options->prefer_epoll = false;
+  } else {
+    *error = "unknown --poller '" + poller + "' (epoll|poll)";
+    return false;
+  }
+  options->num_shards = std::atoi(args.Flag("shards", "2"));
+  if (options->num_shards <= 0) {
+    *error = "--shards must be positive";
+    return false;
+  }
+  if (const char* dir = args.Flag("socket-dir"); dir != nullptr) {
+    options->socket_dir = dir;
+  }
+  if (const char* in = args.Flag("in"); in != nullptr) options->in_path = in;
+  if (const char* out = args.Flag("out"); out != nullptr) {
+    options->out_path = out;
+  }
+  return true;
+}
+
+void PrintServeStats(const WireServeStats& stats) {
   std::fprintf(stderr,
                "served %llu requests (%llu ok, %llu errors, %llu circle "
                "sets registered)\n",
@@ -524,11 +603,233 @@ int CmdServe(const Args& args) {
                static_cast<unsigned long long>(stats.ok),
                static_cast<unsigned long long>(stats.errors),
                static_cast<unsigned long long>(stats.sets_registered));
-  if (!ok) {
-    std::fprintf(stderr, "serve aborted: %s\n", error.c_str());
+}
+
+// The stdio/file leg of serve: the blocking WireServer loop over
+// ByteSource/ByteSink (what ServeWireStream wraps for legacy callers).
+int ServeStdio(const ServeOptions& options, HeatmapEngine& engine) {
+  std::FILE* in = stdin;
+  std::FILE* out = stdout;
+  if (!options.in_path.empty() &&
+      (in = std::fopen(options.in_path.c_str(), "rb")) == nullptr) {
+    std::fprintf(stderr, "cannot read %s\n", options.in_path.c_str());
     return 2;
   }
-  return 0;
+  if (!options.out_path.empty() &&
+      (out = std::fopen(options.out_path.c_str(), "wb")) == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", options.out_path.c_str());
+    if (in != stdin) std::fclose(in);
+    return 2;
+  }
+  WireServer server(engine);
+  FileByteSource source(in);
+  FileByteSink sink(out);
+  const Status status = server.ServeStream(source, sink);
+  if (in != stdin) std::fclose(in);
+  if (out != stdout) std::fclose(out);
+  PrintServeStats(server.stats());
+  if (!status.ok()) {
+    std::fprintf(stderr, "serve aborted: %s\n", status.ToString().c_str());
+  }
+  return ExitCodeFor(status);
+}
+
+int CmdServe(const Args& args) {
+  ServeOptions options;
+  std::string parse_error;
+  if (!ParseServeFlags(args, &options, &parse_error)) {
+    std::fprintf(stderr, "%s\n", parse_error.c_str());
+    return Usage();
+  }
+  SizeInfluence measure;
+  HeatmapEngineOptions engine_options;
+  engine_options.num_threads = options.threads;
+  engine_options.slabs_per_request = options.slabs;
+  engine_options.cache_bytes = options.cache_bytes;
+  HeatmapEngine engine(measure, engine_options);
+  if (options.transport == TransportKind::kStdio) {
+    return ServeStdio(options, engine);
+  }
+  Listener listener;
+  Status status =
+      options.transport == TransportKind::kTcp
+          ? Listener::ListenTcp(options.host, options.port, &listener)
+          : Listener::ListenUnix(options.socket_path, &listener);
+  if (!status.ok()) {
+    std::fprintf(stderr, "serve: %s\n", status.ToString().c_str());
+    return ExitCodeFor(status);
+  }
+  if (options.transport == TransportKind::kTcp) {
+    std::fprintf(stderr, "listening on tcp %s:%d\n", options.host.c_str(),
+                 listener.port());
+  } else {
+    std::fprintf(stderr, "listening on unix %s\n", listener.path().c_str());
+  }
+  EventLoopServer server(std::move(listener), engine, options);
+  InstallShutdownSignalHandlers(&server);
+  status = server.Run();
+  InstallShutdownSignalHandlers(nullptr);
+  PrintServeStats(server.stats());
+  if (!status.ok()) {
+    std::fprintf(stderr, "serve aborted: %s\n", status.ToString().c_str());
+  }
+  return ExitCodeFor(status);
+}
+
+int CmdRoute(const Args& args) {
+  ServeOptions options;
+  std::string parse_error;
+  if (!ParseServeFlags(args, &options, &parse_error)) {
+    std::fprintf(stderr, "%s\n", parse_error.c_str());
+    return Usage();
+  }
+  if (options.transport == TransportKind::kStdio) {
+    std::fprintf(stderr, "route needs --transport tcp or unix\n");
+    return Usage();
+  }
+  // Fleet first, while this process is still single-threaded (fork).
+  ShardFleet fleet;
+  Status status = ShardFleet::Spawn(options, &fleet);
+  if (!status.ok()) {
+    std::fprintf(stderr, "route: %s\n", status.ToString().c_str());
+    return ExitCodeFor(status);
+  }
+  Listener front;
+  status = options.transport == TransportKind::kTcp
+               ? Listener::ListenTcp(options.host, options.port, &front)
+               : Listener::ListenUnix(options.socket_path, &front);
+  if (!status.ok()) {
+    std::fprintf(stderr, "route: %s\n", status.ToString().c_str());
+    fleet.Shutdown();
+    return ExitCodeFor(status);
+  }
+  if (options.transport == TransportKind::kTcp) {
+    std::fprintf(stderr, "routing %d shards on tcp %s:%d\n",
+                 fleet.num_shards(), options.host.c_str(), front.port());
+  } else {
+    std::fprintf(stderr, "routing %d shards on unix %s\n", fleet.num_shards(),
+                 front.path().c_str());
+  }
+  ShardRouter router(std::move(front), fleet.socket_paths(), options);
+  InstallRouterSignalHandlers(&router);
+  status = router.Run();
+  InstallRouterSignalHandlers(nullptr);
+  fleet.Shutdown();
+  if (!status.ok()) {
+    std::fprintf(stderr, "route aborted: %s\n", status.ToString().c_str());
+  }
+  return ExitCodeFor(status);
+}
+
+int CmdWireSend(const Args& args) {
+  const char* req_path = args.Flag("requests");
+  const char* connect = args.Flag("connect");
+  const char* out_path = args.Flag("out");
+  const bool want_stats = args.Has("stats");
+  if (connect == nullptr || (req_path == nullptr && !want_stats)) {
+    std::fprintf(stderr,
+                 "--connect is required, plus --requests and/or --stats\n");
+    return Usage();
+  }
+  const std::string target = connect;
+  int fd = -1;
+  Status status;
+  if (target.rfind("tcp:", 0) == 0) {
+    const size_t colon = target.rfind(':');
+    if (colon == 3) {
+      std::fprintf(stderr, "--connect tcp needs tcp:HOST:PORT\n");
+      return Usage();
+    }
+    status = ConnectTcp(target.substr(4, colon - 4),
+                        std::atoi(target.c_str() + colon + 1), &fd);
+  } else if (target.rfind("unix:", 0) == 0) {
+    status = ConnectUnix(target.substr(5), &fd);
+  } else {
+    std::fprintf(stderr, "--connect needs tcp:HOST:PORT or unix:PATH\n");
+    return Usage();
+  }
+  if (!status.ok()) {
+    std::fprintf(stderr, "wire-send: %s\n", status.ToString().c_str());
+    return ExitCodeFor(status);
+  }
+  std::FILE* out = nullptr;
+  if (out_path != nullptr && (out = std::fopen(out_path, "wb")) == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path);
+    ::close(fd);
+    return 2;
+  }
+  int sent = 0;
+  int exit_code = 0;
+  if (req_path != nullptr) {
+    std::FILE* req_file = std::fopen(req_path, "rb");
+    if (req_file == nullptr) {
+      std::fprintf(stderr, "cannot read %s\n", req_path);
+      if (out != nullptr) std::fclose(out);
+      ::close(fd);
+      return 2;
+    }
+    for (;;) {
+      std::string frame_error;
+      const auto frame = ReadFrame(req_file, &frame_error);
+      if (!frame.has_value()) {
+        if (!frame_error.empty()) {
+          std::fprintf(stderr, "%s: %s\n", req_path, frame_error.c_str());
+          exit_code = 2;
+        }
+        break;
+      }
+      std::vector<uint8_t> reply;
+      if (status = SendFrame(fd, *frame); status.ok()) {
+        status = RecvFrame(fd, &reply);
+      }
+      if (!status.ok()) {
+        std::fprintf(stderr, "wire-send: %s\n", status.ToString().c_str());
+        exit_code = ExitCodeFor(status);
+        break;
+      }
+      if (out != nullptr && !WriteFrame(out, reply)) {
+        std::fprintf(stderr, "failed writing %s\n", out_path);
+        exit_code = 2;
+        break;
+      }
+      ++sent;
+    }
+    std::fclose(req_file);
+  }
+  if (exit_code == 0 && want_stats) {
+    std::vector<uint8_t> reply;
+    if (status = SendFrame(fd, EncodeStatsRequest()); status.ok()) {
+      status = RecvFrame(fd, &reply);
+    }
+    if (!status.ok()) {
+      std::fprintf(stderr, "wire-send: %s\n", status.ToString().c_str());
+      exit_code = ExitCodeFor(status);
+    } else {
+      std::string decode_error;
+      const auto stats = DecodeStatsResponse(reply, &decode_error);
+      if (!stats.has_value()) {
+        std::fprintf(stderr, "stats reply: %s\n", decode_error.c_str());
+        exit_code = 2;
+      } else {
+        std::printf("stats: %u shard(s), %llu requests, %llu ok, %llu "
+                    "errors, %llu sets registered\n",
+                    stats->shards,
+                    static_cast<unsigned long long>(stats->requests),
+                    static_cast<unsigned long long>(stats->ok),
+                    static_cast<unsigned long long>(stats->errors),
+                    static_cast<unsigned long long>(stats->sets_registered));
+      }
+    }
+  }
+  ::close(fd);
+  if (out != nullptr && std::fclose(out) != 0 && exit_code == 0) {
+    std::fprintf(stderr, "failed writing %s\n", out_path);
+    exit_code = 2;
+  }
+  if (exit_code == 0 && sent > 0) {
+    std::printf("sent %d requests, received %d responses\n", sent, sent);
+  }
+  return exit_code;
 }
 
 int CmdWirePack(const Args& args) {
@@ -704,6 +1005,8 @@ int main(int argc, char** argv) {
   if (cmd == "topk") return CmdTopK(args);
   if (cmd == "query") return CmdQuery(args);
   if (cmd == "serve") return CmdServe(args);
+  if (cmd == "route") return CmdRoute(args);
+  if (cmd == "wire-send") return CmdWireSend(args);
   if (cmd == "wire-pack") return CmdWirePack(args);
   if (cmd == "wire-verify") return CmdWireVerify(args);
   return Usage();
