@@ -18,23 +18,43 @@
 // two distinct handles rather than aliasing two different sets. The
 // content hash doubles as the engine's SweepCache key component, which is
 // what makes cache lookups O(1) in the circle count for handle requests.
+// Hashing and equality agree bit-for-bit: coordinates are compared by
+// their IEEE-754 bit patterns with -0.0 canonicalized to +0.0 first, so
+// sets differing only in the sign of a zero deduplicate (and hash alike),
+// and a NaN coordinate equals itself instead of spawning a duplicate
+// entry per registration.
 //
 // Lifetime: the registry holds one reference per net Register of a given
 // content (Register of already-registered content bumps a registration
-// count; Release decrements it and drops the registry's reference at
-// zero). Snapshots are shared_ptr-backed, so resolved snapshots outlive a
-// Release — in-flight requests keep the data alive. All methods are
+// count; Release decrements it). What happens at zero is governed by
+// CircleSetRegistryOptions: by default the entry is erased immediately
+// (the legacy behavior); with a retention budget the entry moves to an
+// *unpinned* LRU list instead — still resolvable by handle or hash, but
+// evictable when the budget overflows. Snapshots are shared_ptr-backed,
+// so resolved snapshots outlive a Release or an eviction — in-flight
+// requests keep the data alive. All CircleSetRegistry methods are
 // thread-safe.
+//
+// Deltas: ticking workloads move a few circles per update. ApplyDelta
+// derives a new registered snapshot from a base handle plus an edit list
+// without the caller re-shipping the set, and reports the dirty
+// x-intervals the edits perturb so the server can splice-recompute only
+// the affected pixel columns (heatmap/incremental.h).
 #ifndef RNNHM_QUERY_CIRCLE_SET_REGISTRY_H_
 #define RNNHM_QUERY_CIRCLE_SET_REGISTRY_H_
 
 #include <cstdint>
+#include <deque>
+#include <list>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <span>
 #include <unordered_map>
 #include <vector>
 
+#include "common/status.h"
+#include "core/dirty_interval.h"
 #include "geom/geometry.h"
 
 namespace rnnhm {
@@ -56,10 +76,50 @@ struct CircleSetHandle {
 };
 
 /// 64-bit FNV-1a fingerprint of a circle set's content: the metric, then
-/// every circle's center/radius/client in order. This is the canonical
-/// content hash shared by the registry, the engine's SweepCache and the
-/// wire protocol — keep them in lockstep.
+/// every circle's center/radius/client in order. Coordinates hash by
+/// their bit patterns with -0.0 canonicalized to +0.0, matching
+/// CircleSetSnapshot::SameContent exactly. This is the canonical content
+/// hash shared by the registry, the engine's SweepCache and the wire
+/// protocol — keep them in lockstep.
 uint64_t HashCircleSet(std::span<const NnCircle> circles, Metric metric);
+
+/// One edit in a delta registration: the unit of change a ticking session
+/// emits and the wire protocol's delta frames carry. Edits apply in list
+/// order to a copy of the base set's circle vector:
+///   kReplace    — circles[index] = circle (a client moved / requeried);
+///   kAppend     — circles.push_back(circle) (a client joined);
+///   kSwapRemove — circles[index] = circles.back(); pop_back() (a circle
+///                 left; deterministic O(1) removal — note the survivor's
+///                 *position* changes, which affects the content hash but
+///                 never the rasterized heat map).
+/// Client and server must apply identical semantics or their content
+/// hashes diverge; the wire path verifies the expected hash.
+struct CircleSetEdit {
+  enum class Kind : uint8_t { kReplace = 0, kAppend = 1, kSwapRemove = 2 };
+
+  Kind kind = Kind::kReplace;
+  uint32_t index = 0;  // target of kReplace/kSwapRemove; ignored by kAppend
+  NnCircle circle;     // payload of kReplace/kAppend; ignored by kSwapRemove
+};
+
+/// Retention policy for entries whose registration count reaches zero.
+/// With both budgets zero (the default) an entry is erased the moment its
+/// last registration is released — the legacy behavior every short-lived
+/// caller expects. With a nonzero budget, fully released entries are
+/// retained *unpinned* in LRU order (still resolvable, so a reconnecting
+/// client's by-hash requests keep hitting) until the budget overflows;
+/// a zero on one axis leaves that axis unconstrained.
+struct CircleSetRegistryOptions {
+  /// Maximum number of unpinned entries retained (0 = unconstrained,
+  /// unless both budgets are zero — then nothing is retained at all).
+  size_t max_unpinned_entries = 0;
+  /// Maximum total circle-payload bytes across unpinned entries.
+  size_t max_unpinned_bytes = 0;
+
+  bool retention_enabled() const {
+    return max_unpinned_entries > 0 || max_unpinned_bytes > 0;
+  }
+};
 
 /// An immutable circle set plus the metric its radii were measured in and
 /// its content hash, computed once at construction. Snapshots are always
@@ -76,7 +136,10 @@ class CircleSetSnapshot {
   Metric metric() const { return metric_; }
   uint64_t content_hash() const { return content_hash_; }
 
-  /// True iff the (circles, metric) content is byte-identical.
+  /// True iff the (circles, metric) content is identical under the same
+  /// bit-level comparison HashCircleSet uses: -0.0 equals +0.0, a NaN
+  /// equals the same NaN bit pattern. SameContent(a) implies equal
+  /// content hashes.
   bool SameContent(std::span<const NnCircle> circles, Metric metric) const;
 
  private:
@@ -87,16 +150,20 @@ class CircleSetSnapshot {
   uint64_t content_hash_;
 };
 
-/// Thread-safe, deduplicating store of circle-set snapshots.
+/// Thread-safe, deduplicating store of circle-set snapshots with an
+/// optional bounded retention of fully released entries.
 class CircleSetRegistry {
  public:
   CircleSetRegistry() = default;
+  explicit CircleSetRegistry(const CircleSetRegistryOptions& options)
+      : options_(options) {}
   CircleSetRegistry(const CircleSetRegistry&) = delete;
   CircleSetRegistry& operator=(const CircleSetRegistry&) = delete;
 
   /// Registers the content and returns its handle. Already-registered
   /// content (full equality, not just hash equality) returns the existing
-  /// handle and bumps its registration count; the vector is moved into
+  /// handle and bumps its registration count — re-pinning it if it was
+  /// sitting unpinned in the retention list; the vector is moved into
   /// the new snapshot otherwise.
   CircleSetHandle Register(std::vector<NnCircle> circles, Metric metric);
 
@@ -105,32 +172,85 @@ class CircleSetRegistry {
   /// session publishing its working set every tick).
   CircleSetHandle Register(std::span<const NnCircle> circles, Metric metric);
 
+  /// Derives and registers a new snapshot: base's circles with `edits`
+  /// applied in order (the base's metric carries over). On success fills
+  /// `*derived` (registration count bumped once, exactly like Register —
+  /// dedup applies if the content already exists) and returns Ok.
+  ///   kNotFound        — base unknown, fully released, or evicted;
+  ///   kInvalidArgument — an edit indexes out of range, or the derived
+  ///                      content hash differs from `*expected_hash`
+  ///                      (client/server edit semantics diverged); nothing
+  ///                      is registered in either case.
+  /// When `dirty` is non-null, the x-extents every edit perturbs (old and
+  /// new footprints of replaced circles, footprints of appended/removed
+  /// ones) are Add()ed to it — the exact input RecomputeDirtyColumns
+  /// needs to splice instead of rebuild. When `base_out` is non-null it
+  /// receives the base snapshot (pinned), saving the caller a second
+  /// Resolve.
+  Status ApplyDelta(const CircleSetHandle& base,
+                    std::span<const CircleSetEdit> edits,
+                    std::optional<uint64_t> expected_hash,
+                    CircleSetHandle* derived, DirtyIntervalSet* dirty = nullptr,
+                    std::shared_ptr<const CircleSetSnapshot>* base_out =
+                        nullptr);
+
   /// The snapshot behind a handle, or null when the handle was never
-  /// issued by this registry, has been fully released, or carries a
+  /// issued by this registry, has been erased or evicted, or carries a
   /// content hash that does not match its entry (a stale or forged
-  /// handle).
+  /// handle). Resolving an unpinned entry refreshes its LRU position.
   std::shared_ptr<const CircleSetSnapshot> Resolve(
       const CircleSetHandle& handle) const;
 
-  /// The handle of the entry whose content hash is `content_hash`, or an
-  /// invalid handle. This is the wire server's by-reference lookup; it
-  /// trusts the 64-bit hash (the registry itself never aliases two
-  /// contents, so the only ambiguity is between two *registered* sets
-  /// colliding — in that case the first registered wins).
+  /// The handle of the unique entry registered under `content_hash`, or
+  /// an invalid handle. This is the wire server's by-reference lookup.
+  /// When two *distinct* contents are resident under one hash (a true
+  /// 64-bit collision), the hash alone cannot name either set, so the
+  /// lookup reports not-found rather than guessing — resolving the wrong
+  /// circle set would silently serve a wrong heat map. Callers holding
+  /// full content should additionally verify via Resolve + SameContent.
   CircleSetHandle FindByHash(uint64_t content_hash) const;
 
-  /// Decrements the handle's registration count, dropping the registry's
-  /// snapshot reference at zero. Returns false for an unknown or already
-  /// fully released handle. Outstanding shared_ptrs keep the data alive.
+  /// Decrements the handle's registration count. At zero the entry is
+  /// erased immediately (default options) or moved to the unpinned
+  /// retention list (nonzero budgets), possibly evicting older unpinned
+  /// entries over budget. Returns false for an unknown, evicted, or
+  /// already fully released handle — releasing an unpinned entry again is
+  /// a safe no-op, never an underflow. Outstanding shared_ptrs keep the
+  /// data alive either way.
   bool Release(const CircleSetHandle& handle);
 
-  /// Number of resident (not fully released) entries.
+  /// Number of resident entries (pinned + unpinned).
   size_t size() const;
+
+  /// Total circle-payload bytes across resident entries.
+  size_t resident_bytes() const;
+
+  /// Number of resident entries with zero registrations (retained only
+  /// by the retention budget).
+  size_t unpinned_entries() const;
+
+  /// Entries evicted by the retention budget since construction.
+  size_t total_evicted() const;
+
+  /// Test seam for hash-collision coverage: registers `circles` as a NEW
+  /// entry filed under `forced_hash` instead of its true content hash,
+  /// bypassing dedup. Real 64-bit FNV collisions are infeasible to
+  /// construct, but the wire path must still survive one — this injects
+  /// the collision the tests need. Never call outside tests.
+  CircleSetHandle RegisterWithHashForTesting(std::vector<NnCircle> circles,
+                                             Metric metric,
+                                             uint64_t forced_hash);
 
  private:
   struct Entry {
     std::shared_ptr<const CircleSetSnapshot> set;
     size_t registrations = 0;
+    // The hash this entry is filed under in by_hash_. Equals
+    // set->content_hash() except for RegisterWithHashForTesting entries.
+    uint64_t hash = 0;
+    // Position in unpinned_lru_; valid iff registrations == 0 and the
+    // entry is retained.
+    std::list<uint64_t>::iterator lru;
   };
 
   // Shared body of both Register overloads: `owned`, when non-null, is
@@ -138,12 +258,70 @@ class CircleSetRegistry {
   CircleSetHandle RegisterImpl(std::span<const NnCircle> circles,
                                Metric metric, std::vector<NnCircle>* owned);
 
+  // Moves a zero-registration entry onto the unpinned LRU (front = most
+  // recently used) and evicts over-budget entries from the back.
+  // Requires mu_ held.
+  void UnpinLocked(uint64_t id, Entry& entry);
+  // Removes an unpinned entry from the LRU on re-registration. mu_ held.
+  void RepinLocked(Entry& entry);
+  // Refreshes an unpinned entry's LRU position. mu_ held.
+  void TouchLocked(const Entry& entry) const;
+  // Erases `id` from both maps and the byte accounting. mu_ held.
+  void EraseLocked(uint64_t id);
+  // Evicts LRU-tail unpinned entries until within budget. mu_ held.
+  void EvictOverBudgetLocked();
+
+  static size_t PayloadBytes(const CircleSetSnapshot& set) {
+    return set.circles().size() * sizeof(NnCircle);
+  }
+
+  const CircleSetRegistryOptions options_;
+
   mutable std::mutex mu_;
   uint64_t next_id_ = 1;
-  std::unordered_map<uint64_t, Entry> by_id_;
+  // Mutable so the const lookups (Resolve, FindByHash) can refresh LRU
+  // recency under mu_.
+  mutable std::unordered_map<uint64_t, Entry> by_id_;
   // content_hash -> ids with that hash (more than one only on a true
   // 64-bit collision between distinct contents).
-  std::unordered_multimap<uint64_t, uint64_t> by_hash_;
+  mutable std::unordered_multimap<uint64_t, uint64_t> by_hash_;
+  // Unpinned entries, most recently used first.
+  mutable std::list<uint64_t> unpinned_lru_;
+  size_t resident_bytes_ = 0;
+  size_t unpinned_bytes_ = 0;
+  size_t total_evicted_ = 0;
+};
+
+/// Tracks the registrations a connection (or stream) owns and releases
+/// them when the connection goes away — the per-connection half of the
+/// memory bound for long-lived servers. Every Track() corresponds to
+/// exactly one Register/ApplyDelta bump; with a nonzero cap the oldest
+/// tracked registration is released as new ones push past it, bounding
+/// what one chatty client can pin. Not thread-safe: one scope belongs to
+/// one connection.
+class RegistrationScope {
+ public:
+  RegistrationScope() = default;
+  explicit RegistrationScope(CircleSetRegistry* registry,
+                             size_t max_tracked = 0)
+      : registry_(registry), max_tracked_(max_tracked) {}
+  RegistrationScope(const RegistrationScope&) = delete;
+  RegistrationScope& operator=(const RegistrationScope&) = delete;
+  ~RegistrationScope() { ReleaseAll(); }
+
+  /// Takes ownership of one registration bump. With a cap, releases the
+  /// oldest tracked handle once the cap is exceeded.
+  void Track(const CircleSetHandle& handle);
+
+  /// Releases every tracked registration (idempotent).
+  void ReleaseAll();
+
+  size_t tracked() const { return handles_.size(); }
+
+ private:
+  CircleSetRegistry* registry_ = nullptr;
+  size_t max_tracked_ = 0;
+  std::deque<CircleSetHandle> handles_;
 };
 
 }  // namespace rnnhm

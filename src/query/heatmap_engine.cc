@@ -8,6 +8,7 @@
 #include "common/check.h"
 #include "core/crest_parallel.h"
 #include "core/label_sink.h"
+#include "heatmap/incremental.h"
 #include "heatmap/raster_sink.h"
 #include "query/sweep_cache.h"
 
@@ -180,6 +181,74 @@ Status HeatmapEngine::ExecuteChecked(
   try {
     *response = Serve(ResolvedRequest{std::move(set), request.domain,
                                       request.width, request.height});
+  } catch (const std::exception& e) {
+    return Status::Internal(e.what());
+  } catch (...) {
+    return Status::Internal("sweep failed");
+  }
+  return Status::Ok();
+}
+
+Status HeatmapEngine::ExecuteDeltaChecked(
+    const CircleSetHandle& base, std::span<const CircleSetEdit> edits,
+    std::optional<uint64_t> expected_hash, const Rect& domain, int width,
+    int height, CircleSetHandle* derived,
+    std::optional<HeatmapResponse>* response, bool* spliced) const {
+  if (spliced != nullptr) *spliced = false;
+  if (width <= 0 || height <= 0) {
+    return Status::InvalidArgument("non-positive raster size");
+  }
+  if (!(domain.lo.x < domain.hi.x) || !(domain.lo.y < domain.hi.y)) {
+    return Status::InvalidArgument("degenerate request domain");
+  }
+  DirtyIntervalSet dirty;
+  std::shared_ptr<const CircleSetSnapshot> base_set;
+  CircleSetHandle derived_handle;
+  if (const Status status = registry_->ApplyDelta(
+          base, edits, expected_hash, &derived_handle, &dirty, &base_set);
+      !status.ok()) {
+    return status;
+  }
+  *derived = derived_handle;
+  // The derived registration we just made pins the entry, so this resolve
+  // can only fail on a concurrent out-of-band Release.
+  std::shared_ptr<const CircleSetSnapshot> set =
+      registry_->Resolve(derived_handle);
+  if (set == nullptr) {
+    return Status::NotFound("derived set released before it could be served");
+  }
+  try {
+    if (cache_ != nullptr) {
+      const SweepCacheKey derived_key{set->content_hash(), domain, width,
+                                      height};
+      std::optional<HeatmapResponse> hit = cache_->Lookup(derived_key, set);
+      if (hit.has_value()) {
+        *response = std::move(*hit);
+        return Status::Ok();
+      }
+      // Splice: reuse the base raster when the cache still holds it and
+      // the metric sweeps column-separably (kL1 sweeps the rotated frame,
+      // where the dirty x-intervals do not map to output columns).
+      if (set->metric() != Metric::kL1) {
+        const SweepCacheKey base_key{base_set->content_hash(), domain, width,
+                                     height};
+        std::optional<HeatmapResponse> base_hit =
+            cache_->Lookup(base_key, base_set);
+        if (base_hit.has_value()) {
+          HeatmapGrid grid = std::move(base_hit->grid);
+          const IncrementalRasterStats inc = RecomputeDirtyColumns(
+              &grid, set->metric(), set->circles(), measure_, dirty);
+          HeatmapResponse served{std::move(grid), inc.sweep.crest,
+                                 inc.sweep.l2, false, {}};
+          cache_->Insert(derived_key, set, served);
+          served.cache = cache_->stats();
+          if (spliced != nullptr) *spliced = true;
+          *response = std::move(served);
+          return Status::Ok();
+        }
+      }
+    }
+    *response = Serve(ResolvedRequest{std::move(set), domain, width, height});
   } catch (const std::exception& e) {
     return Status::Internal(e.what());
   } catch (...) {

@@ -49,6 +49,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <span>
 #include <thread>
 #include <vector>
 
@@ -207,6 +208,28 @@ class HeatmapEngine {
   /// serve/wire_server.h).
   Status ExecuteChecked(const HeatmapRequestV2& request,
                         std::optional<HeatmapResponse>* response) const;
+
+  /// The serving-stack delta path (wire v4): derives a new registered set
+  /// from `base` + `edits` via registry().ApplyDelta (the caller owns the
+  /// derived registration bump reported through `*derived`), then serves
+  /// the derived set's heat map over `domain` at `width` x `height`.
+  /// When the engine's cache still holds the base raster for the same
+  /// geometry and the metric is column-separable (kLInf, kL2), the
+  /// response is *spliced* — only the columns the edits dirtied are
+  /// recomputed — and is bit-identical to a from-scratch sweep by the
+  /// incremental-raster contract (heatmap/incremental.h); otherwise it
+  /// falls back to the normal cold path. `*spliced`, when non-null,
+  /// reports which path served the response. Status mirrors
+  /// ExecuteChecked plus ApplyDelta's kNotFound (base gone/evicted) and
+  /// kInvalidArgument (bad edit index, derived-hash mismatch); nothing is
+  /// registered on failure.
+  Status ExecuteDeltaChecked(const CircleSetHandle& base,
+                             std::span<const CircleSetEdit> edits,
+                             std::optional<uint64_t> expected_hash,
+                             const Rect& domain, int width, int height,
+                             CircleSetHandle* derived,
+                             std::optional<HeatmapResponse>* response,
+                             bool* spliced = nullptr) const;
 
   /// The registry v2 handles resolve against (engine-private unless one
   /// was passed in via options).

@@ -34,7 +34,7 @@ void HeatmapSession::EnsureFacilityTree() {
   }
 }
 
-void HeatmapSession::RequeryClient(int32_t id) {
+void HeatmapSession::RequeryClient(int32_t id, bool record) {
   EnsureFacilityTree();
   const NnResult nn = facility_tree_->Nearest(clients_[id], metric_);
   RNNHM_DCHECK(nn.index >= 0);
@@ -43,6 +43,14 @@ void HeatmapSession::RequeryClient(int32_t id) {
   // The new footprint is dirty; callers whose edit also removed an old
   // footprint (MoveClient) mark that one themselves before updating.
   MarkCircleDirty(circles_[id]);
+  if (record) {
+    RecordEdit(CircleSetEdit{CircleSetEdit::Kind::kReplace,
+                             static_cast<uint32_t>(id), circles_[id]});
+  }
+}
+
+void HeatmapSession::RecordEdit(const CircleSetEdit& edit) {
+  if (journal_enabled_) edits_.push_back(edit);
 }
 
 void HeatmapSession::MoveClient(int32_t id, const Point& to) {
@@ -57,7 +65,10 @@ int32_t HeatmapSession::AddClient(const Point& at) {
   clients_.push_back(at);
   circles_.push_back(NnCircle{at, 0.0, id});
   client_nn_.push_back(-1);
-  RequeryClient(id);
+  // The placeholder circle never existed in the previous tick, so the
+  // journal entry is the append of the final circle, not a replace.
+  RequeryClient(id, /*record=*/false);
+  RecordEdit(CircleSetEdit{CircleSetEdit::Kind::kAppend, 0, circles_[id]});
   return id;
 }
 
@@ -75,6 +86,8 @@ void HeatmapSession::AddFacility(const Point& at) {
       MarkCircleDirty(circles_[i]);
       circles_[i].radius = d;
       client_nn_[i] = id;
+      RecordEdit(CircleSetEdit{CircleSetEdit::Kind::kReplace,
+                               static_cast<uint32_t>(i), circles_[i]});
     }
   }
 }
@@ -164,6 +177,25 @@ CircleSetHandle HeatmapSession::PublishCircles(CircleSetRegistry& registry) {
   published_ = handle;
   published_registry_ = &registry;
   return handle;
+}
+
+bool HeatmapSession::ReleasePublication() {
+  const bool released = published_registry_ != nullptr && published_.valid() &&
+                        published_registry_->Release(published_);
+  published_ = CircleSetHandle{};
+  published_registry_ = nullptr;
+  return released;
+}
+
+void HeatmapSession::EnableEditJournal(bool on) {
+  journal_enabled_ = on;
+  edits_.clear();
+}
+
+std::vector<CircleSetEdit> HeatmapSession::TakeCircleEdits() {
+  std::vector<CircleSetEdit> out = std::move(edits_);
+  edits_.clear();
+  return out;
 }
 
 HeatmapResponse HeatmapSession::RenderThroughEngine(HeatmapEngine& engine,

@@ -130,6 +130,32 @@ class HeatmapSession {
   /// manage those registrations themselves.
   CircleSetHandle PublishCircles(CircleSetRegistry& registry);
 
+  /// Releases the session's current publication (if any) back into its
+  /// registry and forgets it. Idempotent and double-release-safe: calling
+  /// it twice, or after the registry evicted the entry, is a no-op that
+  /// returns false (the registry itself also refuses to underflow a
+  /// zero-registration entry). Returns true iff a registration was
+  /// actually released. Use before dropping a registry the session
+  /// published into; PublishCircles keeps working afterwards.
+  bool ReleasePublication();
+
+  /// Turns the edit journal on (or off): while enabled, every mutator
+  /// records the CircleSetEdit that reproduces its circle change, in
+  /// order, so a tick's edits can travel as a wire v4 delta request
+  /// instead of re-shipping the set. Off by default — sessions that never
+  /// drain the journal must not accumulate one. Enabling clears any
+  /// stale journal.
+  void EnableEditJournal(bool on = true);
+
+  /// Drains the journal: returns the edits recorded since the last call
+  /// (or since EnableEditJournal) and clears it. Applying them in order
+  /// to the previous tick's circle vector reproduces circles() exactly —
+  /// same content hash, byte for byte.
+  std::vector<CircleSetEdit> TakeCircleEdits();
+
+  /// The undrained journal (empty when disabled).
+  const std::vector<CircleSetEdit>& pending_edits() const { return edits_; }
+
   /// Publishes into `engine.registry()` and executes a v2 request for the
   /// current circles: the serving-path analogue of Rebuild. On a
   /// cache-enabled engine, ticks whose circle set matches one already
@@ -146,8 +172,12 @@ class HeatmapSession {
 
  private:
   void EnsureFacilityTree();
-  void RequeryClient(int32_t id);
+  // `record` controls whether the resulting circle change lands in the
+  // edit journal as a kReplace (AddClient journals a kAppend itself —
+  // the placeholder it replaces does not exist in the previous tick).
+  void RequeryClient(int32_t id, bool record = true);
   void MarkCircleDirty(const NnCircle& circle);
+  void RecordEdit(const CircleSetEdit& edit);
 
   Metric metric_;
   std::vector<Point> clients_;
@@ -167,6 +197,10 @@ class HeatmapSession {
   // the same registry on the next publish so stale ticks don't accumulate.
   CircleSetHandle published_;
   CircleSetRegistry* published_registry_ = nullptr;
+
+  // The edit journal (see EnableEditJournal/TakeCircleEdits).
+  bool journal_enabled_ = false;
+  std::vector<CircleSetEdit> edits_;
 };
 
 }  // namespace rnnhm

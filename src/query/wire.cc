@@ -14,16 +14,22 @@ constexpr char kRequestMagic[4] = {'R', 'N', 'W', 'Q'};
 constexpr char kResponseMagic[4] = {'R', 'N', 'W', 'S'};
 constexpr char kStatsRequestMagic[4] = {'R', 'N', 'W', 'T'};
 constexpr char kStatsResponseMagic[4] = {'R', 'N', 'W', 'U'};
+constexpr char kDeltaRequestMagic[4] = {'R', 'N', 'W', 'D'};
 constexpr uint8_t kFlagInlineCircles = 0x1;
 // One encoded circle: center.x, center.y, radius (f64 each) + client i32.
 constexpr size_t kCircleBytes = 3 * sizeof(uint64_t) + sizeof(uint32_t);
 constexpr size_t kRequestHeaderBytes = 68;
 constexpr size_t kResponseHeaderBytes = 16;
 // magic + version + u16 metric/flags pair + u16 reserved + raster + domain:
-// the set_hash field's fixed offset in a request header.
+// the set_hash field's fixed offset in a request header. A delta request
+// shares this prefix layout with base_hash in the set_hash slot (so the
+// routing peek reads one offset for both) followed by new_hash.
 constexpr size_t kRequestSetHashOffset = 4 + 4 + 1 + 1 + 2 + 4 + 4 + 32;
+constexpr size_t kDeltaNewHashOffset = kRequestSetHashOffset + 8;
+// ... + base_hash + new_hash + edit count.
+constexpr size_t kDeltaHeaderBytes = kRequestSetHashOffset + 3 * 8;
 constexpr size_t kStatsRequestBytes = 12;   // magic + version + reserved
-constexpr size_t kStatsResponseBytes = 44;  // magic + version + shards + 4*u64
+constexpr size_t kStatsResponseBytes = 68;  // magic + version + shards + 7*u64
 
 // --- Little-endian primitives (explicit, host-endianness independent) -----
 
@@ -284,14 +290,168 @@ std::optional<WireRequest> DecodeRequest(std::span<const uint8_t> bytes,
 }
 
 std::optional<uint64_t> PeekRequestSetHash(std::span<const uint8_t> bytes) {
+  const std::optional<WireRouteInfo> info = PeekRouteInfo(bytes);
+  if (!info.has_value()) return std::nullopt;
+  return info->route_hash;
+}
+
+std::optional<WireRouteInfo> PeekRouteInfo(std::span<const uint8_t> bytes) {
   if (bytes.size() < kRequestSetHashOffset + sizeof(uint64_t)) {
     return std::nullopt;
   }
-  if (std::memcmp(bytes.data(), kRequestMagic, 4) != 0) return std::nullopt;
+  const bool is_request = std::memcmp(bytes.data(), kRequestMagic, 4) == 0;
+  const bool is_delta = std::memcmp(bytes.data(), kDeltaRequestMagic, 4) == 0;
+  if (!is_request && !is_delta) return std::nullopt;
   Reader version(bytes.data() + 4, 4);
   if (version.U32() != kWireVersion) return std::nullopt;
+  WireRouteInfo info;
+  info.is_delta = is_delta;
   Reader hash(bytes.data() + kRequestSetHashOffset, sizeof(uint64_t));
-  return hash.U64();
+  info.route_hash = hash.U64();
+  if (is_delta) {
+    if (bytes.size() < kDeltaNewHashOffset + sizeof(uint64_t)) {
+      return std::nullopt;
+    }
+    Reader derived(bytes.data() + kDeltaNewHashOffset, sizeof(uint64_t));
+    info.derived_hash = derived.U64();
+  }
+  return info;
+}
+
+std::vector<uint8_t> EncodeDeltaRequest(const WireDeltaRequest& request) {
+  std::vector<uint8_t> out;
+  out.reserve(kDeltaHeaderBytes +
+              request.edits.size() * (1 + sizeof(uint32_t) + kCircleBytes));
+  PutMagic(&out, kDeltaRequestMagic);
+  PutU32(&out, kWireVersion);
+  out.push_back(static_cast<uint8_t>(request.metric));
+  out.push_back(0);  // flags (none defined for deltas)
+  PutU16(&out, 0);   // reserved
+  PutI32(&out, request.width);
+  PutI32(&out, request.height);
+  PutF64(&out, request.domain.lo.x);
+  PutF64(&out, request.domain.lo.y);
+  PutF64(&out, request.domain.hi.x);
+  PutF64(&out, request.domain.hi.y);
+  PutU64(&out, request.base_hash);
+  PutU64(&out, request.new_hash);
+  PutU64(&out, static_cast<uint64_t>(request.edits.size()));
+  for (const CircleSetEdit& edit : request.edits) {
+    out.push_back(static_cast<uint8_t>(edit.kind));
+    switch (edit.kind) {
+      case CircleSetEdit::Kind::kReplace:
+        PutU32(&out, edit.index);
+        PutF64(&out, edit.circle.center.x);
+        PutF64(&out, edit.circle.center.y);
+        PutF64(&out, edit.circle.radius);
+        PutI32(&out, edit.circle.client);
+        break;
+      case CircleSetEdit::Kind::kAppend:
+        PutF64(&out, edit.circle.center.x);
+        PutF64(&out, edit.circle.center.y);
+        PutF64(&out, edit.circle.radius);
+        PutI32(&out, edit.circle.client);
+        break;
+      case CircleSetEdit::Kind::kSwapRemove:
+        PutU32(&out, edit.index);
+        break;
+    }
+  }
+  return out;
+}
+
+bool IsDeltaRequest(std::span<const uint8_t> bytes) {
+  return bytes.size() >= 4 &&
+         std::memcmp(bytes.data(), kDeltaRequestMagic, 4) == 0;
+}
+
+std::optional<WireDeltaRequest> DecodeDeltaRequest(
+    std::span<const uint8_t> bytes, std::string* error) {
+  Reader r(bytes.data(), bytes.size());
+  if (!r.Magic(kDeltaRequestMagic)) {
+    return Fail(error, "bad delta request magic");
+  }
+  if (r.U32() != kWireVersion) {
+    return Fail(error, "unsupported wire version");
+  }
+  WireDeltaRequest request;
+  const uint8_t metric = r.U8();
+  const uint8_t flags = r.U8();
+  const uint16_t reserved = r.U16();
+  request.width = r.I32();
+  request.height = r.I32();
+  request.domain.lo.x = r.F64();
+  request.domain.lo.y = r.F64();
+  request.domain.hi.x = r.F64();
+  request.domain.hi.y = r.F64();
+  request.base_hash = r.U64();
+  request.new_hash = r.U64();
+  const uint64_t count = r.U64();
+  if (!r.ok()) return Fail(error, "delta request header truncated");
+  if (metric > static_cast<uint8_t>(Metric::kL2)) {
+    return Fail(error, "unknown metric");
+  }
+  request.metric = static_cast<Metric>(metric);
+  if (flags != 0 || reserved != 0) {
+    return Fail(error, "reserved delta request bits set");
+  }
+  if (request.width <= 0 || request.height <= 0) {
+    return Fail(error, "non-positive raster size");
+  }
+  if (!(request.domain.lo.x < request.domain.hi.x) ||
+      !(request.domain.lo.y < request.domain.hi.y)) {
+    return Fail(error, "degenerate request domain");
+  }
+  // Every edit is at least one op byte, so a count over the remaining
+  // payload can never be satisfied — reject before reserving memory.
+  if (count > r.remaining()) {
+    return Fail(error, "delta edit count over the payload size");
+  }
+  request.edits.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    CircleSetEdit edit;
+    const uint8_t kind = r.U8();
+    if (!r.ok()) return Fail(error, "delta edit list truncated");
+    if (kind > static_cast<uint8_t>(CircleSetEdit::Kind::kSwapRemove)) {
+      return Fail(error, "unknown delta edit kind");
+    }
+    edit.kind = static_cast<CircleSetEdit::Kind>(kind);
+    switch (edit.kind) {
+      case CircleSetEdit::Kind::kReplace:
+        edit.index = r.U32();
+        edit.circle.center.x = r.F64();
+        edit.circle.center.y = r.F64();
+        edit.circle.radius = r.F64();
+        edit.circle.client = r.I32();
+        break;
+      case CircleSetEdit::Kind::kAppend:
+        edit.circle.center.x = r.F64();
+        edit.circle.center.y = r.F64();
+        edit.circle.radius = r.F64();
+        edit.circle.client = r.I32();
+        break;
+      case CircleSetEdit::Kind::kSwapRemove:
+        edit.index = r.U32();
+        break;
+    }
+    if (!r.ok()) return Fail(error, "delta edit list truncated");
+    request.edits.push_back(edit);
+  }
+  if (r.remaining() != 0) {
+    return Fail(error, "trailing delta request bytes");
+  }
+  return request;
+}
+
+std::optional<WireDeltaRequest> DecodeDeltaRequest(
+    std::span<const uint8_t> bytes, Status* status) {
+  std::string error;
+  std::optional<WireDeltaRequest> request = DecodeDeltaRequest(bytes, &error);
+  if (status != nullptr) {
+    *status = request.has_value() ? Status::Ok()
+                                  : Status::InvalidArgument(std::move(error));
+  }
+  return request;
 }
 
 namespace {
@@ -469,6 +629,9 @@ std::vector<uint8_t> EncodeStatsResponse(const WireStatsReply& reply) {
   PutU64(&out, reply.ok);
   PutU64(&out, reply.errors);
   PutU64(&out, reply.sets_registered);
+  PutU64(&out, reply.deltas);
+  PutU64(&out, reply.delta_splices);
+  PutU64(&out, reply.sets_evicted);
   return out;
 }
 
@@ -487,6 +650,9 @@ std::optional<WireStatsReply> DecodeStatsResponse(
   reply.ok = r.U64();
   reply.errors = r.U64();
   reply.sets_registered = r.U64();
+  reply.deltas = r.U64();
+  reply.delta_splices = r.U64();
+  reply.sets_evicted = r.U64();
   if (!r.ok()) return Fail(error, "stats response truncated");
   if (reply.shards == 0) return Fail(error, "stats response with no shards");
   if (r.remaining() != 0) {

@@ -46,11 +46,12 @@
 
 namespace rnnhm {
 
-/// Protocol version stamped into every message. v3 extends v2 with the
-/// stats message pair (fleet introspection; the router answers it with
-/// counters merged across shards) — request/response layouts are
-/// unchanged from v2.
-inline constexpr uint32_t kWireVersion = 3;
+/// Protocol version stamped into every message. v4 adds the delta
+/// registration op (base hash + edit list -> new registered set, served
+/// with an incremental re-sweep) and extends the stats reply with delta
+/// and eviction counters; request/response layouts are otherwise
+/// unchanged from v3.
+inline constexpr uint32_t kWireVersion = 4;
 
 /// Ceiling on a frame's payload length (guards a garbage length prefix
 /// from triggering a giant allocation).
@@ -137,6 +138,49 @@ std::optional<WireResponse> DecodeResponse(std::span<const uint8_t> bytes,
 std::optional<WireResponse> DecodeResponse(std::span<const uint8_t> bytes,
                                            Status* status);
 
+// --- Delta registration op (v4) -------------------------------------------
+//
+// Ticking workloads (a fleet of moving taxis, a what-if exploration)
+// perturb a few circles per update. A delta request names the previous
+// tick's set by content hash, carries the edit list that produced the new
+// set, and embeds the expected *derived* content hash so the server can
+// prove client and server applied identical edit semantics. The server
+// answers with a normal response frame for the derived set's heat map —
+// computed by splicing only the dirty columns when it still holds the
+// base raster — and the derived set becomes registered (addressable by
+// its hash in later requests, including further deltas chained off it).
+
+/// A decoded (or to-be-encoded) delta request. `base_hash` names the
+/// registered set the edits apply to; `new_hash` is the content hash of
+/// the derived set (HashCircleSet after applying `edits` in order), which
+/// the server verifies before registering.
+struct WireDeltaRequest {
+  Metric metric = Metric::kLInf;
+  uint64_t base_hash = 0;
+  uint64_t new_hash = 0;
+  std::vector<CircleSetEdit> edits;
+  Rect domain;
+  int width = 0;
+  int height = 0;
+};
+
+/// Serializes a delta request message.
+std::vector<uint8_t> EncodeDeltaRequest(const WireDeltaRequest& request);
+
+/// True iff the payload *starts like* a delta request (magic check only —
+/// cheap routing peek; full validation is DecodeDeltaRequest).
+bool IsDeltaRequest(std::span<const uint8_t> bytes);
+
+/// Parses and validates a delta request with the same strictness as
+/// DecodeRequest (edit index range checks happen later, against the
+/// resolved base set).
+std::optional<WireDeltaRequest> DecodeDeltaRequest(
+    std::span<const uint8_t> bytes, std::string* error);
+
+/// Status-returning form, mirroring the DecodeRequest overload.
+std::optional<WireDeltaRequest> DecodeDeltaRequest(
+    std::span<const uint8_t> bytes, Status* status);
+
 // --- Stats op (v3) --------------------------------------------------------
 //
 // A stats request asks a server for its serve counters; a router answers
@@ -152,6 +196,9 @@ struct WireStatsReply {
   uint64_t ok = 0;
   uint64_t errors = 0;
   uint64_t sets_registered = 0;
+  uint64_t deltas = 0;         ///< delta requests answered kOk (v4)
+  uint64_t delta_splices = 0;  ///< deltas served by incremental splice (v4)
+  uint64_t sets_evicted = 0;   ///< registry entries evicted by budget (v4)
 };
 
 /// Serializes a stats request (magic + version only).
@@ -188,14 +235,36 @@ struct WireServeStats {
   uint64_t ok = 0;              ///< responses with status kOk
   uint64_t errors = 0;          ///< responses with a non-kOk status
   uint64_t sets_registered = 0; ///< distinct inline sets registered
+  uint64_t deltas = 0;          ///< delta requests answered kOk
+  uint64_t delta_splices = 0;   ///< deltas served by incremental splice
 };
 
 /// The hash a router partitions a request frame by, without a full
 /// decode: checks the magic/version and reads the set_hash field at its
 /// fixed header offset. nullopt when the payload is too short or is not a
 /// request frame (stats requests and garbage alike) — the caller decides
-/// whether to fan out or answer an error itself.
+/// whether to fan out or answer an error itself. Delta requests peek
+/// their *base* hash (it sits at the same header offset), so a router
+/// using this alone already sends a delta to the shard that saw the base;
+/// PeekRouteInfo additionally exposes the derived hash for affinity
+/// tracking.
 std::optional<uint64_t> PeekRequestSetHash(std::span<const uint8_t> bytes);
+
+/// What a router learns from a frame header without a full decode.
+struct WireRouteInfo {
+  /// The hash to partition by: set_hash of a plain request, base_hash of
+  /// a delta (the shard holding the base must apply the edits).
+  uint64_t route_hash = 0;
+  bool is_delta = false;
+  /// The derived set's content hash (deltas only) — the hash future
+  /// requests will arrive under, which the router must pin to the same
+  /// shard the delta lands on.
+  uint64_t derived_hash = 0;
+};
+
+/// Routing peek covering both plain and delta request frames; nullopt for
+/// anything else (stats requests, garbage, short payloads).
+std::optional<WireRouteInfo> PeekRouteInfo(std::span<const uint8_t> bytes);
 
 /// The serve loop: reads request frames from `in` until EOF, executes
 /// each against `engine` (inline sets register into engine.registry();

@@ -174,9 +174,15 @@ Status Poller::Wait(int timeout_ms, std::vector<Event>* events) {
 // --- EventLoopServer ------------------------------------------------------
 
 struct EventLoopServer::Connection {
-  explicit Connection(size_t max_payload) : assembler(max_payload) {}
+  Connection(size_t max_payload, CircleSetRegistry* registry,
+             size_t max_conn_sets)
+      : assembler(max_payload), scope(registry, max_conn_sets) {}
 
   FrameAssembler assembler;
+  // Registrations this connection owns (inline sets, delta derivations);
+  // released when the connection closes — the destructor runs as the
+  // connection leaves the map — so one client cannot pin sets forever.
+  RegistrationScope scope;
   OutputBuffer output;
   std::chrono::steady_clock::time_point last_activity;
   bool peer_done = false;         // read side saw EOF or poison
@@ -185,7 +191,10 @@ struct EventLoopServer::Connection {
 
 EventLoopServer::EventLoopServer(Listener listener, HeatmapEngine& engine,
                                  const ServeOptions& options)
-    : listener_(std::move(listener)), wire_server_(engine), options_(options) {
+    : listener_(std::move(listener)),
+      wire_server_(engine),
+      registry_(&engine.registry()),
+      options_(options) {
   if (::pipe(wake_fds_) == 0) {
     MakeNonblocking(wake_fds_[0]);
     MakeNonblocking(wake_fds_[1]);
@@ -244,7 +253,7 @@ void EventLoopServer::HandleReadable(int fd, Connection& conn) {
     break;
   }
   while (std::optional<std::vector<uint8_t>> frame = conn.assembler.Next()) {
-    conn.output.AppendFrame(wire_server_.HandleFrame(*frame));
+    conn.output.AppendFrame(wire_server_.HandleFrame(*frame, &conn.scope));
   }
   if (conn.assembler.poisoned() && !conn.peer_done) {
     // The framing is unrecoverable: answer with the protocol error and
@@ -347,7 +356,8 @@ Status EventLoopServer::Run() {
             ::close(client_fd);
             continue;
           }
-          auto conn = std::make_unique<Connection>(kMaxFramePayloadBytes);
+          auto conn = std::make_unique<Connection>(
+              kMaxFramePayloadBytes, registry_, options_.max_conn_sets);
           conn->last_activity = std::chrono::steady_clock::now();
           if (!poller_.Add(client_fd, true, false).ok()) {
             ::close(client_fd);

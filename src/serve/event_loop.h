@@ -115,6 +115,7 @@ class EventLoopServer {
 
   Listener listener_;
   WireServer wire_server_;
+  CircleSetRegistry* registry_;  // the engine's; scopes release into it
   const ServeOptions options_;
 
   Poller poller_;

@@ -64,6 +64,18 @@ struct ServeOptions {
   int slabs = 1;
   size_t cache_bytes = 0;
 
+  // --- Registry retention (per worker) -----------------------------------
+  /// Fully released circle sets retained unpinned (LRU) before eviction,
+  /// so a reconnecting client's by-hash requests keep resolving. 0 erases
+  /// sets the moment their last registration goes away (legacy behavior —
+  /// with per-connection scopes that means the instant the registering
+  /// connection closes).
+  size_t retain_sets = 256;
+  /// Registrations one connection may hold at once (inline registers and
+  /// delta derivations); the oldest is released as new ones push past the
+  /// cap. 0 = unbounded per connection.
+  size_t max_conn_sets = 64;
+
   // --- Stdio/file mode ---------------------------------------------------
   std::string in_path;   ///< empty = stdin
   std::string out_path;  ///< empty = stdout

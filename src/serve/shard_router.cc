@@ -33,6 +33,13 @@ namespace {
   engine_options.num_threads = options.threads;
   engine_options.slabs_per_request = options.slabs;
   engine_options.cache_bytes = options.cache_bytes;
+  // Bounded retention: connections own their registrations (released on
+  // disconnect by the per-connection scope), and fully released sets stay
+  // resolvable-by-hash up to the retention budget, LRU-evicted past it.
+  CircleSetRegistryOptions registry_options;
+  registry_options.max_unpinned_entries = options.retain_sets;
+  engine_options.registry =
+      std::make_shared<CircleSetRegistry>(registry_options);
   HeatmapEngine engine(measure, engine_options);
   ServeOptions worker_options = options;
   // The router holds one long-lived connection per worker; an idle
@@ -270,15 +277,22 @@ void ShardRouter::RouteFrame(Client& client,
     return;
   }
 
-  const std::optional<uint64_t> hash = PeekRequestSetHash(frame);
-  if (!hash.has_value()) {
+  const std::optional<WireRouteInfo> route = PeekRouteInfo(frame);
+  if (!route.has_value()) {
     slot.ready = true;
     slot.payload = EncodeErrorResponse(
         WireStatus::kMalformedRequest,
         "router could not parse the request header");
     return;
   }
-  const size_t shard_index = *hash % shards_.size();
+  // Affinity first, hash partition second: a set derived by a delta lives
+  // on the shard that held its base (which is where the delta was routed),
+  // not necessarily at derived_hash % N — so requests and chained deltas
+  // for a derived hash must follow the recorded affinity.
+  const auto affinity_it = affinity_.find(route->route_hash);
+  const size_t shard_index = affinity_it != affinity_.end()
+                                 ? affinity_it->second
+                                 : route->route_hash % shards_.size();
   Shard& shard = *shards_[shard_index];
   if (!shard.alive) {
     slot.ready = true;
@@ -287,9 +301,25 @@ void ShardRouter::RouteFrame(Client& client,
         "shard " + std::to_string(shard_index) + " is down");
     return;
   }
+  if (route->is_delta) {
+    RecordAffinity(route->derived_hash, shard_index);
+  }
   shard.output.AppendFrame(frame);
   shard.pending.push_back(Tag{client.id, client.next_seq - 1});
   poller_.Modify(shard.fd, true, true);
+}
+
+void ShardRouter::RecordAffinity(uint64_t hash, size_t shard_index) {
+  const auto [it, inserted] = affinity_.emplace(hash, shard_index);
+  if (!inserted) {
+    it->second = shard_index;  // a re-derivation may land elsewhere
+    return;
+  }
+  affinity_fifo_.push_back(hash);
+  while (affinity_fifo_.size() > kMaxAffinityEntries) {
+    affinity_.erase(affinity_fifo_.front());
+    affinity_fifo_.pop_front();
+  }
 }
 
 void ShardRouter::HandleClientReadable(int fd, Client& client) {
@@ -383,6 +413,9 @@ bool ResolveSlot(RouterSlot& slot, const std::vector<uint8_t>& payload,
       slot.merged.ok += reply->ok;
       slot.merged.errors += reply->errors;
       slot.merged.sets_registered += reply->sets_registered;
+      slot.merged.deltas += reply->deltas;
+      slot.merged.delta_splices += reply->delta_splices;
+      slot.merged.sets_evicted += reply->sets_evicted;
     }
   }
   if (--slot.stats_remaining > 0) return false;

@@ -11,13 +11,16 @@
 // backlog, so the fleet is connectable the moment Spawn returns.
 //
 // ShardRouter is the front process's loop. It accepts client connections
-// (TCP or Unix), peeks each request frame's set-content hash
-// (PeekRequestSetHash — no full decode) and forwards the frame verbatim
-// to shard `hash % num_shards`. Hash-affinity is what makes inline-once
+// (TCP or Unix), peeks each request frame's routing hash (PeekRouteInfo —
+// no full decode) and forwards the frame verbatim to shard
+// `hash % num_shards`. Hash-affinity is what makes inline-once
 // registration work across processes: the first request for a set
 // carries the circles inline, lands on the owning shard and registers
 // there; every later by-hash request for the same set hashes to the same
-// shard, where the set is known. Responses are forwarded back verbatim
+// shard, where the set is known. Delta frames route by their *base* hash
+// (the shard holding the base applies the edits), and the router records
+// the derived hash's affinity to that shard so follow-up requests — and
+// chained deltas — for the derived set land where it was registered. Responses are forwarded back verbatim
 // (so a routed response is bit-identical to a direct engine Execute) and
 // re-ordered per client: shard replies arrive in each shard's FIFO
 // order, and a per-client slot queue restores the client's submission
@@ -35,6 +38,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
@@ -115,6 +119,8 @@ class ShardRouter {
   void CloseClient(int fd);
   void HandleClientReadable(int fd, Client& client);
   void RouteFrame(Client& client, const std::vector<uint8_t>& frame);
+  /// Pins `hash` to `shard_index` for future route lookups (FIFO-bounded).
+  void RecordAffinity(uint64_t hash, size_t shard_index);
   void HandleShardReadable(size_t shard_index);
   /// Resolves every outstanding tag of a dying shard with an error reply.
   void FailShard(size_t shard_index, const std::string& reason);
@@ -133,6 +139,13 @@ class ShardRouter {
   std::map<int, std::unique_ptr<Client>> clients_;      // by fd
   std::map<uint64_t, int> client_fd_by_id_;
   std::map<int, size_t> shard_index_by_fd_;
+  /// Derived-set affinity (see RouteFrame): content hash -> shard that
+  /// registered it via a delta. FIFO-bounded so a churning workload
+  /// cannot grow the router without bound; an evicted affinity entry
+  /// degrades to hash % N routing (a clean kUnknownCircleSet at worst).
+  std::unordered_map<uint64_t, size_t> affinity_;
+  std::deque<uint64_t> affinity_fifo_;
+  static constexpr size_t kMaxAffinityEntries = size_t{1} << 16;
   uint64_t next_client_id_ = 1;
   int wake_fds_[2] = {-1, -1};
   std::atomic<int> shutdown_requests_{0};

@@ -9,7 +9,19 @@
 
 namespace rnnhm {
 
-std::vector<uint8_t> WireServer::HandleFrame(std::span<const uint8_t> frame) {
+namespace {
+
+// One frame's worth of raster-size sanity, shared by the plain and delta
+// request paths.
+bool OverPixelCeiling(int width, int height) {
+  return static_cast<uint64_t>(width) * static_cast<uint64_t>(height) >
+         kMaxWirePixels;
+}
+
+}  // namespace
+
+std::vector<uint8_t> WireServer::HandleFrame(std::span<const uint8_t> frame,
+                                             RegistrationScope* scope) {
   ++stats_.requests;
   std::vector<uint8_t> reply;
   WireStatus wire_status = WireStatus::kOk;
@@ -22,10 +34,61 @@ std::vector<uint8_t> WireServer::HandleFrame(std::span<const uint8_t> frame) {
       stats_reply.ok = stats_.ok + 1;  // count this very request as served
       stats_reply.errors = stats_.errors;
       stats_reply.sets_registered = stats_.sets_registered;
+      stats_reply.deltas = stats_.deltas;
+      stats_reply.delta_splices = stats_.delta_splices;
+      stats_reply.sets_evicted = engine_.registry().total_evicted();
       reply = EncodeStatsResponse(stats_reply);
     } else {
       wire_status = ToWireStatus(status.code);
       reply = EncodeErrorResponse(wire_status, status.message);
+    }
+  } else if (IsDeltaRequest(frame)) {
+    std::string decode_error;
+    std::optional<WireDeltaRequest> request =
+        DecodeDeltaRequest(frame, &decode_error);
+    if (!request.has_value()) {
+      wire_status = WireStatus::kMalformedRequest;
+      reply = EncodeErrorResponse(wire_status, decode_error);
+    } else if (OverPixelCeiling(request->width, request->height)) {
+      wire_status = WireStatus::kMalformedRequest;
+      reply = EncodeErrorResponse(wire_status,
+                                  "raster exceeds the pixel ceiling");
+    } else {
+      CircleSetRegistry& registry = engine_.registry();
+      const CircleSetHandle base = registry.FindByHash(request->base_hash);
+      std::shared_ptr<const CircleSetSnapshot> base_set =
+          base.valid() ? registry.Resolve(base) : nullptr;
+      // Verify the resolved content actually hashes to the requested base
+      // hash: under a 64-bit collision the bucket can resolve a set the
+      // client never meant, and deriving from it would serve a wrong map.
+      if (base_set == nullptr ||
+          base_set->content_hash() != request->base_hash) {
+        wire_status = WireStatus::kUnknownCircleSet;
+        reply = EncodeErrorResponse(
+            wire_status,
+            "delta base circle set is not registered on this shard "
+            "(released, evicted, or never seen here)");
+      } else if (base_set->metric() != request->metric) {
+        wire_status = WireStatus::kMalformedRequest;
+        reply = EncodeErrorResponse(
+            wire_status, "delta metric disagrees with the registered base");
+      } else {
+        CircleSetHandle derived;
+        std::optional<HeatmapResponse> response;
+        bool spliced = false;
+        const Status status = engine_.ExecuteDeltaChecked(
+            base, request->edits, request->new_hash, request->domain,
+            request->width, request->height, &derived, &response, &spliced);
+        if (status.ok()) {
+          if (scope != nullptr) scope->Track(derived);
+          ++stats_.deltas;
+          if (spliced) ++stats_.delta_splices;
+          reply = EncodeResponse(*response);
+        } else {
+          wire_status = ToWireStatus(status.code);
+          reply = EncodeErrorResponse(wire_status, status.message);
+        }
+      }
     }
   } else {
     std::string decode_error;
@@ -33,9 +96,7 @@ std::vector<uint8_t> WireServer::HandleFrame(std::span<const uint8_t> frame) {
     if (!request.has_value()) {
       wire_status = WireStatus::kMalformedRequest;
       reply = EncodeErrorResponse(wire_status, decode_error);
-    } else if (static_cast<uint64_t>(request->width) *
-                   static_cast<uint64_t>(request->height) >
-               kMaxWirePixels) {
+    } else if (OverPixelCeiling(request->width, request->height)) {
       wire_status = WireStatus::kMalformedRequest;
       reply = EncodeErrorResponse(wire_status,
                                   "raster exceeds the pixel ceiling");
@@ -47,6 +108,7 @@ std::vector<uint8_t> WireServer::HandleFrame(std::span<const uint8_t> frame) {
         handle =
             registry.Register(std::move(request->circles), request->metric);
         if (registry.size() > before) ++stats_.sets_registered;
+        if (scope != nullptr) scope->Track(handle);
       } else {
         handle = registry.FindByHash(request->set_hash);
       }
@@ -55,7 +117,19 @@ std::vector<uint8_t> WireServer::HandleFrame(std::span<const uint8_t> frame) {
       if (set == nullptr) {
         wire_status = WireStatus::kUnknownCircleSet;
         reply = EncodeErrorResponse(
-            wire_status, "circle set was never carried inline on this stream");
+            wire_status,
+            "circle set is not registered on this shard (never carried "
+            "inline, released, or evicted)");
+      } else if (!request->inline_circles &&
+                 set->content_hash() != request->set_hash) {
+        // The bucket matched but the content does not hash to the asked-for
+        // value: a 64-bit collision resolved a different set. Refusing is
+        // the only correct answer — serving it would be silently wrong.
+        wire_status = WireStatus::kUnknownCircleSet;
+        reply = EncodeErrorResponse(
+            wire_status,
+            "registered set under this hash has different content "
+            "(64-bit hash collision)");
       } else if (set->metric() != request->metric) {
         wire_status = WireStatus::kMalformedRequest;
         reply = EncodeErrorResponse(

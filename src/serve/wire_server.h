@@ -37,10 +37,20 @@ class WireServer {
 
   /// Serves one request frame payload, returning the response payload.
   /// Heat-map requests run through HeatmapEngine::ExecuteChecked (inline
-  /// sets register into the engine's registry first); stats requests
-  /// return this server's counters; anything malformed returns an
-  /// error-status response. Total: every input produces one response.
-  std::vector<uint8_t> HandleFrame(std::span<const uint8_t> frame);
+  /// sets register into the engine's registry first); delta requests
+  /// derive a new set from a registered base and run through
+  /// ExecuteDeltaChecked; stats requests return this server's counters;
+  /// anything malformed returns an error-status response. Total: every
+  /// input produces one response.
+  ///
+  /// `scope`, when non-null, takes ownership of the registration bumps
+  /// this frame performs (inline registers and delta derivations), so a
+  /// transport that owns the scope — EventLoopServer keeps one per
+  /// connection — releases them on disconnect. With a null scope the
+  /// registrations persist for the engine's lifetime (the legacy stream
+  /// behavior: later by-reference requests depend on them).
+  std::vector<uint8_t> HandleFrame(std::span<const uint8_t> frame,
+                                   RegistrationScope* scope = nullptr);
 
   /// The blocking serve loop: drains frames from `in` until end of
   /// stream, answering each on `out` in order. Returns kOk on clean EOF;

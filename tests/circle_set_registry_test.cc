@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdint>
+#include <limits>
 #include <thread>
 #include <vector>
 
@@ -155,6 +157,309 @@ TEST(CircleSetRegistryTest, ConcurrentRegisterResolveReleaseIsSafe) {
   for (std::thread& t : threads) t.join();
   EXPECT_EQ(mismatches.load(), 0);
   EXPECT_EQ(registry.size(), 0u);  // every registration was released
+}
+
+// --- Hash/equality correctness (the -0.0 and NaN pitfalls) ----------------
+
+TEST(CircleSetRegistryTest, NegativeZeroDeduplicatesWithPositiveZero) {
+  // -0.0 == +0.0 under operator==, so these two sets MUST also hash
+  // identically — otherwise SameContent says "equal" while the hash
+  // buckets disagree, and dedup depends on which bucket is probed.
+  std::vector<NnCircle> plus = MakeCircles(20, 10);
+  plus[3].center.x = 0.0;
+  plus[5].radius = 0.0;
+  std::vector<NnCircle> minus = plus;
+  minus[3].center.x = -0.0;
+  minus[5].radius = -0.0;
+  EXPECT_EQ(HashCircleSet(plus, Metric::kLInf),
+            HashCircleSet(minus, Metric::kLInf));
+  CircleSetRegistry registry;
+  const CircleSetHandle a = registry.Register(plus, Metric::kLInf);
+  const CircleSetHandle b = registry.Register(minus, Metric::kLInf);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(registry.size(), 1u);
+}
+
+TEST(CircleSetRegistryTest, NanMembersCompareEqualToThemselves) {
+  // A NaN coordinate must not make a set unequal to itself: comparison is
+  // bitwise, so re-registering the same NaN-bearing content deduplicates
+  // instead of spawning a fresh entry per registration.
+  std::vector<NnCircle> circles = MakeCircles(21, 8);
+  circles[2].center.y = std::numeric_limits<double>::quiet_NaN();
+  CircleSetRegistry registry;
+  const CircleSetHandle a = registry.Register(circles, Metric::kL2);
+  const CircleSetHandle b = registry.Register(circles, Metric::kL2);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(registry.size(), 1u);
+  const auto set = registry.Resolve(a);
+  ASSERT_NE(set, nullptr);
+  EXPECT_TRUE(set->SameContent(circles, Metric::kL2));
+}
+
+// --- Collision behavior (satellite: FindByHash must not guess) ------------
+
+TEST(CircleSetRegistryTest, FindByHashRefusesAmbiguousCollision) {
+  CircleSetRegistry registry;
+  const auto content_a = MakeCircles(22, 12);
+  const auto content_b = MakeCircles(23, 12);
+  const uint64_t forced = 0xDEADBEEFCAFEF00Dull;
+  const CircleSetHandle a =
+      registry.RegisterWithHashForTesting(content_a, Metric::kLInf, forced);
+  const CircleSetHandle b =
+      registry.RegisterWithHashForTesting(content_b, Metric::kLInf, forced);
+  ASSERT_NE(a.id, b.id);
+  EXPECT_EQ(registry.size(), 2u);
+  // Two distinct contents under one hash: the hash alone cannot name
+  // either set, so the lookup must refuse rather than resolve the wrong
+  // circle set.
+  EXPECT_FALSE(registry.FindByHash(forced).valid());
+  // The handles themselves still resolve — only by-hash naming is
+  // ambiguous.
+  EXPECT_NE(registry.Resolve(a), nullptr);
+  EXPECT_NE(registry.Resolve(b), nullptr);
+}
+
+TEST(CircleSetRegistryTest, CollidedEntryResolvesContentWithRealHash) {
+  // A single forced-collision entry: FindByHash returns it, but the
+  // snapshot's true content hash differs from the filed hash — exactly
+  // what the wire path's content-hash verification must catch.
+  CircleSetRegistry registry;
+  const auto circles = MakeCircles(24, 12);
+  const uint64_t forced = HashCircleSet(circles, Metric::kLInf) ^ 0x1234;
+  const CircleSetHandle handle =
+      registry.RegisterWithHashForTesting(circles, Metric::kLInf, forced);
+  const CircleSetHandle found = registry.FindByHash(forced);
+  ASSERT_TRUE(found.valid());
+  EXPECT_EQ(found, handle);
+  const auto set = registry.Resolve(found);
+  ASSERT_NE(set, nullptr);
+  EXPECT_NE(set->content_hash(), forced);
+}
+
+// --- Retention / eviction -------------------------------------------------
+
+TEST(CircleSetRegistryTest, RetentionKeepsReleasedEntriesResolvable) {
+  CircleSetRegistryOptions options;
+  options.max_unpinned_entries = 2;
+  CircleSetRegistry registry(options);
+  const CircleSetHandle a =
+      registry.Register(MakeCircles(30, 10), Metric::kLInf);
+  EXPECT_TRUE(registry.Release(a));
+  // Fully released but retained: still resolvable, by handle and by hash.
+  EXPECT_EQ(registry.size(), 1u);
+  EXPECT_EQ(registry.unpinned_entries(), 1u);
+  EXPECT_NE(registry.Resolve(a), nullptr);
+  EXPECT_EQ(registry.FindByHash(a.content_hash), a);
+}
+
+TEST(CircleSetRegistryTest, EvictionIsLruOrdered) {
+  CircleSetRegistryOptions options;
+  options.max_unpinned_entries = 2;
+  CircleSetRegistry registry(options);
+  const CircleSetHandle a =
+      registry.Register(MakeCircles(31, 10), Metric::kLInf);
+  const CircleSetHandle b =
+      registry.Register(MakeCircles(32, 10), Metric::kLInf);
+  const CircleSetHandle c =
+      registry.Register(MakeCircles(33, 10), Metric::kLInf);
+  EXPECT_TRUE(registry.Release(a));
+  EXPECT_TRUE(registry.Release(b));
+  // Touch a: it becomes most recently used of the two unpinned entries.
+  EXPECT_NE(registry.Resolve(a), nullptr);
+  // Releasing c overflows the budget of 2; the LRU victim is b, not a.
+  EXPECT_TRUE(registry.Release(c));
+  EXPECT_EQ(registry.total_evicted(), 1u);
+  EXPECT_EQ(registry.Resolve(b), nullptr);
+  EXPECT_NE(registry.Resolve(a), nullptr);
+  EXPECT_NE(registry.Resolve(c), nullptr);
+}
+
+TEST(CircleSetRegistryTest, ByteBudgetEvicts) {
+  CircleSetRegistryOptions options;
+  options.max_unpinned_bytes = 12 * sizeof(NnCircle);
+  CircleSetRegistry registry(options);
+  const CircleSetHandle a =
+      registry.Register(MakeCircles(34, 10), Metric::kLInf);
+  const CircleSetHandle b =
+      registry.Register(MakeCircles(35, 10), Metric::kLInf);
+  EXPECT_TRUE(registry.Release(a));
+  EXPECT_EQ(registry.unpinned_entries(), 1u);  // 10 circles fit
+  EXPECT_TRUE(registry.Release(b));
+  // 20 circles exceed the 12-circle byte budget: the older entry goes.
+  EXPECT_EQ(registry.total_evicted(), 1u);
+  EXPECT_EQ(registry.Resolve(a), nullptr);
+  EXPECT_NE(registry.Resolve(b), nullptr);
+}
+
+TEST(CircleSetRegistryTest, ReRegisteringUnpinnedContentRepins) {
+  CircleSetRegistryOptions options;
+  options.max_unpinned_entries = 4;
+  CircleSetRegistry registry(options);
+  const auto circles = MakeCircles(36, 10);
+  const CircleSetHandle a = registry.Register(circles, Metric::kLInf);
+  EXPECT_TRUE(registry.Release(a));
+  EXPECT_EQ(registry.unpinned_entries(), 1u);
+  // Same content comes back: the retained entry re-pins under its
+  // original id (ids are stable for resident content).
+  const CircleSetHandle b = registry.Register(circles, Metric::kLInf);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(registry.unpinned_entries(), 0u);
+  EXPECT_EQ(registry.size(), 1u);
+}
+
+TEST(CircleSetRegistryTest, ReleaseOfUnpinnedEntryCannotUnderflow) {
+  CircleSetRegistryOptions options;
+  options.max_unpinned_entries = 4;
+  CircleSetRegistry registry(options);
+  const auto circles = MakeCircles(37, 10);
+  const CircleSetHandle a = registry.Register(circles, Metric::kLInf);
+  EXPECT_TRUE(registry.Release(a));
+  // A second release of the retained (zero-registration) entry is a safe
+  // no-op — NOT an underflow that would wedge the count at a huge value.
+  EXPECT_FALSE(registry.Release(a));
+  EXPECT_FALSE(registry.Release(a));
+  // Re-register then release once: the counts still balance.
+  const CircleSetHandle b = registry.Register(circles, Metric::kLInf);
+  EXPECT_EQ(a, b);
+  EXPECT_TRUE(registry.Release(b));
+  EXPECT_EQ(registry.unpinned_entries(), 1u);
+}
+
+// --- ApplyDelta -----------------------------------------------------------
+
+TEST(CircleSetRegistryTest, ApplyDeltaReplaceAppendSwapRemove) {
+  CircleSetRegistry registry;
+  auto circles = MakeCircles(40, 5);
+  const CircleSetHandle base = registry.Register(circles, Metric::kLInf);
+
+  const NnCircle moved{{0.5, 0.5}, 0.1, 1};
+  const NnCircle added{{0.9, 0.1}, 0.05, 5};
+  const std::vector<CircleSetEdit> edits = {
+      {CircleSetEdit::Kind::kReplace, 1, moved},
+      {CircleSetEdit::Kind::kAppend, 0, added},
+      {CircleSetEdit::Kind::kSwapRemove, 0, {}},
+  };
+  // Mirror the edits locally to predict the derived content.
+  auto expected = circles;
+  expected[1] = moved;
+  expected.push_back(added);
+  expected[0] = expected.back();
+  expected.pop_back();
+
+  CircleSetHandle derived;
+  DirtyIntervalSet dirty;
+  std::shared_ptr<const CircleSetSnapshot> base_set;
+  const Status status =
+      registry.ApplyDelta(base, edits,
+                          HashCircleSet(expected, Metric::kLInf), &derived,
+                          &dirty, &base_set);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  ASSERT_TRUE(derived.valid());
+  ASSERT_NE(base_set, nullptr);
+  EXPECT_EQ(base_set->content_hash(), base.content_hash);
+  const auto derived_set = registry.Resolve(derived);
+  ASSERT_NE(derived_set, nullptr);
+  EXPECT_TRUE(derived_set->SameContent(expected, Metric::kLInf));
+  EXPECT_FALSE(dirty.empty());
+  // Base and derived are both resident (the base registration is intact).
+  EXPECT_EQ(registry.size(), 2u);
+  EXPECT_NE(registry.Resolve(base), nullptr);
+}
+
+TEST(CircleSetRegistryTest, ApplyDeltaRejectsBadIndexAndHashMismatch) {
+  CircleSetRegistry registry;
+  const CircleSetHandle base =
+      registry.Register(MakeCircles(41, 4), Metric::kL2);
+  CircleSetHandle derived;
+
+  const std::vector<CircleSetEdit> out_of_range = {
+      {CircleSetEdit::Kind::kReplace, 99, NnCircle{{0, 0}, 0.1, 0}}};
+  EXPECT_EQ(registry.ApplyDelta(base, out_of_range, std::nullopt, &derived)
+                .code,
+            StatusCode::kInvalidArgument);
+  EXPECT_FALSE(derived.valid());
+  EXPECT_EQ(registry.size(), 1u);  // nothing registered on failure
+
+  const std::vector<CircleSetEdit> fine = {
+      {CircleSetEdit::Kind::kReplace, 0, NnCircle{{0, 0}, 0.1, 0}}};
+  EXPECT_EQ(registry.ApplyDelta(base, fine, uint64_t{0x1234}, &derived).code,
+            StatusCode::kInvalidArgument);  // wrong expected hash
+  EXPECT_FALSE(derived.valid());
+  EXPECT_EQ(registry.size(), 1u);
+
+  EXPECT_TRUE(registry.ApplyDelta(base, fine, std::nullopt, &derived).ok());
+  EXPECT_TRUE(derived.valid());
+  EXPECT_EQ(registry.size(), 2u);
+}
+
+TEST(CircleSetRegistryTest, ApplyDeltaFromReleasedBaseIsNotFound) {
+  CircleSetRegistry registry;  // no retention: release erases
+  const CircleSetHandle base =
+      registry.Register(MakeCircles(42, 4), Metric::kLInf);
+  ASSERT_TRUE(registry.Release(base));
+  CircleSetHandle derived;
+  const std::vector<CircleSetEdit> edits = {
+      {CircleSetEdit::Kind::kReplace, 0, NnCircle{{0, 0}, 0.1, 0}}};
+  EXPECT_EQ(registry.ApplyDelta(base, edits, std::nullopt, &derived).code,
+            StatusCode::kNotFound);
+  EXPECT_FALSE(derived.valid());
+}
+
+// --- RegistrationScope ----------------------------------------------------
+
+TEST(RegistrationScopeTest, ReleasesTrackedHandlesOnDestruction) {
+  CircleSetRegistry registry;
+  const CircleSetHandle a =
+      registry.Register(MakeCircles(50, 8), Metric::kLInf);
+  {
+    RegistrationScope scope(&registry);
+    scope.Track(a);
+    EXPECT_EQ(scope.tracked(), 1u);
+    EXPECT_EQ(registry.size(), 1u);
+  }
+  // Scope death released the only registration: entry gone (no retention).
+  EXPECT_EQ(registry.size(), 0u);
+}
+
+TEST(RegistrationScopeTest, CapReleasesOldestFirst) {
+  CircleSetRegistry registry;
+  RegistrationScope scope(&registry, /*max_tracked=*/2);
+  const CircleSetHandle a =
+      registry.Register(MakeCircles(51, 8), Metric::kLInf);
+  const CircleSetHandle b =
+      registry.Register(MakeCircles(52, 8), Metric::kLInf);
+  const CircleSetHandle c =
+      registry.Register(MakeCircles(53, 8), Metric::kLInf);
+  scope.Track(a);
+  scope.Track(b);
+  scope.Track(c);  // pushes a out
+  EXPECT_EQ(scope.tracked(), 2u);
+  EXPECT_EQ(registry.Resolve(a), nullptr);
+  EXPECT_NE(registry.Resolve(b), nullptr);
+  EXPECT_NE(registry.Resolve(c), nullptr);
+}
+
+// --- Bounded-memory soak (the tentpole's acceptance bar) ------------------
+
+TEST(CircleSetRegistryTest, SoakTenThousandSetsStaysBounded) {
+  CircleSetRegistryOptions options;
+  options.max_unpinned_entries = 64;
+  CircleSetRegistry registry(options);
+  constexpr int kSets = 10000;
+  constexpr size_t kCirclesPerSet = 4;
+  for (int i = 0; i < kSets; ++i) {
+    const CircleSetHandle handle =
+        registry.Register(MakeCircles(1000 + i, kCirclesPerSet),
+                          Metric::kLInf);
+    ASSERT_TRUE(handle.valid());
+    registry.Release(handle);
+  }
+  // Resident state is capped by the retention budget, not the set count.
+  EXPECT_LE(registry.size(), options.max_unpinned_entries);
+  EXPECT_LE(registry.resident_bytes(),
+            options.max_unpinned_entries * kCirclesPerSet * sizeof(NnCircle));
+  EXPECT_GE(registry.total_evicted(),
+            static_cast<size_t>(kSets) - options.max_unpinned_entries);
 }
 
 }  // namespace

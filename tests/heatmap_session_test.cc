@@ -258,5 +258,113 @@ TEST(HeatmapSessionPublishTest, IdenticalTicksAcrossSessionsHitTheCache) {
   EXPECT_FALSE(b.RenderThroughEngine(engine, domain, 32, 32).from_cache);
 }
 
+TEST(HeatmapSessionPublishTest, ReleasePublicationIsIdempotent) {
+  Rng rng(5004);
+  HeatmapSession session(RandomPoints(30, rng), RandomPoints(4, rng),
+                         Metric::kLInf);
+  CircleSetRegistry registry;
+  const CircleSetHandle handle = session.PublishCircles(registry);
+  ASSERT_TRUE(handle.valid());
+  EXPECT_EQ(registry.size(), 1u);
+  EXPECT_TRUE(session.ReleasePublication());
+  EXPECT_EQ(registry.size(), 0u);
+  // Double release is a no-op, never an underflow.
+  EXPECT_FALSE(session.ReleasePublication());
+  EXPECT_FALSE(session.ReleasePublication());
+  // Publishing again still works after a release.
+  const CircleSetHandle again = session.PublishCircles(registry);
+  EXPECT_TRUE(again.valid());
+  EXPECT_EQ(registry.size(), 1u);
+  EXPECT_TRUE(session.ReleasePublication());
+}
+
+TEST(HeatmapSessionPublishTest, RePublishAfterEvictionCannotUnderflow) {
+  // The registry evicts the session's publication behind its back; the
+  // session's next Release must not underflow a recycled entry, and a
+  // re-publish must register cleanly.
+  Rng rng(5005);
+  HeatmapSession session(RandomPoints(20, rng), RandomPoints(3, rng),
+                         Metric::kLInf);
+  CircleSetRegistryOptions options;
+  options.max_unpinned_entries = 1;
+  CircleSetRegistry registry(options);
+  const CircleSetHandle published = session.PublishCircles(registry);
+  // Simulate an operator-side release + budget eviction of the entry: a
+  // filler set released behind it overflows the 1-entry retention budget.
+  ASSERT_TRUE(registry.Release(published));
+  const CircleSetHandle filler = registry.Register(
+      std::vector<NnCircle>{NnCircle{{0.5, 0.5}, 0.25, 0}}, Metric::kLInf);
+  ASSERT_TRUE(registry.Release(filler));
+  EXPECT_EQ(registry.Resolve(published), nullptr);
+  // The session still thinks it holds `published`: releasing is a no-op.
+  EXPECT_FALSE(session.ReleasePublication());
+  // And publishing the same content again re-registers from scratch.
+  const CircleSetHandle fresh = session.PublishCircles(registry);
+  EXPECT_TRUE(fresh.valid());
+  EXPECT_NE(registry.Resolve(fresh), nullptr);
+}
+
+TEST(HeatmapSessionJournalTest, JournalReplayReproducesCirclesExactly) {
+  Rng rng(5006);
+  HeatmapSession session(RandomPoints(40, rng), RandomPoints(5, rng),
+                         Metric::kL2);
+  std::vector<NnCircle> shadow = session.circles();
+  session.EnableEditJournal();
+  for (int tick = 0; tick < 25; ++tick) {
+    const double dice = rng.NextDouble();
+    if (dice < 0.4) {
+      session.MoveClient(
+          static_cast<int32_t>(rng.NextBounded(session.num_clients())),
+          {rng.Uniform(0, 1), rng.Uniform(0, 1)});
+    } else if (dice < 0.6) {
+      session.AddClient({rng.Uniform(0, 1), rng.Uniform(0, 1)});
+    } else if (dice < 0.85 || session.num_facilities() < 2) {
+      session.AddFacility({rng.Uniform(0, 1), rng.Uniform(0, 1)});
+    } else {
+      session.RemoveFacility(
+          static_cast<int32_t>(rng.NextBounded(session.num_facilities())));
+    }
+    // Applying the tick's journal to the previous circle vector must land
+    // bit-exactly on the session's current circles — same content hash.
+    for (const CircleSetEdit& edit : session.TakeCircleEdits()) {
+      switch (edit.kind) {
+        case CircleSetEdit::Kind::kReplace:
+          ASSERT_LT(edit.index, shadow.size());
+          shadow[edit.index] = edit.circle;
+          break;
+        case CircleSetEdit::Kind::kAppend:
+          shadow.push_back(edit.circle);
+          break;
+        case CircleSetEdit::Kind::kSwapRemove:
+          ASSERT_LT(edit.index, shadow.size());
+          shadow[edit.index] = shadow.back();
+          shadow.pop_back();
+          break;
+      }
+    }
+    ASSERT_EQ(HashCircleSet(shadow, session.metric()),
+              HashCircleSet(session.circles(), session.metric()))
+        << "tick " << tick;
+  }
+  EXPECT_TRUE(session.pending_edits().empty());
+}
+
+TEST(HeatmapSessionJournalTest, DisabledJournalRecordsNothing) {
+  Rng rng(5007);
+  HeatmapSession session(RandomPoints(10, rng), RandomPoints(2, rng),
+                         Metric::kLInf);
+  session.MoveClient(0, {0.9, 0.9});
+  EXPECT_TRUE(session.pending_edits().empty());
+  session.EnableEditJournal();
+  session.MoveClient(1, {0.1, 0.1});
+  EXPECT_FALSE(session.pending_edits().empty());
+  // Re-enabling clears the stale journal; disabling stops recording.
+  session.EnableEditJournal();
+  EXPECT_TRUE(session.pending_edits().empty());
+  session.EnableEditJournal(false);
+  session.MoveClient(2, {0.2, 0.2});
+  EXPECT_TRUE(session.pending_edits().empty());
+}
+
 }  // namespace
 }  // namespace rnnhm

@@ -406,6 +406,83 @@ TEST(EventLoopServerTest, SlowReaderBackpressuresIntoServerMemory) {
             static_cast<uint64_t>(kBurst));
 }
 
+TEST(EventLoopServerTest, DisconnectReleasesTheConnectionsRegistrations) {
+  const auto set = CircleSetSnapshot::Make(MakeCircles(10, 10), Metric::kLInf);
+  TestServer server;
+  ASSERT_TRUE(server.Start(TransportKind::kTcp, FastOptions()).ok());
+  int fd = -1;
+  ASSERT_TRUE(server.Connect(&fd).ok());
+  std::vector<uint8_t> reply;
+  ASSERT_TRUE(
+      RoundTrip(fd, EncodeRequest(MakeWireRequest(*set, kDomain, 10, 10, true)),
+                &reply)
+          .ok());
+  std::string error;
+  ASSERT_EQ(DecodeResponse(reply, &error)->status, WireStatus::kOk);
+  EXPECT_EQ(server.engine().registry().size(), 1u);
+  ::close(fd);
+  // The hangup lands asynchronously; the connection's RegistrationScope
+  // releases its registrations when the loop reaps the fd. The engine's
+  // registry has no retention budget here, so the entry is erased.
+  for (int i = 0; i < 400 && server.engine().registry().size() != 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(server.engine().registry().size(), 0u);
+
+  // A fresh connection asking by hash gets a clean error, not stale data.
+  int fd2 = -1;
+  ASSERT_TRUE(server.Connect(&fd2).ok());
+  ASSERT_TRUE(RoundTrip(fd2,
+                        EncodeRequest(MakeWireRequest(*set, kDomain, 10, 10,
+                                                      /*include=*/false)),
+                        &reply)
+                  .ok());
+  const auto decoded = DecodeResponse(reply, &error);
+  ASSERT_TRUE(decoded.has_value()) << error;
+  EXPECT_EQ(decoded->status, WireStatus::kUnknownCircleSet);
+  ::close(fd2);
+  EXPECT_TRUE(server.Stop().ok());
+}
+
+TEST(EventLoopServerTest, PerConnectionSetCapReleasesTheOldest) {
+  ServeOptions options = FastOptions();
+  options.max_conn_sets = 2;
+  TestServer server;
+  ASSERT_TRUE(server.Start(TransportKind::kTcp, options).ok());
+  int fd = -1;
+  ASSERT_TRUE(server.Connect(&fd).ok());
+  const auto s0 = CircleSetSnapshot::Make(MakeCircles(11, 8), Metric::kL2);
+  const auto s1 = CircleSetSnapshot::Make(MakeCircles(12, 8), Metric::kL2);
+  const auto s2 = CircleSetSnapshot::Make(MakeCircles(13, 8), Metric::kL2);
+  std::vector<uint8_t> reply;
+  std::string error;
+  for (const auto* set : {&s0, &s1, &s2}) {
+    ASSERT_TRUE(RoundTrip(fd,
+                          EncodeRequest(MakeWireRequest(**set, kDomain, 8, 8,
+                                                        /*include=*/true)),
+                          &reply)
+                    .ok());
+    ASSERT_EQ(DecodeResponse(reply, &error)->status, WireStatus::kOk);
+  }
+  // Tracking s2 pushed s0 past the 2-set connection budget: its
+  // registration was released synchronously, before s2's response.
+  const WireStatus expected[3] = {WireStatus::kUnknownCircleSet,
+                                  WireStatus::kOk, WireStatus::kOk};
+  const CircleSetSnapshot* sets[3] = {s0.get(), s1.get(), s2.get()};
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(RoundTrip(fd,
+                          EncodeRequest(MakeWireRequest(*sets[i], kDomain, 8, 8,
+                                                        /*include=*/false)),
+                          &reply)
+                    .ok());
+    const auto decoded = DecodeResponse(reply, &error);
+    ASSERT_TRUE(decoded.has_value()) << error;
+    EXPECT_EQ(decoded->status, expected[i]) << "set " << i;
+  }
+  ::close(fd);
+  EXPECT_TRUE(server.Stop().ok());
+}
+
 TEST(EventLoopServerTest, GracefulShutdownDrainsInFlightConnections) {
   const auto set = CircleSetSnapshot::Make(MakeCircles(9, 15), Metric::kL2);
   TestServer server;

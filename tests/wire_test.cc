@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -10,6 +12,7 @@
 #include "heatmap/influence.h"
 #include "query/circle_set_registry.h"
 #include "query/heatmap_engine.h"
+#include "serve/wire_server.h"
 
 namespace rnnhm {
 namespace {
@@ -423,6 +426,9 @@ TEST(WireStatsTest, ResponseRoundTripsEveryCounter) {
   reply.ok = 990;
   reply.errors = 10;
   reply.sets_registered = 7;
+  reply.deltas = 42;
+  reply.delta_splices = 40;
+  reply.sets_evicted = 13;
   std::string error;
   const auto decoded = DecodeStatsResponse(EncodeStatsResponse(reply), &error);
   ASSERT_TRUE(decoded.has_value()) << error;
@@ -431,6 +437,9 @@ TEST(WireStatsTest, ResponseRoundTripsEveryCounter) {
   EXPECT_EQ(decoded->ok, 990u);
   EXPECT_EQ(decoded->errors, 10u);
   EXPECT_EQ(decoded->sets_registered, 7u);
+  EXPECT_EQ(decoded->deltas, 42u);
+  EXPECT_EQ(decoded->delta_splices, 40u);
+  EXPECT_EQ(decoded->sets_evicted, 13u);
 }
 
 TEST(WireStatsTest, ResponseValidationIsStrict) {
@@ -511,6 +520,403 @@ TEST(PeekRequestSetHashTest, RejectsNonRequestPayloads) {
   EXPECT_FALSE(PeekRequestSetHash({}).has_value());
   const std::vector<uint8_t> garbage(80, 0xAB);
   EXPECT_FALSE(PeekRequestSetHash(garbage).has_value());
+}
+
+// --- v4 additions: delta op, routing peek, scoped registration ------------
+
+/// Mirrors CircleSetRegistry::ApplyDelta's edit semantics on a plain
+/// vector, so tests can derive the expected content independently.
+void ApplyEditsLocally(std::vector<NnCircle>& circles,
+                       std::span<const CircleSetEdit> edits) {
+  for (const CircleSetEdit& edit : edits) {
+    switch (edit.kind) {
+      case CircleSetEdit::Kind::kReplace:
+        circles[edit.index] = edit.circle;
+        break;
+      case CircleSetEdit::Kind::kAppend:
+        circles.push_back(edit.circle);
+        break;
+      case CircleSetEdit::Kind::kSwapRemove:
+        circles[edit.index] = circles.back();
+        circles.pop_back();
+        break;
+    }
+  }
+}
+
+WireDeltaRequest MakeDelta(const std::vector<NnCircle>& base,
+                           std::span<const CircleSetEdit> edits,
+                           Metric metric, int size) {
+  std::vector<NnCircle> derived = base;
+  ApplyEditsLocally(derived, edits);
+  WireDeltaRequest delta;
+  delta.metric = metric;
+  delta.base_hash = HashCircleSet(base, metric);
+  delta.new_hash = HashCircleSet(derived, metric);
+  delta.edits.assign(edits.begin(), edits.end());
+  delta.domain = kDomain;
+  delta.width = size;
+  delta.height = size;
+  return delta;
+}
+
+TEST(WireDeltaTest, RoundTripPreservesEveryEditKind) {
+  WireDeltaRequest request;
+  request.metric = Metric::kL2;
+  request.base_hash = 0x0123456789ABCDEFull;
+  request.new_hash = 0xFEDCBA9876543210ull;
+  request.domain = kDomain;
+  request.width = 40;
+  request.height = 24;
+  request.edits.push_back(CircleSetEdit{CircleSetEdit::Kind::kReplace, 3,
+                                        NnCircle{{0.25, 0.75}, 0.125, 9}});
+  request.edits.push_back(CircleSetEdit{CircleSetEdit::Kind::kAppend, 0,
+                                        NnCircle{{0.5, 0.5}, 0.0625, 10}});
+  request.edits.push_back(
+      CircleSetEdit{CircleSetEdit::Kind::kSwapRemove, 1, NnCircle{}});
+
+  std::string error;
+  const auto decoded = DecodeDeltaRequest(EncodeDeltaRequest(request), &error);
+  ASSERT_TRUE(decoded.has_value()) << error;
+  EXPECT_EQ(decoded->metric, request.metric);
+  EXPECT_EQ(decoded->base_hash, request.base_hash);
+  EXPECT_EQ(decoded->new_hash, request.new_hash);
+  EXPECT_EQ(decoded->domain, request.domain);
+  EXPECT_EQ(decoded->width, request.width);
+  EXPECT_EQ(decoded->height, request.height);
+  ASSERT_EQ(decoded->edits.size(), 3u);
+  EXPECT_EQ(decoded->edits[0].kind, CircleSetEdit::Kind::kReplace);
+  EXPECT_EQ(decoded->edits[0].index, 3u);
+  EXPECT_EQ(decoded->edits[0].circle.center, request.edits[0].circle.center);
+  EXPECT_EQ(decoded->edits[0].circle.radius, request.edits[0].circle.radius);
+  EXPECT_EQ(decoded->edits[0].circle.client, request.edits[0].circle.client);
+  EXPECT_EQ(decoded->edits[1].kind, CircleSetEdit::Kind::kAppend);
+  EXPECT_EQ(decoded->edits[1].circle.center, request.edits[1].circle.center);
+  EXPECT_EQ(decoded->edits[1].circle.radius, request.edits[1].circle.radius);
+  EXPECT_EQ(decoded->edits[1].circle.client, request.edits[1].circle.client);
+  EXPECT_EQ(decoded->edits[2].kind, CircleSetEdit::Kind::kSwapRemove);
+  EXPECT_EQ(decoded->edits[2].index, 1u);
+}
+
+TEST(WireDeltaTest, IsDeltaRequestDistinguishesFrameKinds) {
+  const std::vector<NnCircle> base = MakeCircles(40, 6);
+  const std::vector<CircleSetEdit> edits = {
+      CircleSetEdit{CircleSetEdit::Kind::kAppend, 0,
+                    NnCircle{{0.3, 0.3}, 0.05, 6}}};
+  const auto delta = MakeDelta(base, edits, Metric::kLInf, 8);
+  EXPECT_TRUE(IsDeltaRequest(EncodeDeltaRequest(delta)));
+  EXPECT_FALSE(IsDeltaRequest(EncodeRequest(InlineRequest(40, 6,
+                                                          Metric::kLInf))));
+  EXPECT_FALSE(IsDeltaRequest(EncodeStatsRequest()));
+  EXPECT_FALSE(IsDeltaRequest({}));
+}
+
+TEST(WireDeltaTest, EveryTruncationDecodesToAnErrorNotACrash) {
+  const std::vector<NnCircle> base = MakeCircles(41, 5);
+  const std::vector<CircleSetEdit> edits = {
+      CircleSetEdit{CircleSetEdit::Kind::kReplace, 2,
+                    NnCircle{{0.6, 0.4}, 0.07, 2}},
+      CircleSetEdit{CircleSetEdit::Kind::kSwapRemove, 0, NnCircle{}},
+      CircleSetEdit{CircleSetEdit::Kind::kAppend, 0,
+                    NnCircle{{0.2, 0.8}, 0.09, 7}}};
+  const std::vector<uint8_t> bytes =
+      EncodeDeltaRequest(MakeDelta(base, edits, Metric::kL2, 16));
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    std::string error;
+    EXPECT_FALSE(
+        DecodeDeltaRequest(std::span(bytes.data(), len), &error).has_value())
+        << "prefix of " << len << " bytes decoded";
+    EXPECT_FALSE(error.empty());
+  }
+}
+
+TEST(WireDeltaTest, CorruptedHeaderFieldsAreRejected) {
+  const std::vector<NnCircle> base = MakeCircles(42, 4);
+  const std::vector<CircleSetEdit> edits = {
+      CircleSetEdit{CircleSetEdit::Kind::kAppend, 0,
+                    NnCircle{{0.1, 0.9}, 0.04, 4}}};
+  const std::vector<uint8_t> good =
+      EncodeDeltaRequest(MakeDelta(base, edits, Metric::kLInf, 12));
+  std::string error;
+  ASSERT_TRUE(DecodeDeltaRequest(good, &error).has_value()) << error;
+
+  auto bad_magic = good;
+  bad_magic[0] ^= 0xFF;
+  EXPECT_FALSE(DecodeDeltaRequest(bad_magic, &error).has_value());
+
+  auto bad_version = good;
+  bad_version[4] ^= 0xFF;
+  EXPECT_FALSE(DecodeDeltaRequest(bad_version, &error).has_value());
+
+  auto bad_metric = good;
+  bad_metric[8] = 7;
+  EXPECT_FALSE(DecodeDeltaRequest(bad_metric, &error).has_value());
+
+  auto bad_flags = good;
+  bad_flags[9] |= 0x80;
+  EXPECT_FALSE(DecodeDeltaRequest(bad_flags, &error).has_value());
+
+  auto bad_reserved = good;
+  bad_reserved[10] = 1;
+  EXPECT_FALSE(DecodeDeltaRequest(bad_reserved, &error).has_value());
+
+  auto bad_width = good;
+  bad_width[12] = 0;
+  bad_width[13] = 0;
+  bad_width[14] = 0;
+  bad_width[15] = 0;
+  EXPECT_FALSE(DecodeDeltaRequest(bad_width, &error).has_value());
+
+  // First edit's op byte sits right after the fixed header.
+  auto bad_edit_kind = good;
+  bad_edit_kind[76] = 7;
+  EXPECT_FALSE(DecodeDeltaRequest(bad_edit_kind, &error).has_value());
+
+  auto trailing = good;
+  trailing.push_back(0);
+  EXPECT_FALSE(DecodeDeltaRequest(trailing, &error).has_value());
+}
+
+TEST(PeekRouteInfoTest, PlainRequestRoutesBySetHash) {
+  const auto set = CircleSetSnapshot::Make(MakeCircles(43, 9), Metric::kL2);
+  for (const bool inline_circles : {true, false}) {
+    const auto route = PeekRouteInfo(
+        EncodeRequest(MakeWireRequest(*set, kDomain, 16, 16, inline_circles)));
+    ASSERT_TRUE(route.has_value());
+    EXPECT_EQ(route->route_hash, set->content_hash());
+    EXPECT_FALSE(route->is_delta);
+  }
+}
+
+TEST(PeekRouteInfoTest, DeltaRoutesByBaseHashAndExposesDerived) {
+  const std::vector<NnCircle> base = MakeCircles(44, 7);
+  const std::vector<CircleSetEdit> edits = {
+      CircleSetEdit{CircleSetEdit::Kind::kReplace, 1,
+                    NnCircle{{0.45, 0.55}, 0.06, 1}}};
+  const auto delta = MakeDelta(base, edits, Metric::kLInf, 10);
+  const auto route = PeekRouteInfo(EncodeDeltaRequest(delta));
+  ASSERT_TRUE(route.has_value());
+  EXPECT_TRUE(route->is_delta);
+  EXPECT_EQ(route->route_hash, delta.base_hash);
+  EXPECT_EQ(route->derived_hash, delta.new_hash);
+  EXPECT_NE(route->route_hash, route->derived_hash);
+}
+
+TEST(PeekRouteInfoTest, RejectsNonRequestPayloads) {
+  EXPECT_FALSE(PeekRouteInfo(EncodeStatsRequest()).has_value());
+  EXPECT_FALSE(PeekRouteInfo({}).has_value());
+  const std::vector<uint8_t> garbage(80, 0xAB);
+  EXPECT_FALSE(PeekRouteInfo(garbage).has_value());
+}
+
+TEST(ServeWireStreamTest, ChainedDeltasSpliceAndMatchFromScratch) {
+  const Metric metric = Metric::kLInf;
+  const int size = 20;
+  const std::vector<NnCircle> base = MakeCircles(45, 24);
+
+  const std::vector<CircleSetEdit> edits1 = {
+      CircleSetEdit{CircleSetEdit::Kind::kReplace, 5,
+                    NnCircle{{0.35, 0.65}, 0.09, 5}},
+      CircleSetEdit{CircleSetEdit::Kind::kAppend, 0,
+                    NnCircle{{0.85, 0.15}, 0.05, 24}}};
+  std::vector<NnCircle> tick1 = base;
+  ApplyEditsLocally(tick1, edits1);
+  const std::vector<CircleSetEdit> edits2 = {
+      CircleSetEdit{CircleSetEdit::Kind::kSwapRemove, 2, NnCircle{}},
+      CircleSetEdit{CircleSetEdit::Kind::kReplace, 0,
+                    NnCircle{{0.15, 0.85}, 0.11, 0}}};
+  std::vector<NnCircle> tick2 = tick1;
+  ApplyEditsLocally(tick2, edits2);
+
+  std::FILE* in = std::tmpfile();
+  std::FILE* out = std::tmpfile();
+  ASSERT_NE(in, nullptr);
+  ASSERT_NE(out, nullptr);
+  const auto base_set = CircleSetSnapshot::Make(base, metric);
+  ASSERT_TRUE(WriteFrame(
+      in, EncodeRequest(MakeWireRequest(*base_set, kDomain, size, size,
+                                        /*include_circles=*/true))));
+  ASSERT_TRUE(
+      WriteFrame(in, EncodeDeltaRequest(MakeDelta(base, edits1, metric,
+                                                  size))));
+  ASSERT_TRUE(
+      WriteFrame(in, EncodeDeltaRequest(MakeDelta(tick1, edits2, metric,
+                                                  size))));
+  ASSERT_TRUE(WriteFrame(in, EncodeStatsRequest()));
+  std::rewind(in);
+
+  SizeInfluence measure;
+  HeatmapEngineOptions options;
+  options.num_threads = 1;
+  options.cache_bytes = 8 << 20;  // the base raster must be spliceable
+  HeatmapEngine engine(measure, options);
+  WireServeStats stats;
+  std::string error;
+  ASSERT_TRUE(ServeWireStream(in, out, engine, &stats, &error)) << error;
+  EXPECT_EQ(stats.requests, 4u);
+  EXPECT_EQ(stats.ok, 4u);
+  EXPECT_EQ(stats.errors, 0u);
+  EXPECT_EQ(stats.sets_registered, 1u);
+  EXPECT_EQ(stats.deltas, 2u);
+  EXPECT_EQ(stats.delta_splices, 2u);
+
+  std::rewind(out);
+  SizeInfluence reference_measure;
+  HeatmapEngine reference(reference_measure, options);
+  const std::vector<NnCircle>* ticks[3] = {&base, &tick1, &tick2};
+  for (int i = 0; i < 3; ++i) {
+    const auto frame = ReadFrame(out, &error);
+    ASSERT_TRUE(frame.has_value()) << error;
+    const auto decoded = DecodeResponse(*frame, &error);
+    ASSERT_TRUE(decoded.has_value()) << error;
+    ASSERT_EQ(decoded->status, WireStatus::kOk) << decoded->error;
+    // The from-scratch reference: a cold Execute over the tick's circles.
+    const HeatmapResponse direct = reference.Execute(
+        HeatmapRequest{*ticks[i], kDomain, size, size, metric});
+    EXPECT_EQ(decoded->response->grid.values(), direct.grid.values())
+        << "tick " << i;
+  }
+  const auto stats_frame = ReadFrame(out, &error);
+  ASSERT_TRUE(stats_frame.has_value()) << error;
+  const auto stats_reply = DecodeStatsResponse(*stats_frame, &error);
+  ASSERT_TRUE(stats_reply.has_value()) << error;
+  EXPECT_EQ(stats_reply->shards, 1u);
+  EXPECT_EQ(stats_reply->deltas, 2u);
+  EXPECT_EQ(stats_reply->delta_splices, 2u);
+  EXPECT_EQ(stats_reply->sets_evicted, 0u);
+  std::fclose(in);
+  std::fclose(out);
+}
+
+TEST(WireServerTest, DeltaFromUnknownBaseIsRefused) {
+  SizeInfluence measure;
+  HeatmapEngineOptions options;
+  options.num_threads = 1;
+  HeatmapEngine engine(measure, options);
+  WireServer server(engine);
+  const std::vector<NnCircle> base = MakeCircles(46, 5);
+  const std::vector<CircleSetEdit> edits = {
+      CircleSetEdit{CircleSetEdit::Kind::kAppend, 0,
+                    NnCircle{{0.5, 0.5}, 0.05, 5}}};
+  const auto reply = server.HandleFrame(
+      EncodeDeltaRequest(MakeDelta(base, edits, Metric::kL2, 8)));
+  std::string error;
+  const auto decoded = DecodeResponse(reply, &error);
+  ASSERT_TRUE(decoded.has_value()) << error;
+  EXPECT_EQ(decoded->status, WireStatus::kUnknownCircleSet);
+  EXPECT_EQ(server.stats().errors, 1u);
+  EXPECT_EQ(server.stats().deltas, 0u);
+}
+
+TEST(WireServerTest, CollidedHashIsRefusedOnTheWire) {
+  SizeInfluence measure;
+  HeatmapEngineOptions options;
+  options.num_threads = 1;
+  HeatmapEngine engine(measure, options);
+  WireServer server(engine);
+  // File unrelated content under set_b's hash: the bucket matches, the
+  // content does not — exactly what a 64-bit collision looks like.
+  const auto set_b = CircleSetSnapshot::Make(MakeCircles(48, 6), Metric::kL2);
+  engine.registry().RegisterWithHashForTesting(MakeCircles(47, 6), Metric::kL2,
+                                               set_b->content_hash());
+  std::string error;
+
+  const auto by_ref_reply = server.HandleFrame(EncodeRequest(
+      MakeWireRequest(*set_b, kDomain, 8, 8, /*include_circles=*/false)));
+  const auto by_ref = DecodeResponse(by_ref_reply, &error);
+  ASSERT_TRUE(by_ref.has_value()) << error;
+  EXPECT_EQ(by_ref->status, WireStatus::kUnknownCircleSet);
+  EXPECT_NE(by_ref->error.find("collision"), std::string::npos);
+
+  WireDeltaRequest delta;
+  delta.metric = Metric::kL2;
+  delta.base_hash = set_b->content_hash();
+  delta.new_hash = 1;
+  delta.edits.push_back(CircleSetEdit{CircleSetEdit::Kind::kAppend, 0,
+                                      NnCircle{{0.4, 0.6}, 0.03, 6}});
+  delta.domain = kDomain;
+  delta.width = 8;
+  delta.height = 8;
+  const auto delta_reply = server.HandleFrame(EncodeDeltaRequest(delta));
+  const auto decoded = DecodeResponse(delta_reply, &error);
+  ASSERT_TRUE(decoded.has_value()) << error;
+  EXPECT_EQ(decoded->status, WireStatus::kUnknownCircleSet);
+}
+
+TEST(WireServerTest, ScopedRegistrationsReleaseWhenTheScopeDies) {
+  SizeInfluence measure;
+  HeatmapEngineOptions options;
+  options.num_threads = 1;
+  HeatmapEngine engine(measure, options);
+  WireServer server(engine);
+  const std::vector<NnCircle> base = MakeCircles(49, 8);
+  const auto base_set = CircleSetSnapshot::Make(base, Metric::kLInf);
+  const std::vector<CircleSetEdit> edits = {
+      CircleSetEdit{CircleSetEdit::Kind::kReplace, 4,
+                    NnCircle{{0.7, 0.3}, 0.08, 4}}};
+  std::string error;
+  {
+    RegistrationScope scope(&engine.registry());
+    const auto inline_reply = server.HandleFrame(
+        EncodeRequest(MakeWireRequest(*base_set, kDomain, 8, 8, true)),
+        &scope);
+    ASSERT_EQ(DecodeResponse(inline_reply, &error)->status, WireStatus::kOk);
+    const auto delta_reply = server.HandleFrame(
+        EncodeDeltaRequest(MakeDelta(base, edits, Metric::kLInf, 8)), &scope);
+    ASSERT_EQ(DecodeResponse(delta_reply, &error)->status, WireStatus::kOk);
+    EXPECT_EQ(engine.registry().size(), 2u);  // base + derived, both tracked
+  }
+  // No retention budget on this registry: releasing the scope's handles
+  // erases the entries outright, as a disconnect would.
+  EXPECT_EQ(engine.registry().size(), 0u);
+  const auto by_ref_reply = server.HandleFrame(EncodeRequest(
+      MakeWireRequest(*base_set, kDomain, 8, 8, /*include_circles=*/false)));
+  EXPECT_EQ(DecodeResponse(by_ref_reply, &error)->status,
+            WireStatus::kUnknownCircleSet);
+}
+
+TEST(WireServerTest, EvictedHandleKeepsPinnedSnapshotAlive) {
+  SizeInfluence measure;
+  HeatmapEngineOptions options;
+  options.num_threads = 1;
+  CircleSetRegistryOptions registry_options;
+  registry_options.max_unpinned_entries = 1;
+  options.registry = std::make_shared<CircleSetRegistry>(registry_options);
+  HeatmapEngine engine(measure, options);
+  WireServer server(engine);
+  const auto set = CircleSetSnapshot::Make(MakeCircles(50, 10), Metric::kLInf);
+  std::string error;
+
+  std::shared_ptr<const CircleSetSnapshot> pinned;
+  {
+    RegistrationScope scope(&engine.registry());
+    const auto reply = server.HandleFrame(
+        EncodeRequest(MakeWireRequest(*set, kDomain, 12, 12, true)), &scope);
+    ASSERT_EQ(DecodeResponse(reply, &error)->status, WireStatus::kOk);
+    // A request mid-flight holds the snapshot, not the registry entry.
+    pinned = engine.registry().Resolve(
+        engine.registry().FindByHash(set->content_hash()));
+    ASSERT_NE(pinned, nullptr);
+  }
+  // Unpinned but retained (budget 1): still servable by hash.
+  const auto retained_reply = server.HandleFrame(EncodeRequest(
+      MakeWireRequest(*set, kDomain, 12, 12, /*include_circles=*/false)));
+  EXPECT_EQ(DecodeResponse(retained_reply, &error)->status, WireStatus::kOk);
+
+  // A second unpinned set overflows the budget and evicts the LRU entry.
+  const CircleSetHandle filler = engine.registry().Register(
+      MakeCircles(51, 3), Metric::kLInf);
+  ASSERT_TRUE(engine.registry().Release(filler));
+  EXPECT_GE(engine.registry().total_evicted(), 1u);
+
+  // The wire now answers kUnknownCircleSet — while the pinned snapshot
+  // (our in-flight request) is still fully intact.
+  const auto evicted_reply = server.HandleFrame(EncodeRequest(
+      MakeWireRequest(*set, kDomain, 12, 12, /*include_circles=*/false)));
+  EXPECT_EQ(DecodeResponse(evicted_reply, &error)->status,
+            WireStatus::kUnknownCircleSet);
+  EXPECT_EQ(pinned->circles().size(), 10u);
+  EXPECT_EQ(pinned->content_hash(), set->content_hash());
 }
 
 }  // namespace

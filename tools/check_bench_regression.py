@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Gate a benchmark run against a committed baseline.
+
+Usage:
+    check_bench_regression.py BASELINE.json CURRENT.json [options]
+
+Both files carry the shared bench JSON shape emitted by bench_common.h:
+
+    {"benchmark": "<name>", "cells": [{<config fields>, <measurements>}]}
+
+Cells are matched between the two files by their configuration fields —
+everything that is not a known measurement key (ms, cold_ms, warm_ms,
+wall_ms, p50_ms, p99_ms, us_per_call, maps_per_sec, mb_per_s, rps).
+A matched cell regresses when a time-like measurement grows by more than
+--threshold (default 15%) over the baseline; measurements under --min-ms
+(default 5 ms) in the baseline are skipped as noise. Throughput-like
+measurements are reported but never gate: they are redundant with their
+time twin and noisier.
+
+Exit status: 0 clean, 1 on any regression, 2 on malformed input. The
+threshold can also be set with RNNHM_BENCH_THRESHOLD (a fraction, e.g.
+0.15) so CI can loosen the gate without editing the workflow.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+# Lower is better; these gate.
+TIME_KEYS = ("ms", "cold_ms", "warm_ms", "wall_ms", "p50_ms", "p99_ms",
+             "us_per_call")
+# Higher is better; reported only.
+RATE_KEYS = ("maps_per_sec", "mb_per_s", "rps")
+MEASURE_KEYS = TIME_KEYS + RATE_KEYS
+
+
+def cell_key(cell):
+    """The identity of a cell: every non-measurement field, sorted."""
+    return tuple(sorted((k, v) for k, v in cell.items()
+                        if k not in MEASURE_KEYS))
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    if "cells" not in doc or not isinstance(doc["cells"], list):
+        raise ValueError(f"{path}: no 'cells' array")
+    return doc
+
+
+def fmt_key(key):
+    return " ".join(f"{k}={v}" for k, v in key)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--threshold", type=float,
+                        default=float(os.environ.get(
+                            "RNNHM_BENCH_THRESHOLD", "0.15")),
+                        help="allowed fractional slowdown (default 0.15)")
+    parser.add_argument("--min-ms", type=float, default=5.0,
+                        help="skip baseline measurements below this value")
+    args = parser.parse_args()
+
+    try:
+        baseline = load(args.baseline)
+        current = load(args.current)
+    except (OSError, ValueError, json.JSONDecodeError) as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 2
+
+    base_cells = {cell_key(c): c for c in baseline["cells"]}
+    cur_cells = {cell_key(c): c for c in current["cells"]}
+
+    name = current.get("benchmark", args.current)
+    regressions = []
+    compared = 0
+    for key, cur in sorted(cur_cells.items()):
+        base = base_cells.get(key)
+        if base is None:
+            print(f"[{name}] new cell (no baseline): {fmt_key(key)}")
+            continue
+        for measure in TIME_KEYS:
+            if measure not in base or measure not in cur:
+                continue
+            old, new = float(base[measure]), float(cur[measure])
+            if old < args.min_ms:
+                continue
+            compared += 1
+            ratio = new / old if old > 0 else float("inf")
+            line = (f"[{name}] {fmt_key(key)}: {measure} "
+                    f"{old:.3f} -> {new:.3f} ({(ratio - 1.0):+.1%})")
+            if ratio > 1.0 + args.threshold:
+                regressions.append(line)
+                print("REGRESSION " + line)
+            else:
+                print("ok         " + line)
+    for key in sorted(base_cells):
+        if key not in cur_cells:
+            print(f"[{name}] baseline cell vanished: {fmt_key(key)}")
+
+    print(f"[{name}] compared {compared} measurements, "
+          f"{len(regressions)} regression(s), "
+          f"threshold {args.threshold:.0%}, floor {args.min_ms} ms")
+    return 1 if regressions else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

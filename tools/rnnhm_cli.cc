@@ -31,21 +31,29 @@
 //         [--cache BYTES] [--in req.bin] [--out resp.bin]
 //         [--host H] [--port P] [--path SOCK] [--max-conns N]
 //         [--idle-timeout MS] [--drain-timeout MS] [--poller epoll|poll]
-//       Wire-protocol server. stdio reads length-prefixed serving-API-v2
+//         [--retain-sets N] [--max-conn-sets N]
+//       Wire-protocol server. stdio reads length-prefixed serving-API
 //       request frames from --in (default stdin) and answers on --out
 //       (default stdout). tcp/unix run the nonblocking event loop
 //       (serve/event_loop.h) on the given address — --port 0 binds an
 //       ephemeral port, printed on stderr as "listening on tcp HOST:PORT".
 //       Inline circle sets register into the engine's registry; later
-//       requests may reference them by content hash alone. SIGINT/SIGTERM
-//       drain gracefully (a second signal stops immediately).
+//       requests may reference them by content hash alone, and v4 delta
+//       frames derive new sets from registered bases. Memory stays
+//       bounded: each connection's registrations are released when it
+//       disconnects (at most --max-conn-sets are pinned per connection),
+//       and fully released sets survive as an LRU of --retain-sets
+//       entries before eviction. SIGINT/SIGTERM drain gracefully (a
+//       second signal stops immediately).
 //   route [--transport tcp|unix] [--shards N] [--socket-dir DIR]
 //         [--threads T] [--slabs S] [--cache BYTES] plus the serve
-//         address/connection flags
+//         address/connection/retention flags
 //       Multi-process sharding front: fork N shared-nothing engine
 //       workers (one per shard, each on its own Unix socket under
 //       --socket-dir) and route request frames to shard
-//       (set_hash % N) — see serve/shard_router.h.
+//       (set_hash % N) — delta frames route by their base hash, and the
+//       derived set's hash is pinned to that shard for follow-ups. See
+//       serve/shard_router.h.
 //   wire-send [--requests req.bin] --connect tcp:HOST:PORT|unix:PATH
 //             [--out resp.bin] [--stats]
 //       Socket client: send each framed request from --requests to a
@@ -53,13 +61,17 @@
 //       request into --out. --stats additionally sends a stats op and
 //       prints the (fleet-merged) serve counters.
 //   wire-pack --clients A.csv --facilities B.csv [--metric linf|l1|l2]
-//             [--size N] [--count K] --out req.bin
+//             [--size N] [--count K] [--deltas D] [--seed S] --out req.bin
 //       Encode K framed wire requests over one circle set (the first
 //       carries the set inline, the rest reference it by hash; each at a
 //       distinct resolution) — the client half of a serve round-trip.
+//       With --deltas D, pack instead one inline request followed by D
+//       v4 delta frames: each frame carries the edit journal of one
+//       random session tick plus the expected derived hash.
 //   wire-verify --requests req.bin --responses resp.bin
 //       Decode request/response frame pairs and recompute every request
-//       directly; fails unless each served grid is bit-identical.
+//       directly (delta frames replay their edits through ApplyDelta);
+//       fails unless each served grid is bit-identical.
 //
 // Exit codes: 0 success, 1 usage error, 2 I/O or verification failure;
 // serving-stack failures exit with a per-StatusCode code (3 + code — see
@@ -70,6 +82,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -127,6 +140,7 @@ int Usage() {
       "[--path SOCK]\n"
       "            [--max-conns N] [--idle-timeout MS] [--drain-timeout MS] "
       "[--poller epoll|poll]\n"
+      "            [--retain-sets N] [--max-conn-sets N]\n"
       "  rnnhm_cli route [--transport tcp|unix] [--shards N] "
       "[--socket-dir DIR]\n"
       "            [--threads T] [--slabs S] [--cache BYTES] "
@@ -136,7 +150,7 @@ int Usage() {
       "            [--out resp.bin] [--stats]\n"
       "  rnnhm_cli wire-pack --clients A.csv --facilities B.csv "
       "[--metric ...] [--size N]\n"
-      "            [--count K] --out req.bin\n"
+      "            [--count K] [--deltas D] [--seed S] --out req.bin\n"
       "  rnnhm_cli wire-verify --requests req.bin --responses resp.bin\n");
   return 1;
 }
@@ -580,6 +594,14 @@ bool ParseServeFlags(const Args& args, ServeOptions* options,
     *error = "unknown --poller '" + poller + "' (epoll|poll)";
     return false;
   }
+  const int retain_sets = std::atoi(args.Flag("retain-sets", "256"));
+  const int max_conn_sets = std::atoi(args.Flag("max-conn-sets", "64"));
+  if (retain_sets < 0 || max_conn_sets < 0) {
+    *error = "--retain-sets and --max-conn-sets must be non-negative";
+    return false;
+  }
+  options->retain_sets = static_cast<size_t>(retain_sets);
+  options->max_conn_sets = static_cast<size_t>(max_conn_sets);
   options->num_shards = std::atoi(args.Flag("shards", "2"));
   if (options->num_shards <= 0) {
     *error = "--shards must be positive";
@@ -598,11 +620,13 @@ bool ParseServeFlags(const Args& args, ServeOptions* options,
 void PrintServeStats(const WireServeStats& stats) {
   std::fprintf(stderr,
                "served %llu requests (%llu ok, %llu errors, %llu circle "
-               "sets registered)\n",
+               "sets registered, %llu deltas, %llu spliced)\n",
                static_cast<unsigned long long>(stats.requests),
                static_cast<unsigned long long>(stats.ok),
                static_cast<unsigned long long>(stats.errors),
-               static_cast<unsigned long long>(stats.sets_registered));
+               static_cast<unsigned long long>(stats.sets_registered),
+               static_cast<unsigned long long>(stats.deltas),
+               static_cast<unsigned long long>(stats.delta_splices));
 }
 
 // The stdio/file leg of serve: the blocking WireServer loop over
@@ -646,6 +670,12 @@ int CmdServe(const Args& args) {
   engine_options.num_threads = options.threads;
   engine_options.slabs_per_request = options.slabs;
   engine_options.cache_bytes = options.cache_bytes;
+  // Bounded registry: fully released sets stay resolvable by hash up to
+  // --retain-sets, LRU-evicted past it (0 = erase on last release).
+  CircleSetRegistryOptions registry_options;
+  registry_options.max_unpinned_entries = options.retain_sets;
+  engine_options.registry =
+      std::make_shared<CircleSetRegistry>(registry_options);
   HeatmapEngine engine(measure, engine_options);
   if (options.transport == TransportKind::kStdio) {
     return ServeStdio(options, engine);
@@ -812,12 +842,16 @@ int CmdWireSend(const Args& args) {
         exit_code = 2;
       } else {
         std::printf("stats: %u shard(s), %llu requests, %llu ok, %llu "
-                    "errors, %llu sets registered\n",
+                    "errors, %llu sets registered, %llu deltas (%llu "
+                    "spliced), %llu sets evicted\n",
                     stats->shards,
                     static_cast<unsigned long long>(stats->requests),
                     static_cast<unsigned long long>(stats->ok),
                     static_cast<unsigned long long>(stats->errors),
-                    static_cast<unsigned long long>(stats->sets_registered));
+                    static_cast<unsigned long long>(stats->sets_registered),
+                    static_cast<unsigned long long>(stats->deltas),
+                    static_cast<unsigned long long>(stats->delta_splices),
+                    static_cast<unsigned long long>(stats->sets_evicted));
       }
     }
   }
@@ -841,31 +875,87 @@ int CmdWirePack(const Args& args) {
   }
   const int size = std::atoi(args.Flag("size", "64"));
   const int count = std::atoi(args.Flag("count", "4"));
+  const int deltas = std::atoi(args.Flag("deltas", "0"));
+  const uint64_t seed = std::strtoull(args.Flag("seed", "1"), nullptr, 10);
   const char* out_path = args.Flag("out");
-  if (size <= 0 || count <= 0 || out_path == nullptr) return Usage();
+  if (size <= 0 || count <= 0 || deltas < 0 || out_path == nullptr) {
+    return Usage();
+  }
   const Rect domain = BoundingBox(clients, 0.02);
-  const auto set = CircleSetSnapshot::Make(
-      BuildNnCircles(clients, facilities, metric), metric);
   std::FILE* out = std::fopen(out_path, "wb");
   if (out == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", out_path);
     return 2;
   }
   bool ok = true;
-  for (int i = 0; i < count && ok; ++i) {
-    // The first frame carries the set inline; the rest reference it by
-    // content hash. Distinct resolutions keep every response distinct.
-    const WireRequest request = MakeWireRequest(
-        *set, domain, size + i, size + i, /*include_circles=*/i == 0);
-    ok = WriteFrame(out, EncodeRequest(request));
+  size_t num_circles = 0;
+  if (deltas > 0) {
+    // Delta stream: one inline request establishes the base set, then
+    // every tick of a randomly edited session travels as a v4 delta
+    // frame (base hash + edit journal + expected derived hash) at the
+    // same geometry, so the server can splice instead of resweeping.
+    HeatmapSession session(clients, facilities, metric);
+    const auto base = CircleSetSnapshot::Make(session.circles(), metric);
+    num_circles = base->circles().size();
+    ok = WriteFrame(out, EncodeRequest(MakeWireRequest(
+                             *base, domain, size, size,
+                             /*include_circles=*/true)));
+    session.EnableEditJournal();
+    uint64_t prev_hash = base->content_hash();
+    Rng rng(seed);
+    for (int i = 0; i < deltas && ok; ++i) {
+      const double dice = rng.NextDouble();
+      if (dice < 0.55) {
+        session.MoveClient(
+            static_cast<int32_t>(rng.NextBounded(session.num_clients())),
+            {rng.Uniform(domain.lo.x, domain.hi.x),
+             rng.Uniform(domain.lo.y, domain.hi.y)});
+      } else if (dice < 0.75) {
+        session.AddClient({rng.Uniform(domain.lo.x, domain.hi.x),
+                           rng.Uniform(domain.lo.y, domain.hi.y)});
+      } else if (dice < 0.9 || session.num_facilities() < 2) {
+        session.AddFacility({rng.Uniform(domain.lo.x, domain.hi.x),
+                             rng.Uniform(domain.lo.y, domain.hi.y)});
+      } else {
+        session.RemoveFacility(
+            static_cast<int32_t>(rng.NextBounded(session.num_facilities())));
+      }
+      WireDeltaRequest delta;
+      delta.metric = metric;
+      delta.base_hash = prev_hash;
+      delta.edits = session.TakeCircleEdits();
+      delta.new_hash = HashCircleSet(session.circles(), metric);
+      delta.domain = domain;
+      delta.width = size;
+      delta.height = size;
+      ok = WriteFrame(out, EncodeDeltaRequest(delta));
+      prev_hash = delta.new_hash;
+    }
+  } else {
+    const auto set = CircleSetSnapshot::Make(
+        BuildNnCircles(clients, facilities, metric), metric);
+    num_circles = set->circles().size();
+    for (int i = 0; i < count && ok; ++i) {
+      // The first frame carries the set inline; the rest reference it by
+      // content hash. Distinct resolutions keep every response distinct.
+      const WireRequest request = MakeWireRequest(
+          *set, domain, size + i, size + i, /*include_circles=*/i == 0);
+      ok = WriteFrame(out, EncodeRequest(request));
+    }
   }
   ok = (std::fclose(out) == 0) && ok;
   if (!ok) {
     std::fprintf(stderr, "failed writing %s\n", out_path);
     return 2;
   }
-  std::printf("packed %d requests over %zu circles (%s) to %s\n", count,
-              set->circles().size(), MetricName(metric).c_str(), out_path);
+  if (deltas > 0) {
+    std::printf("packed 1 inline request + %d deltas over %zu circles "
+                "(%s) to %s\n",
+                deltas, num_circles, MetricName(metric).c_str(), out_path);
+  } else {
+    std::printf("packed %d requests over %zu circles (%s) to %s\n", count,
+                num_circles, MetricName(metric).c_str(), out_path);
+  }
   return 0;
 }
 
@@ -914,12 +1004,6 @@ int CmdWireVerify(const Args& args) {
       }
       break;
     }
-    const auto request = DecodeRequest(*req_frame, &error);
-    if (!request.has_value()) {
-      std::fprintf(stderr, "request %d: %s\n", verified, error.c_str());
-      ++failures;
-      break;
-    }
     const auto response = DecodeResponse(*resp_frame, &error);
     if (!response.has_value()) {
       std::fprintf(stderr, "response %d: %s\n", verified, error.c_str());
@@ -933,23 +1017,69 @@ int CmdWireVerify(const Args& args) {
       ++failures;
       break;
     }
+    // Resolve the request — plain or delta — to the handle + geometry the
+    // reference Execute needs.
     CircleSetHandle handle;
-    if (request->inline_circles) {
-      handle = engine.registry().Register(request->circles, request->metric);
-      known.emplace_back(request->set_hash, handle);
-    } else {
-      for (const auto& [hash, h] : known) {
-        if (hash == request->set_hash) handle = h;
+    Rect ref_domain;
+    int ref_width = 0;
+    int ref_height = 0;
+    if (IsDeltaRequest(*req_frame)) {
+      const auto delta = DecodeDeltaRequest(*req_frame, &error);
+      if (!delta.has_value()) {
+        std::fprintf(stderr, "request %d: %s\n", verified, error.c_str());
+        ++failures;
+        break;
       }
-      if (!handle.valid()) {
-        std::fprintf(stderr, "request %d references an unseen set\n",
+      CircleSetHandle base;
+      for (const auto& [hash, h] : known) {
+        if (hash == delta->base_hash) base = h;
+      }
+      if (!base.valid()) {
+        std::fprintf(stderr, "request %d: delta references an unseen base\n",
                      verified);
         ++failures;
         break;
       }
+      const Status status = engine.registry().ApplyDelta(
+          base, delta->edits, delta->new_hash, &handle);
+      if (!status.ok()) {
+        std::fprintf(stderr, "request %d: %s\n", verified,
+                     status.ToString().c_str());
+        ++failures;
+        break;
+      }
+      known.emplace_back(delta->new_hash, handle);
+      ref_domain = delta->domain;
+      ref_width = delta->width;
+      ref_height = delta->height;
+    } else {
+      const auto request = DecodeRequest(*req_frame, &error);
+      if (!request.has_value()) {
+        std::fprintf(stderr, "request %d: %s\n", verified, error.c_str());
+        ++failures;
+        break;
+      }
+      if (request->inline_circles) {
+        handle =
+            engine.registry().Register(request->circles, request->metric);
+        known.emplace_back(request->set_hash, handle);
+      } else {
+        for (const auto& [hash, h] : known) {
+          if (hash == request->set_hash) handle = h;
+        }
+        if (!handle.valid()) {
+          std::fprintf(stderr, "request %d references an unseen set\n",
+                       verified);
+          ++failures;
+          break;
+        }
+      }
+      ref_domain = request->domain;
+      ref_width = request->width;
+      ref_height = request->height;
     }
-    const HeatmapResponse reference = engine.Execute(HeatmapRequestV2{
-        handle, request->domain, request->width, request->height});
+    const HeatmapResponse reference = engine.Execute(
+        HeatmapRequestV2{handle, ref_domain, ref_width, ref_height});
     if (reference.grid.values() != response->response->grid.values()) {
       std::fprintf(stderr,
                    "request %d: served grid differs from direct Execute\n",
