@@ -4,14 +4,28 @@
 // complexity analysis relies on: O(log n) line-status operations, O(1)
 // base-set edits with O(lambda) copies, and the enclosure-query costs the
 // baseline pays per grid cell.
+//
+// After the google-benchmark tables, the run times the raster hot-path
+// kernels deterministically (fixed work, Stopwatch) and writes the
+// results to BENCH_micro.json (override with RNNHM_BENCH_JSON_MICRO):
+// one cell per (kernel, simd) with milliseconds, so CI can gate the SIMD
+// arc-evaluation and sink-paint paths against a committed baseline the
+// same way the end-to-end benches gate sweeps.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstdlib>
 #include <map>
+#include <string>
 #include <vector>
 
+#include "bench_common.h"
 #include "common/rng.h"
 #include "core/base_set.h"
 #include "data/generators.h"
+#include "heatmap/heatmap.h"
+#include "heatmap/influence.h"
+#include "heatmap/raster_kernels.h"
 #include "index/enclosure_index.h"
 #include "index/kdtree.h"
 #include "index/rtree.h"
@@ -141,7 +155,159 @@ void BM_NnCircleConstruction(benchmark::State& state) {
 }
 BENCHMARK(BM_NnCircleConstruction)->Range(1 << 10, 1 << 16);
 
+void BM_ArcYAtColumns(benchmark::State& state) {
+  // The per-column arc evaluation RasterArcSink batches on the L2 hot
+  // path; range(0) == 0 forces the scalar backend for comparison.
+  const bool simd = state.range(0) != 0;
+  SetRasterBackendForTesting(simd ? DetectedRasterBackend()
+                                  : RasterBackend::kScalar);
+  constexpr int kCols = 4096;
+  std::vector<double> xs(kCols), out(kCols);
+  for (int k = 0; k < kCols; ++k) xs[k] = -0.6 + 1.2 * k / kCols;
+  const Point center{0.1, -0.2};
+  for (auto _ : state) {
+    ArcYAtColumns(center, 0.45, false, xs.data(), out.data(), kCols);
+    ArcYAtColumns(center, 0.45, true, xs.data(), out.data(), kCols);
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  ResetRasterBackendForTesting();
+  state.SetItemsProcessed(state.iterations() * kCols * 2);
+}
+BENCHMARK(BM_ArcYAtColumns)->Arg(0)->Arg(1);
+
 }  // namespace
+
+namespace bench {
+namespace {
+
+struct MicroCell {
+  std::string kernel;
+  std::string simd;  // "on" / "off"
+  int n;
+  double ms;
+};
+
+// Fixed-work kernel timings (no adaptive iteration count): the same
+// deterministic workload every run, so the committed BENCH_micro.json
+// baseline gates regressions meaningfully.
+void TimeArcEval(bool simd, std::vector<MicroCell>* cells) {
+  SetRasterBackendForTesting(simd ? DetectedRasterBackend()
+                                  : RasterBackend::kScalar);
+  constexpr int kCols = 4096;
+  constexpr int kReps = 4000;
+  std::vector<double> xs(kCols), out(kCols);
+  for (int k = 0; k < kCols; ++k) xs[k] = -0.6 + 1.2 * k / kCols;
+  const Point center{0.1, -0.2};
+  const double ms = TimeMs([&] {
+    for (int r = 0; r < kReps; ++r) {
+      ArcYAtColumns(center, 0.45, false, xs.data(), out.data(), kCols);
+      ArcYAtColumns(center, 0.45, true, xs.data(), out.data(), kCols);
+    }
+  });
+  ResetRasterBackendForTesting();
+  cells->push_back(MicroCell{"arc_eval", simd ? "on" : "off", kCols, ms});
+}
+
+void TimeL2Raster(bool simd, const std::vector<NnCircle>& circles,
+                  std::vector<MicroCell>* cells) {
+  SetRasterBackendForTesting(simd ? DetectedRasterBackend()
+                                  : RasterBackend::kScalar);
+  SizeInfluence measure;
+  constexpr int kRes = 192;
+  const Rect domain{{0, 0}, {1, 1}};
+  const double ms = TimeMs([&] {
+    const HeatmapGrid grid =
+        BuildHeatmapL2(circles, measure, domain, kRes, kRes);
+    benchmark::DoNotOptimize(grid.values().data());
+  });
+  ResetRasterBackendForTesting();
+  cells->push_back(MicroCell{"l2_raster", simd ? "on" : "off",
+                             static_cast<int>(circles.size()), ms});
+}
+
+void TimeStripFill(std::vector<MicroCell>* cells) {
+  // The LInf square sweep's row-fill path (scalar by design: std::fill
+  // saturates memory bandwidth; timed so sink regressions still gate).
+  Rng rng(52);
+  std::vector<NnCircle> circles;
+  for (int i = 0; i < 2000; ++i) {
+    circles.push_back(NnCircle{{rng.Uniform(0, 1), rng.Uniform(0, 1)},
+                               rng.Uniform(0.01, 0.1), i});
+  }
+  SizeInfluence measure;
+  constexpr int kRes = 192;
+  const double ms = TimeMs([&] {
+    const HeatmapGrid grid = BuildHeatmapLInf(circles, measure,
+                                              Rect{{0, 0}, {1, 1}}, kRes,
+                                              kRes);
+    benchmark::DoNotOptimize(grid.values().data());
+  });
+  cells->push_back(
+      MicroCell{"strip_fill", "off", static_cast<int>(circles.size()), ms});
+}
+
+void TimePixelAxisLowerBound(std::vector<MicroCell>* cells) {
+  const PixelAxis axis(-0.05, 1.1 / 512, 512);
+  Rng rng(53);
+  constexpr int kProbes = 1 << 20;
+  std::vector<double> bounds(kProbes);
+  for (int i = 0; i < kProbes; ++i) bounds[i] = rng.Uniform(-0.2, 1.2);
+  long long sum = 0;
+  const double ms = TimeMs([&] {
+    for (int i = 0; i < kProbes; ++i) sum += axis.LowerBound(bounds[i]);
+  });
+  benchmark::DoNotOptimize(sum);
+  cells->push_back(MicroCell{"pixel_axis_lower_bound", "off", kProbes, ms});
+}
+
+void WriteMicroJson() {
+  std::vector<MicroCell> cells;
+  TimeArcEval(/*simd=*/false, &cells);
+  TimeArcEval(/*simd=*/true, &cells);
+  Rng rng(51);
+  std::vector<NnCircle> circles;
+  for (int i = 0; i < 800; ++i) {
+    circles.push_back(NnCircle{{rng.Uniform(0, 1), rng.Uniform(0, 1)},
+                               rng.Uniform(0.01, 0.12), i});
+  }
+  TimeL2Raster(/*simd=*/false, circles, &cells);
+  TimeL2Raster(/*simd=*/true, circles, &cells);
+  TimeStripFill(&cells);
+  TimePixelAxisLowerBound(&cells);
+
+  const char* path = std::getenv("RNNHM_BENCH_JSON_MICRO");
+  if (path == nullptr) path = "BENCH_micro.json";
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(f, "{\n  \"benchmark\": \"micro\",\n  \"cells\": [\n");
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const MicroCell& c = cells[i];
+    std::fprintf(f,
+                 "    {\"kernel\": \"%s\", \"simd\": \"%s\", \"n\": %d, "
+                 "\"ms\": %.3f}%s\n",
+                 c.kernel.c_str(), c.simd.c_str(), c.n, c.ms,
+                 i + 1 < cells.size() ? "," : "");
+    std::printf("[micro/%s simd=%s] n=%d: %.3f ms\n", c.kernel.c_str(),
+                c.simd.c_str(), c.n, c.ms);
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s (%zu cells)\n", path, cells.size());
+}
+
+}  // namespace
+}  // namespace bench
 }  // namespace rnnhm
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  rnnhm::bench::WriteMicroJson();
+  return 0;
+}

@@ -409,36 +409,92 @@ class SweepL2 {
   CrestL2Stats stats_;
 };
 
-// Slab boundaries at event quantiles. The cheap per-disk events (x-extremes
-// and centers) stand in for the full event set — crossing x's would need
-// the all-pairs pass the shards are meant to divide — and already balance
-// typical workloads well.
+}  // namespace
+
 std::vector<double> SlabBoundariesL2(const std::vector<NnCircle>& circles,
-                                     size_t shards) {
-  std::vector<double> xs;
-  xs.reserve(circles.size() * 3);
-  for (const NnCircle& c : circles) {
+                                     size_t shards,
+                                     size_t crossing_sample_cap) {
+  // One weighted observation per estimated sweep event. Per-disk events
+  // (x-extremes and centers) are cheap and exact, weight 1 each. Crossing
+  // events — the dominant cost on intersection-heavy workloads — would
+  // need the all-pairs pass the shards are meant to divide, so they are
+  // *estimated*: a deterministic stride sample of `samples` disks runs the
+  // same R-tree probe the sweep's event builder runs, and each observed
+  // intersection abscissa is weighted up by the inverse sampling rate.
+  // Every crossing is seen from both endpoints when all disks are sampled,
+  // hence the 2 in the weight; the estimator then reproduces the true
+  // crossing count exactly at full sampling and unbiasedly under the cap.
+  struct WeightedX {
+    double x;
+    double w;
+  };
+  std::vector<WeightedX> events;
+  std::vector<Rect> boxes;
+  std::vector<int32_t> disk_of;  // box index -> circles index
+  events.reserve(circles.size() * 3);
+  for (int32_t i = 0; i < static_cast<int32_t>(circles.size()); ++i) {
+    const NnCircle& c = circles[i];
     if (c.radius <= 0.0) continue;
-    xs.push_back(c.center.x - c.radius);
-    xs.push_back(c.center.x);
-    xs.push_back(c.center.x + c.radius);
+    events.push_back(WeightedX{c.center.x - c.radius, 1.0});
+    events.push_back(WeightedX{c.center.x, 1.0});
+    events.push_back(WeightedX{c.center.x + c.radius, 1.0});
+    boxes.push_back(c.Bounds());
+    disk_of.push_back(i);
   }
-  std::sort(xs.begin(), xs.end());
+  const size_t n = boxes.size();
+  if (shards > 1 && n >= 2 && crossing_sample_cap > 0) {
+    RTree rtree;
+    rtree.BulkLoad(boxes);
+    const size_t samples = std::min(n, crossing_sample_cap);
+    const double weight = static_cast<double>(n) / (2.0 * samples);
+    for (size_t k = 0; k < samples; ++k) {
+      const size_t b = k * n / samples;  // deterministic stride, no RNG
+      const NnCircle& a = circles[disk_of[b]];
+      rtree.Query(boxes[b], [&](int32_t other) {
+        if (static_cast<size_t>(other) == b) return;
+        const NnCircle& c = circles[disk_of[other]];
+        if (!CirclesProperlyIntersect(a.center, a.radius, c.center,
+                                      c.radius)) {
+          return;
+        }
+        const CircleIntersection isect =
+            IntersectCircles(a.center, a.radius, c.center, c.radius);
+        for (int p = 0; p < isect.count; ++p) {
+          events.push_back(WeightedX{isect.points[p].x, weight});
+        }
+      });
+    }
+  }
+  std::sort(events.begin(), events.end(),
+            [](const WeightedX& a, const WeightedX& b) {
+              return a.x < b.x || (a.x == b.x && a.w < b.w);
+            });
+  double total = 0.0;
+  for (const WeightedX& e : events) total += e.w;
   std::vector<double> bounds;
   bounds.reserve(shards + 1);
   // Outer boundaries are infinite so no arc is ever lost to rounding at
   // the extreme event coordinates. Duplicate interior boundaries (heavy
   // ties) collapse to empty slabs, which no-op.
   bounds.push_back(-std::numeric_limits<double>::infinity());
+  size_t idx = 0;
+  double cum = 0.0;
   for (size_t s = 1; s < shards; ++s) {
-    bounds.push_back(xs.empty() ? bounds.back()
-                                : xs[xs.size() * s / shards]);
+    if (events.empty()) {
+      bounds.push_back(bounds.back());
+      continue;
+    }
+    // Cut at the weighted s/shards quantile of the event distribution.
+    const double target = total * static_cast<double>(s) / shards;
+    while (idx + 1 < events.size() && cum + events[idx].w < target) {
+      cum += events[idx].w;
+      ++idx;
+    }
+    bounds.push_back(events[idx].x);
   }
   bounds.push_back(std::numeric_limits<double>::infinity());
   return bounds;
 }
-
-}  // namespace
 
 CrestL2Stats RunCrestL2(const std::vector<NnCircle>& circles,
                         const InfluenceMeasure& measure,

@@ -93,8 +93,8 @@ CrestL2Stats RunCrestL2(const std::vector<NnCircle>& circles,
                         const CrestL2Options& options = {});
 
 /// Slab-parallel L2 sweep: decomposes the x-axis into one vertical slab per
-/// sink in `shard_sinks`, cut at event quantiles (disk x-extremes and
-/// centers), and sweeps the slabs on independent threads. Disks are clipped
+/// sink in `shard_sinks`, cut at crossing-event-density quantiles
+/// (SlabBoundariesL2), and sweeps the slabs on independent threads. Disks are clipped
 /// to each slab they overlap — x-extremes, centers and pairwise boundary
 /// intersections inside a slab stay events there, so per-slab labels are
 /// correct region labels; a region spanning a boundary is labeled once per
@@ -127,6 +127,22 @@ CrestL2Stats RunCrestL2ParallelStrips(const std::vector<NnCircle>& circles,
                                       const InfluenceMeasure& measure,
                                       int num_slabs,
                                       const CrestL2Options& options = {});
+
+/// Slab cuts for the parallel L2 sweep: `shards` + 1 ascending boundaries
+/// (outer two infinite) at weighted quantiles of the estimated *event
+/// density*. Per-disk events (x-extremes, centers) weigh 1 each; pairwise
+/// crossing events — the sweep's dominant cost on intersection-heavy
+/// inputs — are estimated from a deterministic stride sample of at most
+/// `crossing_sample_cap` disks (R-tree probed exactly like the event
+/// builder), each observation weighted by the inverse sampling rate. A hot
+/// intersection cluster thus splits across slabs instead of serializing
+/// one, where plain x-extreme quantiles would underweight it. Boundaries
+/// affect load balance only, never output: the raster sinks' center
+/// sampling keeps grids bit-identical for every decomposition. No RNG —
+/// identical inputs always cut identically.
+std::vector<double> SlabBoundariesL2(const std::vector<NnCircle>& circles,
+                                     size_t shards,
+                                     size_t crossing_sample_cap = 256);
 
 /// The coordinate span that scales the sweep's simultaneous-event grouping
 /// epsilon, derived from the full disk set exactly as the sequential sweep

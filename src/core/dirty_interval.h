@@ -15,6 +15,8 @@
 #include <cstddef>
 #include <vector>
 
+#include "geom/geometry.h"
+
 namespace rnnhm {
 
 /// Closed interval [lo, hi] of x-coordinates (lo <= hi).
@@ -52,6 +54,50 @@ class DirtyIntervalSet {
   // Mutable so Merged() can normalize in place while staying const to
   // callers that only read the merged view.
   mutable std::vector<DirtyInterval> intervals_;
+  mutable bool merged_ = true;
+};
+
+/// Closed axis-aligned dirty rectangle: the 2D footprint of an edit.
+struct DirtyRect {
+  DirtyInterval x;
+  DirtyInterval y;
+
+  friend bool operator==(const DirtyRect&, const DirtyRect&) = default;
+};
+
+/// Accumulates closed dirty rectangles across session edits and exposes
+/// them merged: sorted ascending and pairwise disjoint in x, with rects
+/// whose x-intervals overlap or touch coalesced into one — x stays the
+/// splice's slab axis — and their y-intervals unioned (a conservative
+/// bound; see heatmap/incremental.h for why retaining pixels outside the
+/// y-union is exact). Add is O(1) amortized, Merged() is O(b log b) for b
+/// pending rects, mirroring DirtyIntervalSet.
+class DirtyRegionSet {
+ public:
+  /// Marks [x_lo, x_hi] x [y_lo, y_hi] dirty. Requires lo <= hi on both
+  /// axes (degenerate point footprints are allowed).
+  void Add(double x_lo, double x_hi, double y_lo, double y_hi);
+
+  /// Marks a circle footprint's bounding box dirty.
+  void AddRect(const Rect& bounds);
+
+  /// True iff nothing has been added since construction / last Clear.
+  bool empty() const { return rects_.empty(); }
+
+  /// Number of rects added since the last Clear (before merging).
+  size_t num_pending() const { return rects_.size(); }
+
+  /// The merged view: x-sorted, pairwise disjoint in x, y-unioned per
+  /// x-group. Idempotent; Add may follow.
+  const std::vector<DirtyRect>& Merged() const;
+
+  /// Forgets all accumulated rects (after a rebuild consumed them).
+  void Clear();
+
+ private:
+  // Mutable so Merged() can normalize in place while staying const to
+  // callers that only read the merged view.
+  mutable std::vector<DirtyRect> rects_;
   mutable bool merged_ = true;
 };
 

@@ -33,6 +33,17 @@ class HeatmapGrid {
   double& At(int i, int j) { return values_[Index(i, j)]; }
   double At(int i, int j) const { return values_[Index(i, j)]; }
 
+  /// Raw pointer to row j (width() consecutive values) — the unchecked
+  /// accessor the raster hot loops use; pixel (i, j) is Row(j)[i].
+  double* Row(int j) { return values_.data() + static_cast<size_t>(j) * width_; }
+  const double* Row(int j) const {
+    return values_.data() + static_cast<size_t>(j) * width_;
+  }
+
+  /// Raw pointer to the full row-major value array (height() * width()).
+  double* data() { return values_.data(); }
+  const double* data() const { return values_.data(); }
+
   /// Center of pixel (i, j).
   Point PixelCenter(int i, int j) const;
 

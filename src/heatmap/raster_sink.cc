@@ -1,64 +1,87 @@
 #include "heatmap/raster_sink.h"
 
 #include <algorithm>
-#include <cmath>
-
-#include "geom/circle_geometry.h"
 
 namespace rnnhm {
 
-RasterStripSink::RasterStripSink(HeatmapGrid* grid) : grid_(grid) {
-  const Rect& d = grid_->domain();
-  dx_ = (d.hi.x - d.lo.x) / grid_->width();
-  dy_ = (d.hi.y - d.lo.y) / grid_->height();
+namespace {
+
+// Arc-ordinate batch size: large enough to amortize dispatch and keep the
+// widest kernel (8 lanes) busy, small enough to live on each caller's
+// stack — parallel shards paint through one shared sink, so OnArcStrip
+// must not keep mutable scratch in the sink object.
+constexpr int kArcBatch = 64;
+
+PixelAxis MakeCols(const HeatmapGrid& grid) {
+  const Rect& d = grid.domain();
+  return PixelAxis(d.lo.x, (d.hi.x - d.lo.x) / grid.width(), grid.width());
 }
 
-RasterArcSink::RasterArcSink(HeatmapGrid* grid) : grid_(grid) {
-  const Rect& d = grid_->domain();
-  dx_ = (d.hi.x - d.lo.x) / grid_->width();
-  dy_ = (d.hi.y - d.lo.y) / grid_->height();
+PixelAxis MakeRows(const HeatmapGrid& grid) {
+  const Rect& d = grid.domain();
+  return PixelAxis(d.lo.y, (d.hi.y - d.lo.y) / grid.height(), grid.height());
 }
 
-void RasterArcSink::OnArcStrip(double x0, double x1, const ArcGeom& lower,
-                               const ArcGeom& upper, double influence) {
-  const Rect& d = grid_->domain();
-  const int i0 =
-      std::max(0, static_cast<int>(std::ceil((x0 - d.lo.x) / dx_ - 0.5)));
-  for (int i = i0; i < grid_->width(); ++i) {
-    const double cx = d.lo.x + (i + 0.5) * dx_;
-    if (cx >= x1) break;
-    if (cx < x0) continue;
-    const double ylo = ArcYAt(lower.center, lower.radius, lower.is_upper, cx);
-    const double yhi = ArcYAt(upper.center, upper.radius, upper.is_upper, cx);
-    const int j0 =
-        std::max(0, static_cast<int>(std::ceil((ylo - d.lo.y) / dy_ - 0.5)));
-    for (int j = j0; j < grid_->height(); ++j) {
-      const double cy = d.lo.y + (j + 0.5) * dy_;
-      if (cy >= yhi) break;
-      if (cy < ylo) continue;
-      grid_->At(i, j) = influence;
-    }
-  }
+}  // namespace
+
+RasterStripSink::RasterStripSink(HeatmapGrid* grid)
+    : grid_(grid),
+      cols_(MakeCols(*grid)),
+      rows_(MakeRows(*grid)),
+      row_lo_(0),
+      row_hi_(grid->height()) {}
+
+void RasterStripSink::SetRowWindow(int row_lo, int row_hi) {
+  row_lo_ = std::max(0, row_lo);
+  row_hi_ = std::min(grid_->height(), row_hi);
 }
 
 void RasterStripSink::OnSpan(double x0, double x1, double y0, double y1,
                              double influence) {
-  const Rect& d = grid_->domain();
   // A pixel is painted iff its center lies in [x0, x1) x [y0, y1); spans
-  // tile strips exactly, so half-open edges avoid double-painting.
-  const int i0 =
-      std::max(0, static_cast<int>(std::ceil((x0 - d.lo.x) / dx_ - 0.5)));
-  const int j0 =
-      std::max(0, static_cast<int>(std::ceil((y0 - d.lo.y) / dy_ - 0.5)));
-  for (int i = i0; i < grid_->width(); ++i) {
-    const double cx = d.lo.x + (i + 0.5) * dx_;
-    if (cx >= x1) break;
-    if (cx < x0) continue;
-    for (int j = j0; j < grid_->height(); ++j) {
-      const double cy = d.lo.y + (j + 0.5) * dy_;
-      if (cy >= y1) break;
-      if (cy < y0) continue;
-      grid_->At(i, j) = influence;
+  // tile strips exactly, so half-open edges avoid double-painting. The
+  // center tables are monotone, so the painted set is one index rectangle.
+  const int i0 = cols_.LowerBound(x0);
+  const int i1 = cols_.LowerBound(x1);
+  if (i0 >= i1) return;
+  const int j0 = std::max(rows_.LowerBound(y0), row_lo_);
+  const int j1 = std::min(rows_.LowerBound(y1), row_hi_);
+  for (int j = j0; j < j1; ++j) {
+    double* row = grid_->Row(j);
+    std::fill(row + i0, row + i1, influence);
+  }
+}
+
+RasterArcSink::RasterArcSink(HeatmapGrid* grid)
+    : grid_(grid),
+      cols_(MakeCols(*grid)),
+      rows_(MakeRows(*grid)),
+      row_lo_(0),
+      row_hi_(grid->height()) {}
+
+void RasterArcSink::SetRowWindow(int row_lo, int row_hi) {
+  row_lo_ = std::max(0, row_lo);
+  row_hi_ = std::min(grid_->height(), row_hi);
+}
+
+void RasterArcSink::OnArcStrip(double x0, double x1, const ArcGeom& lower,
+                               const ArcGeom& upper, double influence) {
+  const int i0 = cols_.LowerBound(x0);
+  const int i1 = cols_.LowerBound(x1);
+  const int width = grid_->width();
+  double* const base = grid_->data();
+  double ylo[kArcBatch];
+  double yhi[kArcBatch];
+  for (int batch = i0; batch < i1; batch += kArcBatch) {
+    const int n = std::min(kArcBatch, i1 - batch);
+    const double* centers = cols_.centers() + batch;
+    ArcYAtColumns(lower.center, lower.radius, lower.is_upper, centers, ylo, n);
+    ArcYAtColumns(upper.center, upper.radius, upper.is_upper, centers, yhi, n);
+    for (int k = 0; k < n; ++k) {
+      const int j0 = std::max(rows_.LowerBound(ylo[k]), row_lo_);
+      const int j1 = std::min(rows_.LowerBound(yhi[k]), row_hi_);
+      double* p = base + static_cast<size_t>(j0) * width + (batch + k);
+      for (int j = j0; j < j1; ++j, p += width) *p = influence;
     }
   }
 }

@@ -1,10 +1,20 @@
 // Sink implementations that paint exact heat spans into a HeatmapGrid.
+//
+// Both sinks precompute their grid's pixel-center tables (SoA layout, see
+// heatmap/raster_kernels.h) at construction: a span's pixel range is two
+// PixelAxis::LowerBound calls instead of a per-pixel center recomputation
+// with break/continue, and the arc sink batch-evaluates both bounding arcs
+// over whole column runs through the SIMD ArcYAtColumns kernel. Painted
+// pixels are exactly those whose centers fall in the half-open span — the
+// same sampling convention as always, so rasters stay independent of how
+// strips were cut.
 #ifndef RNNHM_HEATMAP_RASTER_SINK_H_
 #define RNNHM_HEATMAP_RASTER_SINK_H_
 
 #include "core/crest_l2.h"
 #include "core/label_sink.h"
 #include "heatmap/heatmap.h"
+#include "heatmap/raster_kernels.h"
 
 namespace rnnhm {
 
@@ -18,10 +28,18 @@ class RasterStripSink : public StripSink {
   void OnSpan(double x0, double x1, double y0, double y1,
               double influence) override;
 
+  /// Restricts painting to rows [row_lo, row_hi) — the dirty-rect splice's
+  /// y-clip (heatmap/incremental.h). Rows outside the window keep their
+  /// retained values. Defaults to the full grid; clamped to it. Set before
+  /// the sweep runs, never concurrently with it.
+  void SetRowWindow(int row_lo, int row_hi);
+
  private:
   HeatmapGrid* grid_;
-  double dx_;
-  double dy_;
+  PixelAxis cols_;
+  PixelAxis rows_;
+  int row_lo_;
+  int row_hi_;
 };
 
 /// Paints the L2 sweep's curved strips into a grid. For every pixel column
@@ -31,7 +49,9 @@ class RasterStripSink : public StripSink {
 /// the arcs live at its own center — never on where the strip was cut —
 /// slab-decomposed sweeps paint bit-identical grids, and shards writing
 /// through one shared sink touch disjoint columns (strips of different
-/// slabs never overlap in x).
+/// slabs never overlap in x). Arc ordinates are evaluated in fixed-size
+/// column batches through ArcYAtColumns; the batch buffers live on the
+/// stack, so concurrent shard calls share no mutable sink state.
 class RasterArcSink : public ArcStripSink {
  public:
   explicit RasterArcSink(HeatmapGrid* grid);
@@ -39,10 +59,16 @@ class RasterArcSink : public ArcStripSink {
   void OnArcStrip(double x0, double x1, const ArcGeom& lower,
                   const ArcGeom& upper, double influence) override;
 
+  /// Restricts painting to rows [row_lo, row_hi); see
+  /// RasterStripSink::SetRowWindow.
+  void SetRowWindow(int row_lo, int row_hi);
+
  private:
   HeatmapGrid* grid_;
-  double dx_;
-  double dy_;
+  PixelAxis cols_;
+  PixelAxis rows_;
+  int row_lo_;
+  int row_hi_;
 };
 
 }  // namespace rnnhm

@@ -1,6 +1,7 @@
 #include "query/circle_set_registry.h"
 
 #include <cstring>
+#include <shared_mutex>
 #include <utility>
 
 namespace rnnhm {
@@ -38,10 +39,9 @@ bool SameDouble(double a, double b) {
   return CanonicalBits(a) == CanonicalBits(b);
 }
 
-void AddDirtyExtent(DirtyIntervalSet* dirty, const NnCircle& circle) {
+void AddDirtyExtent(DirtyRegionSet* dirty, const NnCircle& circle) {
   if (dirty == nullptr) return;
-  const Rect bounds = circle.Bounds();
-  dirty->Add(bounds.lo.x, bounds.hi.x);
+  dirty->AddRect(circle.Bounds());
 }
 
 }  // namespace
@@ -100,7 +100,7 @@ CircleSetHandle CircleSetRegistry::RegisterImpl(
     std::span<const NnCircle> circles, Metric metric,
     std::vector<NnCircle>* owned) {
   const uint64_t hash = HashCircleSet(circles, metric);
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::shared_mutex> lock(mu_);
   const auto [lo, hi] = by_hash_.equal_range(hash);
   for (auto it = lo; it != hi; ++it) {
     Entry& entry = by_id_.at(it->second);
@@ -125,7 +125,7 @@ CircleSetHandle CircleSetRegistry::RegisterWithHashForTesting(
     std::vector<NnCircle> circles, Metric metric, uint64_t forced_hash) {
   std::shared_ptr<const CircleSetSnapshot> set =
       CircleSetSnapshot::Make(std::move(circles), metric);
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::shared_mutex> lock(mu_);
   const uint64_t id = next_id_++;
   resident_bytes_ += PayloadBytes(*set);
   by_id_.emplace(id,
@@ -137,7 +137,7 @@ CircleSetHandle CircleSetRegistry::RegisterWithHashForTesting(
 Status CircleSetRegistry::ApplyDelta(
     const CircleSetHandle& base, std::span<const CircleSetEdit> edits,
     std::optional<uint64_t> expected_hash, CircleSetHandle* derived,
-    DirtyIntervalSet* dirty,
+    DirtyRegionSet* dirty,
     std::shared_ptr<const CircleSetSnapshot>* base_out) {
   std::shared_ptr<const CircleSetSnapshot> base_set = Resolve(base);
   if (base_set == nullptr) {
@@ -147,8 +147,8 @@ Status CircleSetRegistry::ApplyDelta(
   std::vector<NnCircle> circles = base_set->circles();
   // Dirty extents accumulate locally so a failed edit list leaves the
   // caller's set untouched.
-  DirtyIntervalSet touched;
-  DirtyIntervalSet* touched_out = dirty != nullptr ? &touched : nullptr;
+  DirtyRegionSet touched;
+  DirtyRegionSet* touched_out = dirty != nullptr ? &touched : nullptr;
   for (size_t e = 0; e < edits.size(); ++e) {
     const CircleSetEdit& edit = edits[e];
     switch (edit.kind) {
@@ -193,8 +193,8 @@ Status CircleSetRegistry::ApplyDelta(
   }
   *derived = Register(std::move(circles), base_set->metric());
   if (dirty != nullptr) {
-    for (const DirtyInterval& interval : touched.Merged()) {
-      dirty->Add(interval.lo, interval.hi);
+    for (const DirtyRect& rect : touched.Merged()) {
+      dirty->Add(rect.x.lo, rect.x.hi, rect.y.lo, rect.y.hi);
     }
   }
   if (base_out != nullptr) *base_out = std::move(base_set);
@@ -204,7 +204,7 @@ Status CircleSetRegistry::ApplyDelta(
 std::shared_ptr<const CircleSetSnapshot> CircleSetRegistry::Resolve(
     const CircleSetHandle& handle) const {
   if (!handle.valid()) return nullptr;
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> lock(mu_);
   const auto it = by_id_.find(handle.id);
   if (it == by_id_.end() || it->second.hash != handle.content_hash) {
     return nullptr;
@@ -214,7 +214,7 @@ std::shared_ptr<const CircleSetSnapshot> CircleSetRegistry::Resolve(
 }
 
 CircleSetHandle CircleSetRegistry::FindByHash(uint64_t content_hash) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> lock(mu_);
   const auto [lo, hi] = by_hash_.equal_range(content_hash);
   if (lo == hi) return CircleSetHandle{};
   // Two resident entries under one hash is a true 64-bit collision: the
@@ -228,7 +228,7 @@ CircleSetHandle CircleSetRegistry::FindByHash(uint64_t content_hash) const {
 
 bool CircleSetRegistry::Release(const CircleSetHandle& handle) {
   if (!handle.valid()) return false;
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::shared_mutex> lock(mu_);
   const auto it = by_id_.find(handle.id);
   if (it == by_id_.end() || it->second.hash != handle.content_hash) {
     return false;
@@ -249,22 +249,24 @@ bool CircleSetRegistry::Release(const CircleSetHandle& handle) {
 }
 
 size_t CircleSetRegistry::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> lock(mu_);
   return by_id_.size();
 }
 
 size_t CircleSetRegistry::resident_bytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> lock(mu_);
   return resident_bytes_;
 }
 
 size_t CircleSetRegistry::unpinned_entries() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  // Sibling readers may be splicing recency under lru_mu_.
+  std::lock_guard<std::mutex> lru_lock(lru_mu_);
   return unpinned_lru_.size();
 }
 
 size_t CircleSetRegistry::total_evicted() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> lock(mu_);
   return total_evicted_;
 }
 
@@ -282,6 +284,10 @@ void CircleSetRegistry::RepinLocked(Entry& entry) {
 
 void CircleSetRegistry::TouchLocked(const Entry& entry) const {
   if (entry.registrations != 0) return;
+  // Shared-lock holders race only with each other here; a same-list
+  // splice never invalidates iterators, so every entry's lru position
+  // stays valid across concurrent touches.
+  std::lock_guard<std::mutex> lru_lock(lru_mu_);
   unpinned_lru_.splice(unpinned_lru_.begin(), unpinned_lru_, entry.lru);
 }
 

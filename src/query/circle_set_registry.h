@@ -49,6 +49,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <span>
 #include <unordered_map>
 #include <vector>
@@ -152,6 +153,16 @@ class CircleSetSnapshot {
 
 /// Thread-safe, deduplicating store of circle-set snapshots with an
 /// optional bounded retention of fully released entries.
+///
+/// Locking: lookups (Resolve, FindByHash, the size/byte counters) take a
+/// shared lock and run concurrently with each other — a serving fleet's
+/// hot path is resolve-dominated, and readers must not queue behind one
+/// another. Mutations (Register, Release, ApplyDelta) take the lock
+/// exclusively. The only thing a lookup writes is LRU recency, which is
+/// guarded by a separate leaf mutex (`lru_mu_`) that serializes
+/// reader-vs-reader splices; reader-vs-writer conflicts are already
+/// excluded by the shared/exclusive lock itself, so writers never take
+/// `lru_mu_`. Lock order: mu_ before lru_mu_, never the reverse.
 class CircleSetRegistry {
  public:
   CircleSetRegistry() = default;
@@ -181,16 +192,16 @@ class CircleSetRegistry {
   ///                      content hash differs from `*expected_hash`
   ///                      (client/server edit semantics diverged); nothing
   ///                      is registered in either case.
-  /// When `dirty` is non-null, the x-extents every edit perturbs (old and
-  /// new footprints of replaced circles, footprints of appended/removed
-  /// ones) are Add()ed to it — the exact input RecomputeDirtyColumns
-  /// needs to splice instead of rebuild. When `base_out` is non-null it
-  /// receives the base snapshot (pinned), saving the caller a second
-  /// Resolve.
+  /// When `dirty` is non-null, the bounding rects every edit perturbs (old
+  /// and new footprints of replaced circles, footprints of
+  /// appended/removed ones) are Add()ed to it — the exact input
+  /// RecomputeDirtyColumns needs to splice instead of rebuild. When
+  /// `base_out` is non-null it receives the base snapshot (pinned),
+  /// saving the caller a second Resolve.
   Status ApplyDelta(const CircleSetHandle& base,
                     std::span<const CircleSetEdit> edits,
                     std::optional<uint64_t> expected_hash,
-                    CircleSetHandle* derived, DirtyIntervalSet* dirty = nullptr,
+                    CircleSetHandle* derived, DirtyRegionSet* dirty = nullptr,
                     std::shared_ptr<const CircleSetSnapshot>* base_out =
                         nullptr);
 
@@ -264,7 +275,9 @@ class CircleSetRegistry {
   void UnpinLocked(uint64_t id, Entry& entry);
   // Removes an unpinned entry from the LRU on re-registration. mu_ held.
   void RepinLocked(Entry& entry);
-  // Refreshes an unpinned entry's LRU position. mu_ held.
+  // Refreshes an unpinned entry's LRU position. Called with mu_ held at
+  // least shared; takes lru_mu_ itself (splice keeps every entry's lru
+  // iterator valid, so concurrent readers only contend on list pointers).
   void TouchLocked(const Entry& entry) const;
   // Erases `id` from both maps and the byte accounting. mu_ held.
   void EraseLocked(uint64_t id);
@@ -277,7 +290,11 @@ class CircleSetRegistry {
 
   const CircleSetRegistryOptions options_;
 
-  mutable std::mutex mu_;
+  mutable std::shared_mutex mu_;
+  // Leaf lock for LRU recency updates from shared-lock holders. Acquired
+  // only while mu_ is held (shared); writers mutate unpinned_lru_ under
+  // exclusive mu_ without it — no reader can be splicing then.
+  mutable std::mutex lru_mu_;
   uint64_t next_id_ = 1;
   // Mutable so the const lookups (Resolve, FindByHash) can refresh LRU
   // recency under mu_.

@@ -193,15 +193,17 @@ Status HeatmapEngine::ExecuteDeltaChecked(
     const CircleSetHandle& base, std::span<const CircleSetEdit> edits,
     std::optional<uint64_t> expected_hash, const Rect& domain, int width,
     int height, CircleSetHandle* derived,
-    std::optional<HeatmapResponse>* response, bool* spliced) const {
+    std::optional<HeatmapResponse>* response, bool* spliced,
+    IncrementalRasterStats* splice_stats) const {
   if (spliced != nullptr) *spliced = false;
+  if (splice_stats != nullptr) *splice_stats = IncrementalRasterStats{};
   if (width <= 0 || height <= 0) {
     return Status::InvalidArgument("non-positive raster size");
   }
   if (!(domain.lo.x < domain.hi.x) || !(domain.lo.y < domain.hi.y)) {
     return Status::InvalidArgument("degenerate request domain");
   }
-  DirtyIntervalSet dirty;
+  DirtyRegionSet dirty;
   std::shared_ptr<const CircleSetSnapshot> base_set;
   CircleSetHandle derived_handle;
   if (const Status status = registry_->ApplyDelta(
@@ -243,6 +245,7 @@ Status HeatmapEngine::ExecuteDeltaChecked(
           cache_->Insert(derived_key, set, served);
           served.cache = cache_->stats();
           if (spliced != nullptr) *spliced = true;
+          if (splice_stats != nullptr) *splice_stats = inc;
           *response = std::move(served);
           return Status::Ok();
         }

@@ -59,6 +59,7 @@
 #include "core/influence_measure.h"
 #include "geom/geometry.h"
 #include "heatmap/heatmap.h"
+#include "heatmap/incremental.h"
 #include "query/circle_set_registry.h"
 
 namespace rnnhm {
@@ -215,11 +216,13 @@ class HeatmapEngine {
   /// the derived set's heat map over `domain` at `width` x `height`.
   /// When the engine's cache still holds the base raster for the same
   /// geometry and the metric is column-separable (kLInf, kL2), the
-  /// response is *spliced* — only the columns the edits dirtied are
-  /// recomputed — and is bit-identical to a from-scratch sweep by the
-  /// incremental-raster contract (heatmap/incremental.h); otherwise it
-  /// falls back to the normal cold path. `*spliced`, when non-null,
-  /// reports which path served the response. Status mirrors
+  /// response is *spliced* — only the pixels inside the dirty rects the
+  /// edits touched are recomputed — and is bit-identical to a
+  /// from-scratch sweep by the incremental-raster contract
+  /// (heatmap/incremental.h); otherwise it falls back to the normal cold
+  /// path. `*spliced`, when non-null, reports which path served the
+  /// response; `*splice_stats`, when non-null, receives the splice pass
+  /// counters (zeroed when the response was not spliced). Status mirrors
   /// ExecuteChecked plus ApplyDelta's kNotFound (base gone/evicted) and
   /// kInvalidArgument (bad edit index, derived-hash mismatch); nothing is
   /// registered on failure.
@@ -229,7 +232,9 @@ class HeatmapEngine {
                              const Rect& domain, int width, int height,
                              CircleSetHandle* derived,
                              std::optional<HeatmapResponse>* response,
-                             bool* spliced = nullptr) const;
+                             bool* spliced = nullptr,
+                             IncrementalRasterStats* splice_stats =
+                                 nullptr) const;
 
   /// The registry v2 handles resolve against (engine-private unless one
   /// was passed in via options).

@@ -24,8 +24,7 @@ HeatmapSession::HeatmapSession(std::vector<Point> clients,
 }
 
 void HeatmapSession::MarkCircleDirty(const NnCircle& circle) {
-  const Rect box = circle.Bounds();
-  dirty_.Add(box.lo.x, box.hi.x);
+  dirty_.AddRect(circle.Bounds());
 }
 
 void HeatmapSession::EnsureFacilityTree() {

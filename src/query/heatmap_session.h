@@ -14,7 +14,7 @@
 // an efficient RNNHM algorithm matters — CREST's O(n log n + r lambda)
 // makes per-tick recomputation feasible. RasterIncremental() goes one step
 // further for kLInf/kL2 sessions: it retains the previous raster, tracks
-// the x-intervals each edit dirties, and re-sweeps only the slabs covering
+// the 2D rect each edit dirties, and re-sweeps only the sub-rects covering
 // them — bit-identical to a from-scratch rebuild at a fraction of the
 // work when edits are local.
 #ifndef RNNHM_QUERY_HEATMAP_SESSION_H_
@@ -104,10 +104,10 @@ class HeatmapSession {
 
   /// Maintains a retained raster across edits: the first call (or any call
   /// after the domain, size or measure changed) sweeps from scratch; later
-  /// calls re-sweep only the pixel-aligned slabs covering the x-intervals
-  /// the edits since the previous call dirtied, and splice the recomputed
-  /// columns into the retained grid (see heatmap/incremental.h for why the
-  /// splice is bit-identical to a from-scratch build). kL1 sessions always
+  /// calls re-sweep only the pixel-aligned sub-rects covering the dirty
+  /// rects the edits since the previous call accumulated, and splice the
+  /// recomputed pixels into the retained grid (see heatmap/incremental.h
+  /// for why the splice is bit-identical to a from-scratch build). kL1 sessions always
   /// rebuild fully — their sweep runs in the rotated frame. The returned
   /// reference stays valid until the next RasterIncremental or
   /// InvalidateRaster. `measure` is identified by address and must be the
@@ -165,10 +165,10 @@ class HeatmapSession {
                                       const Rect& domain, int width,
                                       int height);
 
-  /// The x-intervals dirtied by edits since the last RasterIncremental
-  /// (exposed for tests and monitoring; consumed — and cleared — by
-  /// RasterIncremental).
-  const DirtyIntervalSet& dirty_intervals() const { return dirty_; }
+  /// The dirty rects (edited circles' footprint bounding boxes) accumulated
+  /// since the last RasterIncremental (exposed for tests and monitoring;
+  /// consumed — and cleared — by RasterIncremental).
+  const DirtyRegionSet& dirty_regions() const { return dirty_; }
 
  private:
   void EnsureFacilityTree();
@@ -188,8 +188,8 @@ class HeatmapSession {
 
   // Incremental raster state: the retained grid, the measure it was built
   // with (compared by address only, never dereferenced), and the dirty
-  // x-intervals accumulated since it was last brought up to date.
-  DirtyIntervalSet dirty_;
+  // rects accumulated since it was last brought up to date.
+  DirtyRegionSet dirty_;
   std::unique_ptr<HeatmapGrid> raster_;
   const InfluenceMeasure* raster_measure_ = nullptr;
 

@@ -29,7 +29,7 @@ constexpr size_t kDeltaNewHashOffset = kRequestSetHashOffset + 8;
 // ... + base_hash + new_hash + edit count.
 constexpr size_t kDeltaHeaderBytes = kRequestSetHashOffset + 3 * 8;
 constexpr size_t kStatsRequestBytes = 12;   // magic + version + reserved
-constexpr size_t kStatsResponseBytes = 68;  // magic + version + shards + 7*u64
+constexpr size_t kStatsResponseBytes = 76;  // magic + version + shards + 8*u64
 
 // --- Little-endian primitives (explicit, host-endianness independent) -----
 
@@ -632,6 +632,7 @@ std::vector<uint8_t> EncodeStatsResponse(const WireStatsReply& reply) {
   PutU64(&out, reply.deltas);
   PutU64(&out, reply.delta_splices);
   PutU64(&out, reply.sets_evicted);
+  PutU64(&out, reply.delta_dirty_columns);
   return out;
 }
 
@@ -653,6 +654,7 @@ std::optional<WireStatsReply> DecodeStatsResponse(
   reply.deltas = r.U64();
   reply.delta_splices = r.U64();
   reply.sets_evicted = r.U64();
+  reply.delta_dirty_columns = r.U64();
   if (!r.ok()) return Fail(error, "stats response truncated");
   if (reply.shards == 0) return Fail(error, "stats response with no shards");
   if (r.remaining() != 0) {

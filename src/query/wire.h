@@ -49,9 +49,11 @@ namespace rnnhm {
 /// Protocol version stamped into every message. v4 adds the delta
 /// registration op (base hash + edit list -> new registered set, served
 /// with an incremental re-sweep) and extends the stats reply with delta
-/// and eviction counters; request/response layouts are otherwise
-/// unchanged from v3.
-inline constexpr uint32_t kWireVersion = 4;
+/// and eviction counters. v5 appends `delta_dirty_columns` to the stats
+/// reply — the cumulative pixel columns spliced deltas actually
+/// recomputed, the observable cost of the 2D dirty-rect splice;
+/// request/response layouts are otherwise unchanged from v4.
+inline constexpr uint32_t kWireVersion = 5;
 
 /// Ceiling on a frame's payload length (guards a garbage length prefix
 /// from triggering a giant allocation).
@@ -199,6 +201,10 @@ struct WireStatsReply {
   uint64_t deltas = 0;         ///< delta requests answered kOk (v4)
   uint64_t delta_splices = 0;  ///< deltas served by incremental splice (v4)
   uint64_t sets_evicted = 0;   ///< registry entries evicted by budget (v4)
+  /// Pixel columns recomputed by spliced deltas, cumulative (v5). With
+  /// the splice's dirty-rect clipping this is the x-footprint of the
+  /// recomputed area; columns_total * splices bounds it from above.
+  uint64_t delta_dirty_columns = 0;
 };
 
 /// Serializes a stats request (magic + version only).
@@ -237,6 +243,7 @@ struct WireServeStats {
   uint64_t sets_registered = 0; ///< distinct inline sets registered
   uint64_t deltas = 0;          ///< delta requests answered kOk
   uint64_t delta_splices = 0;   ///< deltas served by incremental splice
+  uint64_t delta_dirty_columns = 0;  ///< columns recomputed by splices
 };
 
 /// The hash a router partitions a request frame by, without a full

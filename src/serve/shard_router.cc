@@ -416,6 +416,7 @@ bool ResolveSlot(RouterSlot& slot, const std::vector<uint8_t>& payload,
       slot.merged.deltas += reply->deltas;
       slot.merged.delta_splices += reply->delta_splices;
       slot.merged.sets_evicted += reply->sets_evicted;
+      slot.merged.delta_dirty_columns += reply->delta_dirty_columns;
     }
   }
   if (--slot.stats_remaining > 0) return false;

@@ -37,6 +37,7 @@ std::vector<uint8_t> WireServer::HandleFrame(std::span<const uint8_t> frame,
       stats_reply.deltas = stats_.deltas;
       stats_reply.delta_splices = stats_.delta_splices;
       stats_reply.sets_evicted = engine_.registry().total_evicted();
+      stats_reply.delta_dirty_columns = stats_.delta_dirty_columns;
       reply = EncodeStatsResponse(stats_reply);
     } else {
       wire_status = ToWireStatus(status.code);
@@ -76,13 +77,19 @@ std::vector<uint8_t> WireServer::HandleFrame(std::span<const uint8_t> frame,
         CircleSetHandle derived;
         std::optional<HeatmapResponse> response;
         bool spliced = false;
+        IncrementalRasterStats splice_stats;
         const Status status = engine_.ExecuteDeltaChecked(
             base, request->edits, request->new_hash, request->domain,
-            request->width, request->height, &derived, &response, &spliced);
+            request->width, request->height, &derived, &response, &spliced,
+            &splice_stats);
         if (status.ok()) {
           if (scope != nullptr) scope->Track(derived);
           ++stats_.deltas;
-          if (spliced) ++stats_.delta_splices;
+          if (spliced) {
+            ++stats_.delta_splices;
+            stats_.delta_dirty_columns +=
+                static_cast<uint64_t>(splice_stats.dirty_columns);
+          }
           reply = EncodeResponse(*response);
         } else {
           wire_status = ToWireStatus(status.code);

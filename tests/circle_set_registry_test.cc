@@ -347,7 +347,7 @@ TEST(CircleSetRegistryTest, ApplyDeltaReplaceAppendSwapRemove) {
   expected.pop_back();
 
   CircleSetHandle derived;
-  DirtyIntervalSet dirty;
+  DirtyRegionSet dirty;
   std::shared_ptr<const CircleSetSnapshot> base_set;
   const Status status =
       registry.ApplyDelta(base, edits,
@@ -460,6 +460,93 @@ TEST(CircleSetRegistryTest, SoakTenThousandSetsStaysBounded) {
             options.max_unpinned_entries * kCirclesPerSet * sizeof(NnCircle));
   EXPECT_GE(registry.total_evicted(),
             static_cast<size_t>(kSets) - options.max_unpinned_entries);
+}
+
+// --- Concurrency ----------------------------------------------------------
+
+// Readers (Resolve + FindByHash) hammer a set of pinned and *unpinned*
+// handles — unpinned so every hit also splices LRU recency, the one write
+// lookups perform — while a writer churns registrations, releases, and
+// deltas. Exercises the shared-lock read path against concurrent
+// exclusive mutations; every resolve must return the right content or a
+// clean miss, never a torn entry.
+TEST(CircleSetRegistryStressTest, ContendedReadersSurviveConcurrentWrites) {
+  CircleSetRegistryOptions options;
+  options.max_unpinned_entries = 16;  // retention on: touches splice LRU
+  CircleSetRegistry registry(options);
+
+  constexpr int kStableSets = 8;
+  std::vector<std::vector<NnCircle>> contents;
+  std::vector<CircleSetHandle> handles;
+  for (int s = 0; s < kStableSets; ++s) {
+    contents.push_back(MakeCircles(700 + s, 12 + s));
+    handles.push_back(registry.Register(contents.back(), Metric::kL2));
+    ASSERT_TRUE(handles.back().valid());
+  }
+  // Unpin half of them: still resolvable through retention, and every
+  // resolve now refreshes their LRU position.
+  for (int s = 0; s < kStableSets / 2; ++s) {
+    ASSERT_TRUE(registry.Release(handles[s]));
+  }
+
+  constexpr int kReaders = 4;
+  constexpr int kIters = 3000;
+  std::atomic<bool> start{false};
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kReaders; ++t) {
+    threads.emplace_back([&, t] {
+      while (!start.load()) {
+      }
+      for (int i = 0; i < kIters; ++i) {
+        const int s = (t + i) % kStableSets;
+        const auto set = registry.Resolve(handles[s]);
+        // A stable set may only miss if the retention budget evicted it
+        // (possible for the unpinned half while the writer churns).
+        if (set != nullptr && !set->SameContent(contents[s], Metric::kL2)) {
+          mismatches.fetch_add(1);
+        }
+        const CircleSetHandle by_hash =
+            registry.FindByHash(handles[s].content_hash);
+        if (by_hash.valid() &&
+            by_hash.content_hash != handles[s].content_hash) {
+          mismatches.fetch_add(1);
+        }
+        if ((i & 63) == 0) {
+          (void)registry.size();
+          (void)registry.unpinned_entries();
+          (void)registry.resident_bytes();
+        }
+      }
+    });
+  }
+  std::thread writer([&] {
+    while (!start.load()) {
+    }
+    RegistrationScope scope(&registry, /*max_tracked=*/8);
+    for (int i = 0; i < kIters / 4; ++i) {
+      const CircleSetHandle churn =
+          registry.Register(MakeCircles(9000 + i, 10), Metric::kL2);
+      scope.Track(churn);
+      const std::vector<CircleSetEdit> edits = {
+          {CircleSetEdit::Kind::kReplace, 0, NnCircle{{0.5, 0.5}, 0.1, 0}}};
+      CircleSetHandle derived;
+      if (registry.ApplyDelta(churn, edits, std::nullopt, &derived).ok()) {
+        scope.Track(derived);
+      }
+    }
+  });
+  start.store(true);
+  for (std::thread& t : threads) t.join();
+  writer.join();
+  EXPECT_EQ(mismatches.load(), 0);
+
+  // The pinned half must have survived every eviction sweep.
+  for (int s = kStableSets / 2; s < kStableSets; ++s) {
+    const auto set = registry.Resolve(handles[s]);
+    ASSERT_NE(set, nullptr) << s;
+    EXPECT_TRUE(set->SameContent(contents[s], Metric::kL2));
+  }
 }
 
 }  // namespace

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <map>
 #include <string>
 #include <vector>
@@ -269,6 +270,96 @@ TEST(CrestL2Test, RealNnCirclesWorkload) {
       ASSERT_DOUBLE_EQ(labeled.at(rnn), static_cast<double>(rnn.size()));
     }
   }
+}
+
+// --- Event-density slab balancing ----------------------------------------
+
+TEST(SlabBoundariesL2Test, BoundariesAreOrderedWithInfiniteRails) {
+  Rng rng(123);
+  const auto disks = RandomDisks(60, rng);
+  for (const size_t shards : {1u, 2u, 4u, 8u}) {
+    const std::vector<double> bounds = SlabBoundariesL2(disks, shards);
+    ASSERT_EQ(bounds.size(), shards + 1);
+    EXPECT_TRUE(std::isinf(bounds.front()) && bounds.front() < 0);
+    EXPECT_TRUE(std::isinf(bounds.back()) && bounds.back() > 0);
+    for (size_t s = 0; s + 1 < bounds.size(); ++s) {
+      EXPECT_LE(bounds[s], bounds[s + 1]);
+    }
+  }
+}
+
+TEST(SlabBoundariesL2Test, EmptyAndDegenerateInputsYieldInfiniteSlabs) {
+  const std::vector<double> none = SlabBoundariesL2({}, 4);
+  ASSERT_EQ(none.size(), 5u);
+  // No events at all: every interior cut collapses onto the left rail.
+  for (size_t s = 1; s + 1 < none.size(); ++s) {
+    EXPECT_TRUE(std::isinf(none[s]));
+  }
+  const std::vector<NnCircle> zero_radius{{{0.5, 0.5}, 0.0, 0}};
+  const std::vector<double> degenerate = SlabBoundariesL2(zero_radius, 2);
+  ASSERT_EQ(degenerate.size(), 3u);
+  EXPECT_TRUE(std::isinf(degenerate[1]));
+}
+
+TEST(SlabBoundariesL2Test, HotIntersectionClusterSplitsAcrossSlabs) {
+  // A dense pairwise-crossing knot near x = 0.5 plus many non-overlapping
+  // disks spread over [0, 10]. Counting only per-disk x-extremes (the old
+  // quantile cut) the knot carries ~6% of the events, so no quarter cut
+  // lands inside it and one slab sweeps every crossing; weighted by
+  // estimated crossing density, at least one interior cut must fall
+  // within the knot.
+  std::vector<NnCircle> disks;
+  int32_t id = 0;
+  Rng rng(77);
+  for (int i = 0; i < 12; ++i) {  // ~66 crossing pairs inside [0.46, 0.54]
+    disks.push_back(NnCircle{
+        {0.5 + rng.Uniform(-0.01, 0.01), 0.5 + rng.Uniform(-0.01, 0.01)},
+        0.03, id++});
+  }
+  for (int i = 0; i < 188; ++i) {  // sparse, pairwise disjoint
+    disks.push_back(
+        NnCircle{{0.05 * i + rng.Uniform(0.0, 0.01), 3.0}, 0.002, id++});
+  }
+  const std::vector<double> bounds = SlabBoundariesL2(disks, 4);
+  ASSERT_EQ(bounds.size(), 5u);
+  bool cut_in_cluster = false;
+  for (size_t s = 1; s + 1 < bounds.size(); ++s) {
+    cut_in_cluster |= bounds[s] >= 0.4 && bounds[s] <= 0.6;
+  }
+  EXPECT_TRUE(cut_in_cluster)
+      << "no interior cut inside the crossing-heavy cluster";
+
+  // Balance is a heuristic; output must not depend on it. Same raster
+  // bit-for-bit at every slab count over this adversarial input.
+  SizeInfluence measure;
+  DistinctSetSink reference;
+  RunCrestL2(disks, measure, &reference);
+  for (const int slabs : {2, 4, 8}) {
+    std::vector<DistinctSetSink> sinks(slabs);
+    std::vector<RegionLabelSink*> ptrs;
+    for (auto& s : sinks) ptrs.push_back(&s);
+    RunCrestL2Parallel(disks, measure, ptrs);
+    std::map<std::vector<int32_t>, double> merged;
+    for (const auto& s : sinks) {
+      for (const auto& [set, influence] : s.sets()) merged[set] = influence;
+    }
+    for (const auto& [set, influence] : reference.sets()) {
+      ASSERT_TRUE(merged.count(set)) << "slabs=" << slabs;
+      ASSERT_EQ(merged.at(set), influence) << "slabs=" << slabs;
+    }
+  }
+}
+
+TEST(SlabBoundariesL2Test, SampleCapKeepsCutsDeterministic) {
+  Rng rng(321);
+  const auto disks = RandomDisks(150, rng);
+  const auto a = SlabBoundariesL2(disks, 4, 32);
+  const auto b = SlabBoundariesL2(disks, 4, 32);
+  EXPECT_EQ(a, b);  // stride sampling, no RNG
+  // A different cap may cut elsewhere but must stay well-formed.
+  const auto c = SlabBoundariesL2(disks, 4, 8);
+  ASSERT_EQ(c.size(), 5u);
+  for (size_t s = 0; s + 1 < c.size(); ++s) EXPECT_LE(c[s], c[s + 1]);
 }
 
 }  // namespace

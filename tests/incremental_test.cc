@@ -46,6 +46,49 @@ TEST(DirtyIntervalSetTest, RepeatedLocalEditsStayCompact) {
   EXPECT_EQ(set.num_pending(), 1u);  // absorbed, not accumulated
 }
 
+TEST(DirtyRegionSetTest, MergesByXOverlapAndUnionsY) {
+  DirtyRegionSet set;
+  EXPECT_TRUE(set.empty());
+  set.Add(0.4, 0.6, 0.1, 0.2);
+  set.Add(0.1, 0.2, 0.5, 0.6);
+  set.Add(0.55, 0.7, 0.8, 0.9);  // x overlaps [0.4, 0.6]; y disjoint
+  set.Add(0.2, 0.25, 0.4, 0.7);  // x touches [0.1, 0.2]
+  const auto& merged = set.Merged();
+  ASSERT_EQ(merged.size(), 2u);
+  EXPECT_EQ(merged[0], (DirtyRect{{0.1, 0.25}, {0.4, 0.7}}));
+  EXPECT_EQ(merged[1], (DirtyRect{{0.4, 0.7}, {0.1, 0.9}}));
+}
+
+TEST(DirtyRegionSetTest, PointRectsAndClearWork) {
+  DirtyRegionSet set;
+  set.Add(0.5, 0.5, 0.5, 0.5);  // zero-radius circle footprint
+  EXPECT_FALSE(set.empty());
+  ASSERT_EQ(set.Merged().size(), 1u);
+  EXPECT_EQ(set.Merged()[0], (DirtyRect{{0.5, 0.5}, {0.5, 0.5}}));
+  set.Clear();
+  EXPECT_TRUE(set.empty());
+  EXPECT_TRUE(set.Merged().empty());
+}
+
+TEST(DirtyRegionSetTest, RepeatedLocalEditsStayCompact) {
+  DirtyRegionSet set;
+  for (int i = 0; i < 1000; ++i) {
+    set.Add(0.3, 0.4, 0.2, 0.5);  // same neighborhood over and over
+  }
+  EXPECT_EQ(set.num_pending(), 1u);  // absorbed, not accumulated
+}
+
+TEST(DirtyRegionSetTest, AddRectTakesCircleBounds) {
+  DirtyRegionSet set;
+  set.AddRect(NnCircle{{0.5, 0.4}, 0.1, 0}.Bounds());
+  ASSERT_EQ(set.Merged().size(), 1u);
+  const DirtyRect& rect = set.Merged()[0];
+  EXPECT_NEAR(rect.x.lo, 0.4, 1e-12);
+  EXPECT_NEAR(rect.x.hi, 0.6, 1e-12);
+  EXPECT_NEAR(rect.y.lo, 0.3, 1e-12);
+  EXPECT_NEAR(rect.y.hi, 0.5, 1e-12);
+}
+
 std::vector<NnCircle> RandomCircles(uint64_t seed, int n) {
   Rng rng(seed);
   std::vector<NnCircle> out;
@@ -116,6 +159,66 @@ TEST(RecomputeDirtyColumnsTest, SpliceEqualsFullRebuild) {
   }
 }
 
+// The 2D dirty-rect splice: restricting reset + repaint to the dirty row
+// window must still reproduce the new full raster bit for bit, while
+// touching only the dirty area's pixels.
+TEST(RecomputeDirtyColumnsTest, DirtyRectSpliceIsBitIdenticalAndAreaBound) {
+  SizeInfluence measure;
+  const Rect domain{{-0.05, -0.05}, {1.05, 1.05}};
+  constexpr int kRes = 40;
+  for (const Metric metric : {Metric::kLInf, Metric::kL2}) {
+    auto circles = RandomCircles(96, 50);
+    HeatmapGrid grid =
+        metric == Metric::kL2
+            ? BuildHeatmapL2(circles, measure, domain, kRes, kRes)
+            : BuildHeatmapLInf(circles, measure, domain, kRes, kRes);
+
+    // Perturb one circle; its old+new footprint boxes bound the change in
+    // both axes.
+    DirtyRegionSet dirty;
+    dirty.AddRect(circles[23].Bounds());
+    circles[23].center = {0.62, 0.33};
+    circles[23].radius = 0.09;
+    dirty.AddRect(circles[23].Bounds());
+
+    const IncrementalRasterStats stats =
+        RecomputeDirtyColumns(&grid, metric, circles, measure, dirty);
+    EXPECT_GT(stats.dirty_columns, 0);
+    EXPECT_LT(stats.dirty_columns, kRes);
+    EXPECT_EQ(stats.total_rows, kRes);
+    // The row window clipped the recompute: strictly fewer pixels than
+    // full-height columns.
+    EXPECT_GT(stats.dirty_pixels, 0);
+    EXPECT_LT(stats.dirty_pixels,
+              static_cast<int64_t>(stats.dirty_columns) * kRes);
+
+    const HeatmapGrid reference =
+        metric == Metric::kL2
+            ? BuildHeatmapL2(circles, measure, domain, kRes, kRes)
+            : BuildHeatmapLInf(circles, measure, domain, kRes, kRes);
+    EXPECT_EQ(grid.values(), reference.values()) << MetricName(metric);
+  }
+}
+
+// A rect entirely above/below the domain is skipped even when its
+// x-interval crosses the grid.
+TEST(RecomputeDirtyColumnsTest, OffScreenDirtyRowsAreSkipped) {
+  SizeInfluence measure;
+  const auto circles = RandomCircles(97, 30);
+  const Rect domain{{0, 0}, {1, 1}};
+  HeatmapGrid grid = BuildHeatmapLInf(circles, measure, domain, 16, 16);
+  const std::vector<double> before = grid.values();
+  // x-disjoint rects (overlapping ones would merge and y-union on-screen).
+  DirtyRegionSet dirty;
+  dirty.Add(0.1, 0.4, 5.0, 6.0);      // above the whole domain
+  dirty.Add(0.6, 0.9, -1e13, -1e12);  // row ordinals beyond int range
+  const IncrementalRasterStats stats =
+      RecomputeDirtyColumns(&grid, Metric::kLInf, circles, measure, dirty);
+  EXPECT_EQ(stats.dirty_slabs, 0);
+  EXPECT_EQ(stats.dirty_pixels, 0);
+  EXPECT_EQ(grid.values(), before);
+}
+
 TEST(RecomputeDirtyColumnsTest, EmptyDirtySetLeavesTheGridUntouched) {
   SizeInfluence measure;
   const auto circles = RandomCircles(92, 30);
@@ -148,17 +251,20 @@ TEST(RecomputeDirtyColumnsTest, OffScreenDirtyIntervalIsSkipped) {
 
 // --- Session-level tracking ----------------------------------------------
 
-TEST(SessionIncrementalTest, EditsAccumulateDirtyIntervals) {
+TEST(SessionIncrementalTest, EditsAccumulateDirtyRects) {
   HeatmapSession session({{0.2, 0.5}, {0.8, 0.5}}, {{0.5, 0.5}},
                          Metric::kL2);
-  EXPECT_TRUE(session.dirty_intervals().empty());  // fresh session
+  EXPECT_TRUE(session.dirty_regions().empty());  // fresh session
   session.MoveClient(0, {0.25, 0.5});
-  EXPECT_FALSE(session.dirty_intervals().empty());
-  // Old circle [0.2 +- 0.3] and new circle [0.25 +- 0.25] merge into one.
-  const auto& merged = session.dirty_intervals().Merged();
+  EXPECT_FALSE(session.dirty_regions().empty());
+  // Old circle [0.2 +- 0.3] and new circle [0.25 +- 0.25] merge into one
+  // rect whose y-extent is the union of both footprints.
+  const auto& merged = session.dirty_regions().Merged();
   ASSERT_EQ(merged.size(), 1u);
-  EXPECT_NEAR(merged[0].lo, -0.1, 1e-12);
-  EXPECT_NEAR(merged[0].hi, 0.5, 1e-12);
+  EXPECT_NEAR(merged[0].x.lo, -0.1, 1e-12);
+  EXPECT_NEAR(merged[0].x.hi, 0.5, 1e-12);
+  EXPECT_NEAR(merged[0].y.lo, 0.2, 1e-12);
+  EXPECT_NEAR(merged[0].y.hi, 0.8, 1e-12);
 }
 
 TEST(SessionIncrementalTest, FirstCallIsFullThenSplices) {
@@ -182,7 +288,11 @@ TEST(SessionIncrementalTest, FirstCallIsFullThenSplices) {
   session.RasterIncremental(measure, domain, 32, 32, &stats);
   EXPECT_FALSE(stats.full_rebuild);
   EXPECT_GT(stats.raster.dirty_columns, 0);
-  EXPECT_TRUE(session.dirty_intervals().empty());  // consumed
+  // A local edit's dirty rect is y-clipped too: the splice touched fewer
+  // pixels than full-height columns would.
+  EXPECT_LT(stats.raster.dirty_pixels,
+            static_cast<int64_t>(stats.raster.dirty_columns) * 32);
+  EXPECT_TRUE(session.dirty_regions().empty());  // consumed
 
   // No edits since: nothing to recompute.
   session.RasterIncremental(measure, domain, 32, 32, &stats);

@@ -1,0 +1,230 @@
+// The raster kernels' standing contract is bit-identity: every SIMD
+// backend must produce, lane for lane, the exact doubles the scalar
+// ArcYAt loop produces — any divergence would break the "raster is
+// independent of slab decomposition and backend" guarantee the
+// incremental splice and the differential suite rest on. These tests
+// pin that contract per backend, across batch widths that exercise the
+// vector/tail seam, and on degenerate and extreme inputs.
+#include "heatmap/raster_kernels.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "geom/circle_geometry.h"
+#include "heatmap/heatmap.h"
+#include "heatmap/influence.h"
+
+namespace rnnhm {
+namespace {
+
+// Bitwise equality: NaN == NaN (same payload), -0.0 != +0.0. EXPECT_EQ
+// would treat -0.0 and +0.0 as equal and NaNs as unequal — too weak and
+// too strong at once for a bit-identity contract.
+bool SameBits(double a, double b) {
+  uint64_t ba, bb;
+  std::memcpy(&ba, &a, sizeof(ba));
+  std::memcpy(&bb, &b, sizeof(bb));
+  return ba == bb;
+}
+
+std::vector<RasterBackend> AvailableBackends() {
+  std::vector<RasterBackend> out{RasterBackend::kScalar};
+  const RasterBackend top = DetectedRasterBackend();
+  for (const RasterBackend b :
+       {RasterBackend::kSse2, RasterBackend::kAvx2, RasterBackend::kAvx512}) {
+    if (static_cast<int>(b) <= static_cast<int>(top)) out.push_back(b);
+  }
+  return out;
+}
+
+class BackendGuard {
+ public:
+  ~BackendGuard() { ResetRasterBackendForTesting(); }
+};
+
+void ExpectBatchMatchesScalar(const Point& center, double radius,
+                              const std::vector<double>& xs,
+                              const char* what) {
+  std::vector<double> got(xs.size()), want(xs.size());
+  for (const bool is_upper : {false, true}) {
+    ArcYAtColumnsScalar(center, radius, is_upper, xs.data(), want.data(),
+                        static_cast<int>(xs.size()));
+    for (size_t k = 0; k < xs.size(); ++k) {
+      // The scalar kernel itself must match the geometry routine exactly:
+      // it IS the reference, not an approximation of it.
+      ASSERT_TRUE(SameBits(want[k], ArcYAt(center, radius, is_upper, xs[k])))
+          << what << " scalar kernel diverges from ArcYAt at column " << k;
+    }
+    ArcYAtColumns(center, radius, is_upper, xs.data(), got.data(),
+                  static_cast<int>(xs.size()));
+    for (size_t k = 0; k < xs.size(); ++k) {
+      ASSERT_TRUE(SameBits(got[k], want[k]))
+          << what << " backend " << RasterBackendName(ActiveRasterBackend())
+          << (is_upper ? " upper" : " lower") << " arc, column " << k
+          << ": " << got[k] << " vs " << want[k];
+    }
+  }
+}
+
+TEST(ArcYAtColumnsTest, EveryBackendMatchesScalarBitForBit) {
+  BackendGuard guard;
+  Rng rng(1234);
+  for (const RasterBackend backend : AvailableBackends()) {
+    SetRasterBackendForTesting(backend);
+    const int lanes = RasterBackendLanes(backend);
+    // Widths around the vector width exercise full vectors, the scalar
+    // tail, and the empty-vector case in every combination.
+    for (const int count :
+         {1, 3, lanes - 1, lanes, lanes + 1, 4 * lanes + 3, 64}) {
+      if (count <= 0) continue;
+      for (int trial = 0; trial < 8; ++trial) {
+        const Point center{rng.Uniform(-1, 1), rng.Uniform(-1, 1)};
+        const double radius = rng.Uniform(0.01, 0.8);
+        std::vector<double> xs;
+        for (int k = 0; k < count; ++k) {
+          // Mix of interior, boundary-adjacent, and out-of-disk columns
+          // (the clamp path) in one batch.
+          xs.push_back(center.x + rng.Uniform(-1.5, 1.5) * radius);
+        }
+        ExpectBatchMatchesScalar(center, radius, xs, "random");
+      }
+    }
+  }
+}
+
+TEST(ArcYAtColumnsTest, DegenerateAndExtremeArcsMatchScalar) {
+  BackendGuard guard;
+  const double inf = std::numeric_limits<double>::infinity();
+  for (const RasterBackend backend : AvailableBackends()) {
+    SetRasterBackendForTesting(backend);
+    // Zero radius: every column clamps to the center ordinate.
+    ExpectBatchMatchesScalar({0.25, 0.5}, 0.0,
+                             {0.1, 0.25, 0.4, -3.0, 7.0}, "zero radius");
+    // Tiny radius: s = r^2 - dx^2 underflows toward subnormals.
+    ExpectBatchMatchesScalar({0.0, 0.0}, 1e-160,
+                             {-1e-160, -5e-161, 0.0, 5e-161, 1e-160, 0.5},
+                             "tiny radius");
+    // Huge coordinates: r^2 overflow behavior must agree lane for lane.
+    ExpectBatchMatchesScalar({1e150, -1e150}, 1e160,
+                             {-1e160, 0.0, 1e150, 9.9e159}, "huge radius");
+    // Columns at exactly the disk's x-extremes (dx == +-r: s == 0, the
+    // sqrt(+-0) sign corner) and at the center.
+    ExpectBatchMatchesScalar({0.5, -0.25}, 0.125,
+                             {0.375, 0.5, 0.625}, "extremes");
+    // Non-finite columns (an unclamped axis guess) still match.
+    ExpectBatchMatchesScalar({0.0, 1.0}, 0.5, {-inf, 0.0, inf},
+                             "infinite columns");
+  }
+}
+
+// Sink-level differential: the full L2 raster painted with the active
+// SIMD backend equals the raster painted with the forced-scalar backend,
+// bit for bit, across grid sizes that stress the batch seam.
+TEST(RasterBackendDifferentialTest, GridsMatchScalarBackend) {
+  BackendGuard guard;
+  if (DetectedRasterBackend() == RasterBackend::kScalar) {
+    GTEST_SKIP() << "no SIMD backend on this host";
+  }
+  Rng rng(77);
+  std::vector<NnCircle> circles;
+  for (int i = 0; i < 60; ++i) {
+    circles.push_back(NnCircle{{rng.Uniform(0, 1), rng.Uniform(0, 1)},
+                               rng.Uniform(0.02, 0.25), i});
+  }
+  SizeInfluence measure;
+  const Rect domain{{-0.1, -0.1}, {1.1, 1.1}};
+  for (const int res : {7, 64, 97}) {
+    SetRasterBackendForTesting(DetectedRasterBackend());
+    const HeatmapGrid simd =
+        BuildHeatmapL2(circles, measure, domain, res, res);
+    SetRasterBackendForTesting(RasterBackend::kScalar);
+    const HeatmapGrid scalar =
+        BuildHeatmapL2(circles, measure, domain, res, res);
+    ASSERT_EQ(simd.values().size(), scalar.values().size());
+    for (size_t i = 0; i < simd.values().size(); ++i) {
+      ASSERT_TRUE(SameBits(simd.values()[i], scalar.values()[i]))
+          << "pixel " << i << " at " << res << "x" << res;
+    }
+  }
+}
+
+TEST(RasterBackendTest, DispatchReportsAValidBackend) {
+  BackendGuard guard;
+  const RasterBackend detected = DetectedRasterBackend();
+  EXPECT_GE(RasterBackendLanes(detected), 1);
+  EXPECT_NE(RasterBackendName(detected), nullptr);
+  // This binary also runs with RNNHM_DISABLE_SIMD=1 (the _nosimd ctest
+  // entry), where the default drops to scalar regardless of detection.
+  const char* kill = std::getenv("RNNHM_DISABLE_SIMD");
+  const bool kill_set =
+      kill != nullptr && kill[0] != '\0' && std::string(kill) != "0";
+  const RasterBackend expected_default =
+      kill_set ? RasterBackend::kScalar : detected;
+  EXPECT_EQ(ActiveRasterBackend(), expected_default);
+  SetRasterBackendForTesting(RasterBackend::kScalar);
+  EXPECT_EQ(ActiveRasterBackend(), RasterBackend::kScalar);
+  EXPECT_EQ(RasterBackendLanes(RasterBackend::kScalar), 1);
+  ResetRasterBackendForTesting();
+  EXPECT_EQ(ActiveRasterBackend(), expected_default);
+}
+
+// --- PixelAxis ------------------------------------------------------------
+
+TEST(PixelAxisTest, CentersMatchTheHoistedFormula) {
+  const PixelAxis axis(-0.05, 0.0275, 40);
+  ASSERT_EQ(axis.size(), 40);
+  for (int i = 0; i < axis.size(); ++i) {
+    EXPECT_TRUE(
+        SameBits(axis.centers()[i], -0.05 + (i + 0.5) * 0.0275))
+        << i;
+  }
+}
+
+// LowerBound must return the first center index >= bound — exactly, at
+// every seam, including bounds far outside the axis and non-finite ones.
+TEST(PixelAxisTest, LowerBoundIsExactAtEverySeam) {
+  const PixelAxis axis(0.0, 0.125, 32);
+  const auto reference = [&](double bound) {
+    int i = 0;
+    while (i < axis.size() && axis.centers()[i] < bound) ++i;
+    return i;
+  };
+  // Every center, just below, exactly at, and just above it.
+  for (int i = 0; i < axis.size(); ++i) {
+    const double c = axis.centers()[i];
+    for (const double bound :
+         {std::nextafter(c, -1e300), c, std::nextafter(c, 1e300)}) {
+      EXPECT_EQ(axis.LowerBound(bound), reference(bound)) << bound;
+    }
+  }
+  EXPECT_EQ(axis.LowerBound(-1e300), 0);
+  EXPECT_EQ(axis.LowerBound(1e300), axis.size());
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(axis.LowerBound(-inf), 0);
+  EXPECT_EQ(axis.LowerBound(inf), axis.size());
+  EXPECT_EQ(axis.LowerBound(std::nan("")), 0);  // NaN: paint nothing wrong
+}
+
+TEST(PixelAxisTest, RandomBoundsAgreeWithLinearScan) {
+  Rng rng(4321);
+  const PixelAxis axis(-3.7, 0.0193, 257);
+  const auto reference = [&](double bound) {
+    int i = 0;
+    while (i < axis.size() && axis.centers()[i] < bound) ++i;
+    return i;
+  };
+  for (int t = 0; t < 2000; ++t) {
+    const double bound = rng.Uniform(-6, 6);
+    ASSERT_EQ(axis.LowerBound(bound), reference(bound)) << bound;
+  }
+}
+
+}  // namespace
+}  // namespace rnnhm

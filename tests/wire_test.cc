@@ -429,6 +429,7 @@ TEST(WireStatsTest, ResponseRoundTripsEveryCounter) {
   reply.deltas = 42;
   reply.delta_splices = 40;
   reply.sets_evicted = 13;
+  reply.delta_dirty_columns = 512;
   std::string error;
   const auto decoded = DecodeStatsResponse(EncodeStatsResponse(reply), &error);
   ASSERT_TRUE(decoded.has_value()) << error;
@@ -440,6 +441,7 @@ TEST(WireStatsTest, ResponseRoundTripsEveryCounter) {
   EXPECT_EQ(decoded->deltas, 42u);
   EXPECT_EQ(decoded->delta_splices, 40u);
   EXPECT_EQ(decoded->sets_evicted, 13u);
+  EXPECT_EQ(decoded->delta_dirty_columns, 512u);
 }
 
 TEST(WireStatsTest, ResponseValidationIsStrict) {
@@ -759,6 +761,10 @@ TEST(ServeWireStreamTest, ChainedDeltasSpliceAndMatchFromScratch) {
   EXPECT_EQ(stats.sets_registered, 1u);
   EXPECT_EQ(stats.deltas, 2u);
   EXPECT_EQ(stats.delta_splices, 2u);
+  // Each splice recomputed a nonempty strict subset of the columns.
+  EXPECT_GT(stats.delta_dirty_columns, 0u);
+  EXPECT_LT(stats.delta_dirty_columns,
+            static_cast<uint64_t>(size) * stats.delta_splices);
 
   std::rewind(out);
   SizeInfluence reference_measure;
@@ -784,6 +790,7 @@ TEST(ServeWireStreamTest, ChainedDeltasSpliceAndMatchFromScratch) {
   EXPECT_EQ(stats_reply->deltas, 2u);
   EXPECT_EQ(stats_reply->delta_splices, 2u);
   EXPECT_EQ(stats_reply->sets_evicted, 0u);
+  EXPECT_EQ(stats_reply->delta_dirty_columns, stats.delta_dirty_columns);
   std::fclose(in);
   std::fclose(out);
 }

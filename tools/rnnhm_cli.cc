@@ -620,13 +620,15 @@ bool ParseServeFlags(const Args& args, ServeOptions* options,
 void PrintServeStats(const WireServeStats& stats) {
   std::fprintf(stderr,
                "served %llu requests (%llu ok, %llu errors, %llu circle "
-               "sets registered, %llu deltas, %llu spliced)\n",
+               "sets registered, %llu deltas, %llu spliced, %llu dirty "
+               "columns)\n",
                static_cast<unsigned long long>(stats.requests),
                static_cast<unsigned long long>(stats.ok),
                static_cast<unsigned long long>(stats.errors),
                static_cast<unsigned long long>(stats.sets_registered),
                static_cast<unsigned long long>(stats.deltas),
-               static_cast<unsigned long long>(stats.delta_splices));
+               static_cast<unsigned long long>(stats.delta_splices),
+               static_cast<unsigned long long>(stats.delta_dirty_columns));
 }
 
 // The stdio/file leg of serve: the blocking WireServer loop over
@@ -843,7 +845,7 @@ int CmdWireSend(const Args& args) {
       } else {
         std::printf("stats: %u shard(s), %llu requests, %llu ok, %llu "
                     "errors, %llu sets registered, %llu deltas (%llu "
-                    "spliced), %llu sets evicted\n",
+                    "spliced, %llu dirty columns), %llu sets evicted\n",
                     stats->shards,
                     static_cast<unsigned long long>(stats->requests),
                     static_cast<unsigned long long>(stats->ok),
@@ -851,6 +853,7 @@ int CmdWireSend(const Args& args) {
                     static_cast<unsigned long long>(stats->sets_registered),
                     static_cast<unsigned long long>(stats->deltas),
                     static_cast<unsigned long long>(stats->delta_splices),
+                    static_cast<unsigned long long>(stats->delta_dirty_columns),
                     static_cast<unsigned long long>(stats->sets_evicted));
       }
     }
