@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/check.h"
+
 namespace rnnhm {
 
 namespace {
@@ -22,18 +24,51 @@ PixelAxis MakeRows(const HeatmapGrid& grid) {
   return PixelAxis(d.lo.y, (d.hi.y - d.lo.y) / grid.height(), grid.height());
 }
 
+void CheckFragmentWindow(const HeatmapGrid& grid, int col_lo, int col_hi,
+                         int row_lo, int row_hi, int origin_col,
+                         int origin_row) {
+  RNNHM_CHECK(origin_col <= col_lo && origin_row <= row_lo);
+  RNNHM_CHECK(col_hi - origin_col <= grid.width());
+  RNNHM_CHECK(row_hi - origin_row <= grid.height());
+}
+
 }  // namespace
 
 RasterStripSink::RasterStripSink(HeatmapGrid* grid)
     : grid_(grid),
       cols_(MakeCols(*grid)),
       rows_(MakeRows(*grid)),
+      col_lo_(0),
+      col_hi_(grid->width()),
       row_lo_(0),
-      row_hi_(grid->height()) {}
+      row_hi_(grid->height()),
+      win_row_lo_(0),
+      win_row_hi_(grid->height()),
+      origin_col_(0),
+      origin_row_(0) {}
+
+RasterStripSink::RasterStripSink(HeatmapGrid* grid, const PixelAxis& cols,
+                                 const PixelAxis& rows, int col_lo,
+                                 int col_hi, int row_lo, int row_hi,
+                                 int origin_col, int origin_row)
+    : grid_(grid),
+      cols_(cols),
+      rows_(rows),
+      col_lo_(col_lo),
+      col_hi_(col_hi),
+      row_lo_(row_lo),
+      row_hi_(row_hi),
+      win_row_lo_(row_lo),
+      win_row_hi_(row_hi),
+      origin_col_(origin_col),
+      origin_row_(origin_row) {
+  CheckFragmentWindow(*grid, col_lo, col_hi, row_lo, row_hi, origin_col,
+                      origin_row);
+}
 
 void RasterStripSink::SetRowWindow(int row_lo, int row_hi) {
-  row_lo_ = std::max(0, row_lo);
-  row_hi_ = std::min(grid_->height(), row_hi);
+  row_lo_ = std::max(win_row_lo_, row_lo);
+  row_hi_ = std::min(win_row_hi_, row_hi);
 }
 
 void RasterStripSink::OnSpan(double x0, double x1, double y0, double y1,
@@ -41,14 +76,14 @@ void RasterStripSink::OnSpan(double x0, double x1, double y0, double y1,
   // A pixel is painted iff its center lies in [x0, x1) x [y0, y1); spans
   // tile strips exactly, so half-open edges avoid double-painting. The
   // center tables are monotone, so the painted set is one index rectangle.
-  const int i0 = cols_.LowerBound(x0);
-  const int i1 = cols_.LowerBound(x1);
+  const int i0 = std::max(cols_.LowerBound(x0), col_lo_);
+  const int i1 = std::min(cols_.LowerBound(x1), col_hi_);
   if (i0 >= i1) return;
   const int j0 = std::max(rows_.LowerBound(y0), row_lo_);
   const int j1 = std::min(rows_.LowerBound(y1), row_hi_);
   for (int j = j0; j < j1; ++j) {
-    double* row = grid_->Row(j);
-    std::fill(row + i0, row + i1, influence);
+    double* row = grid_->Row(j - origin_row_);
+    std::fill(row + (i0 - origin_col_), row + (i1 - origin_col_), influence);
   }
 }
 
@@ -56,18 +91,43 @@ RasterArcSink::RasterArcSink(HeatmapGrid* grid)
     : grid_(grid),
       cols_(MakeCols(*grid)),
       rows_(MakeRows(*grid)),
+      col_lo_(0),
+      col_hi_(grid->width()),
       row_lo_(0),
-      row_hi_(grid->height()) {}
+      row_hi_(grid->height()),
+      win_row_lo_(0),
+      win_row_hi_(grid->height()),
+      origin_col_(0),
+      origin_row_(0) {}
+
+RasterArcSink::RasterArcSink(HeatmapGrid* grid, const PixelAxis& cols,
+                             const PixelAxis& rows, int col_lo, int col_hi,
+                             int row_lo, int row_hi, int origin_col,
+                             int origin_row)
+    : grid_(grid),
+      cols_(cols),
+      rows_(rows),
+      col_lo_(col_lo),
+      col_hi_(col_hi),
+      row_lo_(row_lo),
+      row_hi_(row_hi),
+      win_row_lo_(row_lo),
+      win_row_hi_(row_hi),
+      origin_col_(origin_col),
+      origin_row_(origin_row) {
+  CheckFragmentWindow(*grid, col_lo, col_hi, row_lo, row_hi, origin_col,
+                      origin_row);
+}
 
 void RasterArcSink::SetRowWindow(int row_lo, int row_hi) {
-  row_lo_ = std::max(0, row_lo);
-  row_hi_ = std::min(grid_->height(), row_hi);
+  row_lo_ = std::max(win_row_lo_, row_lo);
+  row_hi_ = std::min(win_row_hi_, row_hi);
 }
 
 void RasterArcSink::OnArcStrip(double x0, double x1, const ArcGeom& lower,
                                const ArcGeom& upper, double influence) {
-  const int i0 = cols_.LowerBound(x0);
-  const int i1 = cols_.LowerBound(x1);
+  const int i0 = std::max(cols_.LowerBound(x0), col_lo_);
+  const int i1 = std::min(cols_.LowerBound(x1), col_hi_);
   const int width = grid_->width();
   double* const base = grid_->data();
   double ylo[kArcBatch];
@@ -80,7 +140,9 @@ void RasterArcSink::OnArcStrip(double x0, double x1, const ArcGeom& lower,
     for (int k = 0; k < n; ++k) {
       const int j0 = std::max(rows_.LowerBound(ylo[k]), row_lo_);
       const int j1 = std::min(rows_.LowerBound(yhi[k]), row_hi_);
-      double* p = base + static_cast<size_t>(j0) * width + (batch + k);
+      if (j0 >= j1) continue;
+      double* p = base + static_cast<size_t>(j0 - origin_row_) * width +
+                  (batch + k - origin_col_);
       for (int j = j0; j < j1; ++j, p += width) *p = influence;
     }
   }

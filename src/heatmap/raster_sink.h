@@ -8,6 +8,14 @@
 // pixels are exactly those whose centers fall in the half-open span — the
 // same sampling convention as always, so rasters stay independent of how
 // strips were cut.
+//
+// Fragment painting (src/tile/): both sinks also accept explicit GLOBAL
+// pixel axes plus a half-open global index window and an origin. Spans are
+// converted to indices through the global center tables — the exact tables
+// the untiled sink would use — then clamped to the window and stored at
+// (i - origin_col, j - origin_row). Because index conversion never sees the
+// fragment's own geometry, a fragment raster is bit-identical to the
+// corresponding sub-rectangle of the untiled raster by construction.
 #ifndef RNNHM_HEATMAP_RASTER_SINK_H_
 #define RNNHM_HEATMAP_RASTER_SINK_H_
 
@@ -25,21 +33,40 @@ class RasterStripSink : public StripSink {
  public:
   explicit RasterStripSink(HeatmapGrid* grid);
 
+  /// Fragment-painting constructor: converts spans to pixel indices through
+  /// the GLOBAL axes `cols`/`rows` (the untiled grid's center tables),
+  /// paints only global indices in [col_lo, col_hi) x [row_lo, row_hi), and
+  /// stores global pixel (i, j) at grid cell (i - origin_col,
+  /// j - origin_row). `grid` must cover the window: requires
+  /// origin_col <= col_lo, col_hi - origin_col <= grid->width() (same for
+  /// rows). The plain constructor is the special case window = full grid,
+  /// origin = (0, 0).
+  RasterStripSink(HeatmapGrid* grid, const PixelAxis& cols,
+                  const PixelAxis& rows, int col_lo, int col_hi, int row_lo,
+                  int row_hi, int origin_col, int origin_row);
+
   void OnSpan(double x0, double x1, double y0, double y1,
               double influence) override;
 
   /// Restricts painting to rows [row_lo, row_hi) — the dirty-rect splice's
   /// y-clip (heatmap/incremental.h). Rows outside the window keep their
-  /// retained values. Defaults to the full grid; clamped to it. Set before
-  /// the sweep runs, never concurrently with it.
+  /// retained values. Defaults to the construction window (the full grid
+  /// for the plain constructor); clamped to it. Set before the sweep runs,
+  /// never concurrently with it.
   void SetRowWindow(int row_lo, int row_hi);
 
  private:
   HeatmapGrid* grid_;
   PixelAxis cols_;
   PixelAxis rows_;
+  int col_lo_;
+  int col_hi_;
   int row_lo_;
   int row_hi_;
+  int win_row_lo_;  // construction row window; SetRowWindow clamps to it
+  int win_row_hi_;
+  int origin_col_;
+  int origin_row_;
 };
 
 /// Paints the L2 sweep's curved strips into a grid. For every pixel column
@@ -56,6 +83,14 @@ class RasterArcSink : public ArcStripSink {
  public:
   explicit RasterArcSink(HeatmapGrid* grid);
 
+  /// Fragment-painting constructor; see RasterStripSink. ArcYAtColumns is
+  /// pointwise (out[k] depends only on xs[k]), so the shifted batch
+  /// boundaries a clamped column range produces cannot change any painted
+  /// value.
+  RasterArcSink(HeatmapGrid* grid, const PixelAxis& cols,
+                const PixelAxis& rows, int col_lo, int col_hi, int row_lo,
+                int row_hi, int origin_col, int origin_row);
+
   void OnArcStrip(double x0, double x1, const ArcGeom& lower,
                   const ArcGeom& upper, double influence) override;
 
@@ -67,8 +102,14 @@ class RasterArcSink : public ArcStripSink {
   HeatmapGrid* grid_;
   PixelAxis cols_;
   PixelAxis rows_;
+  int col_lo_;
+  int col_hi_;
   int row_lo_;
   int row_hi_;
+  int win_row_lo_;
+  int win_row_hi_;
+  int origin_col_;
+  int origin_row_;
 };
 
 }  // namespace rnnhm

@@ -11,6 +11,7 @@
 #include "heatmap/incremental.h"
 #include "heatmap/raster_sink.h"
 #include "query/sweep_cache.h"
+#include "tile/tile_plan.h"
 
 namespace rnnhm {
 
@@ -36,6 +37,35 @@ std::shared_ptr<CircleSetRegistry> MakeRegistry(
     const HeatmapEngineOptions& options) {
   if (options.registry != nullptr) return options.registry;
   return std::make_shared<CircleSetRegistry>();
+}
+
+// Wire-facing ceiling on the tile grid a single request may ask for; keeps
+// a hostile by-tile request from allocating millions of tile windows.
+constexpr int kMaxTileGridSide = 1024;
+
+// The per-tile cache key: the tile's circle-subset hash plus its pixel
+// window inside the full raster (see SweepCacheKey).
+SweepCacheKey TileKey(uint64_t subset_hash, const Rect& domain, int width,
+                      int height, const TileWindow& w) {
+  return SweepCacheKey{subset_hash, domain, width,    height,
+                       w.col_lo,    w.col_hi, w.row_lo, w.row_hi};
+}
+
+void AccumulateCrest(CrestStats* into, const CrestStats& s) {
+  into->num_circles += s.num_circles;
+  into->num_skipped_circles += s.num_skipped_circles;
+  into->num_events += s.num_events;
+  into->num_labelings += s.num_labelings;
+  into->num_merged_intervals += s.num_merged_intervals;
+  into->num_elements_walked += s.num_elements_walked;
+}
+
+void AccumulateL2(CrestL2Stats* into, const CrestL2Stats& s) {
+  into->num_circles += s.num_circles;
+  into->num_skipped_circles += s.num_skipped_circles;
+  into->num_events += s.num_events;
+  into->num_cross_events += s.num_cross_events;
+  into->num_labelings += s.num_labelings;
 }
 
 }  // namespace
@@ -189,6 +219,91 @@ Status HeatmapEngine::ExecuteChecked(
   return Status::Ok();
 }
 
+HeatmapResponse HeatmapEngine::ExecuteTiled(const HeatmapRequestV2& request,
+                                            int tile_rows, int tile_cols,
+                                            TiledServeStats* tile_stats) const {
+  RNNHM_CHECK_MSG(tile_rows >= 1 && tile_cols >= 1,
+                  "ExecuteTiled needs a positive tile grid");
+  const ResolvedRequest resolved = Resolve(request);
+  const CircleSetSnapshot& set = *resolved.set;
+  const TilePlan plan(set.metric(), set.circles(), resolved.domain,
+                      resolved.width, resolved.height,
+                      TilePlanOptions{tile_rows, tile_cols});
+  HeatmapResponse out{HeatmapGrid(resolved.width, resolved.height,
+                                  resolved.domain, measure_.Evaluate({})),
+                      {},
+                      {},
+                      /*from_cache=*/cache_ != nullptr,
+                      {}};
+  TiledServeStats tstats;
+  tstats.tiles = tile_rows * tile_cols;
+  for (const Tile& t : plan.tiles()) {
+    if (t.window.empty() || t.circles.empty()) {
+      // Pure background: the untiled sweep paints these pixels (if any)
+      // with measure(∅), which the output grid already holds.
+      ++tstats.background_tiles;
+      continue;
+    }
+    HeatmapResponse fragment =
+        ServeTileFragment(plan, t, set.metric(), resolved.domain,
+                          resolved.width, resolved.height);
+    TilePlan::StitchFragment(t.window, fragment.grid, &out.grid);
+    AccumulateCrest(&out.stats, fragment.stats);
+    AccumulateL2(&out.l2_stats, fragment.l2_stats);
+    if (fragment.from_cache) {
+      ++tstats.cached_tiles;
+    } else {
+      ++tstats.swept_tiles;
+      out.from_cache = false;
+    }
+  }
+  if (cache_ == nullptr) out.from_cache = false;
+  out.cache = cache_stats();
+  if (tile_stats != nullptr) *tile_stats = tstats;
+  return out;
+}
+
+Status HeatmapEngine::ExecuteTileFragmentChecked(
+    const HeatmapRequestV2& request, int tile_rows, int tile_cols,
+    int tile_id, std::optional<HeatmapResponse>* response) const {
+  if (request.width <= 0 || request.height <= 0) {
+    return Status::InvalidArgument("non-positive raster size");
+  }
+  if (!(request.domain.lo.x < request.domain.hi.x) ||
+      !(request.domain.lo.y < request.domain.hi.y)) {
+    return Status::InvalidArgument("degenerate request domain");
+  }
+  if (tile_rows < 1 || tile_cols < 1 || tile_rows > kMaxTileGridSide ||
+      tile_cols > kMaxTileGridSide) {
+    return Status::InvalidArgument("tile grid outside [1, 1024] x [1, 1024]");
+  }
+  if (tile_id < 0 || tile_id >= tile_rows * tile_cols) {
+    return Status::InvalidArgument("tile id outside the tile grid");
+  }
+  std::shared_ptr<const CircleSetSnapshot> set =
+      registry_->Resolve(request.circles);
+  if (set == nullptr) {
+    return Status::NotFound("handle is not registered with this engine");
+  }
+  try {
+    const TilePlan plan(set->metric(), set->circles(), request.domain,
+                        request.width, request.height,
+                        TilePlanOptions{tile_rows, tile_cols});
+    const Tile& t = plan.tiles()[tile_id];
+    if (t.window.empty()) {
+      return Status::InvalidArgument(
+          "tile window is empty at this resolution");
+    }
+    *response = ServeTileFragment(plan, t, set->metric(), request.domain,
+                                  request.width, request.height);
+  } catch (const std::exception& e) {
+    return Status::Internal(e.what());
+  } catch (...) {
+    return Status::Internal("tile sweep failed");
+  }
+  return Status::Ok();
+}
+
 Status HeatmapEngine::ExecuteDeltaChecked(
     const CircleSetHandle& base, std::span<const CircleSetEdit> edits,
     std::optional<uint64_t> expected_hash, const Rect& domain, int width,
@@ -258,6 +373,39 @@ Status HeatmapEngine::ExecuteDeltaChecked(
     return Status::Internal("sweep failed");
   }
   return Status::Ok();
+}
+
+HeatmapResponse HeatmapEngine::ServeTileFragment(const TilePlan& plan,
+                                                 const Tile& t, Metric metric,
+                                                 const Rect& domain, int width,
+                                                 int height) const {
+  if (t.circles.empty()) {
+    // Background fragment: nothing to sweep, nothing worth caching.
+    MetricSweepStats sweep;
+    HeatmapGrid fragment =
+        plan.SweepTileFragment(t, measure_, options_.slabs_per_request,
+                               &sweep);
+    return HeatmapResponse{std::move(fragment), sweep.crest, sweep.l2, false,
+                           cache_stats()};
+  }
+  std::vector<NnCircle> subset = plan.GatherCircles(t);
+  const SweepCacheKey key =
+      TileKey(HashCircleSet(subset, metric), domain, width, height, t.window);
+  if (cache_ != nullptr) {
+    std::optional<HeatmapResponse> hit = cache_->Lookup(key, subset, metric);
+    if (hit.has_value()) return std::move(*hit);
+  }
+  MetricSweepStats sweep;
+  HeatmapGrid fragment = plan.SweepTileFragment(
+      t, measure_, options_.slabs_per_request, &sweep);
+  HeatmapResponse response{std::move(fragment), sweep.crest, sweep.l2, false,
+                           {}};
+  if (cache_ != nullptr) {
+    cache_->Insert(key, CircleSetSnapshot::Make(std::move(subset), metric),
+                   response);
+    response.cache = cache_->stats();
+  }
+  return response;
 }
 
 HeatmapResponse HeatmapEngine::Serve(const ResolvedRequest& request) const {

@@ -15,6 +15,7 @@ constexpr char kResponseMagic[4] = {'R', 'N', 'W', 'S'};
 constexpr char kStatsRequestMagic[4] = {'R', 'N', 'W', 'T'};
 constexpr char kStatsResponseMagic[4] = {'R', 'N', 'W', 'U'};
 constexpr char kDeltaRequestMagic[4] = {'R', 'N', 'W', 'D'};
+constexpr char kTileRequestMagic[4] = {'R', 'N', 'W', 'L'};
 constexpr uint8_t kFlagInlineCircles = 0x1;
 // One encoded circle: center.x, center.y, radius (f64 each) + client i32.
 constexpr size_t kCircleBytes = 3 * sizeof(uint64_t) + sizeof(uint32_t);
@@ -23,13 +24,18 @@ constexpr size_t kResponseHeaderBytes = 16;
 // magic + version + u16 metric/flags pair + u16 reserved + raster + domain:
 // the set_hash field's fixed offset in a request header. A delta request
 // shares this prefix layout with base_hash in the set_hash slot (so the
-// routing peek reads one offset for both) followed by new_hash.
+// routing peek reads one offset for both) followed by new_hash; a tile
+// request shares the whole plain header (through the circle count) and
+// appends the tile grid + id before the circle payload.
 constexpr size_t kRequestSetHashOffset = 4 + 4 + 1 + 1 + 2 + 4 + 4 + 32;
 constexpr size_t kDeltaNewHashOffset = kRequestSetHashOffset + 8;
 // ... + base_hash + new_hash + edit count.
 constexpr size_t kDeltaHeaderBytes = kRequestSetHashOffset + 3 * 8;
+// ... + tile_rows + tile_cols + tile_id (i32 each).
+constexpr size_t kTileIdOffset = kRequestHeaderBytes + 2 * sizeof(int32_t);
+constexpr size_t kTileHeaderBytes = kRequestHeaderBytes + 3 * sizeof(int32_t);
 constexpr size_t kStatsRequestBytes = 12;   // magic + version + reserved
-constexpr size_t kStatsResponseBytes = 76;  // magic + version + shards + 8*u64
+constexpr size_t kStatsResponseBytes = 92;  // magic + version + shards + 10*u64
 
 // --- Little-endian primitives (explicit, host-endianness independent) -----
 
@@ -301,11 +307,13 @@ std::optional<WireRouteInfo> PeekRouteInfo(std::span<const uint8_t> bytes) {
   }
   const bool is_request = std::memcmp(bytes.data(), kRequestMagic, 4) == 0;
   const bool is_delta = std::memcmp(bytes.data(), kDeltaRequestMagic, 4) == 0;
-  if (!is_request && !is_delta) return std::nullopt;
+  const bool is_tile = std::memcmp(bytes.data(), kTileRequestMagic, 4) == 0;
+  if (!is_request && !is_delta && !is_tile) return std::nullopt;
   Reader version(bytes.data() + 4, 4);
   if (version.U32() != kWireVersion) return std::nullopt;
   WireRouteInfo info;
   info.is_delta = is_delta;
+  info.is_tile = is_tile;
   Reader hash(bytes.data() + kRequestSetHashOffset, sizeof(uint64_t));
   info.route_hash = hash.U64();
   if (is_delta) {
@@ -314,6 +322,13 @@ std::optional<WireRouteInfo> PeekRouteInfo(std::span<const uint8_t> bytes) {
     }
     Reader derived(bytes.data() + kDeltaNewHashOffset, sizeof(uint64_t));
     info.derived_hash = derived.U64();
+  }
+  if (is_tile) {
+    if (bytes.size() < kTileIdOffset + sizeof(uint32_t)) {
+      return std::nullopt;
+    }
+    Reader tile(bytes.data() + kTileIdOffset, sizeof(uint32_t));
+    info.tile_id = tile.U32();
   }
   return info;
 }
@@ -447,6 +462,146 @@ std::optional<WireDeltaRequest> DecodeDeltaRequest(
     std::span<const uint8_t> bytes, Status* status) {
   std::string error;
   std::optional<WireDeltaRequest> request = DecodeDeltaRequest(bytes, &error);
+  if (status != nullptr) {
+    *status = request.has_value() ? Status::Ok()
+                                  : Status::InvalidArgument(std::move(error));
+  }
+  return request;
+}
+
+WireTileRequest MakeWireTileRequest(const CircleSetSnapshot& set,
+                                    const Rect& domain, int width, int height,
+                                    bool include_circles, int tile_rows,
+                                    int tile_cols, int tile_id) {
+  WireTileRequest request;
+  request.metric = set.metric();
+  request.set_hash = set.content_hash();
+  request.inline_circles = include_circles;
+  if (include_circles) request.circles = set.circles();
+  request.domain = domain;
+  request.width = width;
+  request.height = height;
+  request.tile_rows = tile_rows;
+  request.tile_cols = tile_cols;
+  request.tile_id = tile_id;
+  return request;
+}
+
+std::vector<uint8_t> EncodeTileRequest(const WireTileRequest& request) {
+  std::vector<uint8_t> out;
+  out.reserve(kTileHeaderBytes + request.circles.size() * kCircleBytes);
+  PutMagic(&out, kTileRequestMagic);
+  PutU32(&out, kWireVersion);
+  out.push_back(static_cast<uint8_t>(request.metric));
+  out.push_back(request.inline_circles ? kFlagInlineCircles : 0);
+  PutU16(&out, 0);  // reserved
+  PutI32(&out, request.width);
+  PutI32(&out, request.height);
+  PutF64(&out, request.domain.lo.x);
+  PutF64(&out, request.domain.lo.y);
+  PutF64(&out, request.domain.hi.x);
+  PutF64(&out, request.domain.hi.y);
+  PutU64(&out, request.set_hash);
+  PutU64(&out, request.inline_circles
+                   ? static_cast<uint64_t>(request.circles.size())
+                   : 0);
+  PutI32(&out, request.tile_rows);
+  PutI32(&out, request.tile_cols);
+  PutI32(&out, request.tile_id);
+  if (request.inline_circles) {
+    for (const NnCircle& c : request.circles) {
+      PutF64(&out, c.center.x);
+      PutF64(&out, c.center.y);
+      PutF64(&out, c.radius);
+      PutI32(&out, c.client);
+    }
+  }
+  return out;
+}
+
+bool IsTileRequest(std::span<const uint8_t> bytes) {
+  return bytes.size() >= 4 &&
+         std::memcmp(bytes.data(), kTileRequestMagic, 4) == 0;
+}
+
+std::optional<WireTileRequest> DecodeTileRequest(std::span<const uint8_t> bytes,
+                                                 std::string* error) {
+  Reader r(bytes.data(), bytes.size());
+  if (!r.Magic(kTileRequestMagic)) return Fail(error, "bad tile request magic");
+  if (r.U32() != kWireVersion) {
+    return Fail(error, "unsupported wire version");
+  }
+  WireTileRequest request;
+  const uint8_t metric = r.U8();
+  const uint8_t flags = r.U8();
+  const uint16_t reserved = r.U16();
+  request.width = r.I32();
+  request.height = r.I32();
+  request.domain.lo.x = r.F64();
+  request.domain.lo.y = r.F64();
+  request.domain.hi.x = r.F64();
+  request.domain.hi.y = r.F64();
+  request.set_hash = r.U64();
+  const uint64_t count = r.U64();
+  request.tile_rows = r.I32();
+  request.tile_cols = r.I32();
+  request.tile_id = r.I32();
+  if (!r.ok()) return Fail(error, "tile request header truncated");
+  if (metric > static_cast<uint8_t>(Metric::kL2)) {
+    return Fail(error, "unknown metric");
+  }
+  request.metric = static_cast<Metric>(metric);
+  if ((flags & ~kFlagInlineCircles) != 0 || reserved != 0) {
+    return Fail(error, "reserved tile request bits set");
+  }
+  request.inline_circles = (flags & kFlagInlineCircles) != 0;
+  if (request.width <= 0 || request.height <= 0) {
+    return Fail(error, "non-positive raster size");
+  }
+  if (!(request.domain.lo.x < request.domain.hi.x) ||
+      !(request.domain.lo.y < request.domain.hi.y)) {
+    return Fail(error, "degenerate request domain");
+  }
+  if (request.tile_rows < 1 || request.tile_cols < 1 ||
+      request.tile_rows > kMaxWireTileGridSide ||
+      request.tile_cols > kMaxWireTileGridSide) {
+    return Fail(error, "tile grid outside the wire ceiling");
+  }
+  if (request.tile_id < 0 ||
+      request.tile_id >= request.tile_rows * request.tile_cols) {
+    return Fail(error, "tile id outside the tile grid");
+  }
+  if (!request.inline_circles) {
+    if (count != 0) {
+      return Fail(error, "by-reference tile request carries circles");
+    }
+    if (r.remaining() != 0) return Fail(error, "trailing tile request bytes");
+    return request;
+  }
+  if (r.remaining() / kCircleBytes < count ||
+      r.remaining() != count * kCircleBytes) {
+    return Fail(error, "circle payload size mismatch");
+  }
+  request.circles.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    NnCircle c;
+    c.center.x = r.F64();
+    c.center.y = r.F64();
+    c.radius = r.F64();
+    c.client = r.I32();
+    request.circles.push_back(c);
+  }
+  if (!r.ok()) return Fail(error, "circle payload truncated");
+  if (HashCircleSet(request.circles, request.metric) != request.set_hash) {
+    return Fail(error, "circle payload does not match its content hash");
+  }
+  return request;
+}
+
+std::optional<WireTileRequest> DecodeTileRequest(std::span<const uint8_t> bytes,
+                                                 Status* status) {
+  std::string error;
+  std::optional<WireTileRequest> request = DecodeTileRequest(bytes, &error);
   if (status != nullptr) {
     *status = request.has_value() ? Status::Ok()
                                   : Status::InvalidArgument(std::move(error));
@@ -633,6 +788,8 @@ std::vector<uint8_t> EncodeStatsResponse(const WireStatsReply& reply) {
   PutU64(&out, reply.delta_splices);
   PutU64(&out, reply.sets_evicted);
   PutU64(&out, reply.delta_dirty_columns);
+  PutU64(&out, reply.tile_requests);
+  PutU64(&out, reply.tile_fragments);
   return out;
 }
 
@@ -655,6 +812,8 @@ std::optional<WireStatsReply> DecodeStatsResponse(
   reply.delta_splices = r.U64();
   reply.sets_evicted = r.U64();
   reply.delta_dirty_columns = r.U64();
+  reply.tile_requests = r.U64();
+  reply.tile_fragments = r.U64();
   if (!r.ok()) return Fail(error, "stats response truncated");
   if (reply.shards == 0) return Fail(error, "stats response with no shards");
   if (r.remaining() != 0) {

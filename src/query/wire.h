@@ -51,9 +51,12 @@ namespace rnnhm {
 /// with an incremental re-sweep) and extends the stats reply with delta
 /// and eviction counters. v5 appends `delta_dirty_columns` to the stats
 /// reply — the cumulative pixel columns spliced deltas actually
-/// recomputed, the observable cost of the 2D dirty-rect splice;
-/// request/response layouts are otherwise unchanged from v4.
-inline constexpr uint32_t kWireVersion = 5;
+/// recomputed, the observable cost of the 2D dirty-rect splice. v6 adds
+/// the tile fragment op (a request for one tile of the domain-tiled
+/// decomposition, answered with a window-sized fragment grid — the
+/// by-tile sharding seam) and appends the tile counters to the stats
+/// reply; plain request/response layouts are unchanged from v5.
+inline constexpr uint32_t kWireVersion = 6;
 
 /// Ceiling on a frame's payload length (guards a garbage length prefix
 /// from triggering a giant allocation).
@@ -183,6 +186,62 @@ std::optional<WireDeltaRequest> DecodeDeltaRequest(
 std::optional<WireDeltaRequest> DecodeDeltaRequest(
     std::span<const uint8_t> bytes, Status* status);
 
+// --- Tile fragment op (v6) ------------------------------------------------
+//
+// The by-tile sharding seam (tile/tile_plan.h): a tile request names one
+// tile of the tile_rows x tile_cols decomposition of an ordinary heat-map
+// request, and the server answers with a normal response frame whose grid
+// is the tile's window-sized *fragment* — cell (i, j) of the fragment is
+// global pixel (window.col_lo + i, window.row_lo + j), where the window is
+// TileWindows(domain, width, height, tile_rows, tile_cols)[tile_id]. Any
+// peer computes the same windows from the same request fields (they are a
+// pure function of the geometry), so a router can stitch fragments from
+// different shards into the full raster, bit-identical to an untiled
+// Execute. The header shares the plain request's prefix through set_hash,
+// so hash-routing peeks work unchanged on tile frames.
+
+/// Ceiling on the tile grid a server accepts from the wire, per side
+/// (mirrors the engine's ExecuteTileFragmentChecked bound).
+inline constexpr int kMaxWireTileGridSide = 1024;
+
+/// A decoded (or to-be-encoded) tile fragment request: a plain request
+/// plus the tile grid shape and the row-major tile id to compute.
+struct WireTileRequest {
+  Metric metric = Metric::kLInf;
+  uint64_t set_hash = 0;
+  bool inline_circles = false;
+  std::vector<NnCircle> circles;
+  Rect domain;
+  int width = 0;
+  int height = 0;
+  int tile_rows = 1;
+  int tile_cols = 1;
+  int tile_id = 0;
+};
+
+/// Builds a tile request for `set`, mirroring MakeWireRequest.
+WireTileRequest MakeWireTileRequest(const CircleSetSnapshot& set,
+                                    const Rect& domain, int width, int height,
+                                    bool include_circles, int tile_rows,
+                                    int tile_cols, int tile_id);
+
+/// Serializes a tile request message.
+std::vector<uint8_t> EncodeTileRequest(const WireTileRequest& request);
+
+/// True iff the payload *starts like* a tile request (magic check only —
+/// cheap routing peek; full validation is DecodeTileRequest).
+bool IsTileRequest(std::span<const uint8_t> bytes);
+
+/// Parses and validates a tile request with the same strictness as
+/// DecodeRequest, plus: the tile grid must fit [1, kMaxWireTileGridSide]
+/// per side and `tile_id` must lie inside it.
+std::optional<WireTileRequest> DecodeTileRequest(std::span<const uint8_t> bytes,
+                                                 std::string* error);
+
+/// Status-returning form, mirroring the DecodeRequest overload.
+std::optional<WireTileRequest> DecodeTileRequest(std::span<const uint8_t> bytes,
+                                                 Status* status);
+
 // --- Stats op (v3) --------------------------------------------------------
 //
 // A stats request asks a server for its serve counters; a router answers
@@ -205,6 +264,8 @@ struct WireStatsReply {
   /// the splice's dirty-rect clipping this is the x-footprint of the
   /// recomputed area; columns_total * splices bounds it from above.
   uint64_t delta_dirty_columns = 0;
+  uint64_t tile_requests = 0;   ///< tile fragment requests answered (v6)
+  uint64_t tile_fragments = 0;  ///< ... of which kOk with a fragment (v6)
 };
 
 /// Serializes a stats request (magic + version only).
@@ -244,6 +305,8 @@ struct WireServeStats {
   uint64_t deltas = 0;          ///< delta requests answered kOk
   uint64_t delta_splices = 0;   ///< deltas served by incremental splice
   uint64_t delta_dirty_columns = 0;  ///< columns recomputed by splices
+  uint64_t tile_requests = 0;   ///< tile fragment requests answered
+  uint64_t tile_fragments = 0;  ///< ... of which kOk with a fragment
 };
 
 /// The hash a router partitions a request frame by, without a full
@@ -259,18 +322,23 @@ std::optional<uint64_t> PeekRequestSetHash(std::span<const uint8_t> bytes);
 
 /// What a router learns from a frame header without a full decode.
 struct WireRouteInfo {
-  /// The hash to partition by: set_hash of a plain request, base_hash of
-  /// a delta (the shard holding the base must apply the edits).
+  /// The hash to partition by: set_hash of a plain or tile request,
+  /// base_hash of a delta (the shard holding the base must apply the
+  /// edits).
   uint64_t route_hash = 0;
   bool is_delta = false;
   /// The derived set's content hash (deltas only) — the hash future
   /// requests will arrive under, which the router must pin to the same
   /// shard the delta lands on.
   uint64_t derived_hash = 0;
+  bool is_tile = false;
+  /// The requested tile id (tile requests only) — what a by-tile router
+  /// partitions by instead of the hash.
+  uint32_t tile_id = 0;
 };
 
-/// Routing peek covering both plain and delta request frames; nullopt for
-/// anything else (stats requests, garbage, short payloads).
+/// Routing peek covering plain, delta, and tile request frames; nullopt
+/// for anything else (stats requests, garbage, short payloads).
 std::optional<WireRouteInfo> PeekRouteInfo(std::span<const uint8_t> bytes);
 
 /// The serve loop: reads request frames from `in` until EOF, executes

@@ -58,6 +58,17 @@ struct ServeOptions {
   /// Directory for the fleet's worker sockets; empty derives a
   /// per-process default under /tmp.
   std::string socket_dir;
+  /// Route plain heat-map requests by *domain tile* instead of by set
+  /// hash: the router decodes each plain request, fans one tile
+  /// sub-request per non-empty tile window to shard `tile_id %
+  /// num_shards`, and stitches the returned fragments into one response
+  /// grid bit-identical to an untiled Execute. Delta and stats frames
+  /// keep their usual routing. Requires tile_rows * tile_cols >=
+  /// num_shards so every shard can be given work.
+  bool route_by_tile = false;
+  /// Tile grid of the by-tile mode (ignored unless route_by_tile).
+  int tile_rows = 1;
+  int tile_cols = 1;
 
   // --- Engine knobs (per worker) -----------------------------------------
   int threads = 1;

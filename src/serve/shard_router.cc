@@ -14,9 +14,11 @@
 #include <thread>
 #include <utility>
 
+#include "heatmap/heatmap.h"
 #include "heatmap/influence.h"
 #include "query/heatmap_engine.h"
 #include "query/wire.h"
+#include "tile/tile_plan.h"
 
 namespace rnnhm {
 
@@ -149,6 +151,9 @@ void ShardFleet::Shutdown() {
 struct ShardRouter::Tag {
   uint64_t client_id = 0;
   uint64_t seq = 0;
+  /// By-tile fan-out only: which tile of the slot's decomposition this
+  /// forwarded sub-request computes; -1 for ordinary forwards.
+  int32_t tile_id = -1;
 };
 
 namespace {
@@ -163,7 +168,72 @@ struct RouterSlot {
   bool stats_failed = false;
   std::string stats_error;
   WireStatsReply merged;
+  // Tile fan-out bookkeeping (is_tile slots only): fragments stitch into
+  // `tile_grid` as they arrive; any failed fragment fails the whole slot —
+  // the client gets one error response, never a partially stitched grid.
+  bool is_tile = false;
+  int tile_remaining = 0;
+  bool tile_failed = false;
+  WireStatus tile_status = WireStatus::kOk;
+  std::string tile_error;
+  std::vector<TileWindow> tile_windows;  // indexed by tile id
+  std::optional<HeatmapGrid> tile_grid;
+  CrestStats tile_stats;
+  CrestL2Stats tile_l2;
+  SweepCacheStats tile_cache;
+  bool tile_from_cache = true;
 };
+
+void FailTileSlot(RouterSlot& slot, WireStatus status,
+                  const std::string& reason) {
+  if (slot.tile_failed) return;  // first failure names the error
+  slot.tile_failed = true;
+  slot.tile_status = status;
+  slot.tile_error = reason;
+}
+
+void FoldTileFragment(RouterSlot& slot, int32_t tile_id,
+                      const std::vector<uint8_t>& payload) {
+  std::string error;
+  const std::optional<WireResponse> response = DecodeResponse(payload, &error);
+  if (!response.has_value()) {
+    FailTileSlot(slot, WireStatus::kServerError,
+                 "undecodable tile fragment response: " + error);
+    return;
+  }
+  if (response->status != WireStatus::kOk) {
+    FailTileSlot(slot, response->status,
+                 "tile fragment failed: " + response->error);
+    return;
+  }
+  const TileWindow& window = slot.tile_windows[tile_id];
+  const HeatmapResponse& fragment = *response->response;
+  if (fragment.grid.width() != window.width() ||
+      fragment.grid.height() != window.height()) {
+    FailTileSlot(slot, WireStatus::kServerError,
+                 "tile fragment has the wrong window size");
+    return;
+  }
+  TilePlan::StitchFragment(window, fragment.grid, &*slot.tile_grid);
+  slot.tile_stats.num_circles += fragment.stats.num_circles;
+  slot.tile_stats.num_skipped_circles += fragment.stats.num_skipped_circles;
+  slot.tile_stats.num_events += fragment.stats.num_events;
+  slot.tile_stats.num_labelings += fragment.stats.num_labelings;
+  slot.tile_stats.num_merged_intervals += fragment.stats.num_merged_intervals;
+  slot.tile_stats.num_elements_walked += fragment.stats.num_elements_walked;
+  slot.tile_l2.num_circles += fragment.l2_stats.num_circles;
+  slot.tile_l2.num_skipped_circles += fragment.l2_stats.num_skipped_circles;
+  slot.tile_l2.num_events += fragment.l2_stats.num_events;
+  slot.tile_l2.num_cross_events += fragment.l2_stats.num_cross_events;
+  slot.tile_l2.num_labelings += fragment.l2_stats.num_labelings;
+  slot.tile_cache.hits += fragment.cache.hits;
+  slot.tile_cache.misses += fragment.cache.misses;
+  slot.tile_cache.insertions += fragment.cache.insertions;
+  slot.tile_cache.evictions += fragment.cache.evictions;
+  slot.tile_cache.entries += fragment.cache.entries;
+  slot.tile_cache.bytes += fragment.cache.bytes;
+  slot.tile_from_cache = slot.tile_from_cache && fragment.from_cache;
+}
 
 }  // namespace
 
@@ -285,6 +355,68 @@ void ShardRouter::RouteFrame(Client& client,
         "router could not parse the request header");
     return;
   }
+  // By-tile mode: a plain heat-map request is decomposed here — one tile
+  // sub-request per non-empty tile window, fanned to shard
+  // tile_id % num_shards — and the fragments stitch back into one
+  // response. Delta frames keep hash/affinity routing (a splice needs the
+  // whole base raster on one shard) and tile frames pass through like
+  // plain ones.
+  if (options_.route_by_tile && !route->is_delta && !route->is_tile) {
+    std::string decode_error;
+    const std::optional<WireRequest> request =
+        DecodeRequest(frame, &decode_error);
+    if (!request.has_value()) {
+      slot.ready = true;
+      slot.payload =
+          EncodeErrorResponse(WireStatus::kMalformedRequest, decode_error);
+      return;
+    }
+    const int tile_rows = options_.tile_rows;
+    const int tile_cols = options_.tile_cols;
+    slot.tile_windows = TileWindows(request->domain, request->width,
+                                    request->height, tile_rows, tile_cols);
+    // All-or-nothing: verify every target shard is up before sending any
+    // sub-request, so a down shard yields one clean error, not a half-fan.
+    for (int tile_id = 0; tile_id < tile_rows * tile_cols; ++tile_id) {
+      if (slot.tile_windows[tile_id].empty()) continue;
+      if (!shards_[tile_id % shards_.size()]->alive) {
+        slot.ready = true;
+        slot.payload = EncodeErrorResponse(
+            WireStatus::kServerError,
+            "shard " + std::to_string(tile_id % shards_.size()) +
+                " is down");
+        return;
+      }
+    }
+    slot.is_tile = true;
+    slot.tile_grid.emplace(request->width, request->height, request->domain,
+                           0.0);
+    int fanned = 0;
+    for (int tile_id = 0; tile_id < tile_rows * tile_cols; ++tile_id) {
+      if (slot.tile_windows[tile_id].empty()) continue;
+      WireTileRequest sub;
+      sub.metric = request->metric;
+      sub.set_hash = request->set_hash;
+      sub.inline_circles = request->inline_circles;
+      sub.circles = request->circles;
+      sub.domain = request->domain;
+      sub.width = request->width;
+      sub.height = request->height;
+      sub.tile_rows = tile_rows;
+      sub.tile_cols = tile_cols;
+      sub.tile_id = tile_id;
+      const size_t shard_index = tile_id % shards_.size();
+      Shard& shard = *shards_[shard_index];
+      shard.output.AppendFrame(EncodeTileRequest(sub));
+      shard.pending.push_back(Tag{client.id, client.next_seq - 1, tile_id});
+      poller_.Modify(shard.fd, true, true);
+      ++fanned;
+    }
+    // The windows partition a positive raster, so at least one is
+    // non-empty and the slot always has fragments to wait for.
+    slot.tile_remaining = fanned;
+    return;
+  }
   // Affinity first, hash partition second: a set derived by a delta lives
   // on the shard that held its base (which is where the delta was routed),
   // not necessarily at derived_hash % N — so requests and chained deltas
@@ -387,9 +519,30 @@ void ShardRouter::UpdateShardInterest(Shard& shard) {
 namespace {
 
 /// Folds one shard's answer (or its loss) into the slot; returns true
-/// when the slot just became ready.
-bool ResolveSlot(RouterSlot& slot, const std::vector<uint8_t>& payload,
-                 bool failed, const std::string& reason) {
+/// when the slot just became ready. `tile_id` is the forwarding tag's
+/// tile (-1 for ordinary forwards) — it names the window a tile
+/// fragment stitches into.
+bool ResolveSlot(RouterSlot& slot, int32_t tile_id,
+                 const std::vector<uint8_t>& payload, bool failed,
+                 const std::string& reason) {
+  if (slot.is_tile) {
+    if (failed) {
+      FailTileSlot(slot, WireStatus::kServerError, reason);
+    } else {
+      FoldTileFragment(slot, tile_id, payload);
+    }
+    if (--slot.tile_remaining > 0) return false;
+    if (slot.tile_failed) {
+      slot.payload = EncodeErrorResponse(slot.tile_status, slot.tile_error);
+    } else {
+      slot.payload = EncodeResponse(
+          HeatmapResponse{std::move(*slot.tile_grid), slot.tile_stats,
+                          slot.tile_l2, slot.tile_from_cache,
+                          slot.tile_cache});
+    }
+    slot.ready = true;
+    return true;
+  }
   if (!slot.is_stats) {
     slot.payload = failed
                        ? EncodeErrorResponse(WireStatus::kServerError, reason)
@@ -417,6 +570,8 @@ bool ResolveSlot(RouterSlot& slot, const std::vector<uint8_t>& payload,
       slot.merged.delta_splices += reply->delta_splices;
       slot.merged.sets_evicted += reply->sets_evicted;
       slot.merged.delta_dirty_columns += reply->delta_dirty_columns;
+      slot.merged.tile_requests += reply->tile_requests;
+      slot.merged.tile_fragments += reply->tile_fragments;
     }
   }
   if (--slot.stats_remaining > 0) return false;
@@ -459,7 +614,7 @@ void ShardRouter::HandleShardReadable(size_t shard_index) {
     const int client_fd = fd_it->second;
     Client& client = *clients_.at(client_fd);
     RouterSlot& slot = client.slots[tag.seq - client.base_seq];
-    if (ResolveSlot(slot, *frame, false, "")) {
+    if (ResolveSlot(slot, tag.tile_id, *frame, false, "")) {
       FlushClient(client_fd, client);
     }
   }
@@ -487,7 +642,7 @@ void ShardRouter::FailShard(size_t shard_index, const std::string& reason) {
     const int client_fd = fd_it->second;
     Client& client = *clients_.at(client_fd);
     RouterSlot& slot = client.slots[tag.seq - client.base_seq];
-    if (ResolveSlot(slot, empty, true, reason)) {
+    if (ResolveSlot(slot, tag.tile_id, empty, true, reason)) {
       FlushClient(client_fd, client);  // may close the client
     }
   }
@@ -499,6 +654,20 @@ Status ShardRouter::Run() {
   }
   if (shard_paths_.empty()) {
     return Status::InvalidArgument("router needs at least one shard");
+  }
+  if (options_.route_by_tile) {
+    if (options_.tile_rows < 1 || options_.tile_cols < 1 ||
+        options_.tile_rows > kMaxWireTileGridSide ||
+        options_.tile_cols > kMaxWireTileGridSide) {
+      return Status::InvalidArgument(
+          "by-tile routing needs a tile grid within the wire ceiling");
+    }
+    if (static_cast<size_t>(options_.tile_rows) *
+            static_cast<size_t>(options_.tile_cols) <
+        shard_paths_.size()) {
+      return Status::InvalidArgument(
+          "by-tile routing needs at least as many tiles as shards");
+    }
   }
   if (wake_fds_[0] < 0) {
     return Status::Unavailable("failed to create the shutdown wake pipe");

@@ -74,6 +74,10 @@ class ShardFleet {
 
   int num_shards() const { return static_cast<int>(pids_.size()); }
 
+  /// The worker process of one shard — lets a supervisor (or a fault
+  /// test) target an individual worker.
+  pid_t worker_pid(int shard) const { return pids_[shard]; }
+
   /// SIGTERMs every worker (triggering its graceful drain) and reaps it;
   /// escalates to SIGKILL for a worker that outlives the drain bound.
   void Shutdown();

@@ -38,6 +38,8 @@ std::vector<uint8_t> WireServer::HandleFrame(std::span<const uint8_t> frame,
       stats_reply.delta_splices = stats_.delta_splices;
       stats_reply.sets_evicted = engine_.registry().total_evicted();
       stats_reply.delta_dirty_columns = stats_.delta_dirty_columns;
+      stats_reply.tile_requests = stats_.tile_requests;
+      stats_reply.tile_fragments = stats_.tile_fragments;
       reply = EncodeStatsResponse(stats_reply);
     } else {
       wire_status = ToWireStatus(status.code);
@@ -90,6 +92,65 @@ std::vector<uint8_t> WireServer::HandleFrame(std::span<const uint8_t> frame,
             stats_.delta_dirty_columns +=
                 static_cast<uint64_t>(splice_stats.dirty_columns);
           }
+          reply = EncodeResponse(*response);
+        } else {
+          wire_status = ToWireStatus(status.code);
+          reply = EncodeErrorResponse(wire_status, status.message);
+        }
+      }
+    }
+  } else if (IsTileRequest(frame)) {
+    ++stats_.tile_requests;
+    std::string decode_error;
+    std::optional<WireTileRequest> request =
+        DecodeTileRequest(frame, &decode_error);
+    if (!request.has_value()) {
+      wire_status = WireStatus::kMalformedRequest;
+      reply = EncodeErrorResponse(wire_status, decode_error);
+    } else if (OverPixelCeiling(request->width, request->height)) {
+      wire_status = WireStatus::kMalformedRequest;
+      reply = EncodeErrorResponse(wire_status,
+                                  "raster exceeds the pixel ceiling");
+    } else {
+      CircleSetRegistry& registry = engine_.registry();
+      CircleSetHandle handle;
+      if (request->inline_circles) {
+        const size_t before = registry.size();
+        handle =
+            registry.Register(std::move(request->circles), request->metric);
+        if (registry.size() > before) ++stats_.sets_registered;
+        if (scope != nullptr) scope->Track(handle);
+      } else {
+        handle = registry.FindByHash(request->set_hash);
+      }
+      std::shared_ptr<const CircleSetSnapshot> set =
+          handle.valid() ? registry.Resolve(handle) : nullptr;
+      if (set == nullptr) {
+        wire_status = WireStatus::kUnknownCircleSet;
+        reply = EncodeErrorResponse(
+            wire_status,
+            "circle set is not registered on this shard (never carried "
+            "inline, released, or evicted)");
+      } else if (!request->inline_circles &&
+                 set->content_hash() != request->set_hash) {
+        wire_status = WireStatus::kUnknownCircleSet;
+        reply = EncodeErrorResponse(
+            wire_status,
+            "registered set under this hash has different content "
+            "(64-bit hash collision)");
+      } else if (set->metric() != request->metric) {
+        wire_status = WireStatus::kMalformedRequest;
+        reply = EncodeErrorResponse(
+            wire_status, "request metric disagrees with the registered set");
+      } else {
+        std::optional<HeatmapResponse> response;
+        const Status status = engine_.ExecuteTileFragmentChecked(
+            HeatmapRequestV2{handle, request->domain, request->width,
+                             request->height},
+            request->tile_rows, request->tile_cols, request->tile_id,
+            &response);
+        if (status.ok()) {
+          ++stats_.tile_fragments;
           reply = EncodeResponse(*response);
         } else {
           wire_status = ToWireStatus(status.code);

@@ -39,9 +39,10 @@ class WireServer {
   /// Heat-map requests run through HeatmapEngine::ExecuteChecked (inline
   /// sets register into the engine's registry first); delta requests
   /// derive a new set from a registered base and run through
-  /// ExecuteDeltaChecked; stats requests return this server's counters;
-  /// anything malformed returns an error-status response. Total: every
-  /// input produces one response.
+  /// ExecuteDeltaChecked; tile requests compute one fragment of the tiled
+  /// decomposition through ExecuteTileFragmentChecked; stats requests
+  /// return this server's counters; anything malformed returns an
+  /// error-status response. Total: every input produces one response.
   ///
   /// `scope`, when non-null, takes ownership of the registration bumps
   /// this frame performs (inline registers and delta derivations), so a

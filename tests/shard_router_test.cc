@@ -7,6 +7,7 @@
 // Every harness forks its fleet FIRST, while the test process is still
 // single-threaded — the router thread and any reference engines come
 // after (fork must not carry sibling threads' lock state into workers).
+#include <signal.h>
 #include <unistd.h>
 
 #include <gtest/gtest.h>
@@ -51,13 +52,20 @@ class RouterHarness {
     if (router_ != nullptr && thread_.joinable()) Stop();
   }
 
-  Status Start(int num_shards, int worker_slabs) {
+  /// tile_rows > 0 switches the router into by-tile mode with that grid.
+  Status Start(int num_shards, int worker_slabs, int tile_rows = 0,
+               int tile_cols = 0) {
     options_.transport = TransportKind::kUnix;
     options_.num_shards = num_shards;
     options_.threads = 1;
     options_.slabs = worker_slabs;
     options_.idle_timeout_ms = 0;
     options_.drain_timeout_ms = 2000;
+    if (tile_rows > 0) {
+      options_.route_by_tile = true;
+      options_.tile_rows = tile_rows;
+      options_.tile_cols = tile_cols;
+    }
     options_.socket_dir = "/tmp/rnnhm-router-test-" +
                           std::to_string(::getpid()) + "-" +
                           std::to_string(++harness_counter_);
@@ -88,6 +96,7 @@ class RouterHarness {
   }
 
   int num_shards() const { return fleet_.num_shards(); }
+  pid_t worker_pid(int shard) const { return fleet_.worker_pid(shard); }
 
  private:
   static int harness_counter_;
@@ -304,6 +313,128 @@ TEST(ShardRouterTest, StatsFanOutMergesTheWholeFleet) {
   EXPECT_EQ(stats->ok, static_cast<uint64_t>(total + 2));
   EXPECT_EQ(stats->errors, 0u);
   EXPECT_EQ(stats->sets_registered, 2u);
+
+  ::close(fd);
+  EXPECT_TRUE(harness.Stop().ok());
+}
+
+TEST(ShardRouterTest, ByTileRoutingIsBitIdenticalToDirectExecute) {
+  // By-tile mode: the router decomposes each plain request into tile
+  // sub-requests (shard = tile_id % N) and stitches the returned
+  // fragments — the reassembled grid must match a direct single-engine
+  // Execute bit for bit, for every metric, inline and by hash.
+  RouterHarness harness;
+  ASSERT_TRUE(
+      harness.Start(/*num_shards=*/2, /*worker_slabs=*/2, 3, 3).ok());
+  int fd = -1;
+  ASSERT_TRUE(harness.Connect(&fd).ok());
+
+  SizeInfluence measure;
+  HeatmapEngineOptions reference_options;
+  reference_options.num_threads = 1;
+  HeatmapEngine reference(measure, reference_options);
+
+  const Metric metrics[] = {Metric::kLInf, Metric::kL1, Metric::kL2};
+  for (size_t m = 0; m < std::size(metrics); ++m) {
+    SCOPED_TRACE("metric " + std::to_string(m));
+    const auto set =
+        CircleSetSnapshot::Make(MakeCircles(500 + m, 40), metrics[m]);
+    const CircleSetHandle handle =
+        reference.registry().Register(set->circles(), set->metric());
+    // The inline fan-out registers the set on every shard that owns a
+    // tile, so the later by-hash requests resolve everywhere.
+    bool inline_circles = true;
+    for (const int size : {24, 33}) {
+      const HeatmapGrid routed = RoutedGrid(
+          fd, MakeWireRequest(*set, kDomain, size, size, inline_circles));
+      inline_circles = false;
+      const HeatmapResponse direct =
+          reference.Execute(HeatmapRequestV2{handle, kDomain, size, size});
+      ASSERT_EQ(routed.width(), size);
+      ASSERT_EQ(routed.height(), size);
+      EXPECT_EQ(routed.values(), direct.grid.values());
+    }
+  }
+  ::close(fd);
+  EXPECT_TRUE(harness.Stop().ok());
+}
+
+TEST(ShardRouterTest, ByTileStatsCountTileFragmentsAcrossTheFleet) {
+  // One plain request through a 2x2 by-tile router fans four tile
+  // sub-requests across the fleet; the merged stats must report them as
+  // tile requests/fragments (both shards contribute).
+  RouterHarness harness;
+  ASSERT_TRUE(
+      harness.Start(/*num_shards=*/2, /*worker_slabs=*/1, 2, 2).ok());
+  int fd = -1;
+  ASSERT_TRUE(harness.Connect(&fd).ok());
+
+  const auto set =
+      CircleSetSnapshot::Make(MakeCircles(600, 20), Metric::kLInf);
+  std::vector<uint8_t> reply;
+  ASSERT_TRUE(RoundTrip(fd,
+                        EncodeRequest(MakeWireRequest(*set, kDomain, 16, 16,
+                                                      /*include=*/true)),
+                        &reply)
+                  .ok());
+  std::string error;
+  const auto decoded = DecodeResponse(reply, &error);
+  ASSERT_TRUE(decoded.has_value()) << error;
+  ASSERT_EQ(decoded->status, WireStatus::kOk) << decoded->error;
+
+  ASSERT_TRUE(RoundTrip(fd, EncodeStatsRequest(), &reply).ok());
+  const auto stats = DecodeStatsResponse(reply, &error);
+  ASSERT_TRUE(stats.has_value()) << error;
+  EXPECT_EQ(stats->shards, 2u);
+  EXPECT_EQ(stats->tile_requests, 4u);
+  EXPECT_EQ(stats->tile_fragments, 4u);
+  // Every shard saw the inline circles once (tile_id % 2 covers both).
+  EXPECT_EQ(stats->sets_registered, 2u);
+  EXPECT_EQ(stats->errors, 0u);
+
+  ::close(fd);
+  EXPECT_TRUE(harness.Stop().ok());
+}
+
+TEST(ShardRouterTest, ByTileKilledShardYieldsOneErrorNotAPartialGrid) {
+  // Kill a worker out from under the router, then route a request whose
+  // fan-out needs it: the reply must be a single error response — never
+  // a stitched grid missing the dead shard's tiles.
+  RouterHarness harness;
+  ASSERT_TRUE(
+      harness.Start(/*num_shards=*/2, /*worker_slabs=*/1, 2, 2).ok());
+  int fd = -1;
+  ASSERT_TRUE(harness.Connect(&fd).ok());
+
+  const auto set =
+      CircleSetSnapshot::Make(MakeCircles(700, 20), Metric::kL2);
+  // A healthy round-trip first, so the kill really happens mid-stream.
+  std::vector<uint8_t> reply;
+  ASSERT_TRUE(RoundTrip(fd,
+                        EncodeRequest(MakeWireRequest(*set, kDomain, 12, 12,
+                                                      /*include=*/true)),
+                        &reply)
+                  .ok());
+  std::string error;
+  auto decoded = DecodeResponse(reply, &error);
+  ASSERT_TRUE(decoded.has_value()) << error;
+  ASSERT_EQ(decoded->status, WireStatus::kOk) << decoded->error;
+
+  ASSERT_EQ(::kill(harness.worker_pid(1), SIGKILL), 0);
+
+  // Whether the router has already noticed the death (alive pre-check
+  // refuses to fan) or discovers it when the shard connection drops
+  // (FailShard resolves the outstanding fragments), the client gets
+  // exactly one well-formed error response.
+  ASSERT_TRUE(RoundTrip(fd,
+                        EncodeRequest(MakeWireRequest(*set, kDomain, 12, 12,
+                                                      /*include=*/true)),
+                        &reply)
+                  .ok());
+  decoded = DecodeResponse(reply, &error);
+  ASSERT_TRUE(decoded.has_value()) << error;
+  EXPECT_NE(decoded->status, WireStatus::kOk);
+  EXPECT_FALSE(decoded->response.has_value());
 
   ::close(fd);
   EXPECT_TRUE(harness.Stop().ok());

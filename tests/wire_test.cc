@@ -13,6 +13,7 @@
 #include "query/circle_set_registry.h"
 #include "query/heatmap_engine.h"
 #include "serve/wire_server.h"
+#include "tile/tile_plan.h"
 
 namespace rnnhm {
 namespace {
@@ -430,6 +431,8 @@ TEST(WireStatsTest, ResponseRoundTripsEveryCounter) {
   reply.delta_splices = 40;
   reply.sets_evicted = 13;
   reply.delta_dirty_columns = 512;
+  reply.tile_requests = 81;
+  reply.tile_fragments = 79;
   std::string error;
   const auto decoded = DecodeStatsResponse(EncodeStatsResponse(reply), &error);
   ASSERT_TRUE(decoded.has_value()) << error;
@@ -442,6 +445,8 @@ TEST(WireStatsTest, ResponseRoundTripsEveryCounter) {
   EXPECT_EQ(decoded->delta_splices, 40u);
   EXPECT_EQ(decoded->sets_evicted, 13u);
   EXPECT_EQ(decoded->delta_dirty_columns, 512u);
+  EXPECT_EQ(decoded->tile_requests, 81u);
+  EXPECT_EQ(decoded->tile_fragments, 79u);
 }
 
 TEST(WireStatsTest, ResponseValidationIsStrict) {
@@ -709,6 +714,160 @@ TEST(PeekRouteInfoTest, RejectsNonRequestPayloads) {
   EXPECT_FALSE(PeekRouteInfo({}).has_value());
   const std::vector<uint8_t> garbage(80, 0xAB);
   EXPECT_FALSE(PeekRouteInfo(garbage).has_value());
+}
+
+// --- v6 additions: tile fragment op ---------------------------------------
+
+WireTileRequest TileRequest(const CircleSetSnapshot& set, bool inline_circles,
+                            int rows, int cols, int tile_id, int size = 24) {
+  return MakeWireTileRequest(set, kDomain, size, size, inline_circles, rows,
+                             cols, tile_id);
+}
+
+TEST(WireTileRequestTest, InlineRoundTripPreservesEveryField) {
+  const auto set = CircleSetSnapshot::Make(MakeCircles(81, 25), Metric::kL2);
+  const WireTileRequest request =
+      TileRequest(*set, /*inline_circles=*/true, 3, 4, 7);
+  const std::vector<uint8_t> bytes = EncodeTileRequest(request);
+  EXPECT_TRUE(IsTileRequest(bytes));
+  EXPECT_FALSE(IsTileRequest(EncodeRequest(InlineRequest(81, 5, Metric::kL2))));
+  std::string error;
+  const auto decoded = DecodeTileRequest(bytes, &error);
+  ASSERT_TRUE(decoded.has_value()) << error;
+  EXPECT_EQ(decoded->metric, request.metric);
+  EXPECT_EQ(decoded->set_hash, request.set_hash);
+  EXPECT_TRUE(decoded->inline_circles);
+  EXPECT_EQ(decoded->circles.size(), request.circles.size());
+  EXPECT_EQ(decoded->domain, request.domain);
+  EXPECT_EQ(decoded->width, request.width);
+  EXPECT_EQ(decoded->height, request.height);
+  EXPECT_EQ(decoded->tile_rows, 3);
+  EXPECT_EQ(decoded->tile_cols, 4);
+  EXPECT_EQ(decoded->tile_id, 7);
+}
+
+TEST(WireTileRequestTest, ByReferenceCarriesHeaderOnly) {
+  const auto set = CircleSetSnapshot::Make(MakeCircles(82, 10), Metric::kL1);
+  const std::vector<uint8_t> bytes =
+      EncodeTileRequest(TileRequest(*set, /*inline_circles=*/false, 2, 2, 3));
+  EXPECT_EQ(bytes.size(), 80u);  // plain 68-byte header + three i32s
+  std::string error;
+  const auto decoded = DecodeTileRequest(bytes, &error);
+  ASSERT_TRUE(decoded.has_value()) << error;
+  EXPECT_FALSE(decoded->inline_circles);
+  EXPECT_TRUE(decoded->circles.empty());
+  EXPECT_EQ(decoded->set_hash, set->content_hash());
+}
+
+TEST(WireTileRequestTest, TileGridValidationIsStrict) {
+  const auto set = CircleSetSnapshot::Make(MakeCircles(83, 6), Metric::kLInf);
+  const WireTileRequest good = TileRequest(*set, /*inline_circles=*/true, 2,
+                                           3, 5);
+  std::string error;
+  ASSERT_TRUE(DecodeTileRequest(EncodeTileRequest(good), &error).has_value());
+
+  // Degenerate and oversized grids, and ids outside the grid, are all
+  // refused even when the rest of the frame is pristine.
+  WireTileRequest bad = good;
+  bad.tile_rows = 0;
+  EXPECT_FALSE(DecodeTileRequest(EncodeTileRequest(bad), &error).has_value());
+  bad = good;
+  bad.tile_cols = kMaxWireTileGridSide + 1;
+  EXPECT_FALSE(DecodeTileRequest(EncodeTileRequest(bad), &error).has_value());
+  bad = good;
+  bad.tile_id = 6;  // == rows * cols, one past the last tile
+  EXPECT_FALSE(DecodeTileRequest(EncodeTileRequest(bad), &error).has_value());
+  bad = good;
+  bad.tile_id = -1;
+  EXPECT_FALSE(DecodeTileRequest(EncodeTileRequest(bad), &error).has_value());
+}
+
+TEST(WireTileRequestTest, EveryTruncationDecodesToAnErrorNotACrash) {
+  const auto set = CircleSetSnapshot::Make(MakeCircles(84, 8), Metric::kL2);
+  const std::vector<uint8_t> bytes =
+      EncodeTileRequest(TileRequest(*set, /*inline_circles=*/true, 2, 2, 1));
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    std::string error;
+    EXPECT_FALSE(
+        DecodeTileRequest(std::span(bytes.data(), len), &error).has_value())
+        << "prefix of " << len << " bytes decoded";
+    EXPECT_FALSE(error.empty());
+  }
+  auto trailing = bytes;
+  trailing.push_back(0);
+  std::string error;
+  EXPECT_FALSE(DecodeTileRequest(trailing, &error).has_value());
+}
+
+TEST(PeekRouteInfoTest, TileRequestRoutesBySetHashAndExposesTheTile) {
+  const auto set = CircleSetSnapshot::Make(MakeCircles(85, 9), Metric::kL2);
+  for (const bool inline_circles : {true, false}) {
+    const auto route = PeekRouteInfo(
+        EncodeTileRequest(TileRequest(*set, inline_circles, 3, 3, 5)));
+    ASSERT_TRUE(route.has_value());
+    EXPECT_EQ(route->route_hash, set->content_hash());
+    EXPECT_TRUE(route->is_tile);
+    EXPECT_FALSE(route->is_delta);
+    EXPECT_EQ(route->tile_id, 5u);
+  }
+}
+
+TEST(ServeWireStreamTest, TileFragmentsStitchBitIdenticallyThroughTheServer) {
+  // All six tiles of a 2x3 decomposition served as wire frames, stitched
+  // client-side — the reassembled raster must equal a direct Execute, and
+  // the serve counters must attribute every frame to the tile op.
+  const auto set = CircleSetSnapshot::Make(MakeCircles(86, 30), Metric::kL2);
+  const int size = 27;
+  constexpr int kRows = 2;
+  constexpr int kCols = 3;
+  std::FILE* in = std::tmpfile();
+  std::FILE* out = std::tmpfile();
+  ASSERT_NE(in, nullptr);
+  ASSERT_NE(out, nullptr);
+  for (int t = 0; t < kRows * kCols; ++t) {
+    ASSERT_TRUE(WriteFrame(
+        in, EncodeTileRequest(MakeWireTileRequest(
+                *set, kDomain, size, size, /*include_circles=*/t == 0, kRows,
+                kCols, t))));
+  }
+  std::rewind(in);
+
+  SizeInfluence measure;
+  HeatmapEngineOptions options;
+  options.num_threads = 1;
+  HeatmapEngine engine(measure, options);
+  WireServeStats stats;
+  std::string error;
+  ASSERT_TRUE(ServeWireStream(in, out, engine, &stats, &error)) << error;
+  EXPECT_EQ(stats.requests, 6u);
+  EXPECT_EQ(stats.tile_requests, 6u);
+  EXPECT_EQ(stats.tile_fragments, 6u);
+  EXPECT_EQ(stats.errors, 0u);
+  EXPECT_EQ(stats.sets_registered, 1u);
+
+  std::rewind(out);
+  const std::vector<TileWindow> windows =
+      TileWindows(kDomain, size, size, kRows, kCols);
+  HeatmapGrid stitched(size, size, kDomain, 0.0);
+  for (int t = 0; t < kRows * kCols; ++t) {
+    const auto frame = ReadFrame(out, &error);
+    ASSERT_TRUE(frame.has_value()) << error;
+    const auto decoded = DecodeResponse(*frame, &error);
+    ASSERT_TRUE(decoded.has_value()) << error;
+    ASSERT_EQ(decoded->status, WireStatus::kOk) << decoded->error;
+    ASSERT_EQ(decoded->response->grid.width(), windows[t].width());
+    ASSERT_EQ(decoded->response->grid.height(), windows[t].height());
+    TilePlan::StitchFragment(windows[t], decoded->response->grid, &stitched);
+  }
+  SizeInfluence reference_measure;
+  HeatmapEngine reference(reference_measure, options);
+  const CircleSetHandle handle =
+      reference.registry().Register(set->circles(), set->metric());
+  const HeatmapResponse direct =
+      reference.Execute(HeatmapRequestV2{handle, kDomain, size, size});
+  EXPECT_EQ(stitched.values(), direct.grid.values());
+  std::fclose(in);
+  std::fclose(out);
 }
 
 TEST(ServeWireStreamTest, ChainedDeltasSpliceAndMatchFromScratch) {

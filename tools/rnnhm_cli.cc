@@ -5,13 +5,18 @@
 //       Write a synthetic data set as "x,y" CSV.
 //   heatmap --clients A.csv --facilities B.csv [--metric linf|l1|l2]
 //           [--size N] [--threads T] [--out map.ppm] [--ascii]
-//           [--cache BYTES] [--repeat N]
+//           [--cache BYTES] [--repeat N] [--tiles RxC]
 //       Build the RNN heat map (size measure) and export it. --threads
 //       slab-parallelizes the linf, l1 and l2 sweeps (bit-identical
-//       output for every thread count). --cache routes the build through
-//       a HeatmapEngine with a result cache of that many bytes and runs
-//       it --repeat times (default 2), reporting cold/warm timings and
-//       hit counters.
+//       output for every thread count). --tiles partitions the domain
+//       into an R x C tile grid and sweeps each tile over just the
+//       circles that can influence it (src/tile/tile_plan.h) — output
+//       bit-identical to the untiled sweep for every grid. --cache
+//       routes the build through a HeatmapEngine with a result cache of
+//       that many bytes and runs it --repeat times (default 2),
+//       reporting cold/warm timings and hit counters; with --tiles the
+//       cache keys per-tile fragments, so warm iterations report
+//       tile-level hit counts.
 //   replay --clients A.csv --facilities B.csv [--metric linf|l1|l2]
 //          [--size N] [--edits K] [--seed S] [--verify] [--out map.ppm]
 //       Edit-replay mode: start a HeatmapSession, apply K random edits
@@ -46,14 +51,18 @@
 //       entries before eviction. SIGINT/SIGTERM drain gracefully (a
 //       second signal stops immediately).
 //   route [--transport tcp|unix] [--shards N] [--socket-dir DIR]
-//         [--threads T] [--slabs S] [--cache BYTES] plus the serve
+//         [--threads T] [--slabs S] [--cache BYTES]
+//         [--by-tile --tiles RxC] plus the serve
 //         address/connection/retention flags
 //       Multi-process sharding front: fork N shared-nothing engine
 //       workers (one per shard, each on its own Unix socket under
 //       --socket-dir) and route request frames to shard
 //       (set_hash % N) — delta frames route by their base hash, and the
-//       derived set's hash is pinned to that shard for follow-ups. See
-//       serve/shard_router.h.
+//       derived set's hash is pinned to that shard for follow-ups. With
+//       --by-tile the router instead fans each plain heat-map request
+//       as one tile sub-request per non-empty tile window (shard =
+//       tile_id % N) and stitches the fragments into one response
+//       bit-identical to an untiled Execute. See serve/shard_router.h.
 //   wire-send [--requests req.bin] --connect tcp:HOST:PORT|unix:PATH
 //             [--out resp.bin] [--stats]
 //       Socket client: send each framed request from --requests to a
@@ -112,6 +121,7 @@
 #include "serve/shard_router.h"
 #include "serve/transport.h"
 #include "serve/wire_server.h"
+#include "tile/tile_plan.h"
 
 namespace {
 
@@ -126,7 +136,7 @@ int Usage() {
       "  rnnhm_cli heatmap --clients A.csv --facilities B.csv\n"
       "            [--metric linf|l1|l2] [--size N] [--threads T] "
       "[--out map.ppm] [--ascii]\n"
-      "            [--cache BYTES] [--repeat N]\n"
+      "            [--cache BYTES] [--repeat N] [--tiles RxC]\n"
       "  rnnhm_cli replay --clients A.csv --facilities B.csv\n"
       "            [--metric linf|l1|l2] [--size N] [--edits K] [--seed S] "
       "[--verify] [--out map.ppm]\n"
@@ -144,7 +154,8 @@ int Usage() {
       "  rnnhm_cli route [--transport tcp|unix] [--shards N] "
       "[--socket-dir DIR]\n"
       "            [--threads T] [--slabs S] [--cache BYTES] "
-      "+ serve address flags\n"
+      "[--by-tile --tiles RxC]\n"
+      "            + serve address flags\n"
       "  rnnhm_cli wire-send [--requests req.bin] --connect "
       "tcp:HOST:PORT|unix:PATH\n"
       "            [--out resp.bin] [--stats]\n"
@@ -179,8 +190,8 @@ bool Parse(int argc, char** argv, Args* out) {
   for (int i = 2; i < argc; ++i) {
     if (std::strncmp(argv[i], "--", 2) == 0) {
       const std::string name = argv[i] + 2;
-      if (name == "ascii" || name == "verify" ||
-          name == "stats") {  // boolean flags
+      if (name == "ascii" || name == "verify" || name == "stats" ||
+          name == "by-tile") {  // boolean flags
         out->flags.emplace_back(name, "1");
       } else if (i + 1 < argc) {
         out->flags.emplace_back(name, argv[++i]);
@@ -191,6 +202,27 @@ bool Parse(int argc, char** argv, Args* out) {
       out->positional.push_back(argv[i]);
     }
   }
+  return true;
+}
+
+// Parses a "RxC" tile-grid flag value ("3x3", "1x4"). False (with *error
+// set) on anything that is not two positive integers around an 'x'.
+bool ParseTileGrid(const char* value, int* rows, int* cols,
+                   std::string* error) {
+  char* end = nullptr;
+  const long r = std::strtol(value, &end, 10);
+  if (end == value || *end != 'x' || r <= 0) {
+    *error = std::string("--tiles needs RxC (e.g. 3x3), got '") + value + "'";
+    return false;
+  }
+  const char* cols_start = end + 1;
+  const long c = std::strtol(cols_start, &end, 10);
+  if (end == cols_start || *end != '\0' || c <= 0) {
+    *error = std::string("--tiles needs RxC (e.g. 3x3), got '") + value + "'";
+    return false;
+  }
+  *rows = static_cast<int>(r);
+  *cols = static_cast<int>(c);
   return true;
 }
 
@@ -276,17 +308,52 @@ int CmdHeatmap(const Args& args) {
   const int repeat =
       std::atoi(args.Flag("repeat", cache_bytes > 0 ? "2" : "1"));
   if (size <= 0 || threads <= 0 || repeat <= 0) return Usage();
+  int tile_rows = 0;
+  int tile_cols = 0;
+  if (const char* tiles = args.Flag("tiles"); tiles != nullptr) {
+    std::string tiles_error;
+    if (!ParseTileGrid(tiles, &tile_rows, &tile_cols, &tiles_error)) {
+      std::fprintf(stderr, "%s\n", tiles_error.c_str());
+      return Usage();
+    }
+  }
   SizeInfluence measure;
   const Rect domain = BoundingBox(clients, 0.02);
   HeatmapGrid grid = [&] {
     if (cache_bytes > 0) {
       // Engine path: the result cache serves every byte-identical
-      // re-request (iterations 2..repeat) without sweeping.
+      // re-request (iterations 2..repeat) without sweeping. With --tiles
+      // the request decomposes into per-tile cached fragments, so the
+      // warm iterations report tile-level hit counts.
       HeatmapEngineOptions options;
       options.num_threads = 1;
       options.slabs_per_request = threads;
       options.cache_bytes = cache_bytes;
       HeatmapEngine engine(measure, options);
+      if (tile_rows > 0) {
+        const CircleSetHandle handle = engine.registry().Register(
+            BuildNnCircles(clients, facilities, metric), metric);
+        const HeatmapRequestV2 request{handle, domain, size, size};
+        HeatmapResponse last{HeatmapGrid(1, 1, Rect{{0, 0}, {1, 1}}),
+                             {}, {}, false, {}};
+        for (int i = 0; i < repeat; ++i) {
+          TiledServeStats tile_stats;
+          Stopwatch sw;
+          last = engine.ExecuteTiled(request, tile_rows, tile_cols,
+                                     &tile_stats);
+          std::printf("iteration %d: %.2f ms (%d tiles: %d swept, %d "
+                      "cached, %d background)\n",
+                      i + 1, sw.ElapsedMs(), tile_stats.tiles,
+                      tile_stats.swept_tiles, tile_stats.cached_tiles,
+                      tile_stats.background_tiles);
+        }
+        std::printf("cache: %llu hits, %llu misses, %zu entries, %zu "
+                    "bytes\n",
+                    static_cast<unsigned long long>(last.cache.hits),
+                    static_cast<unsigned long long>(last.cache.misses),
+                    last.cache.entries, last.cache.bytes);
+        return std::move(last.grid);
+      }
       HeatmapRequest request{BuildNnCircles(clients, facilities, metric),
                              domain, size, size, metric};
       HeatmapResponse last{HeatmapGrid(1, 1, Rect{{0, 0}, {1, 1}}),
@@ -302,6 +369,17 @@ int CmdHeatmap(const Args& args) {
                   static_cast<unsigned long long>(last.cache.misses),
                   last.cache.entries, last.cache.bytes);
       return std::move(last.grid);
+    }
+    if (tile_rows > 0) {
+      // Tiled sweep: partition the domain, sweep each tile over just the
+      // circles that can influence it, stitch — bit-identical to the
+      // untiled builders below.
+      const auto circles = BuildNnCircles(clients, facilities, metric);
+      TilePlanOptions plan_options;
+      plan_options.rows = tile_rows;
+      plan_options.cols = tile_cols;
+      const TilePlan plan(metric, circles, domain, size, size, plan_options);
+      return plan.Run(measure, threads);
     }
     switch (metric) {
       case Metric::kLInf:
@@ -609,6 +687,19 @@ bool ParseServeFlags(const Args& args, ServeOptions* options,
   }
   if (const char* dir = args.Flag("socket-dir"); dir != nullptr) {
     options->socket_dir = dir;
+  }
+  options->route_by_tile = args.Has("by-tile");
+  if (const char* tiles = args.Flag("tiles"); tiles != nullptr) {
+    if (!ParseTileGrid(tiles, &options->tile_rows, &options->tile_cols,
+                       error)) {
+      return false;
+    }
+  }
+  if (options->route_by_tile &&
+      options->tile_rows * options->tile_cols < options->num_shards) {
+    *error = "--by-tile needs --tiles RxC with at least as many tiles as "
+             "shards";
+    return false;
   }
   if (const char* in = args.Flag("in"); in != nullptr) options->in_path = in;
   if (const char* out = args.Flag("out"); out != nullptr) {
