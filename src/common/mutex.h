@@ -1,0 +1,162 @@
+// Annotated synchronization wrappers for Clang Thread Safety Analysis.
+//
+// libstdc++'s std::mutex / std::shared_mutex carry no capability
+// attributes, so locking them is invisible to the analysis. These thin
+// wrappers (zero overhead: every method is an inline forward) restore
+// visibility: Mutex and SharedMutex are CAPABILITY types, the *MutexLock
+// guards are SCOPED_CAPABILITY RAII types, and CondVar waits directly on
+// a Mutex (it is BasicLockable) so a worker's wait loop stays inside one
+// analyzed critical section. ThreadRole is a no-op capability that models
+// thread *confinement* — single-threaded event-loop state is "guarded by"
+// the role its loop thread holds, which turns a cross-thread touch (say,
+// from a signal-handler path) into a compile error.
+//
+// Everything is a no-op on non-Clang compilers (see
+// common/thread_annotations.h); behavior is identical either way.
+#ifndef RNNHM_COMMON_MUTEX_H_
+#define RNNHM_COMMON_MUTEX_H_
+
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+#include "common/thread_annotations.h"
+
+namespace rnnhm {
+
+/// std::mutex with capability annotations. Lock through MutexLock (or
+/// lock()/unlock() where RAII does not fit — CondVar does internally).
+class RNNHM_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() RNNHM_ACQUIRE() { mu_.lock(); }
+  void unlock() RNNHM_RELEASE() { mu_.unlock(); }
+  bool try_lock() RNNHM_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// std::shared_mutex with capability annotations. Writers lock through
+/// WriterMutexLock, readers through ReaderMutexLock.
+class RNNHM_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void lock() RNNHM_ACQUIRE() { mu_.lock(); }
+  void unlock() RNNHM_RELEASE() { mu_.unlock(); }
+  bool try_lock() RNNHM_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+  void lock_shared() RNNHM_ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void unlock_shared() RNNHM_RELEASE_SHARED() { mu_.unlock_shared(); }
+  bool try_lock_shared() RNNHM_TRY_ACQUIRE_SHARED(true) {
+    return mu_.try_lock_shared();
+  }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+/// RAII exclusive hold of a Mutex.
+class RNNHM_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) RNNHM_ACQUIRE(mu) : mu_(mu) { mu_->lock(); }
+  ~MutexLock() RNNHM_RELEASE() { mu_->unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* const mu_;
+};
+
+/// RAII exclusive hold of a SharedMutex.
+class RNNHM_SCOPED_CAPABILITY WriterMutexLock {
+ public:
+  explicit WriterMutexLock(SharedMutex* mu) RNNHM_ACQUIRE(mu) : mu_(mu) {
+    mu_->lock();
+  }
+  ~WriterMutexLock() RNNHM_RELEASE() { mu_->unlock(); }
+
+  WriterMutexLock(const WriterMutexLock&) = delete;
+  WriterMutexLock& operator=(const WriterMutexLock&) = delete;
+
+ private:
+  SharedMutex* const mu_;
+};
+
+/// RAII shared hold of a SharedMutex.
+class RNNHM_SCOPED_CAPABILITY ReaderMutexLock {
+ public:
+  explicit ReaderMutexLock(SharedMutex* mu) RNNHM_ACQUIRE_SHARED(mu)
+      : mu_(mu) {
+    mu_->lock_shared();
+  }
+  ~ReaderMutexLock() RNNHM_RELEASE() { mu_->unlock_shared(); }
+
+  ReaderMutexLock(const ReaderMutexLock&) = delete;
+  ReaderMutexLock& operator=(const ReaderMutexLock&) = delete;
+
+ private:
+  SharedMutex* const mu_;
+};
+
+/// Condition variable that waits on an annotated Mutex directly
+/// (std::condition_variable_any accepts any BasicLockable), so the
+/// analysis sees the whole wait loop holding the mutex. Spurious wakeups
+/// apply as usual: call Wait in a `while` over the predicate.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu`, blocks, and reacquires before returning.
+  void Wait(Mutex& mu) RNNHM_REQUIRES(mu) { cv_.wait(mu); }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+/// A phantom capability modeling thread confinement: state owned by one
+/// logical thread (an event loop, a test driver) is GUARDED_BY the role,
+/// the owning function body holds it through a ThreadRoleGuard, and the
+/// helpers it calls declare RNNHM_REQUIRES(role). Acquire/Release are
+/// no-ops at runtime — the value is purely the compile-time proof that
+/// nothing outside the owning thread touches the confined state.
+class RNNHM_CAPABILITY("role") ThreadRole {
+ public:
+  ThreadRole() = default;
+  ThreadRole(const ThreadRole&) = delete;
+  ThreadRole& operator=(const ThreadRole&) = delete;
+
+  void Acquire() RNNHM_ACQUIRE() {}
+  void Release() RNNHM_RELEASE() {}
+};
+
+/// RAII hold of a ThreadRole for the body of the owning function.
+class RNNHM_SCOPED_CAPABILITY ThreadRoleGuard {
+ public:
+  explicit ThreadRoleGuard(ThreadRole* role) RNNHM_ACQUIRE(role)
+      : role_(role) {
+    role_->Acquire();
+  }
+  ~ThreadRoleGuard() RNNHM_RELEASE() { role_->Release(); }
+
+  ThreadRoleGuard(const ThreadRoleGuard&) = delete;
+  ThreadRoleGuard& operator=(const ThreadRoleGuard&) = delete;
+
+ private:
+  ThreadRole* const role_;
+};
+
+}  // namespace rnnhm
+
+#endif  // RNNHM_COMMON_MUTEX_H_

@@ -1,0 +1,104 @@
+// Clang Thread Safety Analysis attribute macros.
+//
+// These wrap Clang's capability-analysis attributes
+// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html) so the locking
+// protocols this codebase documents in comments — the registry's
+// "mu_ before lru_mu_" order, the cache's single leaf mutex, the engine
+// worker pool's queue guard, the serve loops' single-thread confinement —
+// become machine-checked contracts: a guarded member touched without its
+// mutex, a *Locked helper called without the lock, or a reversed
+// acquisition order is a compile error under Clang
+// (`-Wthread-safety -Werror=thread-safety`; lock-order checking via
+// ACQUIRED_BEFORE/ACQUIRED_AFTER additionally needs the
+// `-Wthread-safety-beta` group, which the build enables as warnings).
+//
+// On compilers without the attributes (GCC builds of this repo) every
+// macro expands to nothing, so annotated code stays portable. Use the
+// annotated wrapper types in common/mutex.h rather than raw std::mutex:
+// libstdc++'s mutexes carry no capability attributes, so the analysis
+// only sees acquisitions made through annotated wrappers.
+#ifndef RNNHM_COMMON_THREAD_ANNOTATIONS_H_
+#define RNNHM_COMMON_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__) && !defined(SWIG)
+#define RNNHM_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define RNNHM_THREAD_ANNOTATION(x)  // no-op on non-Clang compilers
+#endif
+
+/// Marks a type as a capability (a lockable resource the analysis
+/// tracks). `x` is the capability kind shown in diagnostics ("mutex",
+/// "shared_mutex", "role").
+#define RNNHM_CAPABILITY(x) RNNHM_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII type whose constructor acquires and destructor releases
+/// a capability (MutexLock and friends).
+#define RNNHM_SCOPED_CAPABILITY RNNHM_THREAD_ANNOTATION(scoped_lockable)
+
+/// Declares that a data member may only be accessed while holding the
+/// given capability (reads need at least a shared hold, writes an
+/// exclusive one).
+#define RNNHM_GUARDED_BY(x) RNNHM_THREAD_ANNOTATION(guarded_by(x))
+
+/// As GUARDED_BY, for the data a pointer member points to.
+#define RNNHM_PT_GUARDED_BY(x) RNNHM_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Documents (and, under -Wthread-safety-beta, enforces) that this
+/// capability must be acquired before/after the listed ones — the
+/// compile-time encoding of a documented lock order.
+#define RNNHM_ACQUIRED_BEFORE(...) \
+  RNNHM_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define RNNHM_ACQUIRED_AFTER(...) \
+  RNNHM_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+/// The function requires the listed capabilities held (exclusively /
+/// at least shared) on entry, and does not release them.
+#define RNNHM_REQUIRES(...) \
+  RNNHM_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define RNNHM_REQUIRES_SHARED(...) \
+  RNNHM_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// The function acquires the capability (exclusively / shared) and holds
+/// it on return.
+#define RNNHM_ACQUIRE(...) \
+  RNNHM_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define RNNHM_ACQUIRE_SHARED(...) \
+  RNNHM_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+
+/// The function releases the capability. The plain RELEASE form matches
+/// either an exclusive or a shared hold, which is what scoped-guard
+/// destructors want.
+#define RNNHM_RELEASE(...) \
+  RNNHM_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define RNNHM_RELEASE_SHARED(...) \
+  RNNHM_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+#define RNNHM_RELEASE_GENERIC(...) \
+  RNNHM_THREAD_ANNOTATION(release_generic_capability(__VA_ARGS__))
+
+/// The function attempts the acquisition and returns `b` on success.
+#define RNNHM_TRY_ACQUIRE(...) \
+  RNNHM_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define RNNHM_TRY_ACQUIRE_SHARED(...) \
+  RNNHM_THREAD_ANNOTATION(try_acquire_shared_capability(__VA_ARGS__))
+
+/// The function must NOT be called with the listed capabilities held —
+/// the self-deadlock guard for public methods that take their own lock.
+#define RNNHM_EXCLUDES(...) \
+  RNNHM_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Asserts (without acquiring) that the calling thread holds the
+/// capability — for runtime-checked entry points.
+#define RNNHM_ASSERT_CAPABILITY(x) \
+  RNNHM_THREAD_ANNOTATION(assert_capability(x))
+#define RNNHM_ASSERT_SHARED_CAPABILITY(x) \
+  RNNHM_THREAD_ANNOTATION(assert_shared_capability(x))
+
+/// The function returns a reference to the named capability.
+#define RNNHM_RETURN_CAPABILITY(x) RNNHM_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: disables the analysis for one function. Every use must
+/// carry a comment explaining why the protocol cannot be expressed.
+#define RNNHM_NO_THREAD_SAFETY_ANALYSIS \
+  RNNHM_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+#endif  // RNNHM_COMMON_THREAD_ANNOTATIONS_H_

@@ -26,6 +26,18 @@
 
 namespace rnnhm {
 
+// Concurrency model: the parallel sweeps are shared-nothing by
+// construction, so there is no lock (and hence no thread-safety
+// annotation) anywhere in this module. Each worker thread owns shard s
+// exclusively — its sink `shard_sinks[s]`, its stats slot, and (in the
+// per-shard-measure overload) its measure instance — and the slab
+// partition hands every worker a disjoint x-range of the arrangement.
+// The only shared object is an optional strip sink, whose contract below
+// makes concurrent spans non-overlapping. The TSan CI job (RNNHM_TSAN)
+// is the checker for this path: a worker reaching outside its shard is a
+// data race it reports, where a mutex-based design would rely on the
+// annotations in common/mutex.h instead.
+
 /// Sweeps the L-infinity NN-circles with one thread per sink in
 /// `shard_sinks`; shard i labels the regions of slab i through sink i.
 /// Returns the summed per-shard statistics. `options.strip_sink`, when

@@ -1,8 +1,9 @@
 #include "query/circle_set_registry.h"
 
 #include <cstring>
-#include <shared_mutex>
 #include <utility>
+
+#include "common/mutex.h"
 
 namespace rnnhm {
 
@@ -100,7 +101,7 @@ CircleSetHandle CircleSetRegistry::RegisterImpl(
     std::span<const NnCircle> circles, Metric metric,
     std::vector<NnCircle>* owned) {
   const uint64_t hash = HashCircleSet(circles, metric);
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  WriterMutexLock lock(&mu_);
   const auto [lo, hi] = by_hash_.equal_range(hash);
   for (auto it = lo; it != hi; ++it) {
     Entry& entry = by_id_.at(it->second);
@@ -125,7 +126,7 @@ CircleSetHandle CircleSetRegistry::RegisterWithHashForTesting(
     std::vector<NnCircle> circles, Metric metric, uint64_t forced_hash) {
   std::shared_ptr<const CircleSetSnapshot> set =
       CircleSetSnapshot::Make(std::move(circles), metric);
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  WriterMutexLock lock(&mu_);
   const uint64_t id = next_id_++;
   resident_bytes_ += PayloadBytes(*set);
   by_id_.emplace(id,
@@ -204,7 +205,7 @@ Status CircleSetRegistry::ApplyDelta(
 std::shared_ptr<const CircleSetSnapshot> CircleSetRegistry::Resolve(
     const CircleSetHandle& handle) const {
   if (!handle.valid()) return nullptr;
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderMutexLock lock(&mu_);
   const auto it = by_id_.find(handle.id);
   if (it == by_id_.end() || it->second.hash != handle.content_hash) {
     return nullptr;
@@ -214,7 +215,7 @@ std::shared_ptr<const CircleSetSnapshot> CircleSetRegistry::Resolve(
 }
 
 CircleSetHandle CircleSetRegistry::FindByHash(uint64_t content_hash) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderMutexLock lock(&mu_);
   const auto [lo, hi] = by_hash_.equal_range(content_hash);
   if (lo == hi) return CircleSetHandle{};
   // Two resident entries under one hash is a true 64-bit collision: the
@@ -228,7 +229,7 @@ CircleSetHandle CircleSetRegistry::FindByHash(uint64_t content_hash) const {
 
 bool CircleSetRegistry::Release(const CircleSetHandle& handle) {
   if (!handle.valid()) return false;
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  WriterMutexLock lock(&mu_);
   const auto it = by_id_.find(handle.id);
   if (it == by_id_.end() || it->second.hash != handle.content_hash) {
     return false;
@@ -249,34 +250,39 @@ bool CircleSetRegistry::Release(const CircleSetHandle& handle) {
 }
 
 size_t CircleSetRegistry::size() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderMutexLock lock(&mu_);
   return by_id_.size();
 }
 
 size_t CircleSetRegistry::resident_bytes() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderMutexLock lock(&mu_);
   return resident_bytes_;
 }
 
 size_t CircleSetRegistry::unpinned_entries() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderMutexLock lock(&mu_);
   // Sibling readers may be splicing recency under lru_mu_.
-  std::lock_guard<std::mutex> lru_lock(lru_mu_);
+  MutexLock lru_lock(&lru_mu_);
   return unpinned_lru_.size();
 }
 
 size_t CircleSetRegistry::total_evicted() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderMutexLock lock(&mu_);
   return total_evicted_;
 }
 
 void CircleSetRegistry::UnpinLocked(uint64_t id, Entry& entry) {
+  // Exclusive mu_ already excludes every reader, so this acquisition is
+  // uncontended; it exists so unpinned_lru_/unpinned_bytes_ have exactly
+  // one guarding mutex the thread-safety analysis can verify.
+  MutexLock lru_lock(&lru_mu_);
   unpinned_lru_.push_front(id);
   entry.lru = unpinned_lru_.begin();
   unpinned_bytes_ += PayloadBytes(*entry.set);
 }
 
 void CircleSetRegistry::RepinLocked(Entry& entry) {
+  MutexLock lru_lock(&lru_mu_);
   unpinned_bytes_ -= PayloadBytes(*entry.set);
   unpinned_lru_.erase(entry.lru);
   entry.lru = unpinned_lru_.end();
@@ -287,7 +293,7 @@ void CircleSetRegistry::TouchLocked(const Entry& entry) const {
   // Shared-lock holders race only with each other here; a same-list
   // splice never invalidates iterators, so every entry's lru position
   // stays valid across concurrent touches.
-  std::lock_guard<std::mutex> lru_lock(lru_mu_);
+  MutexLock lru_lock(&lru_mu_);
   unpinned_lru_.splice(unpinned_lru_.begin(), unpinned_lru_, entry.lru);
 }
 
@@ -304,16 +310,20 @@ void CircleSetRegistry::EraseLocked(uint64_t id) {
   by_id_.erase(it);
 }
 
+bool CircleSetRegistry::OverBudgetLocked() const {
+  if (options_.max_unpinned_entries > 0 &&
+      unpinned_lru_.size() > options_.max_unpinned_entries) {
+    return true;
+  }
+  return options_.max_unpinned_bytes > 0 &&
+         unpinned_bytes_ > options_.max_unpinned_bytes;
+}
+
 void CircleSetRegistry::EvictOverBudgetLocked() {
-  const auto over_budget = [this] {
-    if (options_.max_unpinned_entries > 0 &&
-        unpinned_lru_.size() > options_.max_unpinned_entries) {
-      return true;
-    }
-    return options_.max_unpinned_bytes > 0 &&
-           unpinned_bytes_ > options_.max_unpinned_bytes;
-  };
-  while (!unpinned_lru_.empty() && over_budget()) {
+  // lru_mu_ is a leaf (EraseLocked takes no locks), so holding it across
+  // the loop is order-safe and, under exclusive mu_, uncontended.
+  MutexLock lru_lock(&lru_mu_);
+  while (!unpinned_lru_.empty() && OverBudgetLocked()) {
     const uint64_t victim = unpinned_lru_.back();
     unpinned_lru_.pop_back();
     unpinned_bytes_ -= PayloadBytes(*by_id_.at(victim).set);

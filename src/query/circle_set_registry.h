@@ -47,14 +47,14 @@
 #include <deque>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <optional>
-#include <shared_mutex>
 #include <span>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "core/dirty_interval.h"
 #include "geom/geometry.h"
 
@@ -159,10 +159,14 @@ class CircleSetSnapshot {
 /// hot path is resolve-dominated, and readers must not queue behind one
 /// another. Mutations (Register, Release, ApplyDelta) take the lock
 /// exclusively. The only thing a lookup writes is LRU recency, which is
-/// guarded by a separate leaf mutex (`lru_mu_`) that serializes
-/// reader-vs-reader splices; reader-vs-writer conflicts are already
-/// excluded by the shared/exclusive lock itself, so writers never take
-/// `lru_mu_`. Lock order: mu_ before lru_mu_, never the reverse.
+/// guarded by a separate leaf mutex (`lru_mu_`): shared-lock holders
+/// contend there only with each other, and writers (who already exclude
+/// every reader through `mu_`) take it uncontended for their own LRU
+/// mutations, so the whole LRU state has exactly one guarding mutex the
+/// thread-safety analysis can verify. Lock order: mu_ before lru_mu_,
+/// never the reverse — encoded on `lru_mu_` via RNNHM_ACQUIRED_AFTER, so
+/// a reversed acquisition is a compile-time diagnostic under Clang's
+/// -Wthread-safety-beta.
 class CircleSetRegistry {
  public:
   CircleSetRegistry() = default;
@@ -176,12 +180,14 @@ class CircleSetRegistry {
   /// handle and bumps its registration count — re-pinning it if it was
   /// sitting unpinned in the retention list; the vector is moved into
   /// the new snapshot otherwise.
-  CircleSetHandle Register(std::vector<NnCircle> circles, Metric metric);
+  CircleSetHandle Register(std::vector<NnCircle> circles, Metric metric)
+      RNNHM_EXCLUDES(mu_);
 
   /// As above without taking ownership: the circles are copied only when
   /// the content is new. Use for callers that keep their own vector (a
   /// session publishing its working set every tick).
-  CircleSetHandle Register(std::span<const NnCircle> circles, Metric metric);
+  CircleSetHandle Register(std::span<const NnCircle> circles, Metric metric)
+      RNNHM_EXCLUDES(mu_);
 
   /// Derives and registers a new snapshot: base's circles with `edits`
   /// applied in order (the base's metric carries over). On success fills
@@ -203,14 +209,14 @@ class CircleSetRegistry {
                     std::optional<uint64_t> expected_hash,
                     CircleSetHandle* derived, DirtyRegionSet* dirty = nullptr,
                     std::shared_ptr<const CircleSetSnapshot>* base_out =
-                        nullptr);
+                        nullptr) RNNHM_EXCLUDES(mu_);
 
   /// The snapshot behind a handle, or null when the handle was never
   /// issued by this registry, has been erased or evicted, or carries a
   /// content hash that does not match its entry (a stale or forged
   /// handle). Resolving an unpinned entry refreshes its LRU position.
   std::shared_ptr<const CircleSetSnapshot> Resolve(
-      const CircleSetHandle& handle) const;
+      const CircleSetHandle& handle) const RNNHM_EXCLUDES(mu_);
 
   /// The handle of the unique entry registered under `content_hash`, or
   /// an invalid handle. This is the wire server's by-reference lookup.
@@ -219,7 +225,8 @@ class CircleSetRegistry {
   /// lookup reports not-found rather than guessing — resolving the wrong
   /// circle set would silently serve a wrong heat map. Callers holding
   /// full content should additionally verify via Resolve + SameContent.
-  CircleSetHandle FindByHash(uint64_t content_hash) const;
+  CircleSetHandle FindByHash(uint64_t content_hash) const
+      RNNHM_EXCLUDES(mu_);
 
   /// Decrements the handle's registration count. At zero the entry is
   /// erased immediately (default options) or moved to the unpinned
@@ -228,20 +235,20 @@ class CircleSetRegistry {
   /// already fully released handle — releasing an unpinned entry again is
   /// a safe no-op, never an underflow. Outstanding shared_ptrs keep the
   /// data alive either way.
-  bool Release(const CircleSetHandle& handle);
+  bool Release(const CircleSetHandle& handle) RNNHM_EXCLUDES(mu_);
 
   /// Number of resident entries (pinned + unpinned).
-  size_t size() const;
+  size_t size() const RNNHM_EXCLUDES(mu_);
 
   /// Total circle-payload bytes across resident entries.
-  size_t resident_bytes() const;
+  size_t resident_bytes() const RNNHM_EXCLUDES(mu_);
 
   /// Number of resident entries with zero registrations (retained only
   /// by the retention budget).
-  size_t unpinned_entries() const;
+  size_t unpinned_entries() const RNNHM_EXCLUDES(mu_);
 
   /// Entries evicted by the retention budget since construction.
-  size_t total_evicted() const;
+  size_t total_evicted() const RNNHM_EXCLUDES(mu_);
 
   /// Test seam for hash-collision coverage: registers `circles` as a NEW
   /// entry filed under `forced_hash` instead of its true content hash,
@@ -250,7 +257,8 @@ class CircleSetRegistry {
   /// the collision the tests need. Never call outside tests.
   CircleSetHandle RegisterWithHashForTesting(std::vector<NnCircle> circles,
                                              Metric metric,
-                                             uint64_t forced_hash);
+                                             uint64_t forced_hash)
+      RNNHM_EXCLUDES(mu_);
 
  private:
   struct Entry {
@@ -267,22 +275,26 @@ class CircleSetRegistry {
   // Shared body of both Register overloads: `owned`, when non-null, is
   // moved into a new snapshot; otherwise `circles` is copied on demand.
   CircleSetHandle RegisterImpl(std::span<const NnCircle> circles,
-                               Metric metric, std::vector<NnCircle>* owned);
+                               Metric metric, std::vector<NnCircle>* owned)
+      RNNHM_EXCLUDES(mu_);
 
   // Moves a zero-registration entry onto the unpinned LRU (front = most
-  // recently used) and evicts over-budget entries from the back.
-  // Requires mu_ held.
-  void UnpinLocked(uint64_t id, Entry& entry);
-  // Removes an unpinned entry from the LRU on re-registration. mu_ held.
-  void RepinLocked(Entry& entry);
+  // recently used); takes lru_mu_ itself for the list mutation.
+  void UnpinLocked(uint64_t id, Entry& entry) RNNHM_REQUIRES(mu_);
+  // Removes an unpinned entry from the LRU on re-registration; takes
+  // lru_mu_ itself.
+  void RepinLocked(Entry& entry) RNNHM_REQUIRES(mu_);
   // Refreshes an unpinned entry's LRU position. Called with mu_ held at
   // least shared; takes lru_mu_ itself (splice keeps every entry's lru
   // iterator valid, so concurrent readers only contend on list pointers).
-  void TouchLocked(const Entry& entry) const;
-  // Erases `id` from both maps and the byte accounting. mu_ held.
-  void EraseLocked(uint64_t id);
-  // Evicts LRU-tail unpinned entries until within budget. mu_ held.
-  void EvictOverBudgetLocked();
+  void TouchLocked(const Entry& entry) const RNNHM_REQUIRES_SHARED(mu_);
+  // Erases `id` from both maps and the byte accounting.
+  void EraseLocked(uint64_t id) RNNHM_REQUIRES(mu_);
+  // True iff the unpinned set exceeds either retention budget.
+  bool OverBudgetLocked() const RNNHM_REQUIRES(lru_mu_);
+  // Evicts LRU-tail unpinned entries until within budget; takes lru_mu_
+  // itself across the eviction loop.
+  void EvictOverBudgetLocked() RNNHM_REQUIRES(mu_);
 
   static size_t PayloadBytes(const CircleSetSnapshot& set) {
     return set.circles().size() * sizeof(NnCircle);
@@ -290,23 +302,25 @@ class CircleSetRegistry {
 
   const CircleSetRegistryOptions options_;
 
-  mutable std::shared_mutex mu_;
-  // Leaf lock for LRU recency updates from shared-lock holders. Acquired
-  // only while mu_ is held (shared); writers mutate unpinned_lru_ under
-  // exclusive mu_ without it — no reader can be splicing then.
-  mutable std::mutex lru_mu_;
-  uint64_t next_id_ = 1;
+  mutable SharedMutex mu_;
+  // Leaf lock for the LRU recency state. Shared-lock holders take it to
+  // splice recency; writers take it (uncontended — exclusive mu_ already
+  // excludes every reader) for their own LRU mutations. Always acquired
+  // while mu_ is held, never the other way around.
+  mutable Mutex lru_mu_ RNNHM_ACQUIRED_AFTER(mu_);
+  uint64_t next_id_ RNNHM_GUARDED_BY(mu_) = 1;
   // Mutable so the const lookups (Resolve, FindByHash) can refresh LRU
   // recency under mu_.
-  mutable std::unordered_map<uint64_t, Entry> by_id_;
+  mutable std::unordered_map<uint64_t, Entry> by_id_ RNNHM_GUARDED_BY(mu_);
   // content_hash -> ids with that hash (more than one only on a true
   // 64-bit collision between distinct contents).
-  mutable std::unordered_multimap<uint64_t, uint64_t> by_hash_;
+  mutable std::unordered_multimap<uint64_t, uint64_t> by_hash_
+      RNNHM_GUARDED_BY(mu_);
   // Unpinned entries, most recently used first.
-  mutable std::list<uint64_t> unpinned_lru_;
-  size_t resident_bytes_ = 0;
-  size_t unpinned_bytes_ = 0;
-  size_t total_evicted_ = 0;
+  mutable std::list<uint64_t> unpinned_lru_ RNNHM_GUARDED_BY(lru_mu_);
+  size_t resident_bytes_ RNNHM_GUARDED_BY(mu_) = 0;
+  size_t unpinned_bytes_ RNNHM_GUARDED_BY(lru_mu_) = 0;
+  size_t total_evicted_ RNNHM_GUARDED_BY(mu_) = 0;
 };
 
 /// Tracks the registrations a connection (or stream) owns and releases

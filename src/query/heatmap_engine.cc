@@ -92,10 +92,10 @@ HeatmapEngine::HeatmapEngine(const InfluenceMeasure& measure,
 
 HeatmapEngine::~HeatmapEngine() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     stopping_ = true;
   }
-  work_available_.notify_all();
+  work_available_.NotifyAll();
   for (std::thread& t : workers_) t.join();
 }
 
@@ -115,12 +115,12 @@ std::future<HeatmapResponse> HeatmapEngine::Enqueue(ResolvedRequest request) {
   PendingRequest pending{std::move(request), {}};
   std::future<HeatmapResponse> future = pending.promise.get_future();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     RNNHM_CHECK_MSG(!stopping_, "Submit on a stopping HeatmapEngine");
     queue_.push_back(std::move(pending));
     ++in_flight_;
   }
-  work_available_.notify_one();
+  work_available_.NotifyOne();
   return future;
 }
 
@@ -468,7 +468,7 @@ HeatmapResponse HeatmapEngine::Sweep(const std::vector<NnCircle>& circles,
 }
 
 size_t HeatmapEngine::pending() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return in_flight_;
 }
 
@@ -480,9 +480,10 @@ void HeatmapEngine::WorkerLoop() {
   for (;;) {
     std::optional<PendingRequest> work;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_available_.wait(lock,
-                           [this] { return stopping_ || !queue_.empty(); });
+      MutexLock lock(&mu_);
+      // An explicit predicate loop (rather than the predicate overload of
+      // wait) keeps the guarded reads inside this analyzed scope.
+      while (!stopping_ && queue_.empty()) work_available_.Wait(mu_);
       if (queue_.empty()) return;  // stopping_ with a drained queue
       work.emplace(std::move(queue_.front()));
       queue_.pop_front();
@@ -497,7 +498,7 @@ void HeatmapEngine::WorkerLoop() {
     // Leave the pending count before fulfilling the future, so a caller
     // that has observed every future resolve also observes pending() == 0.
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       --in_flight_;
     }
     if (error) {

@@ -42,18 +42,18 @@
 #ifndef RNNHM_QUERY_HEATMAP_ENGINE_H_
 #define RNNHM_QUERY_HEATMAP_ENGINE_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <span>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "core/crest.h"
 #include "core/crest_l2.h"
 #include "core/influence_measure.h"
@@ -288,7 +288,7 @@ class HeatmapEngine {
   int num_threads() const { return static_cast<int>(workers_.size()); }
 
   /// Requests accepted but not yet finished.
-  size_t pending() const;
+  size_t pending() const RNNHM_EXCLUDES(mu_);
 
   /// Current result-cache counters; all-zero when caching is disabled.
   SweepCacheStats cache_stats() const;
@@ -303,8 +303,9 @@ class HeatmapEngine {
     int height = 0;
   };
 
-  void WorkerLoop();
-  std::future<HeatmapResponse> Enqueue(ResolvedRequest request);
+  void WorkerLoop() RNNHM_EXCLUDES(mu_);
+  std::future<HeatmapResponse> Enqueue(ResolvedRequest request)
+      RNNHM_EXCLUDES(mu_);
   ResolvedRequest Resolve(const HeatmapRequestV2& request) const;
   // The shared serve path: cache probe keyed by the snapshot's content
   // hash, sweep on a miss, admit sharing the snapshot.
@@ -332,11 +333,14 @@ class HeatmapEngine {
     std::promise<HeatmapResponse> promise;
   };
 
-  mutable std::mutex mu_;
-  std::condition_variable work_available_;
-  std::deque<PendingRequest> queue_;
-  size_t in_flight_ = 0;  // queued + currently executing
-  bool stopping_ = false;
+  mutable Mutex mu_;
+  CondVar work_available_;
+  std::deque<PendingRequest> queue_ RNNHM_GUARDED_BY(mu_);
+  // Queued + currently executing.
+  size_t in_flight_ RNNHM_GUARDED_BY(mu_) = 0;
+  bool stopping_ RNNHM_GUARDED_BY(mu_) = false;
+  // Written only by the constructor, before any worker runs; read-only
+  // afterwards (num_threads, the destructor's join).
   std::vector<std::thread> workers_;
 };
 

@@ -52,6 +52,17 @@ struct IncrementalRebuildStats {
 };
 
 /// Mutable bichromatic workload with incrementally maintained NN-circles.
+///
+/// Concurrency model: a session is thread-compatible, not thread-safe —
+/// it holds no locks and every member is owned by whichever single thread
+/// drives the session (distinct sessions on distinct threads are fine).
+/// The one multi-threaded path, RebuildParallel, fans work out internally
+/// through SweepCrestParallel, whose workers write disjoint shard scratch
+/// and never touch session state; the session object itself stays
+/// confined to the caller for the whole call. This is the same external-
+/// synchronization contract the engine gives each queue entry, so no
+/// annotated mutex lives here by design (see docs/ARCHITECTURE.md,
+/// "Concurrency model & static analysis").
 class HeatmapSession {
  public:
   /// Starts a session; requires at least one facility.

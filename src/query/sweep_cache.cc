@@ -3,6 +3,8 @@
 #include <cstring>
 #include <utility>
 
+#include "common/mutex.h"
+
 #include "heatmap/serialization.h"
 
 namespace rnnhm {
@@ -73,7 +75,7 @@ std::optional<HeatmapResponse> SweepCache::LookupImpl(
   std::shared_ptr<const HeatmapResponse> found;
   SweepCacheStats snapshot;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     const auto it = index_.find(fingerprint);
     if (it == index_.end() || !(it->second->key == key) ||
         !same_set(*it->second->set)) {
@@ -127,7 +129,7 @@ void SweepCache::Insert(const SweepCacheKey& key,
   auto stored = std::make_shared<HeatmapResponse>(response);
   stored->from_cache = false;
   stored->cache = SweepCacheStats{};
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   const auto it = index_.find(fingerprint);
   if (it != index_.end()) {  // replace (also heals a fingerprint collision)
     stats_.bytes -= it->second->bytes;
@@ -166,12 +168,12 @@ void SweepCache::EvictToFitLocked() {
 }
 
 SweepCacheStats SweepCache::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return stats_;
 }
 
 void SweepCache::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   lru_.clear();
   index_.clear();
   stats_.entries = 0;

@@ -27,10 +27,12 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <span>
 #include <unordered_map>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 #include "query/circle_set_registry.h"
 #include "query/heatmap_engine.h"
@@ -87,18 +89,20 @@ class SweepCache {
   /// snapshot.
   std::optional<HeatmapResponse> Lookup(
       const SweepCacheKey& key,
-      const std::shared_ptr<const CircleSetSnapshot>& set);
+      const std::shared_ptr<const CircleSetSnapshot>& set)
+      RNNHM_EXCLUDES(mu_);
 
   /// As above for callers without a snapshot (the legacy inline path):
   /// collision verification compares against `circles`/`metric` directly,
   /// with no copy and no re-hash.
   std::optional<HeatmapResponse> Lookup(const SweepCacheKey& key,
                                         std::span<const NnCircle> circles,
-                                        Metric metric);
+                                        Metric metric) RNNHM_EXCLUDES(mu_);
 
   /// Legacy convenience: hashes the request's circles and looks up. Cost
   /// scales with the circle count; prefer the key overloads.
-  std::optional<HeatmapResponse> Lookup(const HeatmapRequest& request);
+  std::optional<HeatmapResponse> Lookup(const HeatmapRequest& request)
+      RNNHM_EXCLUDES(mu_);
 
   /// Admits `response` for `key`, evicting LRU entries to fit. `set` must
   /// be the snapshot the response was computed from (its hash must equal
@@ -107,17 +111,18 @@ class SweepCache {
   /// under an existing key replaces the entry.
   void Insert(const SweepCacheKey& key,
               std::shared_ptr<const CircleSetSnapshot> set,
-              const HeatmapResponse& response);
+              const HeatmapResponse& response) RNNHM_EXCLUDES(mu_);
 
   /// Legacy convenience: snapshots the request's circles (moving them out
   /// of the by-value request) and admits under its content key.
-  void Insert(HeatmapRequest request, const HeatmapResponse& response);
+  void Insert(HeatmapRequest request, const HeatmapResponse& response)
+      RNNHM_EXCLUDES(mu_);
 
   /// Current counters (cumulative hit/miss/insert/evict, resident sizes).
-  SweepCacheStats stats() const;
+  SweepCacheStats stats() const RNNHM_EXCLUDES(mu_);
 
   /// Drops every entry (counters other than entries/bytes are kept).
-  void Clear();
+  void Clear() RNNHM_EXCLUDES(mu_);
 
   /// The canonical cache key of a legacy inline request: hashes the
   /// circle vector (O(n)). Handle paths build the key directly from the
@@ -149,16 +154,19 @@ class SweepCache {
   // snapshot matches the lookup's circle content.
   template <typename SameSet>
   std::optional<HeatmapResponse> LookupImpl(const SweepCacheKey& key,
-                                            const SameSet& same_set);
+                                            const SameSet& same_set)
+      RNNHM_EXCLUDES(mu_);
 
-  // Evicts LRU entries until both budgets hold. Caller holds mu_.
-  void EvictToFitLocked();
+  // Evicts LRU entries until both budgets hold.
+  void EvictToFitLocked() RNNHM_REQUIRES(mu_);
 
   const SweepCacheOptions options_;
-  mutable std::mutex mu_;
-  std::list<Entry> lru_;  // front = most recently used
-  std::unordered_map<uint64_t, std::list<Entry>::iterator> index_;
-  SweepCacheStats stats_;
+  mutable Mutex mu_;
+  // Front = most recently used.
+  std::list<Entry> lru_ RNNHM_GUARDED_BY(mu_);
+  std::unordered_map<uint64_t, std::list<Entry>::iterator> index_
+      RNNHM_GUARDED_BY(mu_);
+  SweepCacheStats stats_ RNNHM_GUARDED_BY(mu_);
 };
 
 }  // namespace rnnhm

@@ -2,9 +2,11 @@
 
 #include <cstring>
 #include <exception>
+#include <iterator>
 #include <utility>
 
 #include "heatmap/serialization.h"
+#include "query/wire_layout.h"
 
 namespace rnnhm {
 
@@ -17,25 +19,81 @@ constexpr char kStatsResponseMagic[4] = {'R', 'N', 'W', 'U'};
 constexpr char kDeltaRequestMagic[4] = {'R', 'N', 'W', 'D'};
 constexpr char kTileRequestMagic[4] = {'R', 'N', 'W', 'L'};
 constexpr uint8_t kFlagInlineCircles = 0x1;
-// One encoded circle: center.x, center.y, radius (f64 each) + client i32.
-constexpr size_t kCircleBytes = 3 * sizeof(uint64_t) + sizeof(uint32_t);
-constexpr size_t kRequestHeaderBytes = 68;
-constexpr size_t kResponseHeaderBytes = 16;
-// magic + version + u16 metric/flags pair + u16 reserved + raster + domain:
-// the set_hash field's fixed offset in a request header. A delta request
+// Sizes and peek offsets come from the declarative layout tables; the
+// static_assert battery below keeps this codec and those tables in
+// lockstep (tools/check_wire_layout.py independently re-checks both
+// against the Put* sequences in this file).
+constexpr size_t kCircleBytes = wire_layout::kCircleBytes;
+constexpr size_t kRequestHeaderBytes = wire_layout::kRequestHeaderBytes;
+constexpr size_t kResponseHeaderBytes = wire_layout::kResponseHeaderBytes;
+// The set_hash field's fixed offset in a request header. A delta request
 // shares this prefix layout with base_hash in the set_hash slot (so the
 // routing peek reads one offset for both) followed by new_hash; a tile
 // request shares the whole plain header (through the circle count) and
 // appends the tile grid + id before the circle payload.
-constexpr size_t kRequestSetHashOffset = 4 + 4 + 1 + 1 + 2 + 4 + 4 + 32;
-constexpr size_t kDeltaNewHashOffset = kRequestSetHashOffset + 8;
-// ... + base_hash + new_hash + edit count.
-constexpr size_t kDeltaHeaderBytes = kRequestSetHashOffset + 3 * 8;
-// ... + tile_rows + tile_cols + tile_id (i32 each).
-constexpr size_t kTileIdOffset = kRequestHeaderBytes + 2 * sizeof(int32_t);
-constexpr size_t kTileHeaderBytes = kRequestHeaderBytes + 3 * sizeof(int32_t);
-constexpr size_t kStatsRequestBytes = 12;   // magic + version + reserved
-constexpr size_t kStatsResponseBytes = 92;  // magic + version + shards + 10*u64
+constexpr size_t kRequestSetHashOffset = wire_layout::kRequestSetHashOffset;
+constexpr size_t kDeltaNewHashOffset = wire_layout::kDeltaNewHashOffset;
+constexpr size_t kDeltaHeaderBytes = wire_layout::kDeltaHeaderBytes;
+constexpr size_t kTileIdOffset = wire_layout::kTileIdOffset;
+constexpr size_t kTileHeaderBytes = wire_layout::kTileHeaderBytes;
+constexpr size_t kStatsRequestBytes = wire_layout::kStatsRequestBytes;
+constexpr size_t kStatsResponseBytes = wire_layout::kStatsResponseBytes;
+
+// --- Wire-layout lint (compile time) --------------------------------------
+// Every layout table must be gap-free from offset 0 and sum to its
+// declared frame size; the offsets this codec hard-wires (routing peeks,
+// shared prefixes) must match the tables field-for-field. A perturbed
+// offset in either place is a build break, not a protocol corruption.
+
+namespace wl = wire_layout;
+
+static_assert(wl::Contiguous(wl::kRequestLayout) &&
+              wl::TotalBytes(wl::kRequestLayout) == kRequestHeaderBytes);
+static_assert(wl::Contiguous(wl::kResponseLayout) &&
+              wl::TotalBytes(wl::kResponseLayout) == kResponseHeaderBytes);
+static_assert(wl::Contiguous(wl::kDeltaLayout) &&
+              wl::TotalBytes(wl::kDeltaLayout) == kDeltaHeaderBytes);
+static_assert(wl::Contiguous(wl::kTileLayout) &&
+              wl::TotalBytes(wl::kTileLayout) == kTileHeaderBytes);
+static_assert(wl::Contiguous(wl::kStatsRequestLayout) &&
+              wl::TotalBytes(wl::kStatsRequestLayout) == kStatsRequestBytes);
+static_assert(wl::Contiguous(wl::kStatsResponseLayout) &&
+              wl::TotalBytes(wl::kStatsResponseLayout) == kStatsResponseBytes);
+static_assert(wl::Contiguous(wl::kCircleLayout) &&
+              wl::TotalBytes(wl::kCircleLayout) == kCircleBytes);
+
+// Routing peeks: PeekRequestSetHash / PeekRouteInfo read these raw
+// offsets without decoding, so they must match the tables exactly.
+static_assert(wl::OffsetOf(wl::kRequestLayout, "set_hash") ==
+              kRequestSetHashOffset);
+static_assert(wl::OffsetOf(wl::kDeltaLayout, "base_hash") ==
+              kRequestSetHashOffset);
+static_assert(wl::OffsetOf(wl::kDeltaLayout, "new_hash") ==
+              kDeltaNewHashOffset);
+static_assert(wl::OffsetOf(wl::kTileLayout, "set_hash") ==
+              kRequestSetHashOffset);
+static_assert(wl::OffsetOf(wl::kTileLayout, "tile_id") == kTileIdOffset);
+
+// Shared-prefix contracts: a delta is a request with base_hash in the
+// set_hash slot; a tile request is a whole request plus the tile grid.
+static_assert(wl::OffsetOf(wl::kRequestLayout, "circle_count") ==
+              wl::OffsetOf(wl::kTileLayout, "circle_count"));
+static_assert(wl::OffsetOf(wl::kRequestLayout, "set_hash") ==
+              wl::OffsetOf(wl::kDeltaLayout, "base_hash"));
+static_assert(wl::OffsetOf(wl::kTileLayout, "tile_rows") ==
+              kRequestHeaderBytes);
+
+// The current protocol version must be the last history row, and its
+// published sizes must be the live ones.
+static_assert(wl::kWireVersionHistory[std::size(wl::kWireVersionHistory) -
+                                      1]
+                      .version == kWireVersion &&
+              wl::kWireVersionHistory[std::size(wl::kWireVersionHistory) -
+                                      1]
+                      .request_header_bytes == kRequestHeaderBytes);
+static_assert(wl::kWireVersionHistory[std::size(wl::kWireVersionHistory) -
+                                      1]
+                  .stats_response_bytes == kStatsResponseBytes);
 
 // --- Little-endian primitives (explicit, host-endianness independent) -----
 

@@ -214,6 +214,12 @@ EventLoopServer::~EventLoopServer() {
 }
 
 void EventLoopServer::RequestShutdown() {
+  // Async-signal-safety audit: fetch_add on a lock-free atomic and
+  // write(2) are both on the signal-safety(7) list; nothing here touches
+  // the loop-confined state (the analysis enforces that — this method
+  // does not hold loop_thread_).
+  static_assert(std::atomic<int>::is_always_lock_free,
+                "RequestShutdown must stay async-signal-safe");
   shutdown_requests_.fetch_add(1, std::memory_order_relaxed);
   if (wake_fds_[1] >= 0) {
     const uint8_t byte = 1;
@@ -273,6 +279,10 @@ void EventLoopServer::UpdateInterest(int fd, Connection& conn) {
 }
 
 Status EventLoopServer::Run() {
+  // The calling thread becomes the loop thread: it holds the confinement
+  // role for the whole serve loop, licensing every touch of the guarded
+  // loop state (connections_, poller_, draining_, drain_deadline_).
+  ThreadRoleGuard loop(&loop_thread_);
   if (!listener_.valid()) {
     return Status::InvalidArgument("event loop needs a bound listener");
   }
@@ -425,7 +435,15 @@ Status EventLoopServer::Run() {
 
 namespace {
 
+// Signal-handler target. Audit (see also RequestShutdown): the handler
+// performs one relaxed atomic pointer load and calls RequestShutdown,
+// whose body is an atomic increment plus a pipe write — every step is
+// async-signal-safe. The pointer is only as alive as the caller keeps
+// it: InstallShutdownSignalHandlers(nullptr) must run before the server
+// is destroyed.
 std::atomic<EventLoopServer*> g_signal_server{nullptr};
+static_assert(std::atomic<EventLoopServer*>::is_always_lock_free,
+              "signal handler must not take a lock to load the target");
 
 void ShutdownSignalHandler(int /*signum*/) {
   EventLoopServer* server = g_signal_server.load(std::memory_order_relaxed);

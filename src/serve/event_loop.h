@@ -26,7 +26,9 @@
 #include <memory>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "serve/frame_buffer.h"
 #include "serve/options.h"
 #include "serve/transport.h"
@@ -92,10 +94,15 @@ class EventLoopServer {
 
   /// Serves until shutdown completes. Returns kOk after a clean drain (or
   /// hard stop); an error Status if the loop infrastructure itself fails.
-  Status Run();
+  /// Single-threaded: the calling thread becomes the loop thread and is
+  /// the only one allowed to touch the loop state below.
+  Status Run() RNNHM_EXCLUDES(loop_thread_);
 
   /// Async-signal-safe and thread-safe. First call begins the lame-duck
-  /// drain; a second forces an immediate stop.
+  /// drain; a second forces an immediate stop. Deliberately NOT a holder
+  /// of `loop_thread_`: the analysis proves it cannot touch the
+  /// loop-confined state — it only bumps the lock-free request counter
+  /// and writes the wake pipe, both async-signal-safe.
   void RequestShutdown();
 
   /// The listener (valid until the drain begins); tests read the resolved
@@ -107,27 +114,43 @@ class EventLoopServer {
  private:
   struct Connection;
 
-  void CloseConnection(int fd);
+  void CloseConnection(int fd) RNNHM_REQUIRES(loop_thread_);
   /// Reads everything available, runs complete frames, queues responses.
-  void HandleReadable(int fd, Connection& conn);
+  void HandleReadable(int fd, Connection& conn)
+      RNNHM_REQUIRES(loop_thread_);
   /// Recomputes poller interest from connection state.
-  void UpdateInterest(int fd, Connection& conn);
+  void UpdateInterest(int fd, Connection& conn)
+      RNNHM_REQUIRES(loop_thread_);
 
   Listener listener_;
   WireServer wire_server_;
   CircleSetRegistry* registry_;  // the engine's; scopes release into it
   const ServeOptions options_;
 
-  Poller poller_;
-  std::map<int, std::unique_ptr<Connection>> connections_;
-  int wake_fds_[2] = {-1, -1};  // self-pipe: [read, write]
+  /// Thread-confinement capability: held by Run for its whole body. The
+  /// state below is loop-thread-only; guarding it by the role makes a
+  /// cross-thread touch (e.g. from RequestShutdown or a signal-handler
+  /// path) a compile error instead of a latent data race.
+  ThreadRole loop_thread_;
+  Poller poller_ RNNHM_GUARDED_BY(loop_thread_);
+  std::map<int, std::unique_ptr<Connection>> connections_
+      RNNHM_GUARDED_BY(loop_thread_);
+  /// Self-pipe [read, write]: created in the constructor, closed in the
+  /// destructor, never reassigned in between — the write end is safe to
+  /// use from any thread or signal handler, which is the whole point.
+  int wake_fds_[2] = {-1, -1};
+  /// Lock-free cross-thread input: the only state RequestShutdown writes.
   std::atomic<int> shutdown_requests_{0};
-  bool draining_ = false;
-  std::chrono::steady_clock::time_point drain_deadline_{};
+  bool draining_ RNNHM_GUARDED_BY(loop_thread_) = false;
+  std::chrono::steady_clock::time_point drain_deadline_
+      RNNHM_GUARDED_BY(loop_thread_){};
 };
 
 /// Points SIGINT and SIGTERM at `server->RequestShutdown()`. One server at
-/// a time; pass nullptr to restore default dispositions.
+/// a time; pass nullptr to restore default dispositions. The handler path
+/// is async-signal-safe end to end: an atomic pointer load, an atomic
+/// counter bump, and a write(2) on the wake pipe. Uninstall (nullptr)
+/// before destroying the server — the handler holds a raw pointer.
 void InstallShutdownSignalHandlers(EventLoopServer* server);
 
 }  // namespace rnnhm

@@ -296,6 +296,11 @@ ShardRouter::~ShardRouter() {
 }
 
 void ShardRouter::RequestShutdown() {
+  // Async-signal-safe: a lock-free atomic bump plus a pipe write, and
+  // (enforced by the analysis — no loop_thread_ held here) no touch of
+  // the loop-confined routing state.
+  static_assert(std::atomic<int>::is_always_lock_free,
+                "RequestShutdown must stay async-signal-safe");
   shutdown_requests_.fetch_add(1, std::memory_order_relaxed);
   if (wake_fds_[1] >= 0) {
     const uint8_t byte = 1;
@@ -649,6 +654,10 @@ void ShardRouter::FailShard(size_t shard_index, const std::string& reason) {
 }
 
 Status ShardRouter::Run() {
+  // The calling thread becomes the loop thread; holding the confinement
+  // role for the whole body licenses every touch of the guarded routing
+  // state and every RNNHM_REQUIRES(loop_thread_) helper call.
+  ThreadRoleGuard loop(&loop_thread_);
   if (!front_.valid()) {
     return Status::InvalidArgument("router needs a bound front listener");
   }
@@ -834,7 +843,13 @@ Status ShardRouter::Run() {
 
 namespace {
 
+// Same async-signal-safety shape as the EventLoopServer handler: relaxed
+// lock-free pointer load, then RequestShutdown's atomic bump + pipe
+// write. InstallRouterSignalHandlers(nullptr) must run before the router
+// is destroyed — the handler holds a raw pointer.
 std::atomic<ShardRouter*> g_signal_router{nullptr};
+static_assert(std::atomic<ShardRouter*>::is_always_lock_free,
+              "signal handler must not take a lock to load the target");
 
 void RouterSignalHandler(int /*signum*/) {
   ShardRouter* router = g_signal_router.load(std::memory_order_relaxed);

@@ -41,7 +41,9 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "serve/event_loop.h"
 #include "serve/frame_buffer.h"
 #include "serve/options.h"
@@ -52,6 +54,11 @@ namespace rnnhm {
 /// A set of forked worker processes, one engine each, listening on
 /// per-shard Unix-domain sockets. Move-free (construct in place via
 /// Spawn); Shutdown (or destruction) SIGTERMs and reaps the workers.
+///
+/// Concurrency model: thread-compatible, no locks by design — the fleet
+/// is confined to the supervising thread (Spawn's fork requirement below
+/// already forces single-threaded use), and cross-*process* isolation is
+/// total: workers share no memory, so there is nothing to annotate.
 class ShardFleet {
  public:
   ShardFleet() = default;
@@ -107,10 +114,14 @@ class ShardRouter {
   ShardRouter& operator=(const ShardRouter&) = delete;
 
   /// Connects to every shard, then serves until shutdown completes (same
-  /// lame-duck drain protocol as EventLoopServer).
-  Status Run();
+  /// lame-duck drain protocol as EventLoopServer). Single-threaded: the
+  /// calling thread becomes the loop thread and the sole holder of
+  /// `loop_thread_` below.
+  Status Run() RNNHM_EXCLUDES(loop_thread_);
 
   /// Async-signal-safe and thread-safe; first call drains, second stops.
+  /// Not a holder of `loop_thread_` — the analysis proves it never
+  /// touches the loop-confined routing state.
   void RequestShutdown();
 
   const Listener& listener() const { return front_; }
@@ -120,41 +131,55 @@ class ShardRouter {
   struct Shard;
   struct Tag;
 
-  void CloseClient(int fd);
-  void HandleClientReadable(int fd, Client& client);
-  void RouteFrame(Client& client, const std::vector<uint8_t>& frame);
+  void CloseClient(int fd) RNNHM_REQUIRES(loop_thread_);
+  void HandleClientReadable(int fd, Client& client)
+      RNNHM_REQUIRES(loop_thread_);
+  void RouteFrame(Client& client, const std::vector<uint8_t>& frame)
+      RNNHM_REQUIRES(loop_thread_);
   /// Pins `hash` to `shard_index` for future route lookups (FIFO-bounded).
-  void RecordAffinity(uint64_t hash, size_t shard_index);
-  void HandleShardReadable(size_t shard_index);
+  void RecordAffinity(uint64_t hash, size_t shard_index)
+      RNNHM_REQUIRES(loop_thread_);
+  void HandleShardReadable(size_t shard_index) RNNHM_REQUIRES(loop_thread_);
   /// Resolves every outstanding tag of a dying shard with an error reply.
-  void FailShard(size_t shard_index, const std::string& reason);
+  void FailShard(size_t shard_index, const std::string& reason)
+      RNNHM_REQUIRES(loop_thread_);
   /// Moves a client's ready front slots into its output buffer and pushes
   /// bytes; closes the client when it is finished.
-  void FlushClient(int fd, Client& client);
-  void UpdateClientInterest(int fd, Client& client);
-  void UpdateShardInterest(Shard& shard);
+  void FlushClient(int fd, Client& client) RNNHM_REQUIRES(loop_thread_);
+  void UpdateClientInterest(int fd, Client& client)
+      RNNHM_REQUIRES(loop_thread_);
+  void UpdateShardInterest(Shard& shard) RNNHM_REQUIRES(loop_thread_);
 
   Listener front_;
   const std::vector<std::string> shard_paths_;
   const ServeOptions options_;
 
-  Poller poller_;
-  std::vector<std::unique_ptr<Shard>> shards_;
-  std::map<int, std::unique_ptr<Client>> clients_;      // by fd
-  std::map<uint64_t, int> client_fd_by_id_;
-  std::map<int, size_t> shard_index_by_fd_;
+  /// Thread-confinement capability (see EventLoopServer::loop_thread_):
+  /// Run holds it for its whole body; everything below is loop-thread
+  /// state, so a cross-thread touch is a compile error.
+  ThreadRole loop_thread_;
+  Poller poller_ RNNHM_GUARDED_BY(loop_thread_);
+  std::vector<std::unique_ptr<Shard>> shards_ RNNHM_GUARDED_BY(loop_thread_);
+  std::map<int, std::unique_ptr<Client>> clients_  // by fd
+      RNNHM_GUARDED_BY(loop_thread_);
+  std::map<uint64_t, int> client_fd_by_id_ RNNHM_GUARDED_BY(loop_thread_);
+  std::map<int, size_t> shard_index_by_fd_ RNNHM_GUARDED_BY(loop_thread_);
   /// Derived-set affinity (see RouteFrame): content hash -> shard that
   /// registered it via a delta. FIFO-bounded so a churning workload
   /// cannot grow the router without bound; an evicted affinity entry
   /// degrades to hash % N routing (a clean kUnknownCircleSet at worst).
-  std::unordered_map<uint64_t, size_t> affinity_;
-  std::deque<uint64_t> affinity_fifo_;
+  std::unordered_map<uint64_t, size_t> affinity_
+      RNNHM_GUARDED_BY(loop_thread_);
+  std::deque<uint64_t> affinity_fifo_ RNNHM_GUARDED_BY(loop_thread_);
   static constexpr size_t kMaxAffinityEntries = size_t{1} << 16;
-  uint64_t next_client_id_ = 1;
+  uint64_t next_client_id_ RNNHM_GUARDED_BY(loop_thread_) = 1;
+  /// Self-pipe [read, write]: fixed after construction; the write end is
+  /// the one thing RequestShutdown may touch besides the atomic below.
   int wake_fds_[2] = {-1, -1};
   std::atomic<int> shutdown_requests_{0};
-  bool draining_ = false;
-  std::chrono::steady_clock::time_point drain_deadline_{};
+  bool draining_ RNNHM_GUARDED_BY(loop_thread_) = false;
+  std::chrono::steady_clock::time_point drain_deadline_
+      RNNHM_GUARDED_BY(loop_thread_){};
 };
 
 /// Points SIGINT/SIGTERM at `router->RequestShutdown()` (nullptr

@@ -97,8 +97,8 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(EnclosureBackend::kSegmentTree,
                       EnclosureBackend::kRTree, EnclosureBackend::kQuadTree,
                       EnclosureBackend::kIntervalTree),
-    [](const ::testing::TestParamInfo<EnclosureBackend>& info) {
-      switch (info.param) {
+    [](const ::testing::TestParamInfo<EnclosureBackend>& param_info) {
+      switch (param_info.param) {
         case EnclosureBackend::kSegmentTree:
           return "SegmentTree";
         case EnclosureBackend::kRTree:

@@ -470,6 +470,74 @@ TEST(CircleSetRegistryTest, SoakTenThousandSetsStaysBounded) {
 // deltas. Exercises the shared-lock read path against concurrent
 // exclusive mutations; every resolve must return the right content or a
 // clean miss, never a torn entry.
+// Lock-order smoke test for the registry's two-mutex protocol (exclusive
+// or shared mu_ first, leaf lru_mu_ second — the order the annotations in
+// circle_set_registry.h encode). Resolve-under-load takes shared mu_ and
+// then lru_mu_ for the LRU touch, while a churning writer drives the
+// eviction sweep, which takes exclusive mu_ and then lru_mu_ repeatedly.
+// Run under TSan (RNNHM_TSAN) this catches an unlocked touch at runtime;
+// a *reversed* acquisition would already be a Clang compile error via
+// RNNHM_ACQUIRED_AFTER, so the pair of checkers covers both failure
+// modes.
+TEST(CircleSetRegistryStressTest, LockOrderResolveUnderLoadDuringEviction) {
+  CircleSetRegistryOptions options;
+  options.max_unpinned_entries = 4;  // tiny budget: every churn evicts
+  CircleSetRegistry registry(options);
+
+  // A pool of retained-but-unpinned sets for the readers to resolve: each
+  // Resolve touches the LRU (shared mu_ -> lru_mu_).
+  constexpr int kPool = 8;
+  std::vector<CircleSetHandle> pool;
+  for (int s = 0; s < kPool; ++s) {
+    pool.push_back(registry.Register(MakeCircles(4200 + s, 8), Metric::kL2));
+    ASSERT_TRUE(pool.back().valid());
+  }
+
+  constexpr int kReaders = 3;
+  constexpr int kIters = 2000;
+  std::atomic<bool> start{false};
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&, t] {
+      while (!start.load()) {
+      }
+      for (int i = 0; i < kIters; ++i) {
+        // A resolved handle may have been evicted by the churner after
+        // its release below — either outcome is valid; the test's
+        // assertion is TSan's (and the annotations') silence.
+        (void)registry.Resolve(pool[(t + i) % kPool]);
+        (void)registry.FindByHash(pool[(t + i) % kPool].content_hash);
+      }
+    });
+  }
+  std::thread churner([&] {
+    while (!start.load()) {
+    }
+    // Register + release churn: every release funnels an entry into the
+    // unpinned LRU and every registration past the budget runs the
+    // eviction sweep (exclusive mu_ -> lru_mu_, held across the loop).
+    for (int i = 0; i < kIters && !stop.load(); ++i) {
+      const CircleSetHandle h =
+          registry.Register(MakeCircles(9100 + i, 6), Metric::kL2);
+      ASSERT_TRUE(h.valid());
+      ASSERT_TRUE(registry.Release(h));
+    }
+  });
+  // Release the pool mid-flight so reader touches and evictions overlap
+  // on the same entries.
+  start.store(true);
+  for (int s = 0; s < kPool; ++s) {
+    ASSERT_TRUE(registry.Release(pool[s]));
+  }
+  for (std::thread& t : readers) t.join();
+  stop.store(true);
+  churner.join();
+
+  // The budget must have held under the churn.
+  EXPECT_LE(registry.unpinned_entries(), 4u);
+}
+
 TEST(CircleSetRegistryStressTest, ContendedReadersSurviveConcurrentWrites) {
   CircleSetRegistryOptions options;
   options.max_unpinned_entries = 16;  // retention on: touches splice LRU

@@ -158,9 +158,9 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(L2Case{3, 0.3, 110}, L2Case{8, 0.25, 111},
                       L2Case{20, 0.2, 112}, L2Case{60, 0.12, 113},
                       L2Case{150, 0.07, 114}, L2Case{40, 0.4, 115}),
-    [](const ::testing::TestParamInfo<L2Case>& info) {
-      return "n" + std::to_string(info.param.n) + "_seed" +
-             std::to_string(info.param.seed);
+    [](const ::testing::TestParamInfo<L2Case>& param_info) {
+      return "n" + std::to_string(param_info.param.n) + "_seed" +
+             std::to_string(param_info.param.seed);
     });
 
 TEST(CrestL2Test, RegressionSharedFacilityMultiCrossing) {

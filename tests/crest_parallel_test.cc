@@ -79,9 +79,9 @@ INSTANTIATE_TEST_SUITE_P(
     Sweep, ParallelProperty,
     ::testing::Combine(::testing::Values(10, 100, 400),
                        ::testing::Values(2, 4, 7)),
-    [](const ::testing::TestParamInfo<std::tuple<int, int>>& info) {
-      return "n" + std::to_string(std::get<0>(info.param)) + "_shards" +
-             std::to_string(std::get<1>(info.param));
+    [](const ::testing::TestParamInfo<std::tuple<int, int>>& param_info) {
+      return "n" + std::to_string(std::get<0>(param_info.param)) + "_shards" +
+             std::to_string(std::get<1>(param_info.param));
     });
 
 TEST(ParallelCrestTest, SingleShardMatchesSequentialExactly) {

@@ -199,9 +199,9 @@ INSTANTIATE_TEST_SUITE_P(
                       CrestCase{30, 0.2, 72}, CrestCase{100, 0.12, 73},
                       CrestCase{300, 0.08, 74}, CrestCase{100, 0.5, 75},
                       CrestCase{50, 0.02, 76}),
-    [](const ::testing::TestParamInfo<CrestCase>& info) {
-      return "n" + std::to_string(info.param.n) + "_seed" +
-             std::to_string(info.param.seed);
+    [](const ::testing::TestParamInfo<CrestCase>& param_info) {
+      return "n" + std::to_string(param_info.param.n) + "_seed" +
+             std::to_string(param_info.param.seed);
     });
 
 TEST_P(CrestProperty, StatusBackendsProduceIdenticalResults) {

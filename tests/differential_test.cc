@@ -296,10 +296,10 @@ INSTANTIATE_TEST_SUITE_P(
                           std::string("Connectivity")),
         ::testing::Values(Scenario::kRandom, Scenario::kSnapped,
                           Scenario::kTangent, Scenario::kDegenerate)),
-    [](const ::testing::TestParamInfo<Param>& info) {
-      return MetricName(std::get<0>(info.param)) +
-             std::get<1>(info.param) +
-             ScenarioName(std::get<2>(info.param));
+    [](const ::testing::TestParamInfo<Param>& param_info) {
+      return MetricName(std::get<0>(param_info.param)) +
+             std::get<1>(param_info.param) +
+             ScenarioName(std::get<2>(param_info.param));
     });
 
 // --- Incremental re-sweep and result cache -------------------------------
@@ -376,8 +376,8 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(Metric::kLInf, Metric::kL2),
                        ::testing::Values(std::string("Size"),
                                          std::string("Weighted"))),
-    [](const ::testing::TestParamInfo<IncrementalParam>& info) {
-      return MetricName(std::get<0>(info.param)) + std::get<1>(info.param);
+    [](const ::testing::TestParamInfo<IncrementalParam>& param_info) {
+      return MetricName(std::get<0>(param_info.param)) + std::get<1>(param_info.param);
     });
 
 // Cache hits must be bit-identical to the response a cache-less engine

@@ -96,8 +96,8 @@ TEST_P(EnclosureProperty, QueriesAtSharedEndpoints) {
 
 INSTANTIATE_TEST_SUITE_P(Sweep, EnclosureProperty,
                          ::testing::Values(1, 2, 10, 100, 1000),
-                         [](const ::testing::TestParamInfo<int>& info) {
-                           return "n" + std::to_string(info.param);
+                         [](const ::testing::TestParamInfo<int>& param_info) {
+                           return "n" + std::to_string(param_info.param);
                          });
 
 }  // namespace

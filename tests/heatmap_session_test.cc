@@ -77,8 +77,8 @@ TEST_P(SessionProperty, RandomEditScriptStaysConsistent) {
 INSTANTIATE_TEST_SUITE_P(Metrics, SessionProperty,
                          ::testing::Values(Metric::kLInf, Metric::kL1,
                                            Metric::kL2),
-                         [](const ::testing::TestParamInfo<Metric>& info) {
-                           return MetricName(info.param);
+                         [](const ::testing::TestParamInfo<Metric>& param_info) {
+                           return MetricName(param_info.param);
                          });
 
 TEST(HeatmapSessionTest, RebuildSweepsTheCurrentState) {

@@ -88,10 +88,10 @@ INSTANTIATE_TEST_SUITE_P(
         PipelineCase{DatasetKind::kLa, 256, 16, 1001},
         PipelineCase{DatasetKind::kUniform, 512, 8, 1002},
         PipelineCase{DatasetKind::kZipfian, 512, 64, 1003}),
-    [](const ::testing::TestParamInfo<PipelineCase>& info) {
-      return DatasetKindName(info.param.dataset) + "_o" +
-             std::to_string(info.param.num_clients) + "_f" +
-             std::to_string(info.param.num_facilities);
+    [](const ::testing::TestParamInfo<PipelineCase>& param_info) {
+      return DatasetKindName(param_info.param.dataset) + "_o" +
+             std::to_string(param_info.param.num_clients) + "_f" +
+             std::to_string(param_info.param.num_facilities);
     });
 
 TEST(IntegrationTest, MonochromaticPipeline) {

@@ -136,9 +136,9 @@ INSTANTIATE_TEST_SUITE_P(
                       KdTreeCase{Metric::kL2, 3, 16},
                       KdTreeCase{Metric::kL2, 200, 17},
                       KdTreeCase{Metric::kL2, 2000, 18}),
-    [](const ::testing::TestParamInfo<KdTreeCase>& info) {
-      return MetricName(info.param.metric) + "_n" +
-             std::to_string(info.param.n);
+    [](const ::testing::TestParamInfo<KdTreeCase>& param_info) {
+      return MetricName(param_info.param.metric) + "_n" +
+             std::to_string(param_info.param.n);
     });
 
 TEST(KdTreeTest, DuplicatePointsTieBreakByIndex) {

@@ -87,8 +87,8 @@ TEST_P(NnCircleProperty, MonochromaticExcludesSelf) {
 INSTANTIATE_TEST_SUITE_P(Metrics, NnCircleProperty,
                          ::testing::Values(Metric::kLInf, Metric::kL1,
                                            Metric::kL2),
-                         [](const ::testing::TestParamInfo<Metric>& info) {
-                           return MetricName(info.param);
+                         [](const ::testing::TestParamInfo<Metric>& param_info) {
+                           return MetricName(param_info.param);
                          });
 
 TEST(NnCircleBuilderTest, RotateCirclesToLInfPreservesMembership) {

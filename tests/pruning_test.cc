@@ -93,9 +93,9 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(std::tuple{3, 120}, std::tuple{8, 121},
                       std::tuple{15, 122}, std::tuple{30, 123},
                       std::tuple{60, 124}),
-    [](const ::testing::TestParamInfo<std::tuple<int, int>>& info) {
-      return "n" + std::to_string(std::get<0>(info.param)) + "_seed" +
-             std::to_string(std::get<1>(info.param));
+    [](const ::testing::TestParamInfo<std::tuple<int, int>>& param_info) {
+      return "n" + std::to_string(std::get<0>(param_info.param)) + "_seed" +
+             std::to_string(std::get<1>(param_info.param));
     });
 
 TEST(PruningTest, TimeBudgetStopsEarly) {

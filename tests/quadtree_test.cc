@@ -102,8 +102,8 @@ TEST_P(QuadTreeProperty, StabOnSplitLinesIsExact) {
 
 INSTANTIATE_TEST_SUITE_P(Sweep, QuadTreeProperty,
                          ::testing::Values(1, 10, 100, 1000),
-                         [](const ::testing::TestParamInfo<int>& info) {
-                           return "n" + std::to_string(info.param);
+                         [](const ::testing::TestParamInfo<int>& param_info) {
+                           return "n" + std::to_string(param_info.param);
                          });
 
 }  // namespace

@@ -113,8 +113,8 @@ TEST_P(RegionColoringProperty, DistinctSetsCoverSampledPoints) {
 
 INSTANTIATE_TEST_SUITE_P(Sweep, RegionColoringProperty,
                          ::testing::Values(5, 40, 200),
-                         [](const ::testing::TestParamInfo<int>& info) {
-                           return "n" + std::to_string(info.param);
+                         [](const ::testing::TestParamInfo<int>& param_info) {
+                           return "n" + std::to_string(param_info.param);
                          });
 
 }  // namespace

@@ -60,9 +60,9 @@ INSTANTIATE_TEST_SUITE_P(
                       QueryCase{Metric::kLInf, true, 503},
                       QueryCase{Metric::kL1, true, 504},
                       QueryCase{Metric::kL2, true, 505}),
-    [](const ::testing::TestParamInfo<QueryCase>& info) {
-      return MetricName(info.param.metric) +
-             (info.param.monochromatic ? "_mono" : "_bi");
+    [](const ::testing::TestParamInfo<QueryCase>& param_info) {
+      return MetricName(param_info.param.metric) +
+             (param_info.param.monochromatic ? "_mono" : "_bi");
     });
 
 TEST(RnnQueryTest, MonochromaticRnnSetsAreBounded) {

@@ -132,9 +132,9 @@ INSTANTIATE_TEST_SUITE_P(
     Sweep, RTreeProperty,
     ::testing::Combine(::testing::Values(1, 16, 17, 100, 1000),
                        ::testing::Bool()),
-    [](const ::testing::TestParamInfo<std::tuple<int, bool>>& info) {
-      return std::string(std::get<1>(info.param) ? "bulk" : "insert") + "_n" +
-             std::to_string(std::get<0>(info.param));
+    [](const ::testing::TestParamInfo<std::tuple<int, bool>>& param_info) {
+      return std::string(std::get<1>(param_info.param) ? "bulk" : "insert") + "_n" +
+             std::to_string(std::get<0>(param_info.param));
     });
 
 TEST(RTreeTest, HeightGrowsLogarithmically) {

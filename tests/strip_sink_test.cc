@@ -85,8 +85,8 @@ TEST_P(StripSinkProperty, SpanValuesMatchOracleAtSpanCenters) {
 
 INSTANTIATE_TEST_SUITE_P(Sweep, StripSinkProperty,
                          ::testing::Values(2, 10, 50, 150),
-                         [](const ::testing::TestParamInfo<int>& info) {
-                           return "n" + std::to_string(info.param);
+                         [](const ::testing::TestParamInfo<int>& param_info) {
+                           return "n" + std::to_string(param_info.param);
                          });
 
 TEST(StripSinkTest, RegressionRevivedTopmostPairValue) {
